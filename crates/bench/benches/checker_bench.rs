@@ -1,0 +1,112 @@
+//! Checker benchmarks: SC/CC search scaling, the polynomial CC checker vs
+//! the exact search (DESIGN.md ablation), and the on-time analysis.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_clocks::{Delta, Epsilon};
+use tc_core::checker::{
+    check_on_time, min_delta, satisfies_cc_fast, satisfies_cc_with, satisfies_lin,
+    satisfies_sc_with, SearchOptions,
+};
+use tc_core::generator::{replica_history, ReplicaHistoryConfig};
+use tc_core::History;
+
+fn histories(ops_per_site: usize) -> Vec<History> {
+    let cfg = ReplicaHistoryConfig {
+        n_sites: 4,
+        n_objects: 3,
+        ops_per_site,
+        read_fraction: 0.6,
+        max_time_step: 40,
+        delay: (5, 60),
+    };
+    (0..10u64).map(|seed| replica_history(&cfg, seed)).collect()
+}
+
+fn bench_sc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sc_checker");
+    for size in [8usize, 16, 32] {
+        let hs = histories(size);
+        group.bench_with_input(BenchmarkId::new("search", size * 4), &hs, |b, hs| {
+            b.iter(|| {
+                let mut sat = 0;
+                for h in hs {
+                    sat += usize::from(
+                        satisfies_sc_with(h, SearchOptions::default()).holds(),
+                    );
+                }
+                black_box(sat)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cc_checker");
+    for size in [8usize, 16, 32] {
+        let hs = histories(size);
+        group.bench_with_input(BenchmarkId::new("exact", size * 4), &hs, |b, hs| {
+            b.iter(|| {
+                let mut sat = 0;
+                for h in hs {
+                    sat += usize::from(
+                        satisfies_cc_with(h, SearchOptions::default()).holds(),
+                    );
+                }
+                black_box(sat)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("saturation", size * 4), &hs, |b, hs| {
+            b.iter(|| {
+                let mut sat = 0;
+                for h in hs {
+                    sat += usize::from(satisfies_cc_fast(h).holds());
+                }
+                black_box(sat)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_timed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timed_analysis");
+    let hs = histories(64);
+    group.bench_function("on_time", |b| {
+        b.iter(|| {
+            let mut ok = 0;
+            for h in &hs {
+                ok += usize::from(
+                    check_on_time(h, Delta::from_ticks(60), Epsilon::ZERO).holds(),
+                );
+            }
+            black_box(ok)
+        })
+    });
+    group.bench_function("min_delta", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for h in &hs {
+                acc += min_delta(h).ticks();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("lin", |b| {
+        b.iter(|| {
+            let mut ok = 0;
+            for h in &hs {
+                ok += usize::from(satisfies_lin(h).holds());
+            }
+            black_box(ok)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sc, bench_cc, bench_timed
+}
+criterion_main!(benches);

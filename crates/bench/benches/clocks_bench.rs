@@ -1,0 +1,113 @@
+//! Microbenchmarks of the clock substrate: vector vs plausible clocks
+//! (the §5.3 size/precision trade-off) and the ξ-maps.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_clocks::{
+    CombClock, LamportClock, NormXi, RevClock, SiteClock, SumXi, Timestamp, VectorClock, XiMap,
+};
+
+/// Drives `n_events` over the given clocks with a fixed mixing schedule and
+/// returns the produced stamps.
+fn drive<C: SiteClock>(mut clocks: Vec<C>, n_events: usize) -> Vec<C::Stamp> {
+    let n = clocks.len();
+    let mut stamps: Vec<C::Stamp> = Vec::with_capacity(n_events);
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state as usize
+    };
+    for _ in 0..n_events {
+        let s = next() % n;
+        if next() % 3 == 0 && !stamps.is_empty() {
+            let k = next() % stamps.len();
+            let remote = stamps[k].clone();
+            stamps.push(clocks[s].observe(&remote));
+        } else {
+            stamps.push(clocks[s].tick());
+        }
+    }
+    stamps
+}
+
+fn all_pairs_compare<S: Timestamp>(stamps: &[S]) -> usize {
+    let k = stamps.len().min(128);
+    let mut acc = 0usize;
+    for i in 0..k {
+        for j in 0..k {
+            acc += stamps[i].compare(&stamps[j]) as usize;
+        }
+    }
+    acc
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clock_compare");
+    for n_sites in [8usize, 64] {
+        let vc = drive(
+            (0..n_sites).map(|s| VectorClock::new(s, n_sites)).collect(),
+            512,
+        );
+        group.bench_with_input(BenchmarkId::new("vector", n_sites), &vc, |b, stamps| {
+            b.iter(|| black_box(all_pairs_compare(stamps)))
+        });
+        let rev = drive((0..n_sites).map(|s| RevClock::new(s, 4)).collect(), 512);
+        group.bench_with_input(BenchmarkId::new("rev4", n_sites), &rev, |b, stamps| {
+            b.iter(|| black_box(all_pairs_compare(stamps)))
+        });
+        let comb = drive(
+            (0..n_sites)
+                .map(|s| CombClock::new(RevClock::new(s, 4), LamportClock::new(s)))
+                .collect(),
+            512,
+        );
+        group.bench_with_input(BenchmarkId::new("comb", n_sites), &comb, |b, stamps| {
+            b.iter(|| black_box(all_pairs_compare(stamps)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clock_merge");
+    for n_sites in [8usize, 64] {
+        let stamps = drive(
+            (0..n_sites).map(|s| VectorClock::new(s, n_sites)).collect(),
+            256,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("vector_join", n_sites),
+            &stamps,
+            |b, stamps| {
+                b.iter(|| {
+                    let mut acc = stamps[0].clone();
+                    for s in stamps {
+                        acc = acc.join(s);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_xi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xi_maps");
+    let components: Vec<u64> = (0..64u64).map(|i| i * 37 % 1000).collect();
+    group.bench_function("sum", |b| {
+        b.iter(|| black_box(SumXi.xi(black_box(&components))))
+    });
+    group.bench_function("norm", |b| {
+        b.iter(|| black_box(NormXi.xi(black_box(&components))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_compare, bench_merge, bench_xi
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! `tc-store` throughput and latency by consistency level — the deployment
+//! face of the Δ trade-off: stronger levels pay round trips or waits.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_clocks::Delta;
+use tc_store::{ConsistencyLevel, TimedStore};
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_ops");
+    group.measurement_time(Duration::from_secs(3));
+    for level in [
+        ConsistencyLevel::Causal,
+        ConsistencyLevel::TimedCausal(Delta::from_ticks(50_000)),
+        ConsistencyLevel::TimedSerial(Delta::from_ticks(50_000)),
+        ConsistencyLevel::Linearizable,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("mixed_rw", level.label()),
+            &level,
+            |b, &level| {
+                let store = TimedStore::builder().replicas(3).level(level).build();
+                let mut h = store.handle(1);
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    if i % 4 == 0 {
+                        h.write("key", format!("v{i}")).unwrap();
+                    } else {
+                        black_box(h.read("key").unwrap());
+                    }
+                });
+                drop(h);
+                store.shutdown();
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_read_latency_vs_delta(c: &mut Criterion) {
+    // With slow gossip, smaller Δ forces reads to wait: read latency vs Δ.
+    let mut group = c.benchmark_group("store_read_latency");
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for delta_us in [1_000u64, 20_000] {
+        group.bench_with_input(
+            BenchmarkId::new("gossip5ms_delta_us", delta_us),
+            &delta_us,
+            |b, &delta_us| {
+                let store = TimedStore::builder()
+                    .replicas(2)
+                    .level(ConsistencyLevel::TimedCausal(Delta::from_ticks(delta_us)))
+                    .gossip_delay(Duration::from_millis(5))
+                    .heartbeat(Duration::from_millis(1))
+                    .build();
+                let mut writer = store.handle(0);
+                let mut reader = store.handle(1);
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    writer.write("k", format!("v{i}")).unwrap();
+                    black_box(reader.read("k").unwrap());
+                });
+                drop((writer, reader));
+                store.shutdown();
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ops, bench_read_latency_vs_delta
+}
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! Shared plumbing for the experiment binaries (`exp_*`) and Criterion
+//! benches: table rendering, JSON emission, and the standard run
+//! configurations every experiment draws from.
+//!
+//! Each `exp_*` binary regenerates one of the paper's figures or one of
+//! the simulation studies its conclusion promises; `EXPERIMENTS.md` maps
+//! binaries to figures and records measured outputs.
+
+use std::fmt::Display;
+
+use serde::Serialize;
+use tc_clocks::Delta;
+use tc_lifetime::{ProtocolConfig, ProtocolKind, RunConfig};
+use tc_sim::workload::Workload;
+use tc_sim::WorldConfig;
+
+/// A printable experiment table that can also be dumped as JSON with
+/// `--json`.
+#[derive(Debug, Serialize)]
+pub struct Table {
+    /// Table title (figure/experiment id).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells, already rendered to strings.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header.
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(ToString::to_string).collect());
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {cell:>w$} |", w = w));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.columns, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout; with `json = true` prints JSON instead.
+    pub fn emit(&self, json: bool) {
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(self).expect("table serializes")
+            );
+        } else {
+            println!("{}", self.render());
+        }
+    }
+}
+
+/// Whether `--json` was passed to the binary.
+#[must_use]
+pub fn json_flag() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Value of `--<name> <value>` if present.
+#[must_use]
+pub fn arg_value(name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| *a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// The standard simulation setup shared by the Δ-sweep experiments:
+/// 4 clients, Zipf(0.8) over 8 objects, 70% reads, constant 3-tick network
+/// latency, perfect clocks.
+#[must_use]
+pub fn standard_run(kind: ProtocolKind, seed: u64, ops_per_client: usize) -> RunConfig {
+    RunConfig {
+        protocol: ProtocolConfig::of(kind),
+        n_clients: 4,
+        workload: Workload::new(
+            8,
+            0.8,
+            0.7,
+            (Delta::from_ticks(5), Delta::from_ticks(40)),
+        ),
+        ops_per_client,
+        world: WorldConfig::deterministic(Delta::from_ticks(3), seed),
+    }
+}
+
+/// Format a float with 3 decimals (table cell helper).
+#[must_use]
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a rate as a percentage with 1 decimal.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(&[&1, &"x"]);
+        t.row(&[&22, &"yy"]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| long-header |"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_validates_width() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&[&1]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    fn standard_run_shape() {
+        let cfg = standard_run(ProtocolKind::Cc, 1, 10);
+        assert_eq!(cfg.n_clients, 4);
+        assert_eq!(cfg.ops_per_client, 10);
+    }
+}

@@ -1,0 +1,271 @@
+//! Simulated hardware clocks with bounded drift and periodic
+//! resynchronization — the mechanism behind the ε-approximately-synchronized
+//! clock model of §3.2 (citing Cristian, NTP, etc.).
+//!
+//! A [`DriftingClock`] converts *true* simulation time into a local reading
+//! that runs fast or slow by a bounded rate and may be offset. A
+//! [`SyncedClock`] additionally resynchronizes against a time server,
+//! bounding the divergence: if every clock syncs within error `e` at least
+//! every `I` ticks with drift rate at most `ρ`, then any two clocks differ
+//! by at most `ε = 2·(e + ρ·I)` — the bound exposed by
+//! [`SyncedClock::guaranteed_epsilon`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Delta, Epsilon, Time};
+
+/// A free-running local clock: `reading(T) = (1 + drift) · T + offset`.
+///
+/// Drift is expressed in parts-per-million, matching how crystal oscillator
+/// tolerances are specified. The conversion from true time is deterministic,
+/// which keeps simulations reproducible.
+///
+/// ```
+/// use tc_clocks::{DriftingClock, Time};
+///
+/// // 100 ppm fast, starts 5 ticks ahead.
+/// let clock = DriftingClock::new(100.0, 5);
+/// assert_eq!(clock.read(Time::from_ticks(1_000_000)).ticks(), 1_000_105);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DriftingClock {
+    drift_ppm: f64,
+    offset_ticks: f64,
+}
+
+impl DriftingClock {
+    /// Creates a clock with the given drift rate (ppm; may be negative) and
+    /// initial offset in ticks (may be negative).
+    #[must_use]
+    pub fn new(drift_ppm: f64, offset_ticks: i64) -> Self {
+        DriftingClock {
+            drift_ppm,
+            offset_ticks: offset_ticks as f64,
+        }
+    }
+
+    /// A perfect clock: zero drift, zero offset.
+    #[must_use]
+    pub fn perfect() -> Self {
+        DriftingClock::new(0.0, 0)
+    }
+
+    /// The drift rate in parts-per-million.
+    #[must_use]
+    pub fn drift_ppm(&self) -> f64 {
+        self.drift_ppm
+    }
+
+    /// The local reading at true time `now`, clamped at zero.
+    #[must_use]
+    pub fn read(&self, now: Time) -> Time {
+        let t = now.ticks() as f64;
+        let local = t * (1.0 + self.drift_ppm * 1e-6) + self.offset_ticks;
+        Time::from_ticks(local.max(0.0).round() as u64)
+    }
+
+    /// Slews the clock so that its reading at true time `now` equals
+    /// `target` exactly, keeping the drift rate.
+    pub fn set_reading(&mut self, now: Time, target: Time) {
+        let t = now.ticks() as f64;
+        self.offset_ticks = target.ticks() as f64 - t * (1.0 + self.drift_ppm * 1e-6);
+    }
+
+    /// The signed error `reading(now) − now` in ticks.
+    #[must_use]
+    pub fn error_at(&self, now: Time) -> i64 {
+        self.read(now).ticks() as i64 - now.ticks() as i64
+    }
+}
+
+/// The result of one resynchronization round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncOutcome {
+    /// Absolute correction applied, in ticks.
+    pub correction: u64,
+    /// Local reading immediately after the correction.
+    pub reading: Time,
+}
+
+/// A drifting clock kept within a provable bound of true time by periodic
+/// resynchronization (Cristian-style: the server's time is learned up to a
+/// known one-way error).
+///
+/// The protocols in `tc-lifetime` and the Definition 2 checker consume the
+/// resulting [`Epsilon`] bound; the simulator drives [`SyncedClock::sync`]
+/// on its timer.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SyncedClock {
+    inner: DriftingClock,
+    sync_error: u64,
+    sync_interval: Delta,
+    last_sync: Option<Time>,
+}
+
+impl SyncedClock {
+    /// Wraps `inner`, promising to call [`SyncedClock::sync`] at least every
+    /// `sync_interval` with a server estimate accurate to `sync_error`
+    /// ticks.
+    #[must_use]
+    pub fn new(inner: DriftingClock, sync_error: u64, sync_interval: Delta) -> Self {
+        SyncedClock {
+            inner,
+            sync_error,
+            sync_interval,
+            last_sync: None,
+        }
+    }
+
+    /// The local reading at true time `now`.
+    #[must_use]
+    pub fn read(&self, now: Time) -> Time {
+        self.inner.read(now)
+    }
+
+    /// Resynchronizes against a server estimate: `estimate` is the server's
+    /// time as observed locally, within ±`sync_error` of true time.
+    ///
+    /// Returns the applied correction for instrumentation.
+    pub fn sync(&mut self, now: Time, estimate: Time) -> SyncOutcome {
+        let before = self.inner.read(now);
+        self.inner.set_reading(now, estimate);
+        self.last_sync = Some(now);
+        let after = self.inner.read(now);
+        SyncOutcome {
+            correction: before.ticks().abs_diff(after.ticks()),
+            reading: after,
+        }
+    }
+
+    /// True time of the last [`SyncedClock::sync`] call, if any.
+    #[must_use]
+    pub fn last_sync(&self) -> Option<Time> {
+        self.last_sync
+    }
+
+    /// Whether a resynchronization is due at true time `now`.
+    #[must_use]
+    pub fn due(&self, now: Time) -> bool {
+        match self.last_sync {
+            None => true,
+            Some(at) => now.saturating_since(at) >= self.sync_interval,
+        }
+    }
+
+    /// The pairwise divergence bound ε guaranteed by this configuration:
+    /// `ε = 2 · (sync_error + |drift| · sync_interval)`.
+    ///
+    /// Each clock is within `sync_error + |drift|·I` of true time (§3.2's
+    /// "never more than ε/2 from the time server"), so two clocks differ by
+    /// at most twice that.
+    #[must_use]
+    pub fn guaranteed_epsilon(&self) -> Epsilon {
+        let drift_term =
+            (self.inner.drift_ppm().abs() * 1e-6 * self.sync_interval.ticks() as f64).ceil();
+        Epsilon::from_ticks(2 * (self.sync_error + drift_term as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clock_reads_true_time() {
+        let c = DriftingClock::perfect();
+        for t in [0u64, 1, 10, 1_000_000] {
+            assert_eq!(c.read(Time::from_ticks(t)), Time::from_ticks(t));
+        }
+    }
+
+    #[test]
+    fn fast_clock_runs_ahead() {
+        let c = DriftingClock::new(1000.0, 0); // 1000 ppm fast
+        assert_eq!(c.read(Time::from_ticks(1_000_000)).ticks(), 1_001_000);
+        assert!(c.error_at(Time::from_ticks(1_000_000)) == 1000);
+    }
+
+    #[test]
+    fn slow_clock_lags() {
+        let c = DriftingClock::new(-500.0, 0);
+        assert_eq!(c.read(Time::from_ticks(1_000_000)).ticks(), 999_500);
+    }
+
+    #[test]
+    fn negative_offset_clamps_at_zero() {
+        let c = DriftingClock::new(0.0, -100);
+        assert_eq!(c.read(Time::from_ticks(50)), Time::ZERO);
+        assert_eq!(c.read(Time::from_ticks(150)), Time::from_ticks(50));
+    }
+
+    #[test]
+    fn set_reading_hits_target() {
+        let mut c = DriftingClock::new(250.0, -37);
+        let now = Time::from_ticks(123_456);
+        c.set_reading(now, Time::from_ticks(123_000));
+        assert_eq!(c.read(now), Time::from_ticks(123_000));
+        // Drift persists after slewing.
+        assert!(c.read(Time::from_ticks(223_456)).ticks() > 223_000);
+    }
+
+    #[test]
+    fn sync_corrects_and_reports() {
+        let mut c = SyncedClock::new(
+            DriftingClock::new(0.0, 500),
+            10,
+            Delta::from_ticks(1_000),
+        );
+        let now = Time::from_ticks(10_000);
+        let out = c.sync(now, Time::from_ticks(10_003));
+        assert_eq!(out.reading, Time::from_ticks(10_003));
+        assert_eq!(out.correction, 497);
+        assert_eq!(c.last_sync(), Some(now));
+    }
+
+    #[test]
+    fn due_respects_interval() {
+        let mut c = SyncedClock::new(DriftingClock::perfect(), 0, Delta::from_ticks(100));
+        assert!(c.due(Time::ZERO), "never synced: always due");
+        c.sync(Time::from_ticks(50), Time::from_ticks(50));
+        assert!(!c.due(Time::from_ticks(100)));
+        assert!(c.due(Time::from_ticks(150)));
+    }
+
+    #[test]
+    fn epsilon_bound_holds_in_simulation() {
+        // Two clocks with opposite extreme drift, synced every 1000 ticks
+        // with error <= 5: their divergence never exceeds guaranteed_epsilon.
+        let interval = Delta::from_ticks(1_000);
+        let mut a = SyncedClock::new(DriftingClock::new(200.0, 3), 5, interval);
+        let mut b = SyncedClock::new(DriftingClock::new(-200.0, -4), 5, interval);
+        let eps = a.guaranteed_epsilon().ticks().max(b.guaranteed_epsilon().ticks());
+        let mut worst = 0u64;
+        for step in 0..50_000u64 {
+            let now = Time::from_ticks(step);
+            if a.due(now) {
+                // server estimate within +-5 ticks (alternate the sign)
+                let err = if step % 2 == 0 { 5 } else { -5i64 };
+                let est = (now.ticks() as i64 + err).max(0) as u64;
+                a.sync(now, Time::from_ticks(est));
+            }
+            if b.due(now) {
+                let err = if step % 2 == 0 { -5i64 } else { 5 };
+                let est = (now.ticks() as i64 + err).max(0) as u64;
+                b.sync(now, Time::from_ticks(est));
+            }
+            let d = a.read(now).ticks().abs_diff(b.read(now).ticks());
+            worst = worst.max(d);
+        }
+        assert!(
+            worst <= eps,
+            "divergence {worst} exceeded guaranteed epsilon {eps}"
+        );
+    }
+
+    #[test]
+    fn guaranteed_epsilon_formula() {
+        let c = SyncedClock::new(DriftingClock::new(100.0, 0), 7, Delta::from_ticks(10_000));
+        // 2 * (7 + ceil(100e-6 * 10_000)) = 2 * (7 + 1) = 16
+        assert_eq!(c.guaranteed_epsilon(), Epsilon::from_ticks(16));
+    }
+}

@@ -1,0 +1,264 @@
+//! Hybrid logical clocks (Kulkarni et al., OPODIS 2014) — an *extension*
+//! beyond the paper.
+//!
+//! The paper's §5.3 TCC protocol needs both a causality-tracking logical
+//! clock and a physical *checking time* `X_i^β`. A hybrid logical clock
+//! packages the two signals in one timestamp: it is always within the clock
+//! synchronization bound of physical time, yet never reverses causality.
+//! `tc-store` uses it to implement timed causal reads with a single
+//! timestamp per version, and `EXPERIMENTS.md` compares it against the
+//! paper's two-timestamp design.
+
+use core::cmp::Ordering as CmpOrdering;
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ClockOrdering, Time, Timestamp};
+
+/// A hybrid timestamp: the largest physical time heard of (`physical`), a
+/// logical tie-breaker counter (`logical`), and the producing site.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HybridStamp {
+    physical: Time,
+    logical: u32,
+    site: usize,
+}
+
+impl HybridStamp {
+    /// The origin timestamp for `site`.
+    #[must_use]
+    pub fn origin(site: usize) -> Self {
+        HybridStamp {
+            physical: Time::ZERO,
+            logical: 0,
+            site,
+        }
+    }
+
+    /// The physical component — within the synchronization bound of the
+    /// event's real time, usable as the checking time `X^β` of §5.3.
+    #[must_use]
+    pub fn physical(&self) -> Time {
+        self.physical
+    }
+
+    /// The logical tie-breaker counter.
+    #[must_use]
+    pub fn logical(&self) -> u32 {
+        self.logical
+    }
+
+    /// The site that produced this timestamp.
+    #[must_use]
+    pub fn site(&self) -> usize {
+        self.site
+    }
+
+    fn key(&self) -> (Time, u32) {
+        (self.physical, self.logical)
+    }
+}
+
+impl fmt::Debug for HybridStamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "H{}:{}@s{}", self.physical, self.logical, self.site)
+    }
+}
+
+impl Timestamp for HybridStamp {
+    fn compare(&self, other: &Self) -> ClockOrdering {
+        match self.key().cmp(&other.key()) {
+            CmpOrdering::Less => ClockOrdering::Before,
+            CmpOrdering::Greater => ClockOrdering::After,
+            CmpOrdering::Equal => {
+                if self.site == other.site {
+                    ClockOrdering::Equal
+                } else {
+                    ClockOrdering::Concurrent
+                }
+            }
+        }
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        if other.key() > self.key() {
+            *other
+        } else {
+            *self
+        }
+    }
+
+    fn meet(&self, other: &Self) -> Self {
+        if other.key() < self.key() {
+            *other
+        } else {
+            *self
+        }
+    }
+}
+
+/// A site-local hybrid logical clock.
+///
+/// Unlike the purely logical clocks, advancing an HLC requires the site's
+/// current physical reading, so [`HybridClock`] does not implement
+/// [`crate::SiteClock`]; it exposes the analogous `tick`/`observe` with an
+/// explicit `now` argument.
+///
+/// ```
+/// use tc_clocks::{HybridClock, Time, Timestamp, ClockOrdering};
+///
+/// let mut a = HybridClock::new(0);
+/// let mut b = HybridClock::new(1);
+/// let ta = a.tick(Time::from_ticks(100));
+/// // b's physical clock lags but causality still advances the stamp:
+/// let tb = b.observe(&ta, Time::from_ticks(90));
+/// assert_eq!(ta.compare(&tb), ClockOrdering::Before);
+/// assert_eq!(tb.physical(), Time::from_ticks(100));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HybridClock {
+    now: HybridStamp,
+}
+
+impl HybridClock {
+    /// Creates the clock of site `site`.
+    #[must_use]
+    pub fn new(site: usize) -> Self {
+        HybridClock {
+            now: HybridStamp::origin(site),
+        }
+    }
+
+    /// Advances the clock for a local event at physical reading `now`.
+    pub fn tick(&mut self, now: Time) -> HybridStamp {
+        if now > self.now.physical {
+            self.now.physical = now;
+            self.now.logical = 0;
+        } else {
+            self.now.logical += 1;
+        }
+        self.now
+    }
+
+    /// Merges a received timestamp at physical reading `now`.
+    pub fn observe(&mut self, remote: &HybridStamp, now: Time) -> HybridStamp {
+        let max_physical = self.now.physical.max(remote.physical).max(now);
+        self.now.logical = if max_physical == self.now.physical && max_physical == remote.physical
+        {
+            self.now.logical.max(remote.logical) + 1
+        } else if max_physical == self.now.physical {
+            self.now.logical + 1
+        } else if max_physical == remote.physical {
+            remote.logical + 1
+        } else {
+            0
+        };
+        self.now.physical = max_physical;
+        self.now
+    }
+
+    /// The current timestamp without advancing the clock.
+    #[must_use]
+    pub fn current(&self) -> HybridStamp {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_tracks_physical_time() {
+        let mut c = HybridClock::new(0);
+        let a = c.tick(Time::from_ticks(10));
+        assert_eq!(a.physical(), Time::from_ticks(10));
+        assert_eq!(a.logical(), 0);
+        let b = c.tick(Time::from_ticks(20));
+        assert_eq!(b.physical(), Time::from_ticks(20));
+        assert_eq!(b.logical(), 0);
+        assert!(a.precedes(&b));
+    }
+
+    #[test]
+    fn stalled_physical_clock_bumps_logical() {
+        let mut c = HybridClock::new(0);
+        let a = c.tick(Time::from_ticks(10));
+        let b = c.tick(Time::from_ticks(10));
+        let d = c.tick(Time::from_ticks(9)); // physical clock stepped back
+        assert_eq!(b.logical(), 1);
+        assert_eq!(d.logical(), 2);
+        assert!(a.precedes(&b) && b.precedes(&d));
+    }
+
+    #[test]
+    fn observe_never_reverses_causality() {
+        let mut a = HybridClock::new(0);
+        let mut b = HybridClock::new(1);
+        let ta = a.tick(Time::from_ticks(100));
+        let tb = b.observe(&ta, Time::from_ticks(50)); // receiver clock far behind
+        assert_eq!(ta.compare(&tb), ClockOrdering::Before);
+        let tc = b.tick(Time::from_ticks(60));
+        assert!(tb.precedes(&tc), "post-receive local event stays ordered");
+    }
+
+    #[test]
+    fn observe_merges_equal_physical() {
+        let mut a = HybridClock::new(0);
+        let mut b = HybridClock::new(1);
+        let ta = a.tick(Time::from_ticks(100));
+        b.tick(Time::from_ticks(100));
+        let tb = b.observe(&ta, Time::from_ticks(100));
+        assert_eq!(tb.physical(), Time::from_ticks(100));
+        assert!(tb.logical() >= 1);
+        assert!(ta.precedes(&tb));
+    }
+
+    #[test]
+    fn physical_component_bounded_by_max_seen() {
+        // HLC's key property: physical component equals the max physical
+        // reading involved, so it stays within the clock-sync bound.
+        let mut b = HybridClock::new(1);
+        let remote = HybridStamp {
+            physical: Time::from_ticks(500),
+            logical: 3,
+            site: 0,
+        };
+        let tb = b.observe(&remote, Time::from_ticks(480));
+        assert_eq!(tb.physical(), Time::from_ticks(500));
+        assert_eq!(tb.logical(), 4);
+    }
+
+    #[test]
+    fn identical_keys_different_sites_are_concurrent() {
+        let x = HybridStamp {
+            physical: Time::from_ticks(5),
+            logical: 0,
+            site: 0,
+        };
+        let y = HybridStamp {
+            physical: Time::from_ticks(5),
+            logical: 0,
+            site: 1,
+        };
+        assert_eq!(x.compare(&y), ClockOrdering::Concurrent);
+        assert_eq!(x.compare(&x), ClockOrdering::Equal);
+    }
+
+    #[test]
+    fn join_meet_follow_key_order() {
+        let lo = HybridStamp {
+            physical: Time::from_ticks(5),
+            logical: 9,
+            site: 0,
+        };
+        let hi = HybridStamp {
+            physical: Time::from_ticks(6),
+            logical: 0,
+            site: 1,
+        };
+        assert_eq!(lo.join(&hi), hi);
+        assert_eq!(lo.meet(&hi), lo);
+    }
+}

@@ -1,0 +1,226 @@
+//! The causality relation over operations (paper §2, adapting Lamport's
+//! happened-before): `a → b` iff
+//!
+//! 1. `a` and `b` execute at the same site and `a` comes first in program
+//!    order, or
+//! 2. `b` reads an object value written by `a`, or
+//! 3. transitivity.
+//!
+//! The relation is computed once per history as a dense reachability matrix
+//! (bitset rows), so checkers query `precedes` in O(1).
+
+use crate::{History, OpId};
+
+/// The strict causal order `→` of a history, materialized as a reachability
+/// matrix.
+///
+/// Real executions always induce an acyclic relation, but a hand-built
+/// [`History`] can encode reads-from edges that travel backwards in time
+/// and close a cycle; [`CausalOrder::is_cyclic`] exposes this so checkers
+/// can reject such histories outright.
+#[derive(Clone, Debug)]
+pub struct CausalOrder {
+    n: usize,
+    words: usize,
+    /// Row `a`: bitset of operations strictly causally after `a`.
+    reach: Vec<u64>,
+    cyclic: bool,
+}
+
+impl CausalOrder {
+    /// Computes the causal order of `history`.
+    #[must_use]
+    pub fn of(history: &History) -> CausalOrder {
+        let n = history.len();
+        let words = n.div_ceil(64).max(1);
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+        // (1) program order: consecutive ops of each site.
+        for site in 0..history.n_sites() {
+            let ops = history.site_ops(crate::SiteId::new(site));
+            for pair in ops.windows(2) {
+                succ[pair[0].index()].push(pair[1].index());
+            }
+        }
+        // (2) reads-from: the write feeding each read.
+        for read in history.reads() {
+            if let Some(Some(w)) = history.source_of(read.id()) {
+                succ[w.index()].push(read.id().index());
+            }
+        }
+
+        // (3) transitive closure by fixpoint over bitset rows. Processing
+        // nodes in decreasing effective-time order converges in one pass
+        // for acyclic histories (all edges then point "forward").
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(history.ops()[i].time()));
+        let mut reach = vec![0u64; n * words];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &i in &order {
+                for &j in &succ[i] {
+                    // reach[i] |= reach[j] | {j}
+                    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                    let (left, right) = reach.split_at_mut(hi * words);
+                    let (row_i, row_j) = if i < j {
+                        (&mut left[i * words..(i + 1) * words], &right[..words])
+                    } else {
+                        // i > j: row_i is in `right`, row_j in `left`
+                        let _ = lo;
+                        (&mut right[..words], &left[j * words..(j + 1) * words])
+                    };
+                    let mut local_change = false;
+                    for (wi, wj) in row_i.iter_mut().zip(row_j) {
+                        let next = *wi | *wj;
+                        if next != *wi {
+                            *wi = next;
+                            local_change = true;
+                        }
+                    }
+                    let word = &mut row_i[j / 64];
+                    let bit = 1u64 << (j % 64);
+                    if *word & bit == 0 {
+                        *word |= bit;
+                        local_change = true;
+                    }
+                    changed |= local_change;
+                }
+            }
+        }
+
+        let cyclic = (0..n).any(|i| reach[i * words + i / 64] & (1 << (i % 64)) != 0);
+        CausalOrder {
+            n,
+            words,
+            reach,
+            cyclic,
+        }
+    }
+
+    /// Whether `a → b` (strictly).
+    #[must_use]
+    pub fn precedes(&self, a: OpId, b: OpId) -> bool {
+        let (a, b) = (a.index(), b.index());
+        debug_assert!(a < self.n && b < self.n);
+        self.reach[a * self.words + b / 64] & (1 << (b % 64)) != 0
+    }
+
+    /// Whether `a` and `b` are distinct and causally unrelated.
+    #[must_use]
+    pub fn concurrent(&self, a: OpId, b: OpId) -> bool {
+        a != b && !self.precedes(a, b) && !self.precedes(b, a)
+    }
+
+    /// Whether the relation contains a cycle (impossible in a real
+    /// execution; possible in hand-crafted histories).
+    #[must_use]
+    pub fn is_cyclic(&self) -> bool {
+        self.cyclic
+    }
+
+    /// The operations strictly causally after `a`.
+    pub fn successors_of(&self, a: OpId) -> impl Iterator<Item = OpId> + '_ {
+        let row = &self.reach[a.index() * self.words..(a.index() + 1) * self.words];
+        (0..self.n).filter(move |&b| row[b / 64] & (1 << (b % 64)) != 0).map(OpId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistoryBuilder;
+
+    #[test]
+    fn program_order_is_causal() {
+        let mut b = HistoryBuilder::new();
+        let a = b.write(0, 'X', 1, 10);
+        let c = b.write(0, 'Y', 2, 20);
+        let d = b.write(0, 'Z', 3, 30);
+        let h = b.build().unwrap();
+        let co = CausalOrder::of(&h);
+        assert!(co.precedes(a, c));
+        assert!(co.precedes(a, d), "transitive along program order");
+        assert!(!co.precedes(d, a));
+        assert!(!co.is_cyclic());
+    }
+
+    #[test]
+    fn reads_from_is_causal() {
+        let mut b = HistoryBuilder::new();
+        let w = b.write(0, 'X', 1, 10);
+        let r = b.read(1, 'X', 1, 50);
+        let h = b.build().unwrap();
+        let co = CausalOrder::of(&h);
+        assert!(co.precedes(w, r));
+        assert!(!co.precedes(r, w));
+    }
+
+    #[test]
+    fn transitive_cross_site_chain() {
+        // w0(X)1 -> r1(X)1 -> w1(Y)2 -> r2(Y)2: w0(X)1 precedes r2(Y)2.
+        let mut b = HistoryBuilder::new();
+        let w1 = b.write(0, 'X', 1, 10);
+        let r1 = b.read(1, 'X', 1, 20);
+        let _w2 = b.write(1, 'Y', 2, 30);
+        let r2 = b.read(2, 'Y', 2, 40);
+        let h = b.build().unwrap();
+        let co = CausalOrder::of(&h);
+        assert!(co.precedes(w1, r2));
+        assert!(co.precedes(r1, r2));
+        assert!(!co.concurrent(w1, r2));
+    }
+
+    #[test]
+    fn independent_sites_are_concurrent() {
+        let mut b = HistoryBuilder::new();
+        let a = b.write(0, 'X', 1, 10);
+        let c = b.write(1, 'Y', 2, 15);
+        let h = b.build().unwrap();
+        let co = CausalOrder::of(&h);
+        assert!(co.concurrent(a, c));
+        assert!(!co.concurrent(a, a), "an op is not concurrent with itself");
+    }
+
+    #[test]
+    fn detects_cycles_from_backward_reads() {
+        // Site 0: r0(Y)2@40  w0(X)1@100
+        // Site 1: r1(X)1@50  w1(Y)2@60
+        // rf edges close a cycle through program order.
+        let mut b = HistoryBuilder::new();
+        b.read(0, 'Y', 2, 40);
+        b.write(0, 'X', 1, 100);
+        b.read(1, 'X', 1, 50);
+        b.write(1, 'Y', 2, 60);
+        let h = b.build().unwrap();
+        let co = CausalOrder::of(&h);
+        assert!(co.is_cyclic());
+    }
+
+    #[test]
+    fn successors_enumerate_reachable_set() {
+        let mut b = HistoryBuilder::new();
+        let w = b.write(0, 'X', 1, 10);
+        let r = b.read(1, 'X', 1, 20);
+        let w2 = b.write(1, 'Y', 2, 30);
+        let h = b.build().unwrap();
+        let co = CausalOrder::of(&h);
+        let succ: Vec<OpId> = co.successors_of(w).collect();
+        assert_eq!(succ, vec![r, w2]);
+    }
+
+    #[test]
+    fn concurrent_writes_seen_by_read() {
+        // Two concurrent writes to the same object; a read of one of them is
+        // causally after that one only.
+        let mut b = HistoryBuilder::new();
+        let wa = b.write(0, 'X', 1, 10);
+        let wb = b.write(1, 'X', 2, 12);
+        let r = b.read(2, 'X', 2, 30);
+        let h = b.build().unwrap();
+        let co = CausalOrder::of(&h);
+        assert!(co.concurrent(wa, wb));
+        assert!(co.precedes(wb, r));
+        assert!(co.concurrent(wa, r));
+    }
+}

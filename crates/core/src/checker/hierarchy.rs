@@ -1,0 +1,199 @@
+//! Classification of a history against the full hierarchy of Figure 4:
+//! LIN ⊆ TSC ⊆ SC ⊆ CC, TSC ⊆ TCC ⊆ CC, and TCC ∩ SC = TSC.
+
+use tc_clocks::{Delta, Epsilon};
+
+use crate::checker::{
+    check_on_time, satisfies_cc_with, satisfies_ccv, satisfies_lin, satisfies_sc_with, Outcome,
+    SearchOptions,
+};
+use crate::History;
+
+/// The verdicts of every criterion in the paper's hierarchy for one history
+/// at one `(Δ, ε)` setting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Classification {
+    /// Linearizability.
+    pub lin: Outcome,
+    /// Sequential consistency.
+    pub sc: Outcome,
+    /// Causal consistency (causal memory, the paper's definition).
+    pub cc: Outcome,
+    /// Causal convergence — the variant convergent stores implement;
+    /// incomparable with `cc` (see `checker::satisfies_ccv`).
+    pub ccv: Outcome,
+    /// The timed predicate `T` (every read on time).
+    pub timed: Outcome,
+    /// Timed serial consistency (= `timed ∧ sc`).
+    pub tsc: Outcome,
+    /// Timed causal consistency (= `timed ∧ cc`).
+    pub tcc: Outcome,
+}
+
+impl Classification {
+    /// Checks every containment of Figure 4a on this classification,
+    /// returning the name of the first violated implication (testing hook;
+    /// `None` means the hierarchy holds).
+    ///
+    /// Inconclusive verdicts are skipped — containment is only meaningful
+    /// between proven outcomes.
+    #[must_use]
+    pub fn hierarchy_violation(&self) -> Option<&'static str> {
+        let implies = |a: Outcome, b: Outcome| !(a.holds() && b.fails());
+        if !implies(self.lin, self.sc) {
+            return Some("LIN ⊆ SC");
+        }
+        if !implies(self.sc, self.cc) {
+            return Some("SC ⊆ CC");
+        }
+        if !implies(self.tsc, self.sc) {
+            return Some("TSC ⊆ SC");
+        }
+        if !implies(self.tsc, self.tcc) {
+            return Some("TSC ⊆ TCC");
+        }
+        if !implies(self.tcc, self.cc) {
+            return Some("TCC ⊆ CC");
+        }
+        if !implies(self.lin, self.tsc) {
+            // LIN = TSC(0) ⊆ TSC(Δ) for any Δ (monotone in Δ).
+            return Some("LIN ⊆ TSC");
+        }
+        if !implies(self.sc, self.ccv) {
+            // An SC serialization is its own arbitration order.
+            return Some("SC ⊆ CCv");
+        }
+        // TCC ∩ SC = TSC (both inclusions; ⊇ is TSC ⊆ TCC ∧ TSC ⊆ SC above).
+        if self.tcc.holds() && self.sc.holds() && self.tsc.fails() {
+            return Some("TCC ∩ SC ⊆ TSC");
+        }
+        None
+    }
+}
+
+/// Classifies `history` at threshold `delta` under perfect clocks with the
+/// default search budget.
+///
+/// ```
+/// use tc_clocks::Delta;
+/// use tc_core::checker::classify;
+/// use tc_core::History;
+///
+/// let h = History::parse("w0(X)7@100 w1(X)1@80 r1(X)1@140 r1(X)1@220")?;
+/// let c = classify(&h, Delta::from_ticks(100));
+/// assert!(c.sc.holds() && c.cc.holds());
+/// assert!(c.lin.fails() && c.tsc.fails() && c.tcc.fails());
+/// assert_eq!(c.hierarchy_violation(), None);
+/// # Ok::<(), tc_core::ParseHistoryError>(())
+/// ```
+#[must_use]
+pub fn classify(history: &History, delta: Delta) -> Classification {
+    classify_with(history, delta, Epsilon::ZERO, SearchOptions::default())
+}
+
+/// Classifies with explicit clock bound and search budget.
+#[must_use]
+pub fn classify_with(
+    history: &History,
+    delta: Delta,
+    eps: Epsilon,
+    opts: SearchOptions,
+) -> Classification {
+    let lin = if satisfies_lin(history).holds() {
+        Outcome::Satisfied
+    } else {
+        Outcome::Violated
+    };
+    let sc = satisfies_sc_with(history, opts).outcome();
+    let cc = satisfies_cc_with(history, opts).outcome();
+    let ccv = satisfies_ccv(history);
+    let timed = if check_on_time(history, delta, eps).holds() {
+        Outcome::Satisfied
+    } else {
+        Outcome::Violated
+    };
+    Classification {
+        lin,
+        sc,
+        cc,
+        ccv,
+        timed,
+        tsc: sc.and(timed),
+        tcc: cc.and(timed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linearizable_history_satisfies_everything() {
+        let h = History::parse("w0(X)1@10 r1(X)1@20").unwrap();
+        let c = classify(&h, Delta::ZERO);
+        assert!(c.lin.holds());
+        assert!(c.sc.holds());
+        assert!(c.cc.holds());
+        assert!(c.timed.holds());
+        assert!(c.tsc.holds());
+        assert!(c.tcc.holds());
+        assert_eq!(c.hierarchy_violation(), None);
+    }
+
+    #[test]
+    fn sc_not_lin_with_delta_split() {
+        let h = History::parse("w0(X)7@100 w1(X)1@80 r1(X)1@140 r1(X)1@220").unwrap();
+        // Below the 120-tick gap: SC yes, timed no.
+        let c = classify(&h, Delta::from_ticks(50));
+        assert!(c.sc.holds() && c.lin.fails() && c.tsc.fails());
+        assert_eq!(c.hierarchy_violation(), None);
+        // Above: TSC and TCC both hold.
+        let c = classify(&h, Delta::from_ticks(120));
+        assert!(c.tsc.holds() && c.tcc.holds() && c.lin.fails());
+        assert_eq!(c.hierarchy_violation(), None);
+    }
+
+    #[test]
+    fn cc_not_sc_classification() {
+        let h =
+            History::parse("w0(X)1@10 w1(X)2@12 r2(X)1@20 r2(X)2@30 r3(X)2@20 r3(X)1@30").unwrap();
+        let c = classify(&h, Delta::from_ticks(25));
+        assert!(c.cc.holds() && c.sc.fails());
+        assert!(c.tcc.holds() && c.tsc.fails());
+        assert_eq!(c.hierarchy_violation(), None);
+    }
+
+    #[test]
+    fn nothing_holds_for_causal_violation() {
+        let h = History::parse("w0(X)1@10 r1(X)1@20 w1(X)2@30 r2(X)2@40 r2(X)1@50").unwrap();
+        let c = classify(&h, Delta::INFINITE);
+        assert!(c.cc.fails() && c.sc.fails() && c.lin.fails());
+        assert!(c.tcc.fails() && c.tsc.fails());
+        assert!(c.timed.holds(), "Δ=∞ is always timed");
+        assert_eq!(c.hierarchy_violation(), None);
+    }
+
+    #[test]
+    fn hierarchy_violation_detects_inconsistency() {
+        let broken = Classification {
+            lin: Outcome::Satisfied,
+            sc: Outcome::Violated,
+            cc: Outcome::Satisfied,
+            ccv: Outcome::Satisfied,
+            timed: Outcome::Satisfied,
+            tsc: Outcome::Violated,
+            tcc: Outcome::Satisfied,
+        };
+        assert_eq!(broken.hierarchy_violation(), Some("LIN ⊆ SC"));
+        let broken2 = Classification {
+            lin: Outcome::Violated,
+            sc: Outcome::Satisfied,
+            cc: Outcome::Satisfied,
+            ccv: Outcome::Satisfied,
+            timed: Outcome::Satisfied,
+            tsc: Outcome::Violated,
+            tcc: Outcome::Satisfied,
+        };
+        assert_eq!(broken2.hierarchy_violation(), Some("TCC ∩ SC ⊆ TSC"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Linearizability (Herlihy & Wing): a legal serialization that respects
+//! the real-time order of the operations' effective times.
+//!
+//! With each operation collapsed to a single effective instant (the paper's
+//! model), the real-time order is total except for ties, so the check is
+//! near-linear: sort by effective time and verify legality, backtracking
+//! only inside groups of operations that share an instant.
+
+use std::collections::HashMap;
+
+use tc_clocks::Time;
+
+use crate::{History, ObjectId, OpId, Serialization, Value};
+
+/// Result of the linearizability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinVerdict {
+    witness: Option<Serialization>,
+}
+
+impl LinVerdict {
+    /// Whether the history is linearizable.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.witness.is_some()
+    }
+
+    /// A legal, time-ordered serialization when one exists.
+    #[must_use]
+    pub fn witness(&self) -> Option<&Serialization> {
+        self.witness.as_ref()
+    }
+}
+
+/// Checks linearizability.
+///
+/// ```
+/// use tc_core::checker::satisfies_lin;
+/// use tc_core::History;
+///
+/// let ok = History::parse("w0(X)7@100 r1(X)7@150")?;
+/// assert!(satisfies_lin(&ok).holds());
+///
+/// // Figure 1's pattern: a read that ignores an older-than-Δ write.
+/// let stale = History::parse("w0(X)7@100 w1(X)1@80 r1(X)1@140")?;
+/// assert!(!satisfies_lin(&stale).holds());
+/// # Ok::<(), tc_core::ParseHistoryError>(())
+/// ```
+#[must_use]
+pub fn satisfies_lin(history: &History) -> LinVerdict {
+    // Group operation ids by effective time.
+    let mut ids: Vec<OpId> = (0..history.len()).map(OpId::new).collect();
+    ids.sort_by_key(|id| history.op(*id).time());
+    let mut groups: Vec<Vec<OpId>> = Vec::new();
+    let mut cur_time: Option<Time> = None;
+    for id in ids {
+        let t = history.op(id).time();
+        if cur_time == Some(t) {
+            groups.last_mut().unwrap().push(id);
+        } else {
+            cur_time = Some(t);
+            groups.push(vec![id]);
+        }
+    }
+
+    let mut seq: Vec<OpId> = Vec::with_capacity(history.len());
+    let mut last: HashMap<ObjectId, Value> = HashMap::new();
+    if place_groups(history, &groups, 0, &mut seq, &mut last) {
+        LinVerdict {
+            witness: Some(Serialization::new(seq)),
+        }
+    } else {
+        LinVerdict { witness: None }
+    }
+}
+
+fn place_groups(
+    history: &History,
+    groups: &[Vec<OpId>],
+    g: usize,
+    seq: &mut Vec<OpId>,
+    last: &mut HashMap<ObjectId, Value>,
+) -> bool {
+    if g == groups.len() {
+        return true;
+    }
+    let group = &groups[g];
+    if group.len() == 1 {
+        // The common case: a unique instant, no choice to make.
+        let id = group[0];
+        if !apply(history, id, seq, last) {
+            return false;
+        }
+        if place_groups(history, groups, g + 1, seq, last) {
+            return true;
+        }
+        undo(history, id, seq, last);
+        return false;
+    }
+    // Tie group: branch over which remaining member goes next.
+    place_within_group(history, groups, g, &mut group.clone(), seq, last)
+}
+
+fn place_within_group(
+    history: &History,
+    groups: &[Vec<OpId>],
+    g: usize,
+    remaining: &mut Vec<OpId>,
+    seq: &mut Vec<OpId>,
+    last: &mut HashMap<ObjectId, Value>,
+) -> bool {
+    if remaining.is_empty() {
+        return place_groups(history, groups, g + 1, seq, last);
+    }
+    for i in 0..remaining.len() {
+        let id = remaining.remove(i);
+        if apply(history, id, seq, last) {
+            if place_within_group(history, groups, g, remaining, seq, last) {
+                return true;
+            }
+            undo(history, id, seq, last);
+        }
+        remaining.insert(i, id);
+    }
+    false
+}
+
+/// Appends `id` if legal, updating the last-write map. Returns `false`
+/// without side effects when the operation would be illegal.
+fn apply(
+    history: &History,
+    id: OpId,
+    seq: &mut Vec<OpId>,
+    last: &mut HashMap<ObjectId, Value>,
+) -> bool {
+    let op = history.op(id);
+    if op.is_read() {
+        let expected = last.get(&op.object()).copied().unwrap_or(Value::INITIAL);
+        if op.value() != expected {
+            return false;
+        }
+        seq.push(id);
+        true
+    } else {
+        seq.push(id);
+        last.insert(op.object(), op.value());
+        true
+    }
+}
+
+/// Reverts [`apply`]. Rebuilds the object's previous value by rescanning the
+/// prefix — fine for the rare tie-group backtracking.
+fn undo(
+    history: &History,
+    id: OpId,
+    seq: &mut Vec<OpId>,
+    last: &mut HashMap<ObjectId, Value>,
+) {
+    let popped = seq.pop();
+    debug_assert_eq!(popped, Some(id));
+    let op = history.op(id);
+    if op.is_write() {
+        let prev = seq
+            .iter()
+            .rev()
+            .map(|&x| history.op(x))
+            .find(|o| o.is_write() && o.object() == op.object())
+            .map(|o| o.value());
+        match prev {
+            Some(v) => last.insert(op.object(), v),
+            None => last.remove(&op.object()),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistoryBuilder;
+    use tc_clocks::Epsilon;
+
+    #[test]
+    fn simple_linearizable_history() {
+        let mut b = HistoryBuilder::new();
+        b.write(0, 'X', 1, 10);
+        b.read(1, 'X', 1, 20);
+        b.write(0, 'X', 2, 30);
+        b.read(1, 'X', 2, 40);
+        let h = b.build().unwrap();
+        let v = satisfies_lin(&h);
+        assert!(v.holds());
+        let w = v.witness().unwrap();
+        assert!(w.is_legal(&h));
+        assert!(w.respects_times(&h));
+        assert!(w.respects_program_order(&h));
+    }
+
+    #[test]
+    fn stale_read_breaks_lin() {
+        let mut b = HistoryBuilder::new();
+        b.write(0, 'X', 7, 100);
+        b.write(1, 'X', 1, 80);
+        b.read(1, 'X', 1, 140); // should have seen 7
+        let h = b.build().unwrap();
+        assert!(!satisfies_lin(&h).holds());
+        assert!(satisfies_lin(&h).witness().is_none());
+    }
+
+    #[test]
+    fn lin_equals_tsc_at_delta_zero() {
+        // The paper: "when Δ is 0, timed consistency becomes LIN".
+        use crate::checker::{satisfies_sc, check_on_time};
+        use tc_clocks::Delta;
+        for text in [
+            "w0(X)1@10 r1(X)1@20 w0(X)2@30 r1(X)2@40",
+            "w0(X)7@100 w1(X)1@80 r1(X)1@140",
+            "w0(X)1@10 r1(X)0@20",
+            "w0(A)1@10 w1(B)2@15 r0(B)2@20 r1(A)1@25",
+        ] {
+            let h = History::parse(text).unwrap();
+            let lin = satisfies_lin(&h).holds();
+            let tsc0 = satisfies_sc(&h).outcome().holds()
+                && check_on_time(&h, Delta::ZERO, Epsilon::ZERO).holds();
+            assert_eq!(lin, tsc0, "LIN ≠ TSC(0) on {text}");
+        }
+    }
+
+    #[test]
+    fn tie_groups_are_permuted() {
+        // A write and a read of the written value at the same instant on
+        // different sites: legal only with the write first.
+        let mut b = HistoryBuilder::new();
+        b.write(0, 'X', 1, 10);
+        b.read(1, 'X', 1, 10);
+        let h = b.build().unwrap();
+        assert!(satisfies_lin(&h).holds());
+
+        // Read of initial value tied with the write: read must go first.
+        let mut b = HistoryBuilder::new();
+        b.write(0, 'X', 1, 10);
+        b.read(1, 'X', 0, 10);
+        let h = b.build().unwrap();
+        assert!(satisfies_lin(&h).holds());
+    }
+
+    #[test]
+    fn unsatisfiable_tie_group() {
+        // Two reads at one instant demanding different last-writes.
+        let mut b = HistoryBuilder::new();
+        b.write(0, 'X', 1, 5);
+        b.write(0, 'X', 2, 8);
+        b.read(1, 'X', 1, 10);
+        b.read(2, 'X', 2, 10);
+        let h = b.build().unwrap();
+        assert!(!satisfies_lin(&h).holds());
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(satisfies_lin(&History::empty()).holds());
+    }
+
+    #[test]
+    fn initial_reads_before_any_write() {
+        let mut b = HistoryBuilder::new();
+        b.read(0, 'X', 0, 5);
+        b.write(1, 'X', 3, 10);
+        b.read(0, 'X', 3, 15);
+        let h = b.build().unwrap();
+        assert!(satisfies_lin(&h).holds());
+    }
+}

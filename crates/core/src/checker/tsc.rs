@@ -1,0 +1,249 @@
+//! The paper's headline criteria: **timed serial consistency** (Definition
+//! 3) and **timed causal consistency** (Definition 4).
+//!
+//! Both decompose exactly as the paper states (§3.3): `TSC = T ∩ SC` and
+//! `TCC = T ∩ CC`, where `T` is the set of timed executions. Because
+//! timedness is serialization-independent for differentiated histories (see
+//! [`crate::checker::timed`]), each check is the conjunction of the on-time
+//! analysis and the corresponding untimed search.
+
+use tc_clocks::{Delta, Epsilon};
+
+use crate::checker::{
+    check_on_time, satisfies_cc_with, satisfies_sc_with, CcVerdict, Outcome, ScVerdict,
+    SearchOptions, TimedReport,
+};
+use crate::History;
+
+/// Result of the TSC check: the untimed SC verdict plus the on-time report.
+#[derive(Clone, Debug)]
+pub struct TscVerdict {
+    sc: ScVerdict,
+    timed: TimedReport,
+}
+
+impl TscVerdict {
+    /// The combined three-valued outcome.
+    #[must_use]
+    pub fn outcome(&self) -> Outcome {
+        let timed = if self.timed.holds() {
+            Outcome::Satisfied
+        } else {
+            Outcome::Violated
+        };
+        self.sc.outcome().and(timed)
+    }
+
+    /// Whether TSC was proven to hold.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.outcome().holds()
+    }
+
+    /// The underlying sequential-consistency verdict.
+    #[must_use]
+    pub fn sc(&self) -> &ScVerdict {
+        &self.sc
+    }
+
+    /// The underlying on-time report (its violations explain timed
+    /// failures).
+    #[must_use]
+    pub fn timed(&self) -> &TimedReport {
+        &self.timed
+    }
+}
+
+/// Result of the TCC check: the untimed CC verdict plus the on-time report.
+#[derive(Clone, Debug)]
+pub struct TccVerdict {
+    cc: CcVerdict,
+    timed: TimedReport,
+}
+
+impl TccVerdict {
+    /// The combined three-valued outcome.
+    #[must_use]
+    pub fn outcome(&self) -> Outcome {
+        let timed = if self.timed.holds() {
+            Outcome::Satisfied
+        } else {
+            Outcome::Violated
+        };
+        self.cc.outcome().and(timed)
+    }
+
+    /// Whether TCC was proven to hold.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.outcome().holds()
+    }
+
+    /// The underlying causal-consistency verdict.
+    #[must_use]
+    pub fn cc(&self) -> &CcVerdict {
+        &self.cc
+    }
+
+    /// The underlying on-time report.
+    #[must_use]
+    pub fn timed(&self) -> &TimedReport {
+        &self.timed
+    }
+}
+
+/// Checks timed serial consistency (Definition 3) under perfect clocks.
+///
+/// ```
+/// use tc_clocks::Delta;
+/// use tc_core::checker::satisfies_tsc;
+/// use tc_core::History;
+///
+/// let h = History::parse("w0(X)7@100 w1(X)1@80 r1(X)1@140 r1(X)1@220")?;
+/// assert!(satisfies_tsc(&h, Delta::from_ticks(120)).holds());
+/// assert!(!satisfies_tsc(&h, Delta::from_ticks(100)).holds());
+/// # Ok::<(), tc_core::ParseHistoryError>(())
+/// ```
+#[must_use]
+pub fn satisfies_tsc(history: &History, delta: Delta) -> TscVerdict {
+    satisfies_tsc_eps(history, delta, Epsilon::ZERO, SearchOptions::default())
+}
+
+/// Checks TSC under approximately-synchronized clocks (Definition 2's
+/// comparisons) and an explicit search budget.
+#[must_use]
+pub fn satisfies_tsc_eps(
+    history: &History,
+    delta: Delta,
+    eps: Epsilon,
+    opts: SearchOptions,
+) -> TscVerdict {
+    let timed = check_on_time(history, delta, eps);
+    let sc = satisfies_sc_with(history, opts);
+    TscVerdict { sc, timed }
+}
+
+/// Checks timed causal consistency (Definition 4) under perfect clocks.
+///
+/// ```
+/// use tc_clocks::Delta;
+/// use tc_core::checker::{satisfies_cc, satisfies_tcc};
+/// use tc_core::History;
+///
+/// // CC but very stale: TCC rejects small Δ.
+/// let h = History::parse("w0(X)7@100 w1(X)1@80 r1(X)1@140 r1(X)1@5000")?;
+/// assert!(satisfies_cc(&h).holds());
+/// assert!(!satisfies_tcc(&h, Delta::from_ticks(1000)).holds());
+/// assert!(satisfies_tcc(&h, Delta::from_ticks(4900)).holds());
+/// # Ok::<(), tc_core::ParseHistoryError>(())
+/// ```
+#[must_use]
+pub fn satisfies_tcc(history: &History, delta: Delta) -> TccVerdict {
+    satisfies_tcc_eps(history, delta, Epsilon::ZERO, SearchOptions::default())
+}
+
+/// Checks TCC under approximately-synchronized clocks and an explicit
+/// budget.
+#[must_use]
+pub fn satisfies_tcc_eps(
+    history: &History,
+    delta: Delta,
+    eps: Epsilon,
+    opts: SearchOptions,
+) -> TccVerdict {
+    let timed = check_on_time(history, delta, eps);
+    let cc = satisfies_cc_with(history, opts);
+    TccVerdict { cc, timed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::min_delta;
+
+    fn fig1ish() -> History {
+        History::parse("w0(X)7@100 w1(X)1@80 r1(X)1@140 r1(X)1@220 r1(X)1@300").unwrap()
+    }
+
+    #[test]
+    fn tsc_tracks_delta_threshold() {
+        let h = fig1ish();
+        let threshold = min_delta(&h);
+        assert_eq!(threshold.ticks(), 200);
+        assert!(!satisfies_tsc(&h, Delta::from_ticks(199)).holds());
+        assert!(satisfies_tsc(&h, threshold).holds());
+        assert!(satisfies_tsc(&h, Delta::INFINITE).holds());
+    }
+
+    #[test]
+    fn tsc_infinite_delta_equals_sc() {
+        // Figure 4b: TSC(∞) = SC.
+        for text in [
+            "w0(X)7@100 w1(X)1@80 r1(X)1@140",
+            "w0(X)1@10 r0(Y)0@20 w1(Y)2@11 r1(X)0@21", // Dekker: not SC
+            "w0(X)1@10 r1(X)1@20",
+        ] {
+            let h = History::parse(text).unwrap();
+            let sc = crate::checker::satisfies_sc(&h).outcome();
+            let tsc = satisfies_tsc(&h, Delta::INFINITE).outcome();
+            assert_eq!(sc, tsc, "TSC(inf) != SC on {text}");
+        }
+    }
+
+    #[test]
+    fn tcc_weaker_than_tsc_stronger_than_cc() {
+        // Concurrent writes observed in opposite orders: CC and timed (small
+        // gaps), hence TCC, but never SC hence never TSC.
+        let h =
+            History::parse("w0(X)1@10 w1(X)2@12 r2(X)1@20 r2(X)2@30 r3(X)2@20 r3(X)1@30").unwrap();
+        let delta = Delta::from_ticks(25);
+        assert!(satisfies_tcc(&h, delta).holds());
+        assert!(!satisfies_tsc(&h, delta).holds());
+        assert!(crate::checker::satisfies_cc(&h).holds());
+    }
+
+    #[test]
+    fn tcc_violated_by_staleness_even_when_cc_holds() {
+        let h = fig1ish();
+        assert!(crate::checker::satisfies_cc(&h).holds());
+        assert!(!satisfies_tcc(&h, Delta::from_ticks(50)).holds());
+        assert!(satisfies_tcc(&h, Delta::from_ticks(200)).holds());
+    }
+
+    #[test]
+    fn verdicts_expose_parts() {
+        let h = fig1ish();
+        let v = satisfies_tsc(&h, Delta::from_ticks(50));
+        assert!(v.sc().holds());
+        assert!(!v.timed().holds());
+        assert_eq!(v.outcome(), Outcome::Violated);
+        let v = satisfies_tcc(&h, Delta::from_ticks(50));
+        assert!(v.cc().holds());
+        assert!(!v.timed().holds());
+        assert_eq!(v.outcome(), Outcome::Violated);
+    }
+
+    #[test]
+    fn epsilon_relaxes_both_criteria() {
+        let h = fig1ish();
+        let opts = SearchOptions::default();
+        // Δ=150 fails under perfect clocks (needs 200)...
+        assert!(!satisfies_tsc_eps(&h, Delta::from_ticks(150), Epsilon::ZERO, opts).holds());
+        // ...but ε=50 shrinks the window exactly enough.
+        assert!(satisfies_tsc_eps(&h, Delta::from_ticks(150), Epsilon::from_ticks(50), opts).holds());
+        assert!(satisfies_tcc_eps(&h, Delta::from_ticks(150), Epsilon::from_ticks(50), opts).holds());
+    }
+
+    #[test]
+    fn untimed_violation_dominates_inconclusive_search() {
+        // Even with a 0-state budget, a timed violation is definitive.
+        let h = fig1ish();
+        let v = satisfies_tsc_eps(
+            &h,
+            Delta::ZERO,
+            Epsilon::ZERO,
+            SearchOptions { max_states: 0 },
+        );
+        assert_eq!(v.outcome(), Outcome::Violated);
+    }
+}

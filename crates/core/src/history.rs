@@ -1,0 +1,661 @@
+//! Global histories (paper §2): the partially-ordered set of all operations
+//! at all sites, with program order, effective times and the reads-from
+//! relation pinned down by the unique-written-values assumption.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+use tc_clocks::{Time, VectorClock};
+
+use crate::op::{ObjectId, OpId, OpKind, Operation, SiteId, Value};
+
+/// Errors detected while assembling a [`History`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HistoryError {
+    /// A write of [`Value::INITIAL`], which is reserved for "never written".
+    WriteOfInitialValue {
+        /// The offending operation.
+        op: OpId,
+    },
+    /// Two writes stored the same value in the same object, breaking the
+    /// paper's unique-values assumption that pins down reads-from.
+    DuplicateWrittenValue {
+        /// The first write of the value.
+        first: OpId,
+        /// The conflicting later write.
+        second: OpId,
+    },
+    /// A read returned a non-initial value no write ever stores.
+    ReadOfUnwrittenValue {
+        /// The offending read.
+        op: OpId,
+    },
+    /// A site's effective times are not strictly increasing in program
+    /// order (operations take finite, non-zero time).
+    NonMonotoneSiteTime {
+        /// The site whose program order is inconsistent.
+        site: SiteId,
+        /// The operation whose time does not exceed its predecessor's.
+        op: OpId,
+    },
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryError::WriteOfInitialValue { op } => {
+                write!(f, "operation {op:?} writes the reserved initial value")
+            }
+            HistoryError::DuplicateWrittenValue { first, second } => write!(
+                f,
+                "operations {first:?} and {second:?} write the same value to the same object"
+            ),
+            HistoryError::ReadOfUnwrittenValue { op } => {
+                write!(f, "read {op:?} returns a value that is never written")
+            }
+            HistoryError::NonMonotoneSiteTime { site, op } => write!(
+                f,
+                "effective time of {op:?} does not increase along site {site}'s program order"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+/// Incrementally assembles a [`History`].
+///
+/// ```
+/// use tc_core::HistoryBuilder;
+///
+/// let mut b = HistoryBuilder::new();
+/// b.write(0, 'X', 7, 100);
+/// b.read(1, 'X', 7, 150);
+/// let history = b.build()?;
+/// assert_eq!(history.len(), 2);
+/// # Ok::<(), tc_core::HistoryError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct HistoryBuilder {
+    ops: Vec<Operation>,
+}
+
+impl HistoryBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        HistoryBuilder::default()
+    }
+
+    /// Appends a write of `value` to `object` by `site` at effective time
+    /// `time` (ticks). Returns the new operation's id.
+    pub fn write(
+        &mut self,
+        site: impl Into<SiteId>,
+        object: impl IntoObject,
+        value: impl Into<Value>,
+        time: u64,
+    ) -> OpId {
+        self.push(
+            site.into(),
+            OpKind::Write,
+            object.into_object(),
+            value.into(),
+            Time::from_ticks(time),
+        )
+    }
+
+    /// Appends a read by `site` of `object` returning `value` at effective
+    /// time `time` (ticks). Returns the new operation's id.
+    pub fn read(
+        &mut self,
+        site: impl Into<SiteId>,
+        object: impl IntoObject,
+        value: impl Into<Value>,
+        time: u64,
+    ) -> OpId {
+        self.push(
+            site.into(),
+            OpKind::Read,
+            object.into_object(),
+            value.into(),
+            Time::from_ticks(time),
+        )
+    }
+
+    /// Attaches a logical timestamp `L(op)` to an already-appended
+    /// operation (used by executions recorded under logical clocks, §5.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` was not returned by this builder.
+    pub fn set_logical(&mut self, op: OpId, logical: VectorClock) {
+        self.ops[op.index()].set_logical(logical);
+    }
+
+    fn push(
+        &mut self,
+        site: SiteId,
+        kind: OpKind,
+        object: ObjectId,
+        value: Value,
+        time: Time,
+    ) -> OpId {
+        let id = OpId::new(self.ops.len());
+        self.ops
+            .push(Operation::new(id, site, kind, object, value, time, None));
+        id
+    }
+
+    /// Validates the accumulated operations and produces the [`History`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HistoryError`] if written values are not unique per
+    /// object, a write stores the initial value, a read returns a value no
+    /// write stores, or a site's effective times are not strictly
+    /// increasing in program order.
+    pub fn build(self) -> Result<History, HistoryError> {
+        History::from_ops(self.ops)
+    }
+}
+
+/// Accepts both `ObjectId` and the paper's letter names for objects.
+pub trait IntoObject {
+    /// Converts into an [`ObjectId`].
+    fn into_object(self) -> ObjectId;
+}
+
+impl IntoObject for ObjectId {
+    fn into_object(self) -> ObjectId {
+        self
+    }
+}
+
+impl IntoObject for char {
+    fn into_object(self) -> ObjectId {
+        ObjectId::from_letter(self)
+    }
+}
+
+impl IntoObject for u32 {
+    fn into_object(self) -> ObjectId {
+        ObjectId::new(self)
+    }
+}
+
+/// The global history `H`: every operation of the execution, the per-site
+/// program orders, and the derived reads-from relation.
+///
+/// A `History` is immutable once built, so derived structure (per-object
+/// write lists sorted by effective time, reads-from sources) is computed
+/// eagerly and shared by all checkers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct History {
+    ops: Vec<Operation>,
+    /// Program order: op ids per site, in execution order.
+    sites: Vec<Vec<OpId>>,
+    /// Position of each op within its site's sequence.
+    site_pos: Vec<usize>,
+    /// Writes per object, sorted by effective time.
+    writes_by_object: HashMap<ObjectId, Vec<OpId>>,
+    /// For each op: if it is a read, the write it reads from (`None` inside
+    /// the option = initial value).
+    sources: Vec<Option<Option<OpId>>>,
+}
+
+impl History {
+    /// An empty history.
+    #[must_use]
+    pub fn empty() -> Self {
+        History {
+            ops: Vec::new(),
+            sites: Vec::new(),
+            site_pos: Vec::new(),
+            writes_by_object: HashMap::new(),
+            sources: Vec::new(),
+        }
+    }
+
+    fn from_ops(ops: Vec<Operation>) -> Result<History, HistoryError> {
+        // Program order per site + strict time monotonicity.
+        let n_sites = ops.iter().map(|o| o.site().index() + 1).max().unwrap_or(0);
+        let mut sites: Vec<Vec<OpId>> = vec![Vec::new(); n_sites];
+        let mut site_pos = vec![0usize; ops.len()];
+        for op in &ops {
+            let seq = &mut sites[op.site().index()];
+            if let Some(&prev) = seq.last() {
+                if ops[prev.index()].time() >= op.time() {
+                    return Err(HistoryError::NonMonotoneSiteTime {
+                        site: op.site(),
+                        op: op.id(),
+                    });
+                }
+            }
+            site_pos[op.id().index()] = seq.len();
+            seq.push(op.id());
+        }
+
+        // Unique written values per object.
+        let mut writers: HashMap<(ObjectId, Value), OpId> = HashMap::new();
+        for op in ops.iter().filter(|o| o.is_write()) {
+            if op.value().is_initial() {
+                return Err(HistoryError::WriteOfInitialValue { op: op.id() });
+            }
+            if let Some(&first) = writers.get(&(op.object(), op.value())) {
+                return Err(HistoryError::DuplicateWrittenValue {
+                    first,
+                    second: op.id(),
+                });
+            }
+            writers.insert((op.object(), op.value()), op.id());
+        }
+
+        // Reads-from resolution.
+        let mut sources = vec![None; ops.len()];
+        for op in ops.iter().filter(|o| o.is_read()) {
+            let src = if op.value().is_initial() {
+                None
+            } else {
+                match writers.get(&(op.object(), op.value())) {
+                    Some(&w) => Some(w),
+                    None => return Err(HistoryError::ReadOfUnwrittenValue { op: op.id() }),
+                }
+            };
+            sources[op.id().index()] = Some(src);
+        }
+
+        // Per-object write lists, sorted by effective time.
+        let mut writes_by_object: HashMap<ObjectId, Vec<OpId>> = HashMap::new();
+        for op in ops.iter().filter(|o| o.is_write()) {
+            writes_by_object.entry(op.object()).or_default().push(op.id());
+        }
+        for list in writes_by_object.values_mut() {
+            list.sort_by_key(|id| ops[id.index()].time());
+        }
+
+        Ok(History {
+            ops,
+            sites,
+            site_pos,
+            writes_by_object,
+            sources,
+        })
+    }
+
+    /// All operations, indexed by [`OpId`].
+    #[must_use]
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Looks up one operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this history.
+    #[must_use]
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.index()]
+    }
+
+    /// Number of operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the history contains no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of sites (highest site index + 1).
+    #[must_use]
+    pub fn n_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The program order of `site`: its operations in execution order.
+    #[must_use]
+    pub fn site_ops(&self, site: SiteId) -> &[OpId] {
+        self.sites
+            .get(site.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Whether `a` precedes `b` in some site's program order.
+    #[must_use]
+    pub fn program_order(&self, a: OpId, b: OpId) -> bool {
+        let (oa, ob) = (self.op(a), self.op(b));
+        oa.site() == ob.site() && self.site_pos[a.index()] < self.site_pos[b.index()]
+    }
+
+    /// Position of `op` within its site's program order.
+    #[must_use]
+    pub fn site_position(&self, op: OpId) -> usize {
+        self.site_pos[op.index()]
+    }
+
+    /// The writes to `object`, sorted by effective time.
+    #[must_use]
+    pub fn writes_to(&self, object: ObjectId) -> &[OpId] {
+        self.writes_by_object
+            .get(&object)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The objects written in this history.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        let mut keys: Vec<ObjectId> = self.writes_by_object.keys().copied().collect();
+        keys.sort();
+        keys.into_iter()
+    }
+
+    /// The write a read returns the value of: `Some(None)` means the read
+    /// returned the initial value, `None` means `read` is not a read.
+    #[must_use]
+    pub fn source_of(&self, read: OpId) -> Option<Option<OpId>> {
+        self.sources[read.index()]
+    }
+
+    /// Iterator over all read operations.
+    pub fn reads(&self) -> impl Iterator<Item = &Operation> {
+        self.ops.iter().filter(|o| o.is_read())
+    }
+
+    /// Iterator over all write operations.
+    pub fn writes(&self) -> impl Iterator<Item = &Operation> {
+        self.ops.iter().filter(|o| o.is_write())
+    }
+
+    /// The largest effective time in the history, or zero when empty.
+    #[must_use]
+    pub fn max_time(&self) -> Time {
+        self.ops
+            .iter()
+            .map(Operation::time)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Parses the paper's compact notation, e.g.
+    /// `"w2(C)7@340 r4(C)6@436"`. Tokens are separated by whitespace
+    /// (including newlines); `w<site>(<object>)<value>@<time>` writes and
+    /// `r…` reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a token is malformed or the assembled history
+    /// violates a [`HistoryError`] invariant.
+    pub fn parse(text: &str) -> Result<History, ParseHistoryError> {
+        let mut builder = HistoryBuilder::new();
+        for token in text.split_whitespace() {
+            let tok: OpToken = token.parse()?;
+            match tok.kind {
+                OpKind::Write => builder.write(tok.site, tok.object, tok.value, tok.time),
+                OpKind::Read => builder.read(tok.site, tok.object, tok.value, tok.time),
+            };
+        }
+        builder.build().map_err(ParseHistoryError::Invalid)
+    }
+}
+
+impl fmt::Display for History {
+    /// One line per site, in the paper's notation. The output parses back
+    /// via [`History::parse`] (each token embeds its site id).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for ops in &self.sites {
+            for (k, id) in ops.iter().enumerate() {
+                if k > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}", self.op(*id))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors from [`History::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseHistoryError {
+    /// A token did not match `w<site>(<obj>)<value>@<time>`.
+    BadToken {
+        /// The malformed token.
+        token: String,
+    },
+    /// The parsed operations do not form a valid history.
+    Invalid(HistoryError),
+}
+
+impl fmt::Display for ParseHistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseHistoryError::BadToken { token } => {
+                write!(f, "malformed operation token {token:?}")
+            }
+            ParseHistoryError::Invalid(e) => write!(f, "invalid history: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseHistoryError {}
+
+impl From<HistoryError> for ParseHistoryError {
+    fn from(e: HistoryError) -> Self {
+        ParseHistoryError::Invalid(e)
+    }
+}
+
+struct OpToken {
+    kind: OpKind,
+    site: usize,
+    object: ObjectId,
+    value: u64,
+    time: u64,
+}
+
+impl FromStr for OpToken {
+    type Err = ParseHistoryError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || ParseHistoryError::BadToken {
+            token: s.to_string(),
+        };
+        let mut chars = s.chars();
+        let kind = match chars.next() {
+            Some('w') => OpKind::Write,
+            Some('r') => OpKind::Read,
+            _ => return Err(bad()),
+        };
+        let rest: &str = chars.as_str();
+        let open = rest.find('(').ok_or_else(bad)?;
+        let close = rest.find(')').ok_or_else(bad)?;
+        let at = rest.rfind('@').ok_or_else(bad)?;
+        if !(open < close && close < at) {
+            return Err(bad());
+        }
+        let site: usize = rest[..open].parse().map_err(|_| bad())?;
+        let obj_str = &rest[open + 1..close];
+        let object = if obj_str.len() == 1 {
+            let c = obj_str.chars().next().unwrap();
+            if !c.is_ascii_uppercase() {
+                return Err(bad());
+            }
+            ObjectId::from_letter(c)
+        } else if let Some(num) = obj_str.strip_prefix('X') {
+            ObjectId::new(num.parse().map_err(|_| bad())?)
+        } else {
+            return Err(bad());
+        };
+        let value: u64 = rest[close + 1..at].parse().map_err(|_| bad())?;
+        let time: u64 = rest[at + 1..].parse().map_err(|_| bad())?;
+        Ok(OpToken {
+            kind,
+            site,
+            object,
+            value,
+            time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> History {
+        let mut b = HistoryBuilder::new();
+        b.write(0, 'X', 7, 100);
+        b.write(1, 'X', 1, 80);
+        b.read(1, 'X', 1, 140);
+        b.read(1, 'X', 7, 220);
+        b.read(2, 'Y', 0, 50);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_indexes() {
+        let h = small();
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.n_sites(), 3);
+        assert_eq!(h.site_ops(SiteId::new(1)).len(), 3);
+        assert_eq!(h.writes_to(ObjectId::from_letter('X')).len(), 2);
+        assert_eq!(h.max_time(), Time::from_ticks(220));
+        assert!(!h.is_empty());
+        assert!(History::empty().is_empty());
+    }
+
+    #[test]
+    fn writes_sorted_by_time() {
+        let h = small();
+        let xs = h.writes_to(ObjectId::from_letter('X'));
+        assert_eq!(h.op(xs[0]).value(), Value::new(1)); // @80
+        assert_eq!(h.op(xs[1]).value(), Value::new(7)); // @100
+    }
+
+    #[test]
+    fn reads_from_resolution() {
+        let h = small();
+        let w7 = h.site_ops(SiteId::new(0))[0];
+        let r1 = h.site_ops(SiteId::new(1))[1];
+        let r7 = h.site_ops(SiteId::new(1))[2];
+        let r0 = h.site_ops(SiteId::new(2))[0];
+        assert_eq!(h.source_of(r7), Some(Some(w7)));
+        assert_eq!(h.source_of(r0), Some(None), "initial-value read");
+        assert_eq!(h.source_of(w7), None, "writes have no source");
+        let w1 = h.site_ops(SiteId::new(1))[0];
+        assert_eq!(h.source_of(r1), Some(Some(w1)));
+    }
+
+    #[test]
+    fn program_order_is_per_site() {
+        let h = small();
+        let s1 = h.site_ops(SiteId::new(1));
+        assert!(h.program_order(s1[0], s1[2]));
+        assert!(!h.program_order(s1[2], s1[0]));
+        let s0 = h.site_ops(SiteId::new(0));
+        assert!(!h.program_order(s0[0], s1[1]), "different sites");
+        assert_eq!(h.site_position(s1[2]), 2);
+    }
+
+    #[test]
+    fn rejects_duplicate_written_values() {
+        let mut b = HistoryBuilder::new();
+        b.write(0, 'X', 7, 10);
+        b.write(1, 'X', 7, 20);
+        assert!(matches!(
+            b.build(),
+            Err(HistoryError::DuplicateWrittenValue { .. })
+        ));
+    }
+
+    #[test]
+    fn same_value_on_different_objects_is_fine() {
+        let mut b = HistoryBuilder::new();
+        b.write(0, 'X', 7, 10);
+        b.write(1, 'Y', 7, 20);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_write_of_initial_value() {
+        let mut b = HistoryBuilder::new();
+        b.write(0, 'X', 0, 10);
+        assert!(matches!(
+            b.build(),
+            Err(HistoryError::WriteOfInitialValue { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_thin_air_read() {
+        let mut b = HistoryBuilder::new();
+        b.read(0, 'X', 9, 10);
+        assert!(matches!(
+            b.build(),
+            Err(HistoryError::ReadOfUnwrittenValue { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_monotone_site_times() {
+        let mut b = HistoryBuilder::new();
+        b.write(0, 'X', 1, 100);
+        b.write(0, 'Y', 2, 100); // equal time on same site
+        assert!(matches!(
+            b.build(),
+            Err(HistoryError::NonMonotoneSiteTime { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        let text = "w0(X)7@100 w1(X)1@80 r1(X)1@140 r1(X)7@220 r2(Y)0@50";
+        let h = History::parse(text).unwrap();
+        assert_eq!(h.len(), 5);
+        let shown = h.to_string();
+        let h2 = History::parse(&shown).unwrap();
+        assert_eq!(h2.len(), 5);
+        assert_eq!(h2.op(OpId::new(0)).to_string(), "w0(X)7@100");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["x0(A)1@2", "w(A)1@2", "w0A)1@2", "w0(a)1@2", "w0(A)x@2", "w0(A)1"] {
+            assert!(
+                History::parse(bad).is_err(),
+                "token {bad:?} should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_supports_numbered_objects() {
+        let h = History::parse("w0(X30)5@10 r1(X30)5@20").unwrap();
+        assert_eq!(h.op(OpId::new(0)).object(), ObjectId::new(30));
+    }
+
+    #[test]
+    fn objects_enumerates_written_objects() {
+        let h = small();
+        let objs: Vec<String> = h.objects().map(|o| o.to_string()).collect();
+        assert_eq!(objs, ["X"]); // only X is written; Y only read (initial)
+    }
+
+    #[test]
+    fn logical_stamp_attachment() {
+        let mut b = HistoryBuilder::new();
+        let w = b.write(0, 'X', 1, 10);
+        b.set_logical(w, VectorClock::from_entries(0, vec![1, 0]));
+        let h = b.build().unwrap();
+        assert_eq!(h.op(w).logical().unwrap().entries(), &[1, 0]);
+    }
+}

@@ -1,0 +1,319 @@
+//! Serializations (paper §2): linear arrangements of a set of operations,
+//! legality ("each read returns the value of the most recent preceding
+//! write"), order-respecting checks, and the *timed serialization* predicate
+//! of Definitions 1 and 2 evaluated directly on a sequence.
+
+use std::collections::HashMap;
+
+use tc_clocks::{time::definitely_before, Delta, Epsilon, Time};
+
+use crate::{History, ObjectId, OpId, Value};
+
+/// A linear sequence over a subset of a history's operations.
+///
+/// Serializations are the paper's proof objects: a history satisfies a
+/// consistency criterion iff suitable serializations exist. The checkers in
+/// [`crate::checker`] *search* for serializations; this type *verifies*
+/// one, so checker results can always be re-validated independently.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Serialization {
+    order: Vec<OpId>,
+}
+
+impl Serialization {
+    /// Wraps an explicit operation sequence.
+    #[must_use]
+    pub fn new(order: Vec<OpId>) -> Self {
+        Serialization { order }
+    }
+
+    /// The operations in serialization order.
+    #[must_use]
+    pub fn order(&self) -> &[OpId] {
+        &self.order
+    }
+
+    /// Number of operations in the serialization.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the serialization is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Legality (paper §2): every read returns the value written by the most
+    /// recent preceding write *in this sequence* to the same object, or the
+    /// initial value if no write to the object precedes it.
+    ///
+    /// Only operations contained in the sequence count — for causal
+    /// consistency the sequence covers `H_{i+w}`, a strict subset of `H`.
+    #[must_use]
+    pub fn is_legal(&self, history: &History) -> bool {
+        self.first_illegal_read(history).is_none()
+    }
+
+    /// The first read violating legality, if any (diagnostics).
+    #[must_use]
+    pub fn first_illegal_read(&self, history: &History) -> Option<OpId> {
+        let mut last_write: HashMap<ObjectId, Value> = HashMap::new();
+        for &id in &self.order {
+            let op = history.op(id);
+            if op.is_write() {
+                last_write.insert(op.object(), op.value());
+            } else {
+                let expected = last_write
+                    .get(&op.object())
+                    .copied()
+                    .unwrap_or(Value::INITIAL);
+                if op.value() != expected {
+                    return Some(id);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether every pair drawn from one site appears in program order.
+    #[must_use]
+    pub fn respects_program_order(&self, history: &History) -> bool {
+        let mut last_pos: HashMap<usize, usize> = HashMap::new(); // site -> last site_position seen
+        for &id in &self.order {
+            let op = history.op(id);
+            let pos = history.site_position(id);
+            if let Some(&prev) = last_pos.get(&op.site().index()) {
+                if prev >= pos {
+                    return false;
+                }
+            }
+            last_pos.insert(op.site().index(), pos);
+        }
+        true
+    }
+
+    /// Whether the sequence is ordered by non-decreasing effective time —
+    /// the requirement linearizability adds on top of legality.
+    #[must_use]
+    pub fn respects_times(&self, history: &History) -> bool {
+        self.order
+            .windows(2)
+            .all(|p| history.op(p[0]).time() <= history.op(p[1]).time())
+    }
+
+    /// Whether the sequence respects an arbitrary partial order `before`
+    /// (e.g. the causal order): no pair appears reversed.
+    ///
+    /// O(n²); intended for verification, not search.
+    #[must_use]
+    pub fn respects<F>(&self, before: F) -> bool
+    where
+        F: Fn(OpId, OpId) -> bool,
+    {
+        for (i, &a) in self.order.iter().enumerate() {
+            for &b in &self.order[i + 1..] {
+                if before(b, a) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The *timed serialization* predicate of Definitions 1 and 2, evaluated
+    /// directly on this sequence: every read must occur on time.
+    ///
+    /// For a read `r` whose closest preceding write to the same object in
+    /// the sequence is `w` (or the initial value), the set
+    ///
+    /// ```text
+    /// W_r = { w' in S : w' writes r's object,
+    ///         T(w) + ε < T(w'),
+    ///         T(w') + ε < T(r) − Δ }
+    /// ```
+    ///
+    /// must be empty. With `eps == Epsilon::ZERO` this is Definition 1;
+    /// otherwise Definition 2.
+    ///
+    /// Note that for *legal* sequences over differentiated histories the
+    /// verdict is independent of the sequence (see
+    /// [`crate::checker::timed`]); this direct evaluation exists to validate
+    /// that theorem and to analyze non-legal sequences.
+    #[must_use]
+    pub fn is_timed(&self, history: &History, delta: Delta, eps: Epsilon) -> bool {
+        self.first_untimed_read(history, delta, eps).is_none()
+    }
+
+    /// The first read of the sequence that does not occur on time, if any.
+    #[must_use]
+    pub fn first_untimed_read(
+        &self,
+        history: &History,
+        delta: Delta,
+        eps: Epsilon,
+    ) -> Option<OpId> {
+        // All writes per object present in this sequence, with their times.
+        let mut writes_in_seq: HashMap<ObjectId, Vec<Time>> = HashMap::new();
+        for &id in &self.order {
+            let op = history.op(id);
+            if op.is_write() {
+                writes_in_seq.entry(op.object()).or_default().push(op.time());
+            }
+        }
+
+        let mut last_write: HashMap<ObjectId, Time> = HashMap::new();
+        for &id in &self.order {
+            let op = history.op(id);
+            if op.is_write() {
+                last_write.insert(op.object(), op.time());
+                continue;
+            }
+            let source_time = last_write.get(&op.object()).copied();
+            let deadline = op.time().saturating_sub_delta(delta);
+            let empty = Vec::new();
+            let candidates = writes_in_seq.get(&op.object()).unwrap_or(&empty);
+            let offending = candidates.iter().any(|&tw| {
+                let newer_than_source = match source_time {
+                    Some(ts) => definitely_before(ts, tw, eps),
+                    None => true, // every write is newer than the initial value
+                };
+                newer_than_source && definitely_before(tw, deadline, eps)
+            });
+            if offending {
+                return Some(id);
+            }
+        }
+        None
+    }
+}
+
+impl FromIterator<OpId> for Serialization {
+    fn from_iter<I: IntoIterator<Item = OpId>>(iter: I) -> Self {
+        Serialization::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistoryBuilder;
+
+    /// Figure-1 style history: site 0 writes X=7; site 1 writes X=1 and
+    /// keeps reading its own value.
+    fn fig1ish() -> (History, Vec<OpId>) {
+        let mut b = HistoryBuilder::new();
+        let w7 = b.write(0, 'X', 7, 100);
+        let w1 = b.write(1, 'X', 1, 80);
+        let r1 = b.read(1, 'X', 1, 140);
+        let r2 = b.read(1, 'X', 1, 220);
+        let h = b.build().unwrap();
+        (h, vec![w7, w1, r1, r2])
+    }
+
+    #[test]
+    fn legality_accepts_most_recent_write() {
+        let (h, ids) = fig1ish();
+        let s = Serialization::new(vec![ids[1], ids[2], ids[3], ids[0]]);
+        assert!(s.is_legal(&h));
+    }
+
+    #[test]
+    fn legality_rejects_stale_read() {
+        let (h, ids) = fig1ish();
+        // w1, w7, r1: the read of 1 follows the write of 7.
+        let s = Serialization::new(vec![ids[1], ids[0], ids[2]]);
+        assert!(!s.is_legal(&h));
+        assert_eq!(s.first_illegal_read(&h), Some(ids[2]));
+    }
+
+    #[test]
+    fn legality_of_initial_reads() {
+        let mut b = HistoryBuilder::new();
+        let r = b.read(0, 'X', 0, 10);
+        let w = b.write(1, 'X', 5, 20);
+        let h = b.build().unwrap();
+        assert!(Serialization::new(vec![r, w]).is_legal(&h));
+        assert!(!Serialization::new(vec![w, r]).is_legal(&h));
+    }
+
+    #[test]
+    fn program_order_check() {
+        let (h, ids) = fig1ish();
+        let good = Serialization::new(vec![ids[1], ids[2], ids[0], ids[3]]);
+        assert!(good.respects_program_order(&h));
+        let bad = Serialization::new(vec![ids[2], ids[1]]);
+        assert!(!bad.respects_program_order(&h));
+    }
+
+    #[test]
+    fn time_order_check() {
+        let (h, ids) = fig1ish();
+        // Sorted by effective time: w1@80 w7@100 r@140 r@220.
+        let sorted = Serialization::new(vec![ids[1], ids[0], ids[2], ids[3]]);
+        assert!(sorted.respects_times(&h));
+        assert!(!sorted.is_legal(&h), "time order is not legal here: LIN fails");
+        let unsorted = Serialization::new(vec![ids[0], ids[1]]);
+        assert!(!unsorted.respects_times(&h));
+    }
+
+    #[test]
+    fn respects_arbitrary_relation() {
+        let (h, ids) = fig1ish();
+        let _ = h;
+        let before = |a: OpId, b: OpId| a == ids[1] && b == ids[0];
+        assert!(Serialization::new(vec![ids[1], ids[0]]).respects(before));
+        assert!(!Serialization::new(vec![ids[0], ids[1]]).respects(before));
+    }
+
+    #[test]
+    fn timed_predicate_definition1() {
+        let (h, ids) = fig1ish();
+        let s = Serialization::new(vec![ids[1], ids[2], ids[3], ids[0]]);
+        // r@220 reads w1@80 while w7@100 exists: needs Δ >= 120.
+        assert!(!s.is_timed(&h, Delta::from_ticks(100), Epsilon::ZERO));
+        assert_eq!(
+            s.first_untimed_read(&h, Delta::from_ticks(100), Epsilon::ZERO),
+            Some(ids[3])
+        );
+        assert!(s.is_timed(&h, Delta::from_ticks(120), Epsilon::ZERO));
+        assert!(s.is_timed(&h, Delta::INFINITE, Epsilon::ZERO));
+        // Dropping the late read: r@140 alone is on time iff Δ >= 40.
+        let s2 = Serialization::new(vec![ids[1], ids[2], ids[0]]);
+        assert!(s2.is_timed(&h, Delta::from_ticks(40), Epsilon::ZERO));
+        assert!(!s2.is_timed(&h, Delta::from_ticks(39), Epsilon::ZERO));
+    }
+
+    #[test]
+    fn timed_predicate_definition2_shrinks_window() {
+        let (h, ids) = fig1ish();
+        let s = Serialization::new(vec![ids[1], ids[2], ids[3], ids[0]]);
+        // At Δ=100, r@220 is late under perfect clocks (above). With
+        // ε=25, w7@100 is no longer *definitely* before 220-100=120
+        // (100+25 > 120), so the read counts as on time (Figure 3's effect).
+        assert!(s.is_timed(&h, Delta::from_ticks(100), Epsilon::from_ticks(25)));
+        // ε also blurs "newer than the source": with huge ε nothing is
+        // definitely newer, so any Δ passes.
+        assert!(s.is_timed(&h, Delta::ZERO, Epsilon::from_ticks(1000)));
+    }
+
+    #[test]
+    fn timed_initial_read_counts_all_writes() {
+        let mut b = HistoryBuilder::new();
+        let w = b.write(0, 'X', 5, 10);
+        let r = b.read(1, 'X', 0, 200); // stale initial-value read
+        let h = b.build().unwrap();
+        let s = Serialization::new(vec![r, w]);
+        assert!(s.is_legal(&h));
+        assert!(!s.is_timed(&h, Delta::from_ticks(50), Epsilon::ZERO));
+        assert!(s.is_timed(&h, Delta::from_ticks(190), Epsilon::ZERO));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: Serialization = vec![OpId::new(0), OpId::new(1)].into_iter().collect();
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+}

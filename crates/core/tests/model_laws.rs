@@ -1,0 +1,192 @@
+//! Property tests of the history model itself: parsing, causal order
+//! laws, serialization verification, and the timed analysis' monotonicity
+//! in Δ and ε.
+
+use proptest::prelude::*;
+use tc_clocks::{Delta, Epsilon};
+use tc_core::checker::{check_on_time, min_delta, min_delta_eps};
+use tc_core::generator::{random_history, RandomHistoryConfig};
+use tc_core::{CausalOrder, History, OpId, Serialization};
+
+fn any_history(seed: u64) -> History {
+    random_history(
+        &RandomHistoryConfig {
+            n_sites: 4,
+            n_objects: 3,
+            ops_per_site: 5,
+            read_fraction: 0.55,
+            max_time_step: 40,
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Display output parses back to an identical history.
+    #[test]
+    fn display_parse_roundtrip(seed in 0u64..10_000) {
+        let h = any_history(seed);
+        let h2 = History::parse(&h.to_string()).expect("display must parse");
+        prop_assert_eq!(h.len(), h2.len());
+        prop_assert_eq!(h.to_string(), h2.to_string());
+        for site in 0..h.n_sites() {
+            let s = tc_core::SiteId::new(site);
+            prop_assert_eq!(h.site_ops(s).len(), h2.site_ops(s).len());
+        }
+    }
+
+    /// The causal order is a strict partial order containing program order
+    /// and reads-from.
+    #[test]
+    fn causal_order_laws(seed in 0u64..10_000) {
+        let h = any_history(seed);
+        let co = CausalOrder::of(&h);
+        prop_assume!(!co.is_cyclic());
+        let n = h.len();
+        for i in 0..n {
+            let a = OpId::new(i);
+            prop_assert!(!co.precedes(a, a), "irreflexive");
+            for j in 0..n {
+                let b = OpId::new(j);
+                if co.precedes(a, b) {
+                    prop_assert!(!co.precedes(b, a), "asymmetric");
+                    for k in 0..n {
+                        let c = OpId::new(k);
+                        if co.precedes(b, c) {
+                            prop_assert!(co.precedes(a, c), "transitive");
+                        }
+                    }
+                }
+                if h.program_order(a, b) {
+                    prop_assert!(co.precedes(a, b), "contains program order");
+                }
+            }
+        }
+        for r in h.reads() {
+            if let Some(Some(w)) = h.source_of(r.id()) {
+                prop_assert!(co.precedes(w, r.id()), "contains reads-from");
+            }
+        }
+    }
+
+    /// Timedness is monotone in Δ: once timed, always timed for larger Δ.
+    #[test]
+    fn on_time_monotone_in_delta(seed in 0u64..10_000, d1 in 0u64..200, d2 in 0u64..200) {
+        let h = any_history(seed);
+        let (lo, hi) = (d1.min(d2), d1.max(d2));
+        let at_lo = check_on_time(&h, Delta::from_ticks(lo), Epsilon::ZERO).holds();
+        let at_hi = check_on_time(&h, Delta::from_ticks(hi), Epsilon::ZERO).holds();
+        prop_assert!(!at_lo || at_hi, "timed at Δ={lo} but not at Δ={hi}");
+    }
+
+    /// Timedness is monotone in ε (Definition 2 only weakens Definition 1).
+    #[test]
+    fn on_time_monotone_in_epsilon(seed in 0u64..10_000, d in 0u64..200, e1 in 0u64..80, e2 in 0u64..80) {
+        let h = any_history(seed);
+        let (lo, hi) = (e1.min(e2), e1.max(e2));
+        let delta = Delta::from_ticks(d);
+        let at_lo = check_on_time(&h, delta, Epsilon::from_ticks(lo)).holds();
+        let at_hi = check_on_time(&h, delta, Epsilon::from_ticks(hi)).holds();
+        prop_assert!(!at_lo || at_hi);
+        prop_assert!(min_delta_eps(&h, Epsilon::from_ticks(hi)) <= min_delta_eps(&h, Epsilon::from_ticks(lo)));
+    }
+
+    /// The identity serialization in per-site time order is legal iff the
+    /// legality checker says so under manual simulation (oracle test of
+    /// `Serialization::is_legal`).
+    #[test]
+    fn legality_matches_manual_simulation(seed in 0u64..10_000) {
+        let h = any_history(seed);
+        let mut ids: Vec<OpId> = (0..h.len()).map(OpId::new).collect();
+        ids.sort_by_key(|id| (h.op(*id).time(), id.index()));
+        let s = Serialization::new(ids.clone());
+        // Manual oracle.
+        let mut last: std::collections::HashMap<tc_core::ObjectId, tc_core::Value> =
+            std::collections::HashMap::new();
+        let mut legal = true;
+        for id in &ids {
+            let op = h.op(*id);
+            if op.is_write() {
+                last.insert(op.object(), op.value());
+            } else {
+                let expect = last
+                    .get(&op.object())
+                    .copied()
+                    .unwrap_or(tc_core::Value::INITIAL);
+                if expect != op.value() {
+                    legal = false;
+                    break;
+                }
+            }
+        }
+        prop_assert_eq!(s.is_legal(&h), legal);
+    }
+
+    /// Every prefix invariance: dropping a suffix of a site's operations
+    /// cannot increase min_delta (fewer reads to satisfy).
+    #[test]
+    fn min_delta_antitone_under_read_removal(seed in 0u64..10_000) {
+        let h = any_history(seed);
+        let full = min_delta(&h);
+        // Rebuild without the globally latest read.
+        let last_read = h
+            .reads()
+            .max_by_key(|r| r.time())
+            .map(|r| r.id());
+        prop_assume!(last_read.is_some());
+        let drop = last_read.unwrap();
+        let mut b = tc_core::HistoryBuilder::new();
+        for op in h.ops() {
+            if op.id() == drop {
+                continue;
+            }
+            if op.is_write() {
+                b.write(op.site().index(), op.object(), op.value(), op.time().ticks());
+            } else {
+                b.read(op.site().index(), op.object(), op.value(), op.time().ticks());
+            }
+        }
+        let h2 = b.build().expect("sub-history is well-formed");
+        prop_assert!(min_delta(&h2) <= full);
+    }
+
+    /// Serializations respect(): reversing any strictly ordered pair is
+    /// detected.
+    #[test]
+    fn respects_detects_reversal(seed in 0u64..10_000) {
+        let h = any_history(seed);
+        let co = CausalOrder::of(&h);
+        prop_assume!(!co.is_cyclic());
+        // Time-sorted order respects causality for generated histories
+        // whose rf edges go forward in time.
+        let forward = h.reads().all(|r| match h.source_of(r.id()).unwrap() {
+            None => true,
+            Some(w) => h.op(w).time() <= r.time(),
+        });
+        prop_assume!(forward);
+        let mut ids: Vec<OpId> = (0..h.len()).map(OpId::new).collect();
+        ids.sort_by_key(|id| (h.op(*id).time(), id.index()));
+        let s = Serialization::new(ids.clone());
+        // hmm: ties could order a read before its same-tick write source;
+        // restrict to histories without cross-site ties on rf pairs.
+        let tie_free = h.reads().all(|r| match h.source_of(r.id()).unwrap() {
+            None => true,
+            Some(w) => h.op(w).time() != r.time() || w.index() < r.id().index(),
+        });
+        prop_assume!(tie_free);
+        prop_assert!(s.respects(|a, b| co.precedes(a, b)));
+        // Now reverse one causally ordered adjacent-in-S pair, if any.
+        for i in 0..ids.len() {
+            for j in i + 1..ids.len() {
+                if co.precedes(ids[i], ids[j]) {
+                    let mut rev = ids.clone();
+                    rev.swap(i, j);
+                    prop_assert!(!Serialization::new(rev).respects(|a, b| co.precedes(a, b)));
+                    return Ok(());
+                }
+            }
+        }
+    }
+}

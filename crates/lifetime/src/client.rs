@@ -1,0 +1,482 @@
+//! The client site: a cache `C_i` with its `Context_i`, driven by a
+//! synthetic workload, speaking the §5 lifetime protocol to the server.
+//!
+//! The client is a closed loop: one outstanding operation at a time, a
+//! think-time pause between operations. Reads prefer the cache; the
+//! protocol rules decide when a cached version may still be used. Writes
+//! are synchronous (server-ordered) in the physical family — the cost of
+//! SC the paper alludes to — and asynchronous in the causal family.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tc_clocks::{ClockOrdering, Delta, SiteClock, SumXi, Time, Timestamp, VectorClock, XiMap};
+use tc_core::{ObjectId, SiteId, Value};
+use tc_sim::workload::{OpChoice, Workload};
+use tc_sim::{Context, NodeId, Process, TraceRecorder};
+
+use crate::cache::{Cache, CacheEntry, SweepOutcome};
+use crate::msg::{Msg, ValidateOutcome, WireVersion};
+use crate::{ProtocolConfig, ProtocolKind, StalePolicy};
+
+/// How long a client waits before resending an unanswered request.
+const RETRY_AFTER: Delta = Delta::from_ticks(500);
+
+/// Timer token for "issue the next planned operation".
+const TIMER_NEXT_OP: u64 = 0;
+
+enum Pending {
+    Read { object: ObjectId },
+    Write { object: ObjectId, value: Value },
+}
+
+/// The client node.
+pub struct ClientNode {
+    config: ProtocolConfig,
+    server: NodeId,
+    site: usize,
+    workload: Workload,
+    ops_target: usize,
+    ops_done: usize,
+    cache: Cache,
+    context_t: Time,
+    context_v: VectorClock,
+    recorder: Rc<RefCell<TraceRecorder>>,
+    pending: Option<Pending>,
+    outstanding: Option<Msg>,
+    req_epoch: u64,
+    planned: Option<(OpChoice, ObjectId)>,
+}
+
+impl ClientNode {
+    /// Creates a client.
+    ///
+    /// `site` is this client's 0-based index among `n_clients` clients; it
+    /// doubles as the trace site id and the vector-clock component.
+    #[must_use]
+    pub fn new(
+        config: ProtocolConfig,
+        server: NodeId,
+        site: usize,
+        n_clients: usize,
+        workload: Workload,
+        ops_target: usize,
+        recorder: Rc<RefCell<TraceRecorder>>,
+    ) -> Self {
+        ClientNode {
+            config,
+            server,
+            site,
+            workload,
+            ops_target,
+            ops_done: 0,
+            cache: Cache::new(),
+            context_t: Time::ZERO,
+            context_v: VectorClock::new(site, n_clients),
+            recorder,
+            pending: None,
+            outstanding: None,
+            req_epoch: 0,
+            planned: None,
+        }
+    }
+
+    /// Operations completed so far.
+    #[must_use]
+    pub fn ops_done(&self) -> usize {
+        self.ops_done
+    }
+
+    /// Whether the client has finished its workload.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.ops_done >= self.ops_target
+    }
+
+    fn plan_next(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.finished() {
+            return;
+        }
+        let (kind, obj_idx, think) = self.workload.next_op(ctx.rng());
+        self.planned = Some((kind, ObjectId::new(obj_idx as u32)));
+        ctx.set_timer(think, TIMER_NEXT_OP);
+    }
+
+    fn complete(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.ops_done += 1;
+        self.pending = None;
+        self.outstanding = None;
+        self.plan_next(ctx);
+    }
+
+    fn send_request(&mut self, ctx: &mut Context<'_, Msg>, msg: Msg) {
+        self.req_epoch += 1;
+        self.outstanding = Some(msg.clone());
+        ctx.send(self.server, msg);
+        ctx.set_timer(RETRY_AFTER, self.req_epoch);
+    }
+
+    fn count_sweep(ctx: &mut Context<'_, Msg>, out: SweepOutcome) {
+        ctx.metrics().add("invalidate", out.invalidated as u64);
+        ctx.metrics().add("mark_old", out.marked_old as u64);
+    }
+
+    /// Applies the protocol's freshness rules before an access (§5.1 rule
+    /// 3 and the sweeps).
+    fn refresh(&mut self, ctx: &mut Context<'_, Msg>, t_loc: Time) {
+        let policy = self.config.stale;
+        match self.config.kind {
+            ProtocolKind::NoCache => {}
+            ProtocolKind::Sc => {
+                let out = self.cache.sweep_physical(self.context_t, policy);
+                Self::count_sweep(ctx, out);
+            }
+            ProtocolKind::Tsc { delta } => {
+                // Rule 3: Context_i := max(t_i − Δ, Context_i).
+                self.context_t = self.context_t.max(t_loc.saturating_sub_delta(delta));
+                let out = self.cache.sweep_physical(self.context_t, policy);
+                Self::count_sweep(ctx, out);
+            }
+            ProtocolKind::Cc => {
+                let out = self.cache.sweep_causal(&self.context_v, self.site, policy);
+                Self::count_sweep(ctx, out);
+            }
+            ProtocolKind::Tcc { delta } => {
+                let out = self.cache.sweep_causal(&self.context_v, self.site, policy);
+                Self::count_sweep(ctx, out);
+                let out = self
+                    .cache
+                    .sweep_beta(t_loc.saturating_sub_delta(delta), policy);
+                Self::count_sweep(ctx, out);
+            }
+            ProtocolKind::TccLogical { xi_delta } => {
+                let out = self.cache.sweep_causal(&self.context_v, self.site, policy);
+                Self::count_sweep(ctx, out);
+                let xi_ctx = SumXi.xi(self.context_v.entries());
+                let out = self.cache.sweep_xi(&SumXi, xi_ctx, xi_delta, policy);
+                Self::count_sweep(ctx, out);
+            }
+        }
+    }
+
+    fn start_read(&mut self, ctx: &mut Context<'_, Msg>, object: ObjectId) {
+        let t_loc = ctx.local_now();
+        self.refresh(ctx, t_loc);
+        if self.config.kind == ProtocolKind::NoCache {
+            ctx.metrics().incr("fetch");
+            self.pending = Some(Pending::Read { object });
+            self.send_request(ctx, Msg::FetchReq { object });
+            return;
+        }
+        match self.cache.get(object) {
+            Some(entry) if !entry.old => {
+                ctx.metrics().incr("cache_hit");
+                let value = entry.value;
+                self.record_read(ctx, object, value);
+                self.complete(ctx);
+            }
+            Some(entry) => {
+                // MarkOld policy: cheap revalidation instead of a refetch.
+                ctx.metrics().incr("validate");
+                let value = entry.value;
+                self.pending = Some(Pending::Read { object });
+                self.send_request(ctx, Msg::ValidateReq { object, value });
+            }
+            None => {
+                ctx.metrics().incr("cache_miss");
+                ctx.metrics().incr("fetch");
+                self.pending = Some(Pending::Read { object });
+                self.send_request(ctx, Msg::FetchReq { object });
+            }
+        }
+    }
+
+    fn start_write(&mut self, ctx: &mut Context<'_, Msg>, object: ObjectId) {
+        let value = self.recorder.borrow_mut().next_value();
+        let t_loc = ctx.local_now();
+        if self.config.kind.is_causal_family() {
+            // Rule 2 with vector clocks: tick, stamp, apply locally, ship
+            // asynchronously.
+            let alpha_v = self.context_v.tick();
+            self.cache.insert(
+                object,
+                CacheEntry {
+                    value,
+                    alpha_t: t_loc,
+                    omega_t: t_loc,
+                    alpha_v: Some(alpha_v.clone()),
+                    omega_v: Some(alpha_v.clone()),
+                    beta: t_loc,
+                    old: false,
+                },
+            );
+            ctx.send(
+                self.server,
+                Msg::WriteReq {
+                    object,
+                    value,
+                    alpha_v: Some(alpha_v.clone()),
+                    issued_at: t_loc,
+                },
+            );
+            let now = ctx.true_now();
+            self.recorder.borrow_mut().record_write_stamped(
+                SiteId::new(self.site),
+                object,
+                value,
+                now,
+                alpha_v,
+            );
+            self.complete(ctx);
+        } else {
+            // Physical family: the server linearizes the write; block until
+            // the ack carries the assigned α (rule 2 then applies).
+            self.pending = Some(Pending::Write { object, value });
+            self.send_request(
+                ctx,
+                Msg::WriteReq {
+                    object,
+                    value,
+                    alpha_v: None,
+                    issued_at: t_loc,
+                },
+            );
+        }
+    }
+
+    fn record_read(&mut self, ctx: &mut Context<'_, Msg>, object: ObjectId, value: Value) {
+        let now = ctx.true_now();
+        if self.config.kind.is_causal_family() {
+            // Causal runs carry L(op) so traces can also be judged by the
+            // logical-clock Definition 6 (checker::check_on_time_xi).
+            self.recorder.borrow_mut().record_read_stamped(
+                SiteId::new(self.site),
+                object,
+                value,
+                now,
+                self.context_v.clone(),
+            );
+        } else {
+            self.recorder
+                .borrow_mut()
+                .record_read(SiteId::new(self.site), object, value, now);
+        }
+    }
+
+    /// Installs a fetched/newer version into the cache and advances
+    /// `Context_i` (rule 1). Returns the version's value.
+    fn install(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        object: ObjectId,
+        version: &WireVersion,
+        server_now: Time,
+    ) -> Value {
+        let t_loc = ctx.local_now();
+        if self.config.kind == ProtocolKind::NoCache {
+            return version.value;
+        }
+        if self.config.kind.is_causal_family() {
+            if let Some(av) = &version.alpha_v {
+                self.context_v = self.context_v.join(av);
+            }
+            // The version is the server's *current* copy, and everything in
+            // Context_i has passed through the same server, so the version
+            // is known valid at the whole context — extend its lifetime
+            // accordingly (otherwise fetching any page would immediately
+            // age every concurrent cached page, the §4 Dow-Jones/CNN
+            // scenario's false positive).
+            let omega_v = self.context_v.clone();
+            self.cache.insert(
+                object,
+                CacheEntry {
+                    value: version.value,
+                    alpha_t: version.alpha_t,
+                    omega_t: server_now,
+                    alpha_v: version.alpha_v.clone(),
+                    omega_v: Some(omega_v),
+                    beta: t_loc,
+                    old: false,
+                },
+            );
+        } else {
+            self.context_t = self.context_t.max(version.alpha_t);
+            self.cache.insert(
+                object,
+                CacheEntry {
+                    value: version.value,
+                    alpha_t: version.alpha_t,
+                    omega_t: server_now.max(version.alpha_t),
+                    alpha_v: None,
+                    omega_v: None,
+                    beta: t_loc,
+                    old: false,
+                },
+            );
+        }
+        version.value
+    }
+}
+
+impl Process for ClientNode {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.plan_next(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: u64) {
+        if token == TIMER_NEXT_OP {
+            if let Some((kind, object)) = self.planned.take() {
+                match kind {
+                    OpChoice::Read => self.start_read(ctx, object),
+                    OpChoice::Write => self.start_write(ctx, object),
+                }
+            }
+        } else if token == self.req_epoch {
+            // Retry an unanswered request (lost message).
+            if let Some(msg) = self.outstanding.clone() {
+                ctx.metrics().incr("retry");
+                ctx.send(self.server, msg);
+                ctx.set_timer(RETRY_AFTER, self.req_epoch);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::FetchRep {
+                object,
+                version,
+                server_now,
+            } => {
+                let value = self.install(ctx, object, &version, server_now);
+                if matches!(self.pending, Some(Pending::Read { object: o }) if o == object) {
+                    self.record_read(ctx, object, value);
+                    self.complete(ctx);
+                }
+            }
+            Msg::ValidateRep {
+                object,
+                outcome,
+                server_now,
+            } => {
+                let value = match outcome {
+                    ValidateOutcome::StillValid => {
+                        let t_loc = ctx.local_now();
+                        let context_v = self.context_v.clone();
+                        match self.cache.get_mut(object) {
+                            Some(entry) => {
+                                entry.old = false;
+                                entry.beta = t_loc;
+                                if self.config.kind.is_causal_family() {
+                                    if let Some(omega) = &entry.omega_v {
+                                        entry.omega_v = Some(omega.join(&context_v));
+                                    }
+                                } else {
+                                    entry.omega_t = entry.omega_t.max(server_now);
+                                }
+                                Some(entry.value)
+                            }
+                            None => {
+                                // The entry vanished (push race): fall back
+                                // to a fetch for the pending read.
+                                if matches!(
+                                    self.pending,
+                                    Some(Pending::Read { object: o }) if o == object
+                                ) {
+                                    ctx.metrics().incr("fetch");
+                                    self.send_request(ctx, Msg::FetchReq { object });
+                                }
+                                None
+                            }
+                        }
+                    }
+                    ValidateOutcome::Newer(version) => {
+                        Some(self.install(ctx, object, &version, server_now))
+                    }
+                };
+                if let Some(value) = value {
+                    if matches!(self.pending, Some(Pending::Read { object: o }) if o == object) {
+                        self.record_read(ctx, object, value);
+                        self.complete(ctx);
+                    }
+                }
+            }
+            Msg::WriteAck { object, alpha_t } => {
+                if let Some(Pending::Write { object: o, value }) = self.pending {
+                    if o == object {
+                        // Rule 2: Context_i := X^α := the (server-assigned)
+                        // write time.
+                        self.context_t = self.context_t.max(alpha_t);
+                        if self.config.kind != ProtocolKind::NoCache {
+                            let t_loc = ctx.local_now();
+                            self.cache.insert(
+                                object,
+                                CacheEntry {
+                                    value,
+                                    alpha_t,
+                                    omega_t: alpha_t,
+                                    alpha_v: None,
+                                    omega_v: None,
+                                    beta: t_loc,
+                                    old: false,
+                                },
+                            );
+                        }
+                        let now = ctx.true_now();
+                        self.recorder.borrow_mut().record_write(
+                            SiteId::new(self.site),
+                            object,
+                            value,
+                            now,
+                        );
+                        self.complete(ctx);
+                    }
+                }
+            }
+            Msg::InvalidatePush {
+                object,
+                alpha_t,
+                alpha_v,
+            } => {
+                ctx.metrics().incr("push_received");
+                let mine_newer = match self.cache.get(object) {
+                    None => return,
+                    Some(entry) => {
+                        if self.config.kind.is_causal_family() {
+                            match (&entry.alpha_v, &alpha_v) {
+                                (Some(mine), Some(theirs)) => matches!(
+                                    mine.compare(theirs),
+                                    ClockOrdering::After | ClockOrdering::Equal
+                                ),
+                                _ => false,
+                            }
+                        } else {
+                            entry.alpha_t >= alpha_t
+                        }
+                    }
+                };
+                if !mine_newer {
+                    match self.config.stale {
+                        StalePolicy::Invalidate => {
+                            self.cache.remove(object);
+                            ctx.metrics().incr("invalidate");
+                        }
+                        StalePolicy::MarkOld => {
+                            if let Some(e) = self.cache.get_mut(object) {
+                                if !e.old {
+                                    e.old = true;
+                                    ctx.metrics().incr("mark_old");
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Msg::FetchReq { .. } | Msg::ValidateReq { .. } | Msg::WriteReq { .. } => {
+                unreachable!("client received a server-bound message")
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Configuration of the lifetime-based consistency protocols (§5).
+
+use serde::{Deserialize, Serialize};
+use tc_clocks::Delta;
+
+/// Which consistency level the protocol enforces.
+///
+/// The five variants are exactly the paper's §5 family:
+///
+/// * [`ProtocolKind::Sc`] — rules 1–2 over physical timestamps (§5.1).
+/// * [`ProtocolKind::Tsc`] — plus rule 3,
+///   `Context_i := max(t_i − Δ, Context_i)` (§5.2).
+/// * [`ProtocolKind::Cc`] — rules 1–2 over vector clocks (§5.3's untimed
+///   base, from the DISC '98 lifetime paper).
+/// * [`ProtocolKind::Tcc`] — plus the physical *checking time* `X_β`
+///   (§5.3).
+/// * [`ProtocolKind::TccLogical`] — plus the ξ-map freshness test instead
+///   of physical time (§5.4, Definition 6).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Sequential consistency via physical-timestamp lifetimes.
+    Sc,
+    /// Timed serial consistency: SC plus the Δ freshness rule.
+    Tsc {
+        /// The timed-consistency threshold.
+        delta: Delta,
+    },
+    /// Causal consistency via vector-clock lifetimes.
+    Cc,
+    /// Timed causal consistency: CC plus checking times bounded by Δ.
+    Tcc {
+        /// The timed-consistency threshold.
+        delta: Delta,
+    },
+    /// The logical-clock approximation of TCC: a cached version is stale
+    /// once `ξ(Context) − ξ(ω)` exceeds `xi_delta` (Definition 6). Uses the
+    /// `ξ(t) = Σ t[i]` map (the paper's global-event count).
+    TccLogical {
+        /// Maximum tolerated ξ gap (in known-global-events).
+        xi_delta: f64,
+    },
+    /// Baseline: no caching at all — every read fetches from the server.
+    /// Gives linearizability up to message latency and serves as the
+    /// "Δ → 0" endpoint of the cost curves.
+    NoCache,
+}
+
+impl ProtocolKind {
+    /// Whether this level uses vector-clock (causal-family) timestamps.
+    #[must_use]
+    pub fn is_causal_family(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::Cc | ProtocolKind::Tcc { .. } | ProtocolKind::TccLogical { .. }
+        )
+    }
+
+    /// The Δ parameter when the level has one.
+    #[must_use]
+    pub fn delta(self) -> Option<Delta> {
+        match self {
+            ProtocolKind::Tsc { delta } | ProtocolKind::Tcc { delta } => Some(delta),
+            _ => None,
+        }
+    }
+
+    /// A short label for experiment tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolKind::Sc => "SC",
+            ProtocolKind::Tsc { .. } => "TSC",
+            ProtocolKind::Cc => "CC",
+            ProtocolKind::Tcc { .. } => "TCC",
+            ProtocolKind::TccLogical { .. } => "TCC-xi",
+            ProtocolKind::NoCache => "NoCache",
+        }
+    }
+}
+
+/// What to do with a cached version that is no longer provably fresh
+/// (§5.2's optimization knob).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StalePolicy {
+    /// Drop it; the next access pays a full fetch.
+    Invalidate,
+    /// Keep it but mark it *old*; the next access sends a cheap
+    /// validation (the paper's if-modified-since analogy) that either
+    /// advances the lifetime or returns the newer version.
+    MarkOld,
+}
+
+/// How updates travel from the server to caches (§5.2 mentions both).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Propagation {
+    /// Clients discover staleness on access (TTL-style).
+    Pull,
+    /// The server pushes invalidations to every client on each write
+    /// (Cao & Liu-style server invalidation).
+    PushInvalidate,
+}
+
+/// Full protocol configuration for one run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// The consistency level.
+    pub kind: ProtocolKind,
+    /// Staleness handling.
+    pub stale: StalePolicy,
+    /// Update propagation.
+    pub propagation: Propagation,
+}
+
+impl ProtocolConfig {
+    /// The conventional configuration for a level: pull-based, mark-old.
+    #[must_use]
+    pub fn of(kind: ProtocolKind) -> Self {
+        ProtocolConfig {
+            kind,
+            stale: StalePolicy::MarkOld,
+            propagation: Propagation::Pull,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_classification() {
+        assert!(!ProtocolKind::Sc.is_causal_family());
+        assert!(!ProtocolKind::Tsc { delta: Delta::ZERO }.is_causal_family());
+        assert!(ProtocolKind::Cc.is_causal_family());
+        assert!(ProtocolKind::Tcc { delta: Delta::ZERO }.is_causal_family());
+        assert!(ProtocolKind::TccLogical { xi_delta: 1.0 }.is_causal_family());
+        assert!(!ProtocolKind::NoCache.is_causal_family());
+    }
+
+    #[test]
+    fn delta_extraction() {
+        assert_eq!(ProtocolKind::Sc.delta(), None);
+        assert_eq!(
+            ProtocolKind::Tsc {
+                delta: Delta::from_ticks(5)
+            }
+            .delta(),
+            Some(Delta::from_ticks(5))
+        );
+        assert_eq!(
+            ProtocolKind::Tcc {
+                delta: Delta::from_ticks(9)
+            }
+            .delta(),
+            Some(Delta::from_ticks(9))
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let kinds = [
+            ProtocolKind::Sc,
+            ProtocolKind::Tsc { delta: Delta::ZERO },
+            ProtocolKind::Cc,
+            ProtocolKind::Tcc { delta: Delta::ZERO },
+            ProtocolKind::TccLogical { xi_delta: 0.0 },
+            ProtocolKind::NoCache,
+        ];
+        let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn default_config_is_pull_markold() {
+        let c = ProtocolConfig::of(ProtocolKind::Cc);
+        assert_eq!(c.stale, StalePolicy::MarkOld);
+        assert_eq!(c.propagation, Propagation::Pull);
+    }
+}

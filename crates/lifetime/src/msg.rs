@@ -1,0 +1,135 @@
+//! The wire protocol between client caches and the object server.
+
+use serde::{Deserialize, Serialize};
+use tc_clocks::{Time, VectorClock};
+use tc_core::{ObjectId, Value};
+
+/// A version as shipped over the wire: the value plus its start-time
+/// timestamps in whichever clock family the run uses.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WireVersion {
+    /// The stored value.
+    pub value: Value,
+    /// Physical start time `X^α` (server-assigned in the physical family;
+    /// the writer's local stamp in the causal family).
+    pub alpha_t: Time,
+    /// Logical start time (causal family only).
+    pub alpha_v: Option<VectorClock>,
+}
+
+/// Server's answer to a validation request.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ValidateOutcome {
+    /// The cached version is still current; its lifetime may be advanced
+    /// to the server's reply time.
+    StillValid,
+    /// A newer version exists; here it is (saves the second round trip of
+    /// a plain HTTP 304-style protocol).
+    Newer(WireVersion),
+}
+
+/// Protocol messages.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Msg {
+    /// Client → server: cache miss on `object`.
+    FetchReq {
+        /// The requested object.
+        object: ObjectId,
+    },
+    /// Server → client: the current version.
+    FetchRep {
+        /// The requested object.
+        object: ObjectId,
+        /// Its current version.
+        version: WireVersion,
+        /// Server's local clock at reply time — the honest ending time the
+        /// client may record for the version (`X^ω`).
+        server_now: Time,
+    },
+    /// Client → server: is my cached version still current? Versions are
+    /// identified by their (globally unique) value — the if-modified-since
+    /// token of this protocol.
+    ValidateReq {
+        /// The cached object.
+        object: ObjectId,
+        /// Value of the cached version.
+        value: Value,
+    },
+    /// Server → client: validation verdict.
+    ValidateRep {
+        /// The validated object.
+        object: ObjectId,
+        /// Verdict (and replacement version if newer).
+        outcome: ValidateOutcome,
+        /// Server's local clock at reply time.
+        server_now: Time,
+    },
+    /// Client → server: a write. In the physical family the server assigns
+    /// `α` and acks; in the causal family `alpha_v` carries the writer's
+    /// vector stamp and no ack is needed.
+    WriteReq {
+        /// The written object.
+        object: ObjectId,
+        /// The (globally unique) value.
+        value: Value,
+        /// Writer's vector stamp (causal family).
+        alpha_v: Option<VectorClock>,
+        /// Writer's local physical time (used as a tie-breaking hint and as
+        /// the causal-family `α_t`).
+        issued_at: Time,
+    },
+    /// Server → client: physical-family write acknowledgement carrying the
+    /// server-assigned `α`.
+    WriteAck {
+        /// The written object.
+        object: ObjectId,
+        /// Server-assigned start time of the new version.
+        alpha_t: Time,
+    },
+    /// Server → clients: push-mode invalidation of `object` (any cached
+    /// version with an older `α` is dead).
+    InvalidatePush {
+        /// The overwritten object.
+        object: ObjectId,
+        /// Start time of the new current version.
+        alpha_t: Time,
+        /// Vector stamp of the new current version (causal family).
+        alpha_v: Option<VectorClock>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_cloneable_and_comparable() {
+        let m = Msg::FetchReq {
+            object: ObjectId::from_letter('A'),
+        };
+        assert_eq!(m.clone(), m);
+        let v = WireVersion {
+            value: Value::new(5),
+            alpha_t: Time::from_ticks(10),
+            alpha_v: None,
+        };
+        let rep = Msg::FetchRep {
+            object: ObjectId::from_letter('A'),
+            version: v.clone(),
+            server_now: Time::from_ticks(11),
+        };
+        assert_ne!(rep, m);
+        assert_eq!(
+            ValidateOutcome::Newer(v.clone()),
+            ValidateOutcome::Newer(v)
+        );
+        assert_ne!(
+            ValidateOutcome::StillValid,
+            ValidateOutcome::Newer(WireVersion {
+                value: Value::new(1),
+                alpha_t: Time::ZERO,
+                alpha_v: None
+            })
+        );
+    }
+}

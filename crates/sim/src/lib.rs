@@ -1,0 +1,35 @@
+//! A deterministic discrete-event simulator for distributed protocols.
+//!
+//! The PODC '99 paper's conclusion promises "detailed simulations … of
+//! systems based on the consistency criteria described in this paper"; this
+//! crate is that testbed. It provides:
+//!
+//! * [`World`] — the event-driven kernel: message delivery, timers, and
+//!   per-node drifting hardware clocks that are periodically resynchronized
+//!   (realizing §3.2's ε-approximately-synchronized model). Runs are fully
+//!   deterministic in the seed.
+//! * [`NetworkModel`] / [`LatencyModel`] — constant, uniform or exponential
+//!   message latencies, optional FIFO channels, and message drops.
+//! * [`workload`] — Zipf object popularity and operation-mix samplers.
+//! * [`Metrics`] — counters and power-of-two histograms shared by every
+//!   experiment.
+//! * [`TraceRecorder`] — records the reads and writes a protocol executes
+//!   into a [`tc_core::History`], so any simulated protocol can be
+//!   *verified* against the paper's consistency checkers after the fact.
+//!
+//! Protocol code implements [`Process`] and interacts with the world only
+//! through [`Context`], which is what keeps runs reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod net;
+mod trace;
+pub mod workload;
+mod world;
+
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use net::{LatencyModel, NetworkModel};
+pub use trace::TraceRecorder;
+pub use world::{ClockConfig, Context, NodeId, Process, World, WorldConfig};

@@ -1,0 +1,216 @@
+//! Counters and histograms shared by every simulated protocol and
+//! experiment binary.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A bag of named counters plus power-of-two latency histograms.
+///
+/// Metric names are free-form `&'static str`s; protocols in `tc-lifetime`
+/// use a small conventional vocabulary (`"fetch"`, `"invalidate"`,
+/// `"validate"`, `"push"`, `"cache_hit"`, `"cache_miss"`, `"stale_read"`,
+/// `"message"`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty bag.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `1` to `name`.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to `name`.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// The current value of `name` (0 if never touched).
+    #[must_use]
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records `value` into the histogram `name`.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// The histogram `name`, if any value was ever observed.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// An owned snapshot suitable for serialization into experiment output.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect(),
+            histogram_means: self
+                .histograms
+                .iter()
+                .map(|(k, h)| ((*k).to_string(), h.mean()))
+                .collect(),
+        }
+    }
+
+    /// Resets everything to zero.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+}
+
+/// Serializable summary of a [`Metrics`] bag.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram means by name.
+    pub histogram_means: BTreeMap<String, f64>,
+}
+
+/// A histogram with power-of-two buckets: bucket `i` counts values in
+/// `[2^(i-1), 2^i)`, bucket 0 counts zeros and ones.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize; // 0 -> 0, 1 -> 1, 2..3 -> 2, ...
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded value.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// An upper bound on the `q`-quantile using bucket boundaries
+    /// (nearest-rank over buckets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper edge of bucket i.
+                return if i == 0 { 1 } else { (1u64 << i) - 1 };
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("fetch");
+        m.incr("fetch");
+        m.add("message", 10);
+        assert_eq!(m.get("fetch"), 2);
+        assert_eq!(m.get("message"), 10);
+        assert_eq!(m.get("unknown"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 110.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bounds() {
+        let mut h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile_bound(0.5);
+        // The true median is 50; the bucket bound must cover it from above
+        // but stay within the next power of two.
+        assert!((50..=127).contains(&p50), "p50 bound {p50}");
+        assert!(h.quantile_bound(1.0) >= 100);
+        assert_eq!(Histogram::default().quantile_bound(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_captures_state() {
+        let mut m = Metrics::new();
+        m.incr("x");
+        m.observe("lat", 5);
+        let s = m.snapshot();
+        assert_eq!(s.counters["x"], 1);
+        assert!(s.histogram_means["lat"] > 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = Metrics::new();
+        m.incr("x");
+        m.observe("lat", 5);
+        m.clear();
+        assert_eq!(m.get("x"), 0);
+        assert!(m.histogram("lat").is_none());
+    }
+}

@@ -1,0 +1,682 @@
+//! The simulation kernel: nodes, messages, timers, and per-node hardware
+//! clocks, all driven from one deterministic event queue.
+
+use std::any::Any;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tc_clocks::{Delta, DriftingClock, Epsilon, SyncedClock, Time};
+
+use crate::{Metrics, NetworkModel};
+
+/// Identifies a node (process) within one [`World`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// The underlying index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A simulated process. Implementations hold protocol state and react to
+/// startup, messages and timers through the [`Context`].
+///
+/// The `Any` supertrait lets experiments downcast nodes back to their
+/// concrete type after a run ([`World::node`]) to extract protocol state.
+pub trait Process: Any {
+    /// The protocol's message type.
+    type Msg;
+
+    /// Called once when the simulation starts (time 0).
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message arrives.
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, token: u64) {
+        let _ = (ctx, token);
+    }
+}
+
+/// The process's window onto the world during one event callback.
+pub struct Context<'a, M> {
+    node: NodeId,
+    true_now: Time,
+    local_now: Time,
+    epsilon: Epsilon,
+    outbox: Vec<(NodeId, M)>,
+    timers: Vec<(Delta, u64)>,
+    metrics: &'a mut Metrics,
+    rng: &'a mut StdRng,
+    n_nodes: usize,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// This node's id.
+    #[must_use]
+    pub fn me(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of nodes in the world.
+    #[must_use]
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The node's *local clock* reading — what a real protocol would
+    /// timestamp with. Differs from [`Context::true_now`] by at most the
+    /// world's ε bound.
+    #[must_use]
+    pub fn local_now(&self) -> Time {
+        self.local_now
+    }
+
+    /// True simulation time. Use only for instrumentation and ground-truth
+    /// traces; protocols must not read it.
+    #[must_use]
+    pub fn true_now(&self) -> Time {
+        self.true_now
+    }
+
+    /// The guaranteed clock-synchronization bound ε of this world.
+    #[must_use]
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// Sends `msg` to `to` (delivered after the network's latency, unless
+    /// dropped). Messages to self are also routed through the network.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.metrics.incr("message");
+        self.outbox.push((to, msg));
+    }
+
+    /// Schedules [`Process::on_timer`] with `token` after `after` ticks of
+    /// true time (minimum 1 tick; a zero delay still yields to the queue).
+    pub fn set_timer(&mut self, after: Delta, token: u64) {
+        self.timers.push((after, token));
+    }
+
+    /// The world's deterministic random source.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// The shared metric bag.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        self.metrics
+    }
+}
+
+/// Per-node hardware clock configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClockConfig {
+    /// Every node reads true time (ε = 0) — Definition 1's setting.
+    Perfect,
+    /// Drifting clocks resynchronized periodically — Definition 2's
+    /// setting. Drift and initial offsets are sampled per node.
+    Synced {
+        /// Maximum absolute drift in ppm (sampled in `[-max, max]`).
+        max_drift_ppm: f64,
+        /// Maximum absolute initial offset in ticks.
+        max_initial_offset: i64,
+        /// One-way error of each resynchronization, in ticks.
+        sync_error: u64,
+        /// Interval between resynchronizations.
+        sync_interval: Delta,
+    },
+}
+
+impl ClockConfig {
+    /// The pairwise divergence bound ε this configuration guarantees.
+    #[must_use]
+    pub fn epsilon(&self) -> Epsilon {
+        match *self {
+            ClockConfig::Perfect => Epsilon::ZERO,
+            ClockConfig::Synced {
+                max_drift_ppm,
+                sync_error,
+                sync_interval,
+                ..
+            } => {
+                let drift_term =
+                    (max_drift_ppm.abs() * 1e-6 * sync_interval.ticks() as f64).ceil() as u64;
+                Epsilon::from_ticks(2 * (sync_error + drift_term))
+            }
+        }
+    }
+}
+
+/// World-level configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorldConfig {
+    /// The network model.
+    pub net: NetworkModel,
+    /// The clock model.
+    pub clock: ClockConfig,
+    /// Seed for every random choice (latencies, drops, drifts, workloads).
+    pub seed: u64,
+}
+
+impl WorldConfig {
+    /// Reliable constant-latency network, perfect clocks — the protocol
+    /// unit-test default.
+    #[must_use]
+    pub fn deterministic(latency: Delta, seed: u64) -> Self {
+        WorldConfig {
+            net: NetworkModel::reliable(latency),
+            clock: ClockConfig::Perfect,
+            seed,
+        }
+    }
+}
+
+struct Event<M> {
+    time: Time,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+enum EventKind<M> {
+    Start(NodeId),
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    Timer { node: NodeId, token: u64 },
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest event.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The deterministic discrete-event world.
+///
+/// ```
+/// use tc_clocks::{Delta, Time};
+/// use tc_sim::{Context, NodeId, Process, World, WorldConfig};
+///
+/// struct Echo;
+/// impl Process for Echo {
+///     type Msg = u32;
+///     fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: NodeId, msg: u32) {
+///         if msg < 3 {
+///             ctx.send(from, msg + 1);
+///         }
+///     }
+/// }
+/// struct Starter { peer: NodeId, last: u32 }
+/// impl Process for Starter {
+///     type Msg = u32;
+///     fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+///         ctx.send(self.peer, 0);
+///     }
+///     fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: NodeId, msg: u32) {
+///         self.last = msg;
+///         if msg < 3 {
+///             ctx.send(from, msg); // keep the ping-pong going
+///         }
+///     }
+/// }
+///
+/// let mut world = World::new(WorldConfig::deterministic(Delta::from_ticks(5), 1));
+/// let echo = world.add_node(Echo);
+/// let starter = world.add_node(Starter { peer: echo, last: 0 });
+/// world.run_until(Time::from_ticks(1_000));
+/// assert_eq!(world.node::<Starter>(starter).unwrap().last, 3);
+/// ```
+pub struct World<M> {
+    config: WorldConfig,
+    procs: Vec<Option<Box<dyn Process<Msg = M>>>>,
+    clocks: Vec<Option<SyncedClock>>,
+    queue: BinaryHeap<Event<M>>,
+    now: Time,
+    seq: u64,
+    rng: StdRng,
+    metrics: Metrics,
+    fifo_last: HashMap<(NodeId, NodeId), Time>,
+    epsilon: Epsilon,
+    started: bool,
+}
+
+impl<M: 'static> World<M> {
+    /// Creates an empty world.
+    #[must_use]
+    pub fn new(config: WorldConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        let epsilon = config.clock.epsilon();
+        World {
+            config,
+            procs: Vec::new(),
+            clocks: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: Time::ZERO,
+            seq: 0,
+            rng,
+            metrics: Metrics::new(),
+            fifo_last: HashMap::new(),
+            epsilon,
+            started: false,
+        }
+    }
+
+    /// Adds a node; its [`Process::on_start`] runs at time 0 in insertion
+    /// order when the world first runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the world has started running.
+    pub fn add_node(&mut self, proc: impl Process<Msg = M>) -> NodeId {
+        assert!(!self.started, "nodes must be added before the world runs");
+        let id = NodeId(self.procs.len());
+        self.procs.push(Some(Box::new(proc)));
+        let clock = match self.config.clock {
+            ClockConfig::Perfect => None,
+            ClockConfig::Synced {
+                max_drift_ppm,
+                max_initial_offset,
+                sync_error,
+                sync_interval,
+            } => {
+                let drift = self.rng.gen_range(-max_drift_ppm..=max_drift_ppm);
+                let offset = self.rng.gen_range(-max_initial_offset..=max_initial_offset);
+                Some(SyncedClock::new(
+                    DriftingClock::new(drift, offset),
+                    sync_error,
+                    sync_interval,
+                ))
+            }
+        };
+        self.clocks.push(clock);
+        self.push_event(Time::ZERO, EventKind::Start(id));
+        id
+    }
+
+    /// Current simulation (true) time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The ε bound of this world's clocks.
+    #[must_use]
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// The shared metric bag.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access to the metric bag (for experiment-level counters).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Downcasts a node to its concrete type for post-run inspection.
+    #[must_use]
+    pub fn node<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        let boxed = self.procs[id.0].as_ref()?;
+        (boxed.as_ref() as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Runs until the queue is empty or the next event is after `limit`.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, limit: Time) -> usize {
+        self.started = true;
+        let mut processed = 0;
+        while let Some(ev) = self.queue.peek() {
+            if ev.time > limit {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.now = ev.time;
+            self.dispatch(ev);
+            processed += 1;
+        }
+        self.now = self.now.max(limit);
+        processed
+    }
+
+    /// Runs until no events remain (the world is quiescent).
+    ///
+    /// # Panics
+    ///
+    /// Panics after `max_events` dispatches, to catch livelocks in
+    /// protocols that reschedule themselves forever.
+    pub fn run_to_quiescence(&mut self, max_events: usize) -> usize {
+        self.started = true;
+        let mut processed = 0;
+        while let Some(ev) = self.queue.pop() {
+            self.now = ev.time;
+            self.dispatch(ev);
+            processed += 1;
+            assert!(
+                processed <= max_events,
+                "world did not quiesce within {max_events} events"
+            );
+        }
+        processed
+    }
+
+    fn push_event(&mut self, time: Time, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { time, seq, kind });
+    }
+
+    fn local_reading(&mut self, node: NodeId) -> Time {
+        let now = self.now;
+        match &mut self.clocks[node.0] {
+            None => now,
+            Some(clock) => {
+                if clock.due(now) {
+                    // Cristian-style sync: the server estimate is true time
+                    // plus a bounded random error.
+                    let err_bound = match self.config.clock {
+                        ClockConfig::Synced { sync_error, .. } => sync_error as i64,
+                        ClockConfig::Perfect => 0,
+                    };
+                    let err = if err_bound == 0 {
+                        0
+                    } else {
+                        self.rng.gen_range(-err_bound..=err_bound)
+                    };
+                    let estimate = Time::from_ticks((now.ticks() as i64 + err).max(0) as u64);
+                    clock.sync(now, estimate);
+                }
+                clock.read(now)
+            }
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event<M>) {
+        let (node, action): (NodeId, Box<dyn FnOnce(&mut dyn Process<Msg = M>, &mut Context<'_, M>)>) =
+            match ev.kind {
+                EventKind::Start(node) => (node, Box::new(|p, ctx| p.on_start(ctx))),
+                EventKind::Deliver { to, from, msg } => {
+                    (to, Box::new(move |p, ctx| p.on_message(ctx, from, msg)))
+                }
+                EventKind::Timer { node, token } => {
+                    (node, Box::new(move |p, ctx| p.on_timer(ctx, token)))
+                }
+            };
+
+        let local_now = self.local_reading(node);
+        let mut proc = self.procs[node.0].take().expect("node exists");
+        let mut ctx = Context {
+            node,
+            true_now: self.now,
+            local_now,
+            epsilon: self.epsilon,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            metrics: &mut self.metrics,
+            rng: &mut self.rng,
+            n_nodes: self.procs.len(),
+        };
+        action(proc.as_mut(), &mut ctx);
+        let Context {
+            outbox, timers, ..
+        } = ctx;
+        self.procs[node.0] = Some(proc);
+
+        for (to, msg) in outbox {
+            if self.config.net.drops(&mut self.rng) {
+                self.metrics.incr("dropped");
+                continue;
+            }
+            let latency = self.config.net.latency.sample(&mut self.rng);
+            let mut arrival = self.now + latency;
+            if self.config.net.fifo {
+                let last = self
+                    .fifo_last
+                    .entry((node, to))
+                    .or_insert(Time::ZERO);
+                arrival = arrival.max(*last);
+                *last = arrival;
+            }
+            self.push_event(arrival, EventKind::Deliver { to, from: node, msg });
+        }
+        for (after, token) in timers {
+            let at = self.now + Delta::from_ticks(after.ticks().max(1));
+            self.push_event(at, EventKind::Timer { node, token });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        peer: Option<NodeId>,
+        received: Vec<(Time, u32)>,
+        timer_fired: u64,
+    }
+
+    impl Counter {
+        fn new(peer: Option<NodeId>) -> Self {
+            Counter {
+                peer,
+                received: Vec::new(),
+                timer_fired: 0,
+            }
+        }
+    }
+
+    impl Process for Counter {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            if let Some(peer) = self.peer {
+                ctx.send(peer, 1);
+                ctx.send(peer, 2);
+                ctx.send(peer, 3);
+            }
+            ctx.set_timer(Delta::from_ticks(10), 99);
+        }
+
+        fn on_message(&mut self, ctx: &mut Context<'_, u32>, _from: NodeId, msg: u32) {
+            self.received.push((ctx.true_now(), msg));
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Context<'_, u32>, token: u64) {
+            self.timer_fired = token;
+        }
+    }
+
+    #[test]
+    fn messages_deliver_with_constant_latency() {
+        let mut w: World<u32> = World::new(WorldConfig::deterministic(Delta::from_ticks(7), 3));
+        let b = w.add_node(Counter::new(None));
+        let _a = w.add_node(Counter::new(Some(b)));
+        w.run_until(Time::from_ticks(100));
+        let node = w.node::<Counter>(b).unwrap();
+        assert_eq!(node.received.len(), 3);
+        for (t, _) in &node.received {
+            assert_eq!(*t, Time::from_ticks(7));
+        }
+        assert_eq!(node.timer_fired, 99);
+        assert_eq!(w.metrics().get("message"), 3);
+    }
+
+    #[test]
+    fn fifo_preserves_send_order() {
+        let cfg = WorldConfig {
+            net: NetworkModel {
+                latency: crate::LatencyModel::Uniform {
+                    lo: Delta::from_ticks(1),
+                    hi: Delta::from_ticks(50),
+                },
+                drop_probability: 0.0,
+                fifo: true,
+            },
+            clock: ClockConfig::Perfect,
+            seed: 11,
+        };
+        let mut w: World<u32> = World::new(cfg);
+        let b = w.add_node(Counter::new(None));
+        let _a = w.add_node(Counter::new(Some(b)));
+        w.run_until(Time::from_ticks(1_000));
+        let msgs: Vec<u32> = w.node::<Counter>(b).unwrap().received.iter().map(|(_, m)| *m).collect();
+        assert_eq!(msgs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn non_fifo_can_reorder() {
+        // With wide uniform latency and many trials, some seed reorders.
+        let mut reordered = false;
+        for seed in 0..50 {
+            let cfg = WorldConfig {
+                net: NetworkModel {
+                    latency: crate::LatencyModel::Uniform {
+                        lo: Delta::from_ticks(1),
+                        hi: Delta::from_ticks(100),
+                    },
+                    drop_probability: 0.0,
+                    fifo: false,
+                },
+                clock: ClockConfig::Perfect,
+                seed,
+            };
+            let mut w: World<u32> = World::new(cfg);
+            let b = w.add_node(Counter::new(None));
+            let _a = w.add_node(Counter::new(Some(b)));
+            w.run_until(Time::from_ticks(1_000));
+            let msgs: Vec<u32> =
+                w.node::<Counter>(b).unwrap().received.iter().map(|(_, m)| *m).collect();
+            if msgs != vec![1, 2, 3] {
+                reordered = true;
+                break;
+            }
+        }
+        assert!(reordered, "non-FIFO network never reordered in 50 seeds");
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_seed() {
+        let run = |seed: u64| -> Vec<(Time, u32)> {
+            let cfg = WorldConfig {
+                net: NetworkModel::wan(),
+                clock: ClockConfig::Perfect,
+                seed,
+            };
+            let mut w: World<u32> = World::new(cfg);
+            let b = w.add_node(Counter::new(None));
+            let _a = w.add_node(Counter::new(Some(b)));
+            w.run_until(Time::from_ticks(10_000));
+            w.node::<Counter>(b).unwrap().received.clone()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn drops_suppress_delivery() {
+        let cfg = WorldConfig {
+            net: NetworkModel {
+                latency: crate::LatencyModel::Constant(Delta::from_ticks(1)),
+                drop_probability: 1.0,
+                fifo: true,
+            },
+            clock: ClockConfig::Perfect,
+            seed: 1,
+        };
+        let mut w: World<u32> = World::new(cfg);
+        let b = w.add_node(Counter::new(None));
+        let _a = w.add_node(Counter::new(Some(b)));
+        w.run_until(Time::from_ticks(100));
+        assert!(w.node::<Counter>(b).unwrap().received.is_empty());
+        assert_eq!(w.metrics().get("dropped"), 3);
+    }
+
+    #[test]
+    fn synced_clocks_stay_within_epsilon() {
+        struct ClockProbe {
+            readings: Vec<(Time, Time)>,
+        }
+        impl Process for ClockProbe {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.set_timer(Delta::from_ticks(50), 0);
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _f: NodeId, _m: ()) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, ()>, _t: u64) {
+                self.readings.push((ctx.true_now(), ctx.local_now()));
+                if ctx.true_now() < Time::from_ticks(50_000) {
+                    ctx.set_timer(Delta::from_ticks(50), 0);
+                }
+            }
+        }
+        let cfg = WorldConfig {
+            net: NetworkModel::reliable(Delta::from_ticks(1)),
+            clock: ClockConfig::Synced {
+                max_drift_ppm: 200.0,
+                max_initial_offset: 40,
+                sync_error: 5,
+                sync_interval: Delta::from_ticks(1_000),
+            },
+            seed: 9,
+        };
+        let eps = cfg.clock.epsilon();
+        let mut w: World<()> = World::new(cfg);
+        let a = w.add_node(ClockProbe { readings: vec![] });
+        let b = w.add_node(ClockProbe { readings: vec![] });
+        w.run_until(Time::from_ticks(60_000));
+        let ra = &w.node::<ClockProbe>(a).unwrap().readings;
+        let rb = &w.node::<ClockProbe>(b).unwrap().readings;
+        assert!(!ra.is_empty() && ra.len() == rb.len());
+        for ((t1, l1), (t2, l2)) in ra.iter().zip(rb) {
+            assert_eq!(t1, t2);
+            let div = l1.ticks().abs_diff(l2.ticks());
+            assert!(
+                div <= eps.ticks(),
+                "clock divergence {div} exceeds ε {} at {t1}",
+                eps.ticks()
+            );
+        }
+    }
+
+    #[test]
+    fn quiescence_counts_events_and_detects_livelock() {
+        let mut w: World<u32> = World::new(WorldConfig::deterministic(Delta::from_ticks(1), 2));
+        let b = w.add_node(Counter::new(None));
+        let _a = w.add_node(Counter::new(Some(b)));
+        // 2 starts + 3 deliveries + 2 timers.
+        assert_eq!(w.run_to_quiescence(100), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be added before")]
+    fn adding_nodes_after_start_panics() {
+        let mut w: World<u32> = World::new(WorldConfig::deterministic(Delta::from_ticks(1), 2));
+        let b = w.add_node(Counter::new(None));
+        w.run_until(Time::from_ticks(10));
+        let _ = b;
+        w.add_node(Counter::new(None));
+    }
+}

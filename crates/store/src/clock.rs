@@ -1,0 +1,117 @@
+//! Injectable time sources: real wall-clock time for production, a
+//! manually-advanced clock for deterministic tests.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use tc_clocks::Time;
+
+/// A source of [`Time`] readings shared by every replica of a store.
+///
+/// One tick is one microsecond. The trait is object-safe so stores hold a
+/// `Arc<dyn Clock>`.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// The current reading.
+    fn now(&self) -> Time;
+}
+
+/// Wall-clock time relative to the clock's creation instant.
+#[derive(Debug)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// Creates a clock whose tick 0 is "now".
+    #[must_use]
+    pub fn new() -> Self {
+        SystemClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Time {
+        Time::from_ticks(self.epoch.elapsed().as_micros() as u64)
+    }
+}
+
+/// A manually advanced clock for deterministic tests: time moves only when
+/// the test calls [`ManualClock::advance`].
+#[derive(Clone, Debug, Default)]
+pub struct ManualClock {
+    ticks: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// Creates a clock at tick 0.
+    #[must_use]
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Advances the clock by `ticks`.
+    pub fn advance(&self, ticks: u64) {
+        self.ticks.fetch_add(ticks, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute reading.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this would move time backwards.
+    pub fn set(&self, to: Time) {
+        let prev = self.ticks.swap(to.ticks(), Ordering::SeqCst);
+        assert!(prev <= to.ticks(), "manual clock must not move backwards");
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Time {
+        Time::from_ticks(self.ticks.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_advances() {
+        let c = SystemClock::new();
+        let a = c.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = c.now();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn manual_clock_is_controlled() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), Time::ZERO);
+        c.advance(100);
+        assert_eq!(c.now(), Time::from_ticks(100));
+        c.set(Time::from_ticks(250));
+        assert_eq!(c.now(), Time::from_ticks(250));
+        let shared = c.clone();
+        shared.advance(50);
+        assert_eq!(c.now(), Time::from_ticks(300), "clones share the source");
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn manual_clock_rejects_time_travel() {
+        let c = ManualClock::new();
+        c.advance(10);
+        c.set(Time::from_ticks(5));
+    }
+}

@@ -1,0 +1,101 @@
+//! Consistency levels offered by the store.
+
+use tc_clocks::Delta;
+
+/// The consistency level of a [`crate::TimedStore`].
+///
+/// The timed levels are the paper's contribution: a write executed at time
+/// `t` is visible to every replica's readers by `t + Δ` (plus the gossip
+/// and clock error the deployment actually has — see
+/// `TimedStore::effective_delta_bound`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConsistencyLevel {
+    /// Causal consistency: reads serve the replica's causally-consistent
+    /// local state immediately; no freshness bound.
+    Causal,
+    /// Timed causal consistency: causal, and additionally a read at time
+    /// `t` observes every write older than `t − Δ`.
+    TimedCausal(Delta),
+    /// Timed serial consistency: writes are serialized through a primary
+    /// replica (one total write order), and reads honor the same Δ bound.
+    TimedSerial(Delta),
+    /// Linearizability: writes and reads both go through the primary —
+    /// the Δ = 0 endpoint of the spectrum, at the price of a round trip
+    /// per read.
+    Linearizable,
+}
+
+impl ConsistencyLevel {
+    /// The freshness threshold, if the level has one (`Linearizable` acts
+    /// as Δ = 0, `Causal` as Δ = ∞).
+    #[must_use]
+    pub fn delta(self) -> Delta {
+        match self {
+            ConsistencyLevel::Causal => Delta::INFINITE,
+            ConsistencyLevel::TimedCausal(d) | ConsistencyLevel::TimedSerial(d) => d,
+            ConsistencyLevel::Linearizable => Delta::ZERO,
+        }
+    }
+
+    /// Whether writes must be serialized through the primary.
+    #[must_use]
+    pub fn serial_writes(self) -> bool {
+        matches!(
+            self,
+            ConsistencyLevel::TimedSerial(_) | ConsistencyLevel::Linearizable
+        )
+    }
+
+    /// Whether reads must go to the primary.
+    #[must_use]
+    pub fn primary_reads(self) -> bool {
+        self == ConsistencyLevel::Linearizable
+    }
+
+    /// A short label for benchmarks.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ConsistencyLevel::Causal => "causal",
+            ConsistencyLevel::TimedCausal(_) => "timed-causal",
+            ConsistencyLevel::TimedSerial(_) => "timed-serial",
+            ConsistencyLevel::Linearizable => "linearizable",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_endpoints() {
+        assert_eq!(ConsistencyLevel::Causal.delta(), Delta::INFINITE);
+        assert_eq!(ConsistencyLevel::Linearizable.delta(), Delta::ZERO);
+        assert_eq!(
+            ConsistencyLevel::TimedCausal(Delta::from_ticks(7)).delta(),
+            Delta::from_ticks(7)
+        );
+    }
+
+    #[test]
+    fn routing_flags() {
+        assert!(!ConsistencyLevel::Causal.serial_writes());
+        assert!(ConsistencyLevel::TimedSerial(Delta::ZERO).serial_writes());
+        assert!(ConsistencyLevel::Linearizable.serial_writes());
+        assert!(ConsistencyLevel::Linearizable.primary_reads());
+        assert!(!ConsistencyLevel::TimedSerial(Delta::ZERO).primary_reads());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let all = [
+            ConsistencyLevel::Causal,
+            ConsistencyLevel::TimedCausal(Delta::ZERO),
+            ConsistencyLevel::TimedSerial(Delta::ZERO),
+            ConsistencyLevel::Linearizable,
+        ];
+        let set: std::collections::HashSet<_> = all.iter().map(|l| l.label()).collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

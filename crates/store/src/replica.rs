@@ -1,0 +1,400 @@
+//! The replica thread: a causally-replicated last-writer-wins key-value
+//! map with timed-freshness watermarks.
+//!
+//! Every replica keeps a full copy of the keyspace. Writes are stamped with
+//! a hybrid logical clock, applied locally, and gossiped to peers with
+//! their causal dependencies; receivers buffer out-of-order gossip until
+//! deliverable. Periodic heartbeats carry each replica's clock reading, so
+//! a replica knows a *watermark* per peer: "I have received everything this
+//! peer sent up to time w". A timed read at time `t` with threshold Δ is
+//! served only once every peer's watermark reaches `t − Δ` — which is
+//! precisely the paper's guarantee that a write executed at time `t_w` is
+//! visible everywhere by `t_w + Δ`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{after, Receiver, Sender};
+use tc_clocks::{HybridClock, HybridStamp, Time};
+
+use crate::clock::Clock;
+use crate::StoreError;
+
+/// Peer-to-peer replication traffic.
+#[derive(Clone, Debug)]
+pub(crate) enum Gossip {
+    Write(RemoteWrite),
+    Heartbeat { origin: usize, clock_now: Time },
+}
+
+/// A replicated write.
+#[derive(Clone, Debug)]
+pub(crate) struct RemoteWrite {
+    pub origin: usize,
+    pub seq: u64,
+    /// Per-origin applied counts at the writer, with `deps[origin] ==
+    /// seq − 1` (FIFO per origin).
+    pub deps: Vec<u64>,
+    pub key: String,
+    /// `None` is a tombstone: the write deletes the key.
+    pub value: Option<Bytes>,
+    pub stamp: HybridStamp,
+    /// Writer's clock at send time; doubles as a watermark.
+    pub sent_at: Time,
+}
+
+/// A read reply: the value (if any) plus the replica's applied vector for
+/// session causality.
+#[derive(Clone, Debug)]
+pub(crate) struct ReadReply {
+    pub value: Option<Bytes>,
+    pub vector: Vec<u64>,
+}
+
+/// A write reply: the stamp and the replica's applied vector.
+#[derive(Clone, Debug)]
+pub(crate) struct WriteReply {
+    pub stamp: HybridStamp,
+    pub vector: Vec<u64>,
+}
+
+/// Client-to-replica requests.
+pub(crate) enum Request {
+    Read {
+        key: String,
+        /// Session dependencies: the reply must reflect at least this
+        /// applied vector.
+        deps: Vec<u64>,
+        /// Freshness threshold; `None` waives the watermark check.
+        delta: Option<tc_clocks::Delta>,
+        reply: Sender<Result<ReadReply, StoreError>>,
+    },
+    Write {
+        key: String,
+        value: Bytes,
+        reply: Sender<Result<WriteReply, StoreError>>,
+    },
+    Remove {
+        key: String,
+        reply: Sender<Result<WriteReply, StoreError>>,
+    },
+    Shutdown,
+}
+
+/// Shared atomic counters exposed through `TimedStore::metrics`.
+#[derive(Debug, Default)]
+pub struct StoreMetrics {
+    /// Completed reads.
+    pub reads: AtomicU64,
+    /// Completed writes.
+    pub writes: AtomicU64,
+    /// Reads that had to wait for causality or freshness.
+    pub deferred_reads: AtomicU64,
+    /// Reads that timed out waiting.
+    pub read_timeouts: AtomicU64,
+    /// Gossip messages applied.
+    pub gossip_applied: AtomicU64,
+    /// Heartbeats received.
+    pub heartbeats: AtomicU64,
+}
+
+/// A point-in-time copy of the store counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreMetricsSnapshot {
+    /// Completed reads.
+    pub reads: u64,
+    /// Completed writes.
+    pub writes: u64,
+    /// Reads that had to wait for causality or freshness.
+    pub deferred_reads: u64,
+    /// Reads that timed out waiting.
+    pub read_timeouts: u64,
+    /// Gossip messages applied.
+    pub gossip_applied: u64,
+    /// Heartbeats received.
+    pub heartbeats: u64,
+}
+
+impl StoreMetrics {
+    /// Copies the counters.
+    pub fn snapshot(&self) -> StoreMetricsSnapshot {
+        StoreMetricsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            deferred_reads: self.deferred_reads.load(Ordering::Relaxed),
+            read_timeouts: self.read_timeouts.load(Ordering::Relaxed),
+            gossip_applied: self.gossip_applied.load(Ordering::Relaxed),
+            heartbeats: self.heartbeats.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct PendingRead {
+    key: String,
+    deps: Vec<u64>,
+    delta: Option<tc_clocks::Delta>,
+    reply: Sender<Result<ReadReply, StoreError>>,
+    enqueued: Instant,
+}
+
+pub(crate) struct Replica {
+    me: usize,
+    n: usize,
+    clock: Arc<dyn Clock>,
+    hlc: HybridClock,
+    /// `None` values are tombstones (deleted keys) kept for LWW ordering.
+    kv: HashMap<String, (Option<Bytes>, HybridStamp)>,
+    applied: Vec<u64>,
+    buffer: Vec<RemoteWrite>,
+    watermarks: Vec<Time>,
+    pending: Vec<PendingRead>,
+    peers: Vec<Sender<(Instant, Gossip)>>,
+    heartbeat_every: Duration,
+    read_timeout: Duration,
+    metrics: Arc<StoreMetrics>,
+}
+
+impl Replica {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        me: usize,
+        n: usize,
+        clock: Arc<dyn Clock>,
+        peers: Vec<Sender<(Instant, Gossip)>>,
+        heartbeat_every: Duration,
+        read_timeout: Duration,
+        metrics: Arc<StoreMetrics>,
+    ) -> Self {
+        Replica {
+            me,
+            n,
+            clock,
+            hlc: HybridClock::new(me),
+            kv: HashMap::new(),
+            applied: vec![0; n],
+            buffer: Vec::new(),
+            watermarks: vec![Time::ZERO; n],
+            pending: Vec::new(),
+            peers,
+            heartbeat_every,
+            read_timeout,
+            metrics,
+        }
+    }
+
+    /// The replica's main loop; returns on [`Request::Shutdown`] or when
+    /// all request senders are gone.
+    pub(crate) fn run(
+        mut self,
+        gossip_rx: Receiver<(Instant, Gossip)>,
+        req_rx: Receiver<Request>,
+    ) {
+        loop {
+            let tick = after(self.heartbeat_every);
+            crossbeam::channel::select! {
+                recv(gossip_rx) -> msg => match msg {
+                    Ok((_sent, g)) => self.on_gossip(g),
+                    Err(_) => { /* peers gone; keep serving requests */ }
+                },
+                recv(req_rx) -> msg => match msg {
+                    Ok(Request::Shutdown) | Err(_) => {
+                        self.drain_pending_with(Err(StoreError::Closed));
+                        return;
+                    }
+                    Ok(req) => self.on_request(req),
+                },
+                recv(tick) -> _ => self.on_tick(),
+            }
+            self.scan_pending();
+        }
+    }
+
+    fn broadcast(&self, g: &Gossip) {
+        // The send instant lets delay relays model latency per message
+        // instead of serializing (a burst of N messages must arrive after
+        // one latency, not N of them).
+        let sent = Instant::now();
+        for (i, peer) in self.peers.iter().enumerate() {
+            if i != self.me {
+                // A closed peer (shutdown race) is fine to ignore.
+                let _ = peer.send((sent, g.clone()));
+            }
+        }
+    }
+
+    fn on_tick(&mut self) {
+        let now = self.clock.now();
+        self.watermarks[self.me] = now;
+        self.broadcast(&Gossip::Heartbeat {
+            origin: self.me,
+            clock_now: now,
+        });
+        self.timeout_pending();
+    }
+
+    fn on_gossip(&mut self, g: Gossip) {
+        match g {
+            Gossip::Heartbeat { origin, clock_now } => {
+                self.metrics.heartbeats.fetch_add(1, Ordering::Relaxed);
+                self.watermarks[origin] = self.watermarks[origin].max(clock_now);
+            }
+            Gossip::Write(w) => {
+                self.watermarks[w.origin] = self.watermarks[w.origin].max(w.sent_at);
+                self.buffer.push(w);
+                self.drain_buffer();
+            }
+        }
+    }
+
+    fn drain_buffer(&mut self) {
+        loop {
+            let pos = self.buffer.iter().position(|w| {
+                w.seq == self.applied[w.origin] + 1
+                    && w.deps
+                        .iter()
+                        .enumerate()
+                        .all(|(o, &need)| o == w.origin || self.applied[o] >= need)
+            });
+            match pos {
+                None => break,
+                Some(i) => {
+                    let w = self.buffer.swap_remove(i);
+                    self.applied[w.origin] = w.seq;
+                    self.hlc.observe(&w.stamp, self.clock.now());
+                    self.apply_lww(w.key, w.value, w.stamp);
+                    self.metrics.gossip_applied.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn apply_lww(&mut self, key: String, value: Option<Bytes>, stamp: HybridStamp) {
+        match self.kv.get(&key) {
+            Some((_, cur)) if *cur >= stamp => {}
+            _ => {
+                self.kv.insert(key, (value, stamp));
+            }
+        }
+    }
+
+    fn on_request(&mut self, req: Request) {
+        match req {
+            Request::Read {
+                key,
+                deps,
+                delta,
+                reply,
+            } => {
+                let pending = PendingRead {
+                    key,
+                    deps,
+                    delta,
+                    reply,
+                    enqueued: Instant::now(),
+                };
+                if !self.try_serve(&pending) {
+                    self.metrics.deferred_reads.fetch_add(1, Ordering::Relaxed);
+                    self.pending.push(pending);
+                }
+            }
+            Request::Write { key, value, reply } => {
+                self.local_write(key, Some(value), reply);
+            }
+            Request::Remove { key, reply } => {
+                self.local_write(key, None, reply);
+            }
+            Request::Shutdown => unreachable!("handled in run()"),
+        }
+    }
+
+    fn local_write(
+        &mut self,
+        key: String,
+        value: Option<Bytes>,
+        reply: Sender<Result<WriteReply, StoreError>>,
+    ) {
+        let now = self.clock.now();
+        let stamp = self.hlc.tick(now);
+        let seq = self.applied[self.me] + 1;
+        self.applied[self.me] = seq;
+        self.watermarks[self.me] = now;
+        let mut deps = self.applied.clone();
+        deps[self.me] = seq - 1;
+        self.apply_lww(key.clone(), value.clone(), stamp);
+        self.broadcast(&Gossip::Write(RemoteWrite {
+            origin: self.me,
+            seq,
+            deps,
+            key,
+            value,
+            stamp,
+            sent_at: now,
+        }));
+        self.metrics.writes.fetch_add(1, Ordering::Relaxed);
+        let _ = reply.send(Ok(WriteReply {
+            stamp,
+            vector: self.applied.clone(),
+        }));
+    }
+
+    /// Serves a read if its causal and freshness conditions hold.
+    fn try_serve(&self, read: &PendingRead) -> bool {
+        let causal_ok = read
+            .deps
+            .iter()
+            .enumerate()
+            .all(|(o, &need)| self.applied[o] >= need);
+        if !causal_ok {
+            return false;
+        }
+        if let Some(delta) = read.delta {
+            let threshold = self.clock.now().saturating_sub_delta(delta);
+            let fresh = (0..self.n)
+                .all(|p| p == self.me || self.watermarks[p] >= threshold);
+            if !fresh {
+                return false;
+            }
+        }
+        let value = self.kv.get(&read.key).and_then(|(v, _)| v.clone());
+        self.metrics.reads.fetch_add(1, Ordering::Relaxed);
+        let _ = read.reply.send(Ok(ReadReply {
+            value,
+            vector: self.applied.clone(),
+        }));
+        true
+    }
+
+    fn scan_pending(&mut self) {
+        let mut still = Vec::new();
+        let pending = std::mem::take(&mut self.pending);
+        for p in pending {
+            if !self.try_serve(&p) {
+                still.push(p);
+            }
+        }
+        self.pending = still;
+    }
+
+    fn timeout_pending(&mut self) {
+        let timeout = self.read_timeout;
+        let metrics = &self.metrics;
+        self.pending.retain(|p| {
+            if p.enqueued.elapsed() > timeout {
+                metrics.read_timeouts.fetch_add(1, Ordering::Relaxed);
+                let _ = p.reply.send(Err(StoreError::Timeout));
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    fn drain_pending_with(&mut self, result: Result<ReadReply, StoreError>) {
+        for p in self.pending.drain(..) {
+            let _ = p.reply.send(result.clone());
+        }
+    }
+}

@@ -1,0 +1,477 @@
+//! The public store API: builder, handles, shutdown.
+
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Sender};
+use tc_clocks::Delta;
+
+use crate::clock::{Clock, SystemClock};
+use crate::replica::{Gossip, Replica, Request, StoreMetrics, StoreMetricsSnapshot};
+use crate::ConsistencyLevel;
+
+/// Errors returned by store operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// A read could not meet its causality/freshness condition within the
+    /// configured timeout (e.g. a peer stopped gossiping).
+    Timeout,
+    /// The store has been shut down.
+    Closed,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Timeout => write!(f, "operation timed out waiting for freshness"),
+            StoreError::Closed => write!(f, "store is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Configures and builds a [`TimedStore`].
+#[derive(Clone)]
+pub struct Builder {
+    replicas: usize,
+    level: ConsistencyLevel,
+    heartbeat: Duration,
+    read_timeout: Duration,
+    gossip_delay: Duration,
+    clock: Arc<dyn Clock>,
+}
+
+impl fmt::Debug for Builder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Builder")
+            .field("replicas", &self.replicas)
+            .field("level", &self.level)
+            .field("heartbeat", &self.heartbeat)
+            .field("read_timeout", &self.read_timeout)
+            .field("gossip_delay", &self.gossip_delay)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Builder {
+    /// Number of replica threads (default 3).
+    #[must_use]
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.replicas = n;
+        self
+    }
+
+    /// Consistency level (default `TimedCausal(50ms)`).
+    #[must_use]
+    pub fn level(mut self, level: ConsistencyLevel) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Heartbeat (watermark) interval — the freshness resolution
+    /// (default 1 ms).
+    #[must_use]
+    pub fn heartbeat(mut self, every: Duration) -> Self {
+        self.heartbeat = every;
+        self
+    }
+
+    /// How long a read may wait for freshness before failing with
+    /// [`StoreError::Timeout`] (default 1 s).
+    #[must_use]
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Artificial gossip delay, for tests and benchmarks that need a slow
+    /// "network" between replicas (default zero).
+    #[must_use]
+    pub fn gossip_delay(mut self, delay: Duration) -> Self {
+        self.gossip_delay = delay;
+        self
+    }
+
+    /// Injects a time source (default [`SystemClock`]).
+    #[must_use]
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Spawns the replica threads and returns the store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    #[must_use]
+    pub fn build(self) -> TimedStore {
+        assert!(self.replicas > 0, "a store needs at least one replica");
+        let n = self.replicas;
+        let metrics = Arc::new(StoreMetrics::default());
+
+        // Gossip channels (possibly behind delay relays).
+        let mut gossip_txs = Vec::with_capacity(n);
+        let mut gossip_rxs = Vec::with_capacity(n);
+        let mut relay_joins = Vec::new();
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<(Instant, Gossip)>();
+            if self.gossip_delay.is_zero() {
+                gossip_txs.push(tx);
+                gossip_rxs.push(rx);
+            } else {
+                // Relay thread: a delay *line* — each message is forwarded
+                // at its send instant plus the delay, so a burst arrives
+                // after one latency rather than one latency per message.
+                let (in_tx, in_rx) = unbounded::<(Instant, Gossip)>();
+                let delay = self.gossip_delay;
+                let join = std::thread::Builder::new()
+                    .name("tc-store-relay".into())
+                    .spawn(move || {
+                        while let Ok((sent, g)) = in_rx.recv() {
+                            let due = sent + delay;
+                            if let Some(rem) = due.checked_duration_since(Instant::now()) {
+                                std::thread::sleep(rem);
+                            }
+                            if tx.send((sent, g)).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn relay thread");
+                relay_joins.push(join);
+                gossip_txs.push(in_tx);
+                gossip_rxs.push(rx);
+            }
+        }
+
+        let mut req_txs = Vec::with_capacity(n);
+        let mut joins = Vec::with_capacity(n);
+        for (me, gossip_rx) in gossip_rxs.into_iter().enumerate() {
+            let (req_tx, req_rx) = unbounded::<Request>();
+            req_txs.push(req_tx);
+            let replica = Replica::new(
+                me,
+                n,
+                self.clock.clone(),
+                gossip_txs.clone(),
+                self.heartbeat,
+                self.read_timeout,
+                metrics.clone(),
+            );
+            let join = std::thread::Builder::new()
+                .name(format!("tc-store-replica-{me}"))
+                .spawn(move || replica.run(gossip_rx, req_rx))
+                .expect("spawn replica thread");
+            joins.push(join);
+        }
+
+        TimedStore {
+            level: self.level,
+            req_txs: Arc::new(req_txs),
+            joins: Some(joins),
+            relay_joins,
+            metrics,
+            n,
+            heartbeat: self.heartbeat,
+            gossip_delay: self.gossip_delay,
+        }
+    }
+}
+
+/// A multi-threaded replicated object store with timed consistency.
+///
+/// ```
+/// use tc_store::{ConsistencyLevel, TimedStore};
+/// use tc_clocks::Delta;
+///
+/// let store = TimedStore::builder()
+///     .replicas(3)
+///     .level(ConsistencyLevel::TimedCausal(Delta::from_ticks(50_000))) // 50 ms
+///     .build();
+/// let mut h = store.handle(0);
+/// h.write("greeting", "hello")?;
+/// assert_eq!(h.read("greeting")?.as_deref(), Some(b"hello".as_ref()));
+/// store.shutdown();
+/// # Ok::<(), tc_store::StoreError>(())
+/// ```
+pub struct TimedStore {
+    level: ConsistencyLevel,
+    req_txs: Arc<Vec<Sender<Request>>>,
+    joins: Option<Vec<JoinHandle<()>>>,
+    relay_joins: Vec<JoinHandle<()>>,
+    metrics: Arc<StoreMetrics>,
+    n: usize,
+    heartbeat: Duration,
+    gossip_delay: Duration,
+}
+
+impl fmt::Debug for TimedStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimedStore")
+            .field("level", &self.level)
+            .field("replicas", &self.n)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TimedStore {
+    /// Starts configuring a store.
+    #[must_use]
+    pub fn builder() -> Builder {
+        Builder {
+            replicas: 3,
+            level: ConsistencyLevel::TimedCausal(Delta::from_ticks(50_000)),
+            heartbeat: Duration::from_millis(1),
+            read_timeout: Duration::from_secs(1),
+            gossip_delay: Duration::ZERO,
+            clock: Arc::new(SystemClock::new()),
+        }
+    }
+
+    /// Number of replicas.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.n
+    }
+
+    /// The store's consistency level.
+    #[must_use]
+    pub fn level(&self) -> ConsistencyLevel {
+        self.level
+    }
+
+    /// A client handle attached to `replica`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    #[must_use]
+    pub fn handle(&self, replica: usize) -> StoreHandle {
+        assert!(replica < self.n, "replica index out of range");
+        StoreHandle {
+            level: self.level,
+            replica,
+            req_txs: self.req_txs.clone(),
+            session: vec![0; self.n],
+            last_write_stamp: None,
+        }
+    }
+
+    /// Current operation counters.
+    #[must_use]
+    pub fn metrics(&self) -> StoreMetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// An upper bound on how long a write can stay invisible to timed
+    /// reads: `Δ + heartbeat + gossip delay` (plus scheduling noise). The
+    /// deployment analogue of the paper's "visible by `t + Δ`".
+    #[must_use]
+    pub fn effective_delta_bound(&self) -> Duration {
+        let delta = self.level.delta();
+        let base = if delta.is_infinite() {
+            return Duration::MAX;
+        } else {
+            Duration::from_micros(delta.ticks())
+        };
+        base + self.heartbeat + self.gossip_delay
+    }
+
+    /// Stops every replica and joins the threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if let Some(joins) = self.joins.take() {
+            for tx in self.req_txs.iter() {
+                let _ = tx.send(Request::Shutdown);
+            }
+            for j in joins {
+                let _ = j.join();
+            }
+            // Relay threads are detached rather than joined: one may be
+            // mid-sleep on a long artificial delay, and it exits on its own
+            // as soon as it notices the closed channels.
+            self.relay_joins.clear();
+        }
+    }
+
+    #[allow(dead_code)]
+    fn gossip_delay(&self) -> Duration {
+        self.gossip_delay
+    }
+}
+
+impl Drop for TimedStore {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// A client session: routes operations per the consistency level and
+/// carries the session's causal dependencies, so causality is preserved
+/// even if the application talks to several handles.
+#[derive(Clone, Debug)]
+pub struct StoreHandle {
+    level: ConsistencyLevel,
+    replica: usize,
+    req_txs: Arc<Vec<Sender<Request>>>,
+    session: Vec<u64>,
+    last_write_stamp: Option<tc_clocks::HybridStamp>,
+}
+
+impl StoreHandle {
+    /// The replica this handle is attached to.
+    #[must_use]
+    pub fn replica(&self) -> usize {
+        self.replica
+    }
+
+    /// Re-attaches the handle to another replica, keeping the session's
+    /// causal context (reads after the switch still see everything this
+    /// session saw).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    pub fn attach(&mut self, replica: usize) {
+        assert!(replica < self.req_txs.len(), "replica index out of range");
+        self.replica = replica;
+    }
+
+    /// Writes `value` under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Closed`] if the store has shut down.
+    pub fn write(&mut self, key: &str, value: impl Into<Bytes>) -> Result<(), StoreError> {
+        let target = if self.level.serial_writes() {
+            0
+        } else {
+            self.replica
+        };
+        let (tx, rx) = bounded(1);
+        self.req_txs[target]
+            .send(Request::Write {
+                key: key.to_string(),
+                value: value.into(),
+                reply: tx,
+            })
+            .map_err(|_| StoreError::Closed)?;
+        let rep = rx.recv().map_err(|_| StoreError::Closed)??;
+        merge_session(&mut self.session, &rep.vector);
+        self.last_write_stamp = Some(rep.stamp);
+        Ok(())
+    }
+
+    /// The hybrid-logical-clock stamp of this session's most recent write,
+    /// if any — useful for audit logs and cross-system causality tokens.
+    #[must_use]
+    pub fn last_write_stamp(&self) -> Option<tc_clocks::HybridStamp> {
+        self.last_write_stamp
+    }
+
+    /// Reads `key`, honoring the store's consistency level. Returns `None`
+    /// if the key has never been written (or was deleted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Timeout`] if the freshness condition cannot be
+    /// met in time, or [`StoreError::Closed`] after shutdown.
+    pub fn read(&mut self, key: &str) -> Result<Option<Bytes>, StoreError> {
+        let delta = match self.level {
+            ConsistencyLevel::Causal => None,
+            ConsistencyLevel::TimedCausal(d) | ConsistencyLevel::TimedSerial(d) => Some(d),
+            // The primary has every write already: no watermark wait.
+            ConsistencyLevel::Linearizable => None,
+        };
+        self.read_inner(key, delta)
+    }
+
+    /// Reads `key` with a *per-read* freshness bound, overriding the
+    /// store's level for this one operation — the paper's observation that
+    /// Δ is an application-level requirement, which may differ per object
+    /// or per access (e.g. a stock ticker read with Δ = 1 s from a store
+    /// that is otherwise plain causal).
+    ///
+    /// Under [`ConsistencyLevel::Linearizable`] the override is moot
+    /// (reads already come from the primary) and is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StoreHandle::read`].
+    pub fn read_with_freshness(
+        &mut self,
+        key: &str,
+        delta: Delta,
+    ) -> Result<Option<Bytes>, StoreError> {
+        let delta = if self.level.primary_reads() || delta.is_infinite() {
+            None
+        } else {
+            Some(delta)
+        };
+        self.read_inner(key, delta)
+    }
+
+    fn read_inner(
+        &mut self,
+        key: &str,
+        delta: Option<Delta>,
+    ) -> Result<Option<Bytes>, StoreError> {
+        let target = if self.level.primary_reads() {
+            0
+        } else {
+            self.replica
+        };
+        let (tx, rx) = bounded(1);
+        self.req_txs[target]
+            .send(Request::Read {
+                key: key.to_string(),
+                deps: self.session.clone(),
+                delta,
+                reply: tx,
+            })
+            .map_err(|_| StoreError::Closed)?;
+        let rep = rx.recv().map_err(|_| StoreError::Closed)??;
+        merge_session(&mut self.session, &rep.vector);
+        Ok(rep.value)
+    }
+
+    /// Deletes `key`. Deletion is a replicated tombstone write: it
+    /// propagates (and loses/wins against concurrent writes) exactly like
+    /// any other write, so replicas converge on the deletion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Closed`] if the store has shut down.
+    pub fn remove(&mut self, key: &str) -> Result<(), StoreError> {
+        let target = if self.level.serial_writes() {
+            0
+        } else {
+            self.replica
+        };
+        let (tx, rx) = bounded(1);
+        self.req_txs[target]
+            .send(Request::Remove {
+                key: key.to_string(),
+                reply: tx,
+            })
+            .map_err(|_| StoreError::Closed)?;
+        let rep = rx.recv().map_err(|_| StoreError::Closed)??;
+        merge_session(&mut self.session, &rep.vector);
+        self.last_write_stamp = Some(rep.stamp);
+        Ok(())
+    }
+}
+
+fn merge_session(session: &mut [u64], vector: &[u64]) {
+    for (s, v) in session.iter_mut().zip(vector) {
+        *s = (*s).max(*v);
+    }
+}

@@ -1,0 +1,373 @@
+//! Behavioral tests of the replicated store, using the manual clock and an
+//! artificial gossip delay to make timing observable.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tc_clocks::Delta;
+use tc_store::{ConsistencyLevel, ManualClock, StoreError, TimedStore};
+
+/// Waits (wall clock) until `cond` holds or the deadline passes.
+fn eventually(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while std::time::Instant::now() < deadline {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("condition never held: {what}");
+}
+
+#[test]
+fn write_then_read_same_handle() {
+    let store = TimedStore::builder().replicas(3).build();
+    let mut h = store.handle(1);
+    h.write("k", "v1").unwrap();
+    assert_eq!(h.read("k").unwrap().as_deref(), Some(b"v1".as_ref()));
+    h.write("k", "v2").unwrap();
+    assert_eq!(h.read("k").unwrap().as_deref(), Some(b"v2".as_ref()));
+    assert_eq!(h.read("missing").unwrap(), None);
+    store.shutdown();
+}
+
+#[test]
+fn causal_gossip_propagates() {
+    let store = TimedStore::builder()
+        .replicas(3)
+        .level(ConsistencyLevel::Causal)
+        .build();
+    let mut a = store.handle(0);
+    let mut b = store.handle(2);
+    a.write("doc", "hello").unwrap();
+    eventually(
+        || b.read("doc").unwrap().as_deref() == Some(b"hello".as_ref()),
+        "write reaches replica 2",
+    );
+    store.shutdown();
+}
+
+#[test]
+fn session_survives_replica_switch() {
+    // Read-your-writes across attach(): the session's causal deps force the
+    // new replica to catch up before answering.
+    let store = TimedStore::builder()
+        .replicas(3)
+        .level(ConsistencyLevel::Causal)
+        .build();
+    let mut h = store.handle(0);
+    h.write("k", "mine").unwrap();
+    h.attach(2);
+    assert_eq!(h.read("k").unwrap().as_deref(), Some(b"mine".as_ref()));
+    store.shutdown();
+}
+
+#[test]
+fn causal_chain_across_sessions() {
+    // a writes X; b reads X then writes Y; c reads Y then must see X.
+    let store = TimedStore::builder()
+        .replicas(3)
+        .level(ConsistencyLevel::Causal)
+        .build();
+    let mut a = store.handle(0);
+    let mut b = store.handle(1);
+    let mut c = store.handle(2);
+    a.write("x", "x1").unwrap();
+    eventually(
+        || b.read("x").unwrap().as_deref() == Some(b"x1".as_ref()),
+        "b sees x1",
+    );
+    b.write("y", "y1").unwrap();
+    eventually(
+        || c.read("y").unwrap().as_deref() == Some(b"y1".as_ref()),
+        "c sees y1",
+    );
+    // c's session now depends on y1, which depends on x1.
+    assert_eq!(c.read("x").unwrap().as_deref(), Some(b"x1".as_ref()));
+    store.shutdown();
+}
+
+#[test]
+fn timed_causal_blocks_until_fresh() {
+    // Slow gossip (50 ms) and a small Δ: the reader must *wait* for the
+    // write rather than return stale data.
+    let clock = Arc::new(ManualClock::new());
+    let store = TimedStore::builder()
+        .replicas(2)
+        .level(ConsistencyLevel::TimedCausal(Delta::from_ticks(10)))
+        .gossip_delay(Duration::from_millis(50))
+        .heartbeat(Duration::from_millis(5))
+        .clock(clock.clone())
+        .build();
+    let mut writer = store.handle(0);
+    let mut reader = store.handle(1);
+    clock.advance(1_000);
+    writer.write("k", "fresh").unwrap();
+    clock.advance(100); // the write is now 100 ticks old, Δ = 10
+    let started = std::time::Instant::now();
+    let got = reader.read("k").unwrap();
+    // The read had to wait for the gossip (>= ~50ms) to satisfy freshness.
+    assert_eq!(got.as_deref(), Some(b"fresh".as_ref()));
+    assert!(
+        started.elapsed() >= Duration::from_millis(30),
+        "timed read should have blocked for the slow gossip, took {:?}",
+        started.elapsed()
+    );
+    let m = store.metrics();
+    assert!(m.deferred_reads >= 1, "the read must have been deferred");
+    store.shutdown();
+}
+
+#[test]
+fn plain_causal_serves_stale_immediately() {
+    // Same setup as above but Causal level: the read returns instantly
+    // (and may be stale) — the Δ=∞ endpoint.
+    let clock = Arc::new(ManualClock::new());
+    let store = TimedStore::builder()
+        .replicas(2)
+        .level(ConsistencyLevel::Causal)
+        .gossip_delay(Duration::from_millis(80))
+        .clock(clock.clone())
+        .build();
+    let mut writer = store.handle(0);
+    let mut reader = store.handle(1);
+    clock.advance(1_000);
+    writer.write("k", "new").unwrap();
+    let started = std::time::Instant::now();
+    let got = reader.read("k").unwrap();
+    assert!(
+        started.elapsed() < Duration::from_millis(50),
+        "causal read must not block"
+    );
+    // Usually None (stale) because gossip is still in flight.
+    assert!(got.is_none() || got.as_deref() == Some(b"new".as_ref()));
+    store.shutdown();
+}
+
+#[test]
+fn read_timeout_fires_when_freshness_is_unreachable() {
+    // Δ = 0 with huge gossip delay: freshness can never be proven within
+    // the read timeout.
+    let clock = Arc::new(ManualClock::new());
+    let store = TimedStore::builder()
+        .replicas(2)
+        .level(ConsistencyLevel::TimedCausal(Delta::ZERO))
+        .gossip_delay(Duration::from_secs(30))
+        .heartbeat(Duration::from_millis(5))
+        .read_timeout(Duration::from_millis(60))
+        .clock(clock.clone())
+        .build();
+    clock.advance(10_000);
+    let mut reader = store.handle(1);
+    // Keep the manual clock moving so `now - Δ` stays ahead of watermarks.
+    let c2 = clock.clone();
+    let ticker = std::thread::spawn(move || {
+        for _ in 0..60 {
+            c2.advance(100);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    });
+    let err = reader.read("k").unwrap_err();
+    assert_eq!(err, StoreError::Timeout);
+    assert!(store.metrics().read_timeouts >= 1);
+    ticker.join().unwrap();
+    store.shutdown();
+}
+
+#[test]
+fn linearizable_reads_see_every_acked_write() {
+    let store = TimedStore::builder()
+        .replicas(3)
+        .level(ConsistencyLevel::Linearizable)
+        .gossip_delay(Duration::from_millis(40))
+        .build();
+    let mut a = store.handle(1);
+    let mut b = store.handle(2);
+    for i in 0..10u32 {
+        a.write("k", format!("v{i}")).unwrap();
+        // Immediately visible to any other handle despite slow gossip,
+        // because both ops go through the primary.
+        let got = b.read("k").unwrap().unwrap();
+        assert_eq!(got, format!("v{i}").as_bytes());
+    }
+    store.shutdown();
+}
+
+#[test]
+fn timed_serial_writes_are_totally_ordered() {
+    // Two handles write the same key through the primary; after the dust
+    // settles every replica agrees on the same winner (server order, not
+    // wall-clock races).
+    let store = TimedStore::builder()
+        .replicas(3)
+        .level(ConsistencyLevel::TimedSerial(Delta::from_ticks(1_000_000)))
+        .build();
+    let mut a = store.handle(1);
+    let mut b = store.handle(2);
+    for i in 0..20u32 {
+        if i % 2 == 0 {
+            a.write("k", format!("a{i}")).unwrap();
+        } else {
+            b.write("k", format!("b{i}")).unwrap();
+        }
+    }
+    // The last write wins everywhere.
+    let mut handles: Vec<_> = (0..3).map(|r| store.handle(r)).collect();
+    for h in &mut handles {
+        eventually(
+            || {
+                let mut probe = h.clone();
+                probe.read("k").unwrap().as_deref() == Some(b"b19".as_ref())
+            },
+            "all replicas converge on the last serialized write",
+        );
+    }
+    store.shutdown();
+}
+
+#[test]
+fn concurrent_writers_converge() {
+    // Causal mode, concurrent writes to one key from all replicas: LWW by
+    // hybrid stamp must make every replica converge to one value.
+    let store = TimedStore::builder()
+        .replicas(3)
+        .level(ConsistencyLevel::Causal)
+        .build();
+    let mut handles: Vec<_> = (0..3).map(|r| store.handle(r)).collect();
+    for (i, h) in handles.iter_mut().enumerate() {
+        for k in 0..5u32 {
+            h.write("shared", format!("r{i}w{k}")).unwrap();
+        }
+    }
+    eventually(
+        || {
+            let vals: Vec<_> = (0..3)
+                .map(|r| store.handle(r).read("shared").unwrap())
+                .collect();
+            vals.iter().all(|v| v.is_some()) && vals.windows(2).all(|w| w[0] == w[1])
+        },
+        "replicas converge to a single LWW winner",
+    );
+    store.shutdown();
+}
+
+#[test]
+fn metrics_count_operations() {
+    let store = TimedStore::builder().replicas(2).build();
+    let mut h = store.handle(0);
+    h.write("a", "1").unwrap();
+    h.write("b", "2").unwrap();
+    let _ = h.read("a").unwrap();
+    let m = store.metrics();
+    assert_eq!(m.writes, 2);
+    assert!(m.reads >= 1);
+    store.shutdown();
+}
+
+#[test]
+fn operations_after_shutdown_fail_cleanly() {
+    let store = TimedStore::builder().replicas(2).build();
+    let mut h = store.handle(0);
+    h.write("a", "1").unwrap();
+    store.shutdown();
+    assert_eq!(h.write("a", "2").unwrap_err(), StoreError::Closed);
+    assert_eq!(h.read("a").unwrap_err(), StoreError::Closed);
+}
+
+#[test]
+fn effective_delta_bound_reflects_configuration() {
+    let store = TimedStore::builder()
+        .replicas(2)
+        .level(ConsistencyLevel::TimedCausal(Delta::from_ticks(1_000)))
+        .heartbeat(Duration::from_millis(2))
+        .gossip_delay(Duration::from_millis(3))
+        .build();
+    assert_eq!(
+        store.effective_delta_bound(),
+        Duration::from_micros(1_000) + Duration::from_millis(5)
+    );
+    let causal = TimedStore::builder()
+        .replicas(1)
+        .level(ConsistencyLevel::Causal)
+        .build();
+    assert_eq!(causal.effective_delta_bound(), Duration::MAX);
+}
+
+#[test]
+fn remove_deletes_and_replicates() {
+    let store = TimedStore::builder()
+        .replicas(3)
+        .level(ConsistencyLevel::Causal)
+        .build();
+    let mut a = store.handle(0);
+    let mut b = store.handle(1);
+    a.write("k", "v").unwrap();
+    assert!(a.read("k").unwrap().is_some());
+    a.remove("k").unwrap();
+    assert_eq!(a.read("k").unwrap(), None, "own delete visible immediately");
+    // The tombstone replicates like any write; b's session saw nothing yet,
+    // but after the causal chain (b reads another key a wrote after the
+    // delete) b must also see the deletion.
+    a.write("marker", "done").unwrap();
+    eventually(
+        || b.read("marker").unwrap().is_some(),
+        "marker reaches replica 1",
+    );
+    assert_eq!(b.read("k").unwrap(), None, "delete is causally ordered");
+    store.shutdown();
+}
+
+#[test]
+fn delete_then_rewrite_converges() {
+    let store = TimedStore::builder().replicas(2).build();
+    let mut a = store.handle(0);
+    a.write("k", "v1").unwrap();
+    a.remove("k").unwrap();
+    a.write("k", "v2").unwrap();
+    assert_eq!(a.read("k").unwrap().as_deref(), Some(b"v2".as_ref()));
+    let mut b = store.handle(1);
+    eventually(
+        || b.read("k").unwrap().as_deref() == Some(b"v2".as_ref()),
+        "rewrite after delete replicates",
+    );
+    store.shutdown();
+}
+
+#[test]
+fn per_read_freshness_override() {
+    // A causal store, but one read demands freshness: it must block on the
+    // slow gossip like a timed read would.
+    let clock = Arc::new(ManualClock::new());
+    let store = TimedStore::builder()
+        .replicas(2)
+        .level(ConsistencyLevel::Causal)
+        .gossip_delay(Duration::from_millis(40))
+        .heartbeat(Duration::from_millis(5))
+        .clock(clock.clone())
+        .build();
+    let mut writer = store.handle(0);
+    let mut reader = store.handle(1);
+    clock.advance(1_000);
+    writer.write("k", "new").unwrap();
+    clock.advance(100);
+    // Plain causal read: instant, possibly stale.
+    let started = std::time::Instant::now();
+    let _ = reader.read("k").unwrap();
+    assert!(started.elapsed() < Duration::from_millis(25));
+    // Freshness-bounded read: waits for the gossip.
+    let started = std::time::Instant::now();
+    let got = reader
+        .read_with_freshness("k", Delta::from_ticks(10))
+        .unwrap();
+    assert_eq!(got.as_deref(), Some(b"new".as_ref()));
+    assert!(
+        started.elapsed() >= Duration::from_millis(20),
+        "freshness override must wait for gossip, took {:?}",
+        started.elapsed()
+    );
+    // An infinite override degenerates to a plain causal read.
+    let started = std::time::Instant::now();
+    let _ = reader.read_with_freshness("k", Delta::INFINITE).unwrap();
+    assert!(started.elapsed() < Duration::from_millis(25));
+    store.shutdown();
+}

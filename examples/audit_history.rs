@@ -1,0 +1,70 @@
+//! A consistency linter: feed an execution in the paper's notation and get
+//! the full classification — which criteria hold, which read breaks
+//! timedness first, and the smallest Δ that would fix it.
+//!
+//! Run with one of:
+//!
+//! ```text
+//! cargo run --example audit_history
+//! cargo run --example audit_history -- "w0(X)1@10 r1(X)0@50 r1(X)1@90"
+//! cargo run --example audit_history -- --fig5
+//! ```
+
+use timed_consistency::clocks::{Delta, Epsilon};
+use timed_consistency::core::checker::{check_on_time, classify, min_delta};
+use timed_consistency::core::examples;
+use timed_consistency::core::History;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let history = match args.first().map(String::as_str) {
+        Some("--fig1") => examples::fig1_execution(),
+        Some("--fig5") => examples::fig5_execution(),
+        Some("--fig6") => examples::fig6_execution(),
+        Some(text) => History::parse(text)?,
+        None => examples::fig5_execution(),
+    };
+
+    println!("auditing execution:\n{history}");
+
+    let needed = min_delta(&history);
+    println!("minimal Δ for timedness: {needed}");
+
+    for delta in [Delta::ZERO, needed, Delta::INFINITE] {
+        let c = classify(&history, delta);
+        println!(
+            "Δ={:<7} LIN={:?} SC={:?} CC={:?} CCv={:?} timed={:?} TSC={:?} TCC={:?}",
+            delta.to_string(),
+            c.lin,
+            c.sc,
+            c.cc,
+            c.ccv,
+            c.timed,
+            c.tsc,
+            c.tcc
+        );
+        if let Some(v) = c.hierarchy_violation() {
+            println!("  !! hierarchy violation: {v} (checker bug — please report)");
+        }
+    }
+
+    // Explain the first late read at Δ just below the threshold.
+    if needed > Delta::ZERO {
+        let just_below = Delta::from_ticks(needed.ticks() - 1);
+        let report = check_on_time(&history, just_below, Epsilon::ZERO);
+        if let Some(v) = report.violations().first() {
+            let read = history.op(v.read);
+            println!("\nbinding constraint at Δ={just_below}:");
+            println!("  late read:    {read}");
+            match v.source {
+                Some(w) => println!("  value source: {}", history.op(w)),
+                None => println!("  value source: initial value"),
+            }
+            for &m in &v.missed {
+                println!("  missed write: {}", history.op(m));
+            }
+            println!("  this read alone needs Δ ≥ {}", v.min_delta);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! The paper's §4 motivation, live: a multi-user virtual environment where
+//! "the action of one user must be seen by others in a timely fashion".
+//!
+//! A player teleports around a world replicated across two store nodes;
+//! an observer on the other replica reads the player's position under
+//! three regimes:
+//!
+//! * **Causal (Δ = ∞), slow link** — the read returns instantly and sees a
+//!   stale world: the Figure 1 pathology.
+//! * **TimedCausal(Δ = 10 ms), fast link, lazy watermarks** — the read
+//!   *waits* until the replica can prove it is at most Δ behind, then
+//!   returns the fresh position: bounded staleness bought with bounded
+//!   read latency.
+//! * **TimedCausal(Δ = 1 ms), slow link** — Δ below the link latency is
+//!   impossible to serve; the read times out. This is the paper's "in
+//!   extreme cases, local caches become useless" endpoint.
+//!
+//! Run with: `cargo run --example virtual_world`
+
+use std::time::{Duration, Instant};
+
+use timed_consistency::clocks::Delta;
+use timed_consistency::store::{Builder, ConsistencyLevel, StoreError, TimedStore};
+
+const FINAL_POS: &str = "x=7,y=14";
+
+fn observe(builder: Builder, label: &str, narrative: &str) {
+    println!("── {label} ──");
+    let store = builder.read_timeout(Duration::from_millis(150)).build();
+
+    let mut player = store.handle(0);
+    let mut observer = store.handle(1);
+
+    // Let the clock run past Δ so freshness thresholds are meaningful.
+    std::thread::sleep(Duration::from_millis(60));
+
+    // The player teleports in a burst...
+    for step in 0..8u32 {
+        player
+            .write("avatar/pos", format!("x={step},y={}", step * 2))
+            .expect("player write");
+    }
+    // ...and the observer immediately looks.
+    let started = Instant::now();
+    match observer.read("avatar/pos") {
+        Ok(seen) => {
+            let seen = seen
+                .map(|b| String::from_utf8_lossy(&b).into_owned())
+                .unwrap_or_else(|| "<nothing>".into());
+            let verdict = if seen == FINAL_POS {
+                "fully fresh"
+            } else if seen == "<nothing>" {
+                "pre-burst world: unbounded staleness"
+            } else {
+                "a burst position: staleness bounded by Δ"
+            };
+            println!(
+                "  observer sees {seen:<10} after {:>9.3?}  ({verdict})",
+                started.elapsed(),
+            );
+        }
+        Err(StoreError::Timeout) => {
+            println!("  observer read TIMED OUT after {:?}", started.elapsed());
+        }
+        Err(e) => println!("  observer read failed: {e}"),
+    }
+    println!("  {narrative}\n");
+    store.shutdown();
+}
+
+fn main() {
+    observe(
+        TimedStore::builder()
+            .replicas(2)
+            .level(ConsistencyLevel::Causal)
+            .gossip_delay(Duration::from_millis(25))
+            .heartbeat(Duration::from_millis(2)),
+        "causal (Δ = ∞), 25 ms link",
+        "instant but arbitrarily stale — exactly Figure 1's execution: the \
+         moves exist, the observer just hasn't seen them.",
+    );
+
+    observe(
+        TimedStore::builder()
+            .replicas(2)
+            .level(ConsistencyLevel::TimedCausal(Delta::from_ticks(10_000))) // 10 ms
+            .gossip_delay(Duration::from_millis(2))
+            .heartbeat(Duration::from_millis(30)),
+        "timed causal (Δ = 10 ms), 2 ms link, 30 ms watermarks",
+        "the read waited for a freshness proof and returned a position at \
+         most Δ old — bounded staleness bought with a bounded wait.",
+    );
+
+    observe(
+        TimedStore::builder()
+            .replicas(2)
+            .level(ConsistencyLevel::TimedCausal(Delta::from_ticks(1_000))) // 1 ms
+            .gossip_delay(Duration::from_millis(25))
+            .heartbeat(Duration::from_millis(2)),
+        "timed causal (Δ = 1 ms), 25 ms link",
+        "Δ below the link latency can never be proven: the paper's \
+         'caches become useless' extreme, surfaced as a timeout.",
+    );
+
+    println!(
+        "the Δ knob spans Figure 4b's whole spectrum: ∞ = causal, bounded Δ \
+         trades read waiting for a hard staleness cap, Δ below the network's \
+         floor is unservable."
+    );
+}

@@ -1,0 +1,219 @@
+//! Property-based cross-validation of the checkers against each other and
+//! against first principles, over randomly generated histories.
+
+use proptest::prelude::*;
+use timed_consistency::clocks::{Delta, Epsilon};
+use timed_consistency::core::checker::{
+    check_on_time, classify_with, min_delta, satisfies_cc_fast, satisfies_cc_with, satisfies_ccv,
+    satisfies_lin, satisfies_sc_with, Outcome, SearchOptions,
+};
+use timed_consistency::core::generator::{
+    random_history, replica_history, RandomHistoryConfig, ReplicaHistoryConfig,
+};
+use timed_consistency::core::stats::StalenessStats;
+use timed_consistency::core::{CausalOrder, History, OpId, Serialization};
+
+fn opts() -> SearchOptions {
+    SearchOptions { max_states: 100_000 }
+}
+
+fn small_random(seed: u64) -> History {
+    random_history(
+        &RandomHistoryConfig {
+            n_sites: 3,
+            n_objects: 2,
+            ops_per_site: 4,
+            read_fraction: 0.5,
+            max_time_step: 30,
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The exact CC search and the polynomial saturation checker agree.
+    #[test]
+    fn cc_exact_agrees_with_saturation(seed in 0u64..5_000) {
+        let h = small_random(seed);
+        let exact = satisfies_cc_with(&h, opts()).outcome();
+        let fast = satisfies_cc_fast(&h);
+        if exact != Outcome::Inconclusive {
+            prop_assert_eq!(exact, fast, "disagreement on seed {}:\n{}", seed, h);
+        }
+    }
+
+    /// Hierarchy containments hold on arbitrary histories.
+    #[test]
+    fn hierarchy_holds_on_random_histories(seed in 0u64..5_000, delta in 0u64..200) {
+        let h = small_random(seed);
+        let c = classify_with(&h, Delta::from_ticks(delta), Epsilon::ZERO, opts());
+        prop_assert_eq!(c.hierarchy_violation(), None, "seed {} Δ={}:\n{}", seed, delta, h);
+    }
+
+    /// SC witnesses found by the search are actually legal and ordered.
+    #[test]
+    fn sc_witnesses_verify(seed in 0u64..5_000) {
+        let h = small_random(seed);
+        let v = satisfies_sc_with(&h, opts());
+        if let Some(w) = v.witness() {
+            prop_assert!(w.is_legal(&h));
+            prop_assert!(w.respects_program_order(&h));
+            prop_assert_eq!(w.len(), h.len());
+        }
+    }
+
+    /// CC witnesses respect causality and legality per site.
+    #[test]
+    fn cc_witnesses_verify(seed in 0u64..5_000) {
+        let h = small_random(seed);
+        let v = satisfies_cc_with(&h, opts());
+        if let Some(ws) = v.witnesses() {
+            let co = CausalOrder::of(&h);
+            for w in ws {
+                prop_assert!(w.is_legal(&h));
+                prop_assert!(w.respects(|a, b| co.precedes(a, b)));
+            }
+        }
+    }
+
+    /// LIN equals "timed at Δ=0 plus SC" for histories whose reads-from
+    /// edges go forward in time and whose effective times are distinct.
+    /// (With *tied* effective times TSC(0) is strictly weaker: each read's
+    /// W_r window is evaluated independently, while LIN must commit to one
+    /// intra-instant order — the paper's "LIN = TSC(0)" implicitly assumes
+    /// operations collapse to distinct instants.)
+    #[test]
+    fn lin_is_tsc_zero(seed in 0u64..5_000) {
+        let h = distinct_time_history(seed);
+        let lin = satisfies_lin(&h).holds();
+        let sc = satisfies_sc_with(&h, opts()).outcome();
+        let timed0 = check_on_time(&h, Delta::ZERO, Epsilon::ZERO).holds();
+        if sc != Outcome::Inconclusive {
+            prop_assert_eq!(lin, sc.holds() && timed0, "seed {}:\n{}", seed, h);
+        }
+    }
+
+    /// min_delta is exact: timed at its value, violated one tick below.
+    #[test]
+    fn min_delta_is_tight(seed in 0u64..5_000) {
+        let h = small_random(seed);
+        let d = min_delta(&h);
+        prop_assert!(check_on_time(&h, d, Epsilon::ZERO).holds());
+        if d > Delta::ZERO {
+            let below = Delta::from_ticks(d.ticks() - 1);
+            prop_assert!(!check_on_time(&h, below, Epsilon::ZERO).holds());
+        }
+        prop_assert_eq!(d, StalenessStats::of(&h).max_staleness());
+    }
+
+    /// The serialization-level timed predicate agrees with the
+    /// history-level one on legal serializations (the TSC = T ∩ SC
+    /// decomposition's key lemma).
+    #[test]
+    fn timedness_is_serialization_independent(seed in 0u64..5_000, delta in 0u64..150) {
+        let h = small_random(seed);
+        let delta = Delta::from_ticks(delta);
+        let v = satisfies_sc_with(&h, opts());
+        if let Some(w) = v.witness() {
+            prop_assert_eq!(
+                w.is_timed(&h, delta, Epsilon::ZERO),
+                check_on_time(&h, delta, Epsilon::ZERO).holds(),
+                "seed {} Δ={:?}:\n{}", seed, delta, h
+            );
+        }
+    }
+
+    /// Replica-generated histories satisfy CCv and respect their
+    /// propagation bound.
+    #[test]
+    fn replica_histories_are_ccv_and_bounded(seed in 0u64..2_000) {
+        let h = replica_history(
+            &ReplicaHistoryConfig {
+                n_sites: 3,
+                n_objects: 2,
+                ops_per_site: 6,
+                read_fraction: 0.6,
+                max_time_step: 40,
+                delay: (5, 70),
+            },
+            seed,
+        );
+        prop_assert_eq!(satisfies_ccv(&h), Outcome::Satisfied);
+        prop_assert!(min_delta(&h) <= Delta::from_ticks(70));
+    }
+
+    /// Exhaustive ground truth on tiny histories: enumerate all
+    /// program-order-respecting interleavings and compare against the SC
+    /// search.
+    #[test]
+    fn sc_search_matches_brute_force(seed in 0u64..3_000) {
+        let h = random_history(
+            &RandomHistoryConfig {
+                n_sites: 2,
+                n_objects: 2,
+                ops_per_site: 3,
+                read_fraction: 0.5,
+                max_time_step: 25,
+            },
+            seed,
+        );
+        let brute = brute_force_sc(&h);
+        let search = satisfies_sc_with(&h, opts());
+        prop_assert_eq!(search.outcome().holds(), brute, "seed {}:\n{}", seed, h);
+    }
+}
+
+/// A small random history with globally distinct, strictly increasing
+/// effective times (so the real-time order is total) and forward
+/// reads-from edges — the setting in which the paper's LIN = TSC(0)
+/// equivalence holds exactly.
+fn distinct_time_history(seed: u64) -> History {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = timed_consistency::core::HistoryBuilder::new();
+    let mut written: Vec<Vec<u64>> = vec![vec![0], vec![0]];
+    let mut next_value = 1u64;
+    let mut t = 0u64;
+    for _ in 0..10 {
+        let site = rng.gen_range(0..3usize);
+        let obj = rng.gen_range(0..2u32);
+        t += rng.gen_range(1..20u64);
+        if rng.gen_bool(0.5) {
+            let choices = &written[obj as usize];
+            let v = choices[rng.gen_range(0..choices.len())];
+            b.read(site, obj, v, t);
+        } else {
+            written[obj as usize].push(next_value);
+            b.write(site, obj, next_value, t);
+            next_value += 1;
+        }
+    }
+    b.build().expect("distinct-time history is well-formed")
+}
+
+/// Enumerates every interleaving of the sites' sequences and checks
+/// legality — exponential, only for tiny histories.
+fn brute_force_sc(h: &History) -> bool {
+    fn rec(h: &History, fronts: &mut Vec<usize>, seq: &mut Vec<OpId>) -> bool {
+        if seq.len() == h.len() {
+            return Serialization::new(seq.clone()).is_legal(h);
+        }
+        for site in 0..h.n_sites() {
+            let ops = h.site_ops(timed_consistency::core::SiteId::new(site));
+            if fronts[site] < ops.len() {
+                seq.push(ops[fronts[site]]);
+                fronts[site] += 1;
+                if rec(h, fronts, seq) {
+                    // Leave state dirty; caller returns immediately.
+                    return true;
+                }
+                fronts[site] -= 1;
+                seq.pop();
+            }
+        }
+        false
+    }
+    rec(h, &mut vec![0; h.n_sites()], &mut Vec::new())
+}

@@ -1,0 +1,134 @@
+//! End-to-end reproduction tests: every claim the paper makes about its
+//! figures and definitions, checked through the public facade.
+
+use timed_consistency::clocks::{Delta, Epsilon, NormXi, SumXi, XiMap};
+use timed_consistency::core::checker::{
+    check_on_time, classify, min_delta, satisfies_cc, satisfies_lin, satisfies_sc, satisfies_tcc,
+    satisfies_tsc,
+};
+use timed_consistency::core::examples::{
+    fig1_execution, fig5_execution, fig5b_serialization, fig6_execution,
+};
+use timed_consistency::core::History;
+
+#[test]
+fn figure1_claims() {
+    let h = fig1_execution();
+    // "The execution showed in Figure 1 satisfies SC and CC but not LIN."
+    assert!(satisfies_sc(&h).holds());
+    assert!(satisfies_cc(&h).holds());
+    assert!(!satisfies_lin(&h).holds());
+    // "...these read operations do not return this value" past Δ.
+    assert!(!satisfies_tsc(&h, Delta::from_ticks(100)).holds());
+    assert!(satisfies_tsc(&h, min_delta(&h)).holds());
+}
+
+#[test]
+fn figure4a_hierarchy_on_paper_examples() {
+    for (h, delta) in [
+        (fig1_execution(), Delta::from_ticks(100)),
+        (fig5_execution(), Delta::from_ticks(50)),
+        (fig6_execution(), Delta::from_ticks(30)),
+    ] {
+        let c = classify(&h, delta);
+        assert_eq!(
+            c.hierarchy_violation(),
+            None,
+            "hierarchy must hold on the paper's own figures"
+        );
+    }
+}
+
+#[test]
+fn figure4b_delta_endpoints() {
+    // "when Δ is 0, timed consistency becomes LIN ... both SC and LIN can
+    // be seen as particular cases of TSC".
+    for text in [
+        "w0(X)1@10 r1(X)1@20",
+        "w0(X)7@100 w1(X)1@80 r1(X)1@140",
+        "w0(X)1@10 r0(Y)0@20 w1(Y)2@11 r1(X)0@21",
+    ] {
+        let h = History::parse(text).unwrap();
+        assert_eq!(
+            satisfies_tsc(&h, Delta::INFINITE).outcome(),
+            satisfies_sc(&h).outcome(),
+            "TSC(∞) = SC on {text}"
+        );
+    }
+    // Δ=0 equals LIN whenever reads-from does not cross time backwards
+    // (always true for executions produced by real runs).
+    let h = fig1_execution();
+    assert_eq!(
+        satisfies_tsc(&h, Delta::ZERO).holds(),
+        satisfies_lin(&h).holds()
+    );
+}
+
+#[test]
+fn figure5_exact_numbers() {
+    let h = fig5_execution();
+    let s = fig5b_serialization(&h);
+    assert!(s.is_legal(&h) && s.respects_program_order(&h));
+    assert_eq!(min_delta(&h), Delta::from_ticks(96));
+    assert!(!satisfies_tsc(&h, Delta::from_ticks(50)).holds());
+    assert!(satisfies_tsc(&h, Delta::from_ticks(96)).holds());
+    // The secondary 27-tick constraint from r3(B)2@301 vs w2(B)5@274.
+    let rep = check_on_time(&h, Delta::from_ticks(20), Epsilon::ZERO);
+    assert!(rep
+        .violations()
+        .iter()
+        .any(|v| v.min_delta == Delta::from_ticks(27)));
+}
+
+#[test]
+fn figure6_exact_numbers() {
+    let h = fig6_execution();
+    assert!(satisfies_cc(&h).holds());
+    assert!(satisfies_sc(&h).outcome().fails());
+    assert!(!satisfies_tcc(&h, Delta::from_ticks(30)).holds());
+    assert!(satisfies_tcc(&h, Delta::from_ticks(80)).holds());
+    assert_eq!(min_delta(&h), Delta::from_ticks(80));
+}
+
+#[test]
+fn figure7_xi_values() {
+    assert_eq!(NormXi.xi(&[3, 4]), 5.0);
+    assert!((NormXi.xi(&[3, 2]) - 3.61).abs() < 0.01);
+    assert!((NormXi.xi(&[2, 4]) - 4.47).abs() < 0.01);
+    // §5.4's worked example: <35,4,0,72> knows 111 events, <2,1,0,18>
+    // knows 21; any Δ < 90 invalidates the old version.
+    assert_eq!(SumXi.xi(&[35, 4, 0, 72]), 111.0);
+    assert_eq!(SumXi.xi(&[2, 1, 0, 18]), 21.0);
+}
+
+#[test]
+fn definition2_reduces_to_definition1_at_zero_epsilon() {
+    for h in [fig1_execution(), fig5_execution(), fig6_execution()] {
+        for d in [0u64, 27, 80, 96, 200] {
+            let delta = Delta::from_ticks(d);
+            assert_eq!(
+                check_on_time(&h, delta, Epsilon::ZERO).holds(),
+                check_on_time(&h, delta, Epsilon::from_ticks(0)).holds()
+            );
+        }
+    }
+}
+
+#[test]
+fn epsilon_only_weakens_the_check() {
+    // Definition 2's window is 2ε shorter: any history timed at ε=0 stays
+    // timed at larger ε, for every Δ.
+    for h in [fig1_execution(), fig5_execution(), fig6_execution()] {
+        for d in [0u64, 27, 80, 96, 150, 280] {
+            let delta = Delta::from_ticks(d);
+            let strict = check_on_time(&h, delta, Epsilon::ZERO).holds();
+            for e in [1u64, 5, 20, 100] {
+                let relaxed = check_on_time(&h, delta, Epsilon::from_ticks(e)).holds();
+                assert!(
+                    !strict || relaxed,
+                    "ε={e} must not reject a Δ={d} history accepted at ε=0"
+                );
+            }
+        }
+    }
+}
