@@ -30,9 +30,7 @@ fn bench_sc(c: &mut Criterion) {
             b.iter(|| {
                 let mut sat = 0;
                 for h in hs {
-                    sat += usize::from(
-                        satisfies_sc_with(h, SearchOptions::default()).holds(),
-                    );
+                    sat += usize::from(satisfies_sc_with(h, SearchOptions::default()).holds());
                 }
                 black_box(sat)
             })
@@ -49,9 +47,7 @@ fn bench_cc(c: &mut Criterion) {
             b.iter(|| {
                 let mut sat = 0;
                 for h in hs {
-                    sat += usize::from(
-                        satisfies_cc_with(h, SearchOptions::default()).holds(),
-                    );
+                    sat += usize::from(satisfies_cc_with(h, SearchOptions::default()).holds());
                 }
                 black_box(sat)
             })
@@ -76,9 +72,7 @@ fn bench_timed(c: &mut Criterion) {
         b.iter(|| {
             let mut ok = 0;
             for h in &hs {
-                ok += usize::from(
-                    check_on_time(h, Delta::from_ticks(60), Epsilon::ZERO).holds(),
-                );
+                ok += usize::from(check_on_time(h, Delta::from_ticks(60), Epsilon::ZERO).holds());
             }
             black_box(ok)
         })

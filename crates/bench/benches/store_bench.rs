@@ -25,7 +25,7 @@ fn bench_ops(c: &mut Criterion) {
                 let mut i = 0u64;
                 b.iter(|| {
                     i += 1;
-                    if i % 4 == 0 {
+                    if i.is_multiple_of(4) {
                         h.write("key", format!("v{i}")).unwrap();
                     } else {
                         black_box(h.read("key").unwrap());

@@ -25,7 +25,8 @@ fn main() {
     };
     let push = std::env::args().any(|a| a == "--push");
 
-    let families: [(&str, fn(Delta) -> ProtocolKind); 2] = [
+    type MakeKind = fn(Delta) -> ProtocolKind;
+    let families: [(&str, MakeKind); 2] = [
         ("TSC", |d| ProtocolKind::Tsc { delta: d }),
         ("TCC", |d| ProtocolKind::Tcc { delta: d }),
     ];
@@ -62,8 +63,7 @@ fn main() {
                 let r = run(&cfg);
                 let reads = r.history.reads().count().max(1) as f64;
                 hits += r.hit_rate();
-                msgs_per_read +=
-                    (r.counter("fetch") + r.counter("validate")) as f64 / reads;
+                msgs_per_read += (r.counter("fetch") + r.counter("validate")) as f64 / reads;
                 inval += r.counter("invalidate");
                 marked += r.counter("mark_old");
                 let stats = StalenessStats::of(&r.history);

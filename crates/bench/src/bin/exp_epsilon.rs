@@ -20,7 +20,9 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
     let delta = Delta::from_ticks(
-        arg_value("delta").and_then(|v| v.parse().ok()).unwrap_or(40),
+        arg_value("delta")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(40),
     );
 
     let cfg = ReplicaHistoryConfig {

@@ -1,0 +1,119 @@
+//! Fault-rate × Δ sweep under the conformance oracle: how much message
+//! loss can the TSC / TCC protocols absorb before they start trading
+//! progress (stalls, retries) for safety — and does the oracle ever catch
+//! them lying?
+//!
+//! For each drop rate and Δ, runs the protocol over several seeds under a
+//! whole-run probabilistic drop rule (plus a fixed 20-tick reorder rule so
+//! losses interleave with reordering), then reports the oracle verdicts,
+//! completed-op fraction, observed staleness vs the fault-free bound, and
+//! retry traffic. Violations should be *zero* at every point of the sweep;
+//! everything else is the price of the faults.
+//!
+//! Flags: `--seeds N` (default 5), `--ops N` (default 40), `--json`.
+
+use tc_bench::{arg_value, f3, json_flag, pct, Table};
+use tc_clocks::Delta;
+use tc_lifetime::{conformance, run_with_faults, OracleVerdict, ProtocolKind};
+use tc_sim::{FaultKind, FaultPlan, Scope, Window};
+
+fn plan(drop_rate: f64) -> FaultPlan {
+    let p = FaultPlan::none().with(
+        Window::always(),
+        Scope::All,
+        FaultKind::Reorder {
+            max_jitter: Delta::from_ticks(20),
+        },
+    );
+    if drop_rate > 0.0 {
+        p.with(
+            Window::always(),
+            Scope::All,
+            FaultKind::Drop {
+                probability: drop_rate,
+            },
+        )
+    } else {
+        p
+    }
+}
+
+fn main() {
+    let json = json_flag();
+    let seeds: u64 = arg_value("seeds").and_then(|v| v.parse().ok()).unwrap_or(5);
+    let ops: usize = arg_value("ops").and_then(|v| v.parse().ok()).unwrap_or(40);
+
+    let mut t = Table::new(
+        format!(
+            "Fault tolerance sweep: drop rate x Δ, {seeds} seeds x {ops} \
+             ops/client, whole-run drop + 20-tick reorder jitter \
+             (verdicts from the checker-in-the-loop oracle)"
+        ),
+        &[
+            "protocol",
+            "Δ",
+            "drop",
+            "conform",
+            "stall",
+            "violate",
+            "ops done",
+            "staleness p100",
+            "retries/run",
+        ],
+    );
+
+    for delta in [40u64, 80, 160] {
+        for kind in [
+            ProtocolKind::Tsc {
+                delta: Delta::from_ticks(delta),
+            },
+            ProtocolKind::Tcc {
+                delta: Delta::from_ticks(delta),
+            },
+        ] {
+            for drop_rate in [0.0, 0.05, 0.15, 0.30] {
+                let mut conforms = 0usize;
+                let mut stalls = 0usize;
+                let mut violations = 0usize;
+                let mut done = 0usize;
+                let mut expected = 0usize;
+                let mut worst_staleness = 0u64;
+                let mut retries = 0u64;
+                for seed in 0..seeds {
+                    let cfg = tc_bench::standard_run(kind, seed, ops);
+                    let p = plan(drop_rate);
+                    let result = run_with_faults(&cfg, p.clone());
+                    let c = conformance(&cfg, &p, &result);
+                    match c.verdict {
+                        OracleVerdict::Conforms => conforms += 1,
+                        OracleVerdict::Stalled => stalls += 1,
+                        OracleVerdict::Violated(_) => violations += 1,
+                    }
+                    done += c.ops_recorded;
+                    expected += c.ops_expected;
+                    worst_staleness = worst_staleness.max(c.observed_staleness.ticks());
+                    retries += result.counter("retry")
+                        + result.counter("causal_retransmit")
+                        + result.counter("stale_reply");
+                }
+                let n = seeds as f64;
+                t.row(&[
+                    &kind.label(),
+                    &delta,
+                    &pct(drop_rate),
+                    &pct(conforms as f64 / n),
+                    &pct(stalls as f64 / n),
+                    &pct(violations as f64 / n),
+                    &pct(done as f64 / expected as f64),
+                    &worst_staleness,
+                    &f3(retries as f64 / n),
+                ]);
+            }
+        }
+    }
+    t.emit(json);
+    println!(
+        "expected shape: violations stay at 0.0% everywhere; higher drop \
+         rates cost retries and (at tight Δ) stalls, never safety"
+    );
+}

@@ -36,7 +36,9 @@ fn tally(counts: &mut Counts, histories: impl Iterator<Item = History>, delta: D
             &h,
             delta,
             tc_clocks::Epsilon::ZERO,
-            SearchOptions { max_states: 200_000 },
+            SearchOptions {
+                max_states: 200_000,
+            },
         );
         counts.total += 1;
         let outcomes = [c.lin, c.sc, c.cc, c.timed, c.tsc, c.tcc];
@@ -78,7 +80,9 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(400);
     let delta = Delta::from_ticks(
-        arg_value("delta").and_then(|v| v.parse().ok()).unwrap_or(60),
+        arg_value("delta")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(60),
     );
 
     let mut t = Table::new(
@@ -131,5 +135,8 @@ fn main() {
     // Containment sanity on the aggregate counts.
     assert!(random.lin <= random.tsc && random.tsc <= random.sc && random.sc <= random.cc);
     assert!(random.tsc <= random.tcc && random.tcc <= random.cc);
-    println!("hierarchy verified on {} histories", random.total + replica.total);
+    println!(
+        "hierarchy verified on {} histories",
+        random.total + replica.total
+    );
 }

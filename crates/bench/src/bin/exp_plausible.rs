@@ -99,8 +99,12 @@ fn tally<S: Timestamp>(truth: &[VectorClock], stamps: &[S]) -> Tally {
 
 fn main() {
     let json = json_flag();
-    let n_sites: usize = arg_value("sites").and_then(|v| v.parse().ok()).unwrap_or(24);
-    let n_events: usize = arg_value("events").and_then(|v| v.parse().ok()).unwrap_or(400);
+    let n_sites: usize = arg_value("sites")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
+    let n_events: usize = arg_value("events")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
     let runs: u64 = arg_value("runs").and_then(|v| v.parse().ok()).unwrap_or(5);
 
     let mut t = Table::new(
@@ -157,7 +161,7 @@ fn main() {
         RevClock::new(s, 4),
         LamportClock::new(s)
     ));
-    measure!("lamport", 1, |s| LamportClock::new(s));
+    measure!("lamport", 1, LamportClock::new);
 
     t.emit(json);
     println!(

@@ -9,7 +9,9 @@
 
 use tc_bench::{arg_value, f3, json_flag, pct, standard_run, Table};
 use tc_clocks::Delta;
-use tc_core::checker::{min_delta, satisfies_cc_fast, satisfies_ccv, satisfies_sc_with, Outcome, SearchOptions};
+use tc_core::checker::{
+    min_delta, satisfies_cc_fast, satisfies_ccv, satisfies_sc_with, Outcome, SearchOptions,
+};
 use tc_core::stats::StalenessStats;
 use tc_lifetime::{run, ProtocolKind};
 
@@ -18,7 +20,9 @@ fn main() {
     let ops: usize = arg_value("ops").and_then(|v| v.parse().ok()).unwrap_or(200);
     let seeds: u64 = arg_value("seeds").and_then(|v| v.parse().ok()).unwrap_or(5);
     let delta = Delta::from_ticks(
-        arg_value("delta").and_then(|v| v.parse().ok()).unwrap_or(80),
+        arg_value("delta")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(80),
     );
 
     let kinds = [
@@ -91,7 +95,11 @@ fn main() {
         ]);
         staleness_by_kind.push((kind.label(), max_stale));
         invals_by_kind.push((kind.label(), stale_events));
-        assert!(checks_ok, "{} run violated its consistency level", kind.label());
+        assert!(
+            checks_ok,
+            "{} run violated its consistency level",
+            kind.label()
+        );
     }
     t.emit(json);
     println!(

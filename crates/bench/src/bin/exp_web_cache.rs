@@ -90,7 +90,10 @@ fn scripted_scenario(json: bool) {
     let hours_later = Time::from_ticks(10_000);
     let delta = Delta::from_ticks(500);
     let mut tcc_cache = cache.clone();
-    tcc_cache.sweep_beta(hours_later.saturating_sub_delta(delta), StalePolicy::MarkOld);
+    tcc_cache.sweep_beta(
+        hours_later.saturating_sub_delta(delta),
+        StalePolicy::MarkOld,
+    );
     t.row(&[
         &"2': same, under TCC(Δ=hours)",
         &show(&tcc_cache, dj),

@@ -44,7 +44,8 @@ impl Table {
     /// Panics if the row width does not match the header.
     pub fn row(&mut self, cells: &[&dyn Display]) {
         assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(ToString::to_string).collect());
+        self.rows
+            .push(cells.iter().map(ToString::to_string).collect());
     }
 
     /// Renders the table with aligned columns.
@@ -80,12 +81,33 @@ impl Table {
         out
     }
 
+    /// The table as a JSON value (`{title, columns, rows}`).
+    #[must_use]
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut map = serde_json::Map::new();
+        map.insert("title".to_string(), self.title.as_str().into());
+        map.insert(
+            "columns".to_string(),
+            self.columns.iter().map(String::as_str).collect(),
+        );
+        map.insert(
+            "rows".to_string(),
+            serde_json::Value::Array(
+                self.rows
+                    .iter()
+                    .map(|row| row.iter().map(String::as_str).collect())
+                    .collect(),
+            ),
+        );
+        serde_json::Value::Object(map)
+    }
+
     /// Prints the table to stdout; with `json = true` prints JSON instead.
     pub fn emit(&self, json: bool) {
         if json {
             println!(
                 "{}",
-                serde_json::to_string_pretty(self).expect("table serializes")
+                serde_json::to_string_pretty(&self.to_json()).expect("table serializes")
             );
         } else {
             println!("{}", self.render());
@@ -117,12 +139,7 @@ pub fn standard_run(kind: ProtocolKind, seed: u64, ops_per_client: usize) -> Run
     RunConfig {
         protocol: ProtocolConfig::of(kind),
         n_clients: 4,
-        workload: Workload::new(
-            8,
-            0.8,
-            0.7,
-            (Delta::from_ticks(5), Delta::from_ticks(40)),
-        ),
+        workload: Workload::new(8, 0.8, 0.7, (Delta::from_ticks(5), Delta::from_ticks(40))),
         ops_per_client,
         world: WorldConfig::deterministic(Delta::from_ticks(3), seed),
     }

@@ -210,11 +210,7 @@ mod tests {
 
     #[test]
     fn sync_corrects_and_reports() {
-        let mut c = SyncedClock::new(
-            DriftingClock::new(0.0, 500),
-            10,
-            Delta::from_ticks(1_000),
-        );
+        let mut c = SyncedClock::new(DriftingClock::new(0.0, 500), 10, Delta::from_ticks(1_000));
         let now = Time::from_ticks(10_000);
         let out = c.sync(now, Time::from_ticks(10_003));
         assert_eq!(out.reading, Time::from_ticks(10_003));
@@ -238,7 +234,10 @@ mod tests {
         let interval = Delta::from_ticks(1_000);
         let mut a = SyncedClock::new(DriftingClock::new(200.0, 3), 5, interval);
         let mut b = SyncedClock::new(DriftingClock::new(-200.0, -4), 5, interval);
-        let eps = a.guaranteed_epsilon().ticks().max(b.guaranteed_epsilon().ticks());
+        let eps = a
+            .guaranteed_epsilon()
+            .ticks()
+            .max(b.guaranteed_epsilon().ticks());
         let mut worst = 0u64;
         for step in 0..50_000u64 {
             let now = Time::from_ticks(step);

@@ -144,8 +144,7 @@ impl HybridClock {
     /// Merges a received timestamp at physical reading `now`.
     pub fn observe(&mut self, remote: &HybridStamp, now: Time) -> HybridStamp {
         let max_physical = self.now.physical.max(remote.physical).max(now);
-        self.now.logical = if max_physical == self.now.physical && max_physical == remote.physical
-        {
+        self.now.logical = if max_physical == self.now.physical && max_physical == remote.physical {
             self.now.logical.max(remote.logical) + 1
         } else if max_physical == self.now.physical {
             self.now.logical + 1

@@ -174,8 +174,14 @@ mod tests {
 
     #[test]
     fn join_and_meet_pick_extremes() {
-        let lo = LamportStamp { counter: 2, site: 0 };
-        let hi = LamportStamp { counter: 9, site: 1 };
+        let lo = LamportStamp {
+            counter: 2,
+            site: 0,
+        };
+        let hi = LamportStamp {
+            counter: 9,
+            site: 1,
+        };
         assert_eq!(lo.join(&hi).counter(), 9);
         assert_eq!(lo.meet(&hi).counter(), 2);
         assert_eq!(hi.join(&lo).counter(), 9);

@@ -172,7 +172,10 @@ mod tests {
             assert_eq!(v.reverse().reverse(), v);
         }
         assert_eq!(ClockOrdering::Before.reverse(), ClockOrdering::After);
-        assert_eq!(ClockOrdering::Concurrent.reverse(), ClockOrdering::Concurrent);
+        assert_eq!(
+            ClockOrdering::Concurrent.reverse(),
+            ClockOrdering::Concurrent
+        );
     }
 
     #[test]

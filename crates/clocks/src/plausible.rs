@@ -64,10 +64,7 @@ impl RevStamp {
     }
 
     fn dominated_by(&self, other: &RevStamp) -> bool {
-        self.entries
-            .iter()
-            .zip(&other.entries)
-            .all(|(a, b)| a <= b)
+        self.entries.iter().zip(&other.entries).all(|(a, b)| a <= b)
     }
 }
 
@@ -464,14 +461,17 @@ mod tests {
         use crate::VectorClock;
         let n_sites = 5;
         let r = 2;
-        let mut vcs: Vec<VectorClock> = (0..n_sites).map(|s| VectorClock::new(s, n_sites)).collect();
+        let mut vcs: Vec<VectorClock> =
+            (0..n_sites).map(|s| VectorClock::new(s, n_sites)).collect();
         let mut revs: Vec<RevClock> = (0..n_sites).map(|s| RevClock::new(s, r)).collect();
         let mut events: Vec<(VectorClock, RevStamp)> = Vec::new();
 
         // A fixed pseudo-random schedule (LCG) of local events and messages.
         let mut state = 0x9E37_79B9_u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for _ in 0..60 {

@@ -358,9 +358,18 @@ mod tests {
     fn compare_with_zero_epsilon_is_total() {
         let a = Time::from_ticks(5);
         let b = Time::from_ticks(6);
-        assert_eq!(compare_with_epsilon(a, b, Epsilon::ZERO), ClockOrdering::Before);
-        assert_eq!(compare_with_epsilon(b, a, Epsilon::ZERO), ClockOrdering::After);
-        assert_eq!(compare_with_epsilon(a, a, Epsilon::ZERO), ClockOrdering::Equal);
+        assert_eq!(
+            compare_with_epsilon(a, b, Epsilon::ZERO),
+            ClockOrdering::Before
+        );
+        assert_eq!(
+            compare_with_epsilon(b, a, Epsilon::ZERO),
+            ClockOrdering::After
+        );
+        assert_eq!(
+            compare_with_epsilon(a, a, Epsilon::ZERO),
+            ClockOrdering::Equal
+        );
     }
 
     #[test]

@@ -86,10 +86,7 @@ impl VectorClock {
     #[must_use]
     pub fn dominated_by(&self, other: &VectorClock) -> bool {
         debug_assert_eq!(self.entries.len(), other.entries.len());
-        self.entries
-            .iter()
-            .zip(&other.entries)
-            .all(|(a, b)| a <= b)
+        self.entries.iter().zip(&other.entries).all(|(a, b)| a <= b)
     }
 
     /// Total number of events this timestamp knows about — the "amount of

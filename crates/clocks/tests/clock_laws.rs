@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use tc_clocks::time::{compare_with_epsilon, definitely_before};
 use tc_clocks::{
-    ClockOrdering, CombClock, Epsilon, HybridClock, HybridStamp, LamportClock, RevClock,
-    SiteClock, Time, Timestamp, VectorClock,
+    ClockOrdering, CombClock, Epsilon, HybridClock, HybridStamp, LamportClock, RevClock, SiteClock,
+    Time, Timestamp, VectorClock,
 };
 
 /// A randomized message-passing schedule: (site, optional index of an
@@ -30,7 +30,10 @@ fn co_drive<C: SiteClock>(
     let mut truth: Vec<VectorClock> = Vec::new();
     let mut stamps: Vec<C::Stamp> = Vec::new();
     for &(site, recv) in sched {
-        match recv.map(|r| r % truth.len().max(1)).filter(|_| !truth.is_empty()) {
+        match recv
+            .map(|r| r % truth.len().max(1))
+            .filter(|_| !truth.is_empty())
+        {
             Some(k) => {
                 let tv: VectorClock = truth[k].clone();
                 let ts: C::Stamp = stamps[k].clone();

@@ -122,7 +122,9 @@ impl CausalOrder {
     /// The operations strictly causally after `a`.
     pub fn successors_of(&self, a: OpId) -> impl Iterator<Item = OpId> + '_ {
         let row = &self.reach[a.index() * self.words..(a.index() + 1) * self.words];
-        (0..self.n).filter(move |&b| row[b / 64] & (1 << (b % 64)) != 0).map(OpId::new)
+        (0..self.n)
+            .filter(move |&b| row[b / 64] & (1 << (b % 64)) != 0)
+            .map(OpId::new)
     }
 }
 

@@ -328,10 +328,7 @@ fn site_admits_serialization(history: &History, co: &CausalOrder, site: SiteId) 
         .filter(|(_, &id)| history.op(id).is_read())
         .map(|(r_idx, &id)| {
             let op = history.op(id);
-            let source = history
-                .source_of(id)
-                .expect("read has source")
-                .map(idx_of);
+            let source = history.source_of(id).expect("read has source").map(idx_of);
             let others = history
                 .writes_to(op.object())
                 .iter()

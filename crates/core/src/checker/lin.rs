@@ -150,12 +150,7 @@ fn apply(
 
 /// Reverts [`apply`]. Rebuilds the object's previous value by rescanning the
 /// prefix — fine for the rare tie-group backtracking.
-fn undo(
-    history: &History,
-    id: OpId,
-    seq: &mut Vec<OpId>,
-    last: &mut HashMap<ObjectId, Value>,
-) {
+fn undo(history: &History, id: OpId, seq: &mut Vec<OpId>, last: &mut HashMap<ObjectId, Value>) {
     let popped = seq.pop();
     debug_assert_eq!(popped, Some(id));
     let op = history.op(id);
@@ -209,7 +204,7 @@ mod tests {
     #[test]
     fn lin_equals_tsc_at_delta_zero() {
         // The paper: "when Δ is 0, timed consistency becomes LIN".
-        use crate::checker::{satisfies_sc, check_on_time};
+        use crate::checker::{check_on_time, satisfies_sc};
         use tc_clocks::Delta;
         for text in [
             "w0(X)1@10 r1(X)1@20 w0(X)2@30 r1(X)2@40",

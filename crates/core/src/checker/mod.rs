@@ -109,6 +109,6 @@ mod tests {
     #[test]
     fn default_options() {
         assert_eq!(SearchOptions::default(), SearchOptions::DEFAULT);
-        assert!(SearchOptions::DEFAULT.max_states >= 1_000_000);
+        const { assert!(SearchOptions::DEFAULT.max_states >= 1_000_000) };
     }
 }

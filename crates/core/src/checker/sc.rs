@@ -234,10 +234,8 @@ mod tests {
 
     #[test]
     fn fig1_is_sc() {
-        let h = History::parse(
-            "w0(X)7@100 w1(X)1@80 r1(X)1@140 r1(X)1@220 r1(X)1@300 r1(X)1@380",
-        )
-        .unwrap();
+        let h = History::parse("w0(X)7@100 w1(X)1@80 r1(X)1@140 r1(X)1@220 r1(X)1@300 r1(X)1@380")
+            .unwrap();
         let v = satisfies_sc(&h);
         assert!(v.holds());
         let w = v.witness().unwrap();

@@ -218,9 +218,7 @@ pub fn min_delta_eps(history: &History, eps: Epsilon) -> Delta {
 pub fn check_on_time_xi(history: &History, xi: &dyn XiMap, xi_delta: f64) -> XiTimedReport {
     let mut violations = Vec::new();
     let mut missing = 0usize;
-    let xi_of = |id: OpId| -> Option<f64> {
-        history.op(id).logical().map(|l| xi.xi(l.entries()))
-    };
+    let xi_of = |id: OpId| -> Option<f64> { history.op(id).logical().map(|l| xi.xi(l.entries())) };
     for read in history.reads() {
         let Some(xi_r) = xi_of(read.id()) else {
             missing += 1;
@@ -389,7 +387,7 @@ mod tests {
     }
 
     #[test]
-    fn epsilon_can_blur_source_recency_entirely(){
+    fn epsilon_can_blur_source_recency_entirely() {
         let h = fig1ish();
         // Source @80 vs missed write @100: with ε=50 the pair is
         // non-comparable, so nothing is definitely newer and Δ_min is 0.

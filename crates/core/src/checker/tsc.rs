@@ -230,8 +230,12 @@ mod tests {
         // Δ=150 fails under perfect clocks (needs 200)...
         assert!(!satisfies_tsc_eps(&h, Delta::from_ticks(150), Epsilon::ZERO, opts).holds());
         // ...but ε=50 shrinks the window exactly enough.
-        assert!(satisfies_tsc_eps(&h, Delta::from_ticks(150), Epsilon::from_ticks(50), opts).holds());
-        assert!(satisfies_tcc_eps(&h, Delta::from_ticks(150), Epsilon::from_ticks(50), opts).holds());
+        assert!(
+            satisfies_tsc_eps(&h, Delta::from_ticks(150), Epsilon::from_ticks(50), opts).holds()
+        );
+        assert!(
+            satisfies_tcc_eps(&h, Delta::from_ticks(150), Epsilon::from_ticks(50), opts).holds()
+        );
     }
 
     #[test]

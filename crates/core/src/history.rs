@@ -270,7 +270,10 @@ impl History {
         // Per-object write lists, sorted by effective time.
         let mut writes_by_object: HashMap<ObjectId, Vec<OpId>> = HashMap::new();
         for op in ops.iter().filter(|o| o.is_write()) {
-            writes_by_object.entry(op.object()).or_default().push(op.id());
+            writes_by_object
+                .entry(op.object())
+                .or_default()
+                .push(op.id());
         }
         for list in writes_by_object.values_mut() {
             list.sort_by_key(|id| ops[id.index()].time());
@@ -629,7 +632,9 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for bad in ["x0(A)1@2", "w(A)1@2", "w0A)1@2", "w0(a)1@2", "w0(A)x@2", "w0(A)1"] {
+        for bad in [
+            "x0(A)1@2", "w(A)1@2", "w0A)1@2", "w0(a)1@2", "w0(A)x@2", "w0(A)1",
+        ] {
             assert!(
                 History::parse(bad).is_err(),
                 "token {bad:?} should not parse"

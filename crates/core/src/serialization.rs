@@ -159,7 +159,10 @@ impl Serialization {
         for &id in &self.order {
             let op = history.op(id);
             if op.is_write() {
-                writes_in_seq.entry(op.object()).or_default().push(op.time());
+                writes_in_seq
+                    .entry(op.object())
+                    .or_default()
+                    .push(op.time());
             }
         }
 
@@ -253,7 +256,10 @@ mod tests {
         // Sorted by effective time: w1@80 w7@100 r@140 r@220.
         let sorted = Serialization::new(vec![ids[1], ids[0], ids[2], ids[3]]);
         assert!(sorted.respects_times(&h));
-        assert!(!sorted.is_legal(&h), "time order is not legal here: LIN fails");
+        assert!(
+            !sorted.is_legal(&h),
+            "time order is not legal here: LIN fails"
+        );
         let unsorted = Serialization::new(vec![ids[0], ids[1]]);
         assert!(!unsorted.respects_times(&h));
     }

@@ -161,10 +161,8 @@ mod tests {
 
     #[test]
     fn quantiles_use_nearest_rank() {
-        let h = History::parse(
-            "w0(X)7@100 w1(X)1@80 r1(X)1@140 r1(X)1@220 r1(X)1@300 r1(X)1@380",
-        )
-        .unwrap();
+        let h = History::parse("w0(X)7@100 w1(X)1@80 r1(X)1@140 r1(X)1@220 r1(X)1@300 r1(X)1@380")
+            .unwrap();
         let s = StalenessStats::of(&h);
         // Ages: 40, 120, 200, 280.
         assert_eq!(s.quantile(0.25), Delta::from_ticks(40));

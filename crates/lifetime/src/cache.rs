@@ -143,11 +143,7 @@ impl Cache {
         self.sweep(policy, stale)
     }
 
-    fn sweep(
-        &mut self,
-        policy: StalePolicy,
-        stale: impl Fn(&CacheEntry) -> bool,
-    ) -> SweepOutcome {
+    fn sweep(&mut self, policy: StalePolicy, stale: impl Fn(&CacheEntry) -> bool) -> SweepOutcome {
         let mut out = SweepOutcome::default();
         match policy {
             StalePolicy::Invalidate => {

@@ -19,11 +19,18 @@ use crate::cache::{Cache, CacheEntry, SweepOutcome};
 use crate::msg::{Msg, ValidateOutcome, WireVersion};
 use crate::{ProtocolConfig, ProtocolKind, StalePolicy};
 
-/// How long a client waits before resending an unanswered request.
-const RETRY_AFTER: Delta = Delta::from_ticks(500);
+/// How long a client waits before resending an unanswered request. The
+/// conformance oracle adds one retry interval per fault-plan outage when
+/// widening its staleness bound (see [`crate::oracle`]).
+pub(crate) const RETRY_AFTER: Delta = Delta::from_ticks(500);
 
 /// Timer token for "issue the next planned operation".
 const TIMER_NEXT_OP: u64 = 0;
+
+/// Timer token for "retransmit unacked causal writes". Request-retry timers
+/// use the request epoch (which starts at 1) as their token, so `u64::MAX`
+/// can never collide.
+const TIMER_FLUSH_CAUSAL: u64 = u64::MAX;
 
 enum Pending {
     Read { object: ObjectId },
@@ -31,6 +38,23 @@ enum Pending {
 }
 
 /// The client node.
+///
+/// # Crash durability
+///
+/// Under injected crash–restart ([`tc_sim::FaultKind::Crash`]) the client
+/// models a process with a small write-ahead log: the cache and the
+/// physical context are *volatile* (cache loss is the point of the fault),
+/// while everything whose loss would silently corrupt the protocol is
+/// *durable*:
+///
+/// * `context_v` — reusing vector-clock stamps after a restart would forge
+///   causality;
+/// * `pending` / `outstanding` / `req_epoch` — a physical write the server
+///   may already have applied must be re-driven to completion, or other
+///   sites could read a value whose write was never recorded;
+/// * `unacked` — causal writes are recorded at issue time, so they must
+///   eventually reach the server;
+/// * `ops_done` and the workload position.
 pub struct ClientNode {
     config: ProtocolConfig,
     server: NodeId,
@@ -46,6 +70,18 @@ pub struct ClientNode {
     outstanding: Option<Msg>,
     req_epoch: u64,
     planned: Option<(OpChoice, ObjectId)>,
+    /// Causal writes shipped but not yet acked: (object, value, stamp,
+    /// issue time). Retransmitted until [`Msg::WriteAckCausal`] clears
+    /// them; the server's LWW application is idempotent, so retransmits are
+    /// harmless.
+    unacked: Vec<(ObjectId, Value, VectorClock, Time)>,
+    /// This site's newest causal write per object, kept past the ack
+    /// (durable, like `unacked`). A server reply can be generated before
+    /// our write applied yet delivered after its ack — `unacked` alone
+    /// cannot see that race, but installing such a reply would make the
+    /// site read a value older than its own write. `install` arbitrates
+    /// every fetched version against this map.
+    own_writes: std::collections::HashMap<ObjectId, (Value, VectorClock, Time)>,
 }
 
 impl ClientNode {
@@ -78,6 +114,8 @@ impl ClientNode {
             outstanding: None,
             req_epoch: 0,
             planned: None,
+            unacked: Vec::new(),
+            own_writes: std::collections::HashMap::new(),
         }
     }
 
@@ -109,11 +147,30 @@ impl ClientNode {
         self.plan_next(ctx);
     }
 
-    fn send_request(&mut self, ctx: &mut Context<'_, Msg>, msg: Msg) {
+    fn send_request(&mut self, ctx: &mut Context<'_, Msg>, mut msg: Msg) {
         self.req_epoch += 1;
+        match &mut msg {
+            Msg::FetchReq { epoch, .. }
+            | Msg::ValidateReq { epoch, .. }
+            | Msg::WriteReq { epoch, .. } => *epoch = self.req_epoch,
+            _ => unreachable!("only requests go through send_request"),
+        }
         self.outstanding = Some(msg.clone());
         ctx.send(self.server, msg);
         ctx.set_timer(RETRY_AFTER, self.req_epoch);
+    }
+
+    /// Whether a reply's echoed epoch answers the current outstanding
+    /// request. Anything else is a delayed or duplicated reply to a
+    /// request this client has moved past — using it could complete a
+    /// newer operation with stale data, so it is dropped.
+    fn reply_is_current(&self, ctx: &mut Context<'_, Msg>, epoch: u64) -> bool {
+        if self.outstanding.is_some() && epoch == self.req_epoch {
+            true
+        } else {
+            ctx.metrics().incr("stale_reply");
+            false
+        }
     }
 
     fn count_sweep(ctx: &mut Context<'_, Msg>, out: SweepOutcome) {
@@ -165,7 +222,7 @@ impl ClientNode {
         if self.config.kind == ProtocolKind::NoCache {
             ctx.metrics().incr("fetch");
             self.pending = Some(Pending::Read { object });
-            self.send_request(ctx, Msg::FetchReq { object });
+            self.send_request(ctx, Msg::FetchReq { object, epoch: 0 });
             return;
         }
         match self.cache.get(object) {
@@ -180,13 +237,20 @@ impl ClientNode {
                 ctx.metrics().incr("validate");
                 let value = entry.value;
                 self.pending = Some(Pending::Read { object });
-                self.send_request(ctx, Msg::ValidateReq { object, value });
+                self.send_request(
+                    ctx,
+                    Msg::ValidateReq {
+                        object,
+                        value,
+                        epoch: 0,
+                    },
+                );
             }
             None => {
                 ctx.metrics().incr("cache_miss");
                 ctx.metrics().incr("fetch");
                 self.pending = Some(Pending::Read { object });
-                self.send_request(ctx, Msg::FetchReq { object });
+                self.send_request(ctx, Msg::FetchReq { object, epoch: 0 });
             }
         }
     }
@@ -210,6 +274,13 @@ impl ClientNode {
                     old: false,
                 },
             );
+            // Buffer until the server acks: a dropped WriteReq would
+            // otherwise leave a recorded write invisible forever, silently
+            // violating the causal family's Δ bound.
+            let was_idle = self.unacked.is_empty();
+            self.unacked.push((object, value, alpha_v.clone(), t_loc));
+            self.own_writes
+                .insert(object, (value, alpha_v.clone(), t_loc));
             ctx.send(
                 self.server,
                 Msg::WriteReq {
@@ -217,8 +288,12 @@ impl ClientNode {
                     value,
                     alpha_v: Some(alpha_v.clone()),
                     issued_at: t_loc,
+                    epoch: 0,
                 },
             );
+            if was_idle {
+                ctx.set_timer(RETRY_AFTER, TIMER_FLUSH_CAUSAL);
+            }
             let now = ctx.true_now();
             self.recorder.borrow_mut().record_write_stamped(
                 SiteId::new(self.site),
@@ -239,8 +314,29 @@ impl ClientNode {
                     value,
                     alpha_v: None,
                     issued_at: t_loc,
+                    epoch: 0,
                 },
             );
+        }
+    }
+
+    /// Retransmits every unacked causal write (idempotent at the server).
+    fn flush_unacked(&mut self, ctx: &mut Context<'_, Msg>) {
+        for (object, value, alpha_v, issued_at) in self.unacked.clone() {
+            ctx.metrics().incr("causal_retransmit");
+            ctx.send(
+                self.server,
+                Msg::WriteReq {
+                    object,
+                    value,
+                    alpha_v: Some(alpha_v),
+                    issued_at,
+                    epoch: 0,
+                },
+            );
+        }
+        if !self.unacked.is_empty() {
+            ctx.set_timer(RETRY_AFTER, TIMER_FLUSH_CAUSAL);
         }
     }
 
@@ -279,6 +375,43 @@ impl ClientNode {
         if self.config.kind.is_causal_family() {
             if let Some(av) = &version.alpha_v {
                 self.context_v = self.context_v.join(av);
+            }
+            // A reply must not clobber this site's own writes: a version
+            // generated before our write applied at the server (loss, a
+            // detour, a slow reply racing the ack) is *older* than what we
+            // wrote, and installing it would make this site read a value
+            // older than its own write. Resolve the fetched version
+            // against our newest write to the object with *exactly* the
+            // server's last-writer-wins arbitration (vector clocks, then
+            // the (issue time, writer) tie-break), so the value we keep is
+            // the one the store will converge to. If ours wins, either the
+            // server already has it or the retransmit loop will land it,
+            // and the discarded server version never becomes visible here,
+            // keeping the recorded history causally consistent.
+            if let Some((value, alpha_v, issued_at)) = self.own_writes.get(&object).cloned() {
+                let ours_wins = match version.alpha_v.as_ref() {
+                    None => true,
+                    Some(av) if alpha_v.dominated_by(av) => false,
+                    Some(av) if av.dominated_by(&alpha_v) => true,
+                    Some(_) => (issued_at, ctx.me().index()) > version.tiebreak,
+                };
+                if ours_wins {
+                    ctx.metrics().incr("own_write_preserved");
+                    let omega_v = self.context_v.clone();
+                    self.cache.insert(
+                        object,
+                        CacheEntry {
+                            value,
+                            alpha_t: issued_at,
+                            omega_t: server_now,
+                            alpha_v: Some(alpha_v),
+                            omega_v: Some(omega_v),
+                            beta: t_loc,
+                            old: false,
+                        },
+                    );
+                    return value;
+                }
             }
             // The version is the server's *current* copy, and everything in
             // Context_i has passed through the same server, so the version
@@ -325,6 +458,29 @@ impl Process for ClientNode {
         self.plan_next(ctx);
     }
 
+    fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
+        ctx.metrics().incr("client_restart");
+        // Volatile state dies with the process: the cache (that is the
+        // fault being modelled), the physical context floor (safe to lose —
+        // rule 3 re-raises it on the next access, and the cache it guarded
+        // is empty anyway), and the not-yet-issued planned op.
+        self.cache = Cache::new();
+        self.context_t = Time::ZERO;
+        self.planned = None;
+        // Durable state drives recovery: finish the in-flight request if
+        // one was logged, flush unacked causal writes, then resume the
+        // workload. The server deduplicates replayed physical writes, so
+        // re-driving `outstanding` is safe even if it was already applied.
+        self.flush_unacked(ctx);
+        if let Some(msg) = self.outstanding.clone() {
+            ctx.metrics().incr("retry");
+            ctx.send(self.server, msg);
+            ctx.set_timer(RETRY_AFTER, self.req_epoch);
+        } else {
+            self.plan_next(ctx);
+        }
+    }
+
     fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: u64) {
         if token == TIMER_NEXT_OP {
             if let Some((kind, object)) = self.planned.take() {
@@ -333,6 +489,8 @@ impl Process for ClientNode {
                     OpChoice::Write => self.start_write(ctx, object),
                 }
             }
+        } else if token == TIMER_FLUSH_CAUSAL {
+            self.flush_unacked(ctx);
         } else if token == self.req_epoch {
             // Retry an unanswered request (lost message).
             if let Some(msg) = self.outstanding.clone() {
@@ -349,7 +507,11 @@ impl Process for ClientNode {
                 object,
                 version,
                 server_now,
+                epoch,
             } => {
+                if !self.reply_is_current(ctx, epoch) {
+                    return;
+                }
                 let value = self.install(ctx, object, &version, server_now);
                 if matches!(self.pending, Some(Pending::Read { object: o }) if o == object) {
                     self.record_read(ctx, object, value);
@@ -360,7 +522,11 @@ impl Process for ClientNode {
                 object,
                 outcome,
                 server_now,
+                epoch,
             } => {
+                if !self.reply_is_current(ctx, epoch) {
+                    return;
+                }
                 let value = match outcome {
                     ValidateOutcome::StillValid => {
                         let t_loc = ctx.local_now();
@@ -386,7 +552,7 @@ impl Process for ClientNode {
                                     Some(Pending::Read { object: o }) if o == object
                                 ) {
                                     ctx.metrics().incr("fetch");
-                                    self.send_request(ctx, Msg::FetchReq { object });
+                                    self.send_request(ctx, Msg::FetchReq { object, epoch: 0 });
                                 }
                                 None
                             }
@@ -403,7 +569,14 @@ impl Process for ClientNode {
                     }
                 }
             }
-            Msg::WriteAck { object, alpha_t } => {
+            Msg::WriteAck {
+                object,
+                alpha_t,
+                epoch,
+            } => {
+                if !self.reply_is_current(ctx, epoch) {
+                    return;
+                }
                 if let Some(Pending::Write { object: o, value }) = self.pending {
                     if o == object {
                         // Rule 2: Context_i := X^α := the (server-assigned)
@@ -424,16 +597,24 @@ impl Process for ClientNode {
                                 },
                             );
                         }
-                        let now = ctx.true_now();
+                        // Record the write at the server-assigned α — the
+                        // moment it became the current version — not at
+                        // ack receipt. Under faults the ack can arrive
+                        // arbitrarily late (retransmits after an outage),
+                        // and recording then would place the write after
+                        // reads other sites already performed on it.
                         self.recorder.borrow_mut().record_write(
                             SiteId::new(self.site),
                             object,
                             value,
-                            now,
+                            alpha_t,
                         );
                         self.complete(ctx);
                     }
                 }
+            }
+            Msg::WriteAckCausal { value, .. } => {
+                self.unacked.retain(|(_, v, _, _)| *v != value);
             }
             Msg::InvalidatePush {
                 object,

@@ -7,7 +7,7 @@ use std::rc::Rc;
 use tc_clocks::{Epsilon, Time};
 use tc_core::History;
 use tc_sim::workload::Workload;
-use tc_sim::{MetricsSnapshot, TraceRecorder, World, WorldConfig};
+use tc_sim::{FaultPlan, MetricsSnapshot, TraceRecorder, World, WorldConfig};
 
 use crate::{ClientNode, Msg, ProtocolConfig, ServerNode};
 
@@ -73,6 +73,26 @@ impl RunResult {
 /// this harness exists to surface.
 #[must_use]
 pub fn run(config: &RunConfig) -> RunResult {
+    run_with_faults(config, FaultPlan::none())
+}
+
+/// Runs one simulation to quiescence under an injected [`FaultPlan`].
+///
+/// Node indices in the plan follow the harness layout: node 0 is the
+/// server, nodes `1..=n_clients` are the client sites.
+///
+/// The returned [`RunResult::epsilon`] is the run's *effective* clock
+/// bound: the world's ε plus twice the plan's largest injected skew, which
+/// is what Definition 2 checkers must be given for a faulted run.
+///
+/// # Panics
+///
+/// As [`run`]; additionally, plans whose faults never heal (an unbounded
+/// partition, a crash with no restart, 100% drop forever) make the
+/// protocol retry past the event budget — quiescence requires the plan to
+/// eventually let messages through.
+#[must_use]
+pub fn run_with_faults(config: &RunConfig, plan: FaultPlan) -> RunResult {
     let mut world: World<Msg> = World::new(config.world.clone());
     let recorder = Rc::new(RefCell::new(TraceRecorder::new()));
     let server = world.add_node(ServerNode::new(config.protocol));
@@ -87,11 +107,20 @@ pub fn run(config: &RunConfig) -> RunResult {
             recorder.clone(),
         ));
     }
-    // Every op costs at most a handful of events even with retries.
-    let budget = config.n_clients * config.ops_per_client * 200 + 10_000;
+    let skew_slack = 2 * plan.max_abs_skew();
+    let faulted = !plan.is_empty();
+    world.set_fault_plan(plan);
+    // Every op costs at most a handful of events even with retries; faulted
+    // runs retry more and ride out outage windows, so give them headroom.
+    let base_budget = config.n_clients * config.ops_per_client * 200 + 10_000;
+    let budget = if faulted {
+        base_budget * 4
+    } else {
+        base_budget
+    };
     let events = world.run_to_quiescence(budget);
     let finished_at = world.now();
-    let epsilon = world.epsilon();
+    let epsilon = Epsilon::from_ticks(world.epsilon().ticks() + skew_slack);
     let metrics = world.metrics().snapshot();
     drop(world);
     let recorder = Rc::try_unwrap(recorder)
@@ -112,21 +141,18 @@ pub fn run(config: &RunConfig) -> RunResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ProtocolKind, Propagation, StalePolicy};
+    use crate::{Propagation, ProtocolKind, StalePolicy};
     use tc_clocks::Delta;
-    use tc_core::checker::{min_delta, satisfies_cc_fast, satisfies_ccv, satisfies_sc_with, Outcome, SearchOptions};
+    use tc_core::checker::{
+        min_delta, satisfies_cc_fast, satisfies_ccv, satisfies_sc_with, Outcome, SearchOptions,
+    };
     use tc_sim::{ClockConfig, NetworkModel};
 
     fn base_config(kind: ProtocolKind, seed: u64) -> RunConfig {
         RunConfig {
             protocol: ProtocolConfig::of(kind),
             n_clients: 3,
-            workload: Workload::new(
-                4,
-                0.8,
-                0.7,
-                (Delta::from_ticks(5), Delta::from_ticks(40)),
-            ),
+            workload: Workload::new(4, 0.8, 0.7, (Delta::from_ticks(5), Delta::from_ticks(40))),
             ops_per_client: 40,
             world: WorldConfig::deterministic(Delta::from_ticks(3), seed),
         }

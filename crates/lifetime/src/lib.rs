@@ -67,10 +67,12 @@ mod client;
 mod config;
 mod harness;
 mod msg;
+pub mod oracle;
 mod server;
 
 pub use client::ClientNode;
 pub use config::{Propagation, ProtocolConfig, ProtocolKind, StalePolicy};
-pub use harness::{run, RunConfig, RunResult};
+pub use harness::{run, run_with_faults, RunConfig, RunResult};
 pub use msg::{Msg, ValidateOutcome, WireVersion};
+pub use oracle::{conformance, Conformance, OracleVerdict};
 pub use server::ServerNode;

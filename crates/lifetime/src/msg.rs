@@ -15,6 +15,11 @@ pub struct WireVersion {
     pub alpha_t: Time,
     /// Logical start time (causal family only).
     pub alpha_v: Option<VectorClock>,
+    /// The server's last-writer-wins tie-break key for this version,
+    /// `(issue time, writer node)`. Lets a client resolve a fetched
+    /// version against its own still-unacked writes with *exactly* the
+    /// arbitration the server will apply once they land.
+    pub tiebreak: (Time, usize),
 }
 
 /// Server's answer to a validation request.
@@ -29,12 +34,24 @@ pub enum ValidateOutcome {
 }
 
 /// Protocol messages.
+///
+/// Synchronous requests carry the client's request *epoch* — a per-client
+/// counter bumped for every new (not retransmitted) request — which the
+/// server echoes verbatim in the matching reply. The client discards any
+/// reply whose epoch is not its current one, which is what makes the
+/// protocol safe under message duplication and arbitrarily delayed replies:
+/// a late duplicate of an old reply can never complete a newer operation
+/// with stale data. Causal-family writes are asynchronous and instead carry
+/// their globally unique value as the identity that [`Msg::WriteAckCausal`]
+/// echoes.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Msg {
     /// Client → server: cache miss on `object`.
     FetchReq {
         /// The requested object.
         object: ObjectId,
+        /// The client's request epoch (echoed in the reply).
+        epoch: u64,
     },
     /// Server → client: the current version.
     FetchRep {
@@ -45,6 +62,8 @@ pub enum Msg {
         /// Server's local clock at reply time — the honest ending time the
         /// client may record for the version (`X^ω`).
         server_now: Time,
+        /// Epoch of the request being answered.
+        epoch: u64,
     },
     /// Client → server: is my cached version still current? Versions are
     /// identified by their (globally unique) value — the if-modified-since
@@ -54,6 +73,8 @@ pub enum Msg {
         object: ObjectId,
         /// Value of the cached version.
         value: Value,
+        /// The client's request epoch (echoed in the reply).
+        epoch: u64,
     },
     /// Server → client: validation verdict.
     ValidateRep {
@@ -63,10 +84,12 @@ pub enum Msg {
         outcome: ValidateOutcome,
         /// Server's local clock at reply time.
         server_now: Time,
+        /// Epoch of the request being answered.
+        epoch: u64,
     },
     /// Client → server: a write. In the physical family the server assigns
     /// `α` and acks; in the causal family `alpha_v` carries the writer's
-    /// vector stamp and no ack is needed.
+    /// vector stamp and the ack only stops retransmission.
     WriteReq {
         /// The written object.
         object: ObjectId,
@@ -77,6 +100,9 @@ pub enum Msg {
         /// Writer's local physical time (used as a tie-breaking hint and as
         /// the causal-family `α_t`).
         issued_at: Time,
+        /// The client's request epoch (physical family; causal writes are
+        /// asynchronous and send 0).
+        epoch: u64,
     },
     /// Server → client: physical-family write acknowledgement carrying the
     /// server-assigned `α`.
@@ -85,6 +111,18 @@ pub enum Msg {
         object: ObjectId,
         /// Server-assigned start time of the new version.
         alpha_t: Time,
+        /// Epoch of the request being answered.
+        epoch: u64,
+    },
+    /// Server → client: causal-family write acknowledgement. Purely a
+    /// retransmission stopper — the write was already applied locally and
+    /// recorded by the writer; the ack confirms the server has (or had)
+    /// received it, so the writer may drop it from its unacked buffer.
+    WriteAckCausal {
+        /// The written object.
+        object: ObjectId,
+        /// The acknowledged write's (globally unique) value.
+        value: Value,
     },
     /// Server → clients: push-mode invalidation of `object` (any cached
     /// version with an older `α` is dead).
@@ -106,29 +144,30 @@ mod tests {
     fn messages_are_cloneable_and_comparable() {
         let m = Msg::FetchReq {
             object: ObjectId::from_letter('A'),
+            epoch: 1,
         };
         assert_eq!(m.clone(), m);
         let v = WireVersion {
             value: Value::new(5),
             alpha_t: Time::from_ticks(10),
             alpha_v: None,
+            tiebreak: (Time::from_ticks(10), 1),
         };
         let rep = Msg::FetchRep {
             object: ObjectId::from_letter('A'),
             version: v.clone(),
             server_now: Time::from_ticks(11),
+            epoch: 1,
         };
         assert_ne!(rep, m);
-        assert_eq!(
-            ValidateOutcome::Newer(v.clone()),
-            ValidateOutcome::Newer(v)
-        );
+        assert_eq!(ValidateOutcome::Newer(v.clone()), ValidateOutcome::Newer(v));
         assert_ne!(
             ValidateOutcome::StillValid,
             ValidateOutcome::Newer(WireVersion {
                 value: Value::new(1),
                 alpha_t: Time::ZERO,
-                alpha_v: None
+                alpha_v: None,
+                tiebreak: (Time::ZERO, 0)
             })
         );
     }

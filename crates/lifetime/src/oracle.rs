@@ -1,0 +1,262 @@
+//! Checker-in-the-loop conformance oracle for (faulted) protocol runs.
+//!
+//! A fault plan is allowed to make a run *slower* — retries, outage
+//! windows, crash recovery all cost time — but never allowed to make the
+//! protocol *lie*: the untimed guarantee of the configured level (SC for
+//! the physical family, causal convergence for the causal family) must
+//! hold unconditionally, and the timed guarantee must hold within a bound
+//! widened by exactly what the plan can physically cause. Rule 3 raising
+//! `Context_i` is what masks late messages; if it ever failed to, this
+//! oracle is where the violation surfaces.
+//!
+//! The widened bound for a run with threshold Δ is
+//!
+//! ```text
+//! Δ + k·lat + 2·ε_eff + disruption + slack
+//! ```
+//!
+//! where `k` is the protocol's round-trip factor (2 for TSC, 4 for TCC —
+//! the same constants the fault-free harness tests assert), `lat` is the
+//! network's worst-case one-way latency, `ε_eff` is the clock bound
+//! inflated by injected skew ([`crate::RunResult::epsilon`] of a faulted
+//! run), `disruption` is [`FaultPlan::max_disruption`] plus one client
+//! retry interval whenever the plan can black-hole a message (the protocol
+//! notices a loss only at its next retry), and `slack` absorbs the ±1
+//! rounding of event scheduling and trace recording.
+//!
+//! An unbounded-latency network (exponential model) admits no finite
+//! bound, and so does a plan whose disruption is unbounded — an outage
+//! rule with a never-closing window can defeat every retransmission
+//! ([`FaultPlan::max_disruption`] returns `None`). In both cases the
+//! oracle checks only the untimed guarantee and reports
+//! [`Conformance::bound`] as `None`.
+
+use tc_clocks::{Delta, Epsilon};
+use tc_core::checker::{
+    check_on_time, min_delta_eps, satisfies_ccv, satisfies_sc_with, Outcome, SearchOptions,
+};
+use tc_sim::FaultPlan;
+
+use crate::client::RETRY_AFTER;
+use crate::{ProtocolKind, RunConfig, RunResult};
+
+/// The oracle's judgement of one run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OracleVerdict {
+    /// Every operation completed and every guarantee held within the
+    /// fault-widened bound.
+    Conforms,
+    /// The run traded progress for safety: not every operation completed
+    /// (the protocol stalled against an outage), but everything that *was*
+    /// recorded satisfies the guarantees. This is correct degradation —
+    /// faults may stall the protocol, never make it lie.
+    Stalled,
+    /// A guarantee was broken — a protocol bug, not an acceptable fault
+    /// response.
+    Violated(
+        /// What broke, for the failing assertion's message.
+        String,
+    ),
+}
+
+/// Everything the oracle measured while judging a run.
+#[derive(Clone, Debug)]
+pub struct Conformance {
+    /// The judgement.
+    pub verdict: OracleVerdict,
+    /// Smallest Δ for which the recorded history is timed (under the run's
+    /// effective ε).
+    pub observed_staleness: Delta,
+    /// The widened staleness bound the oracle enforced, if the protocol
+    /// level has a timed guarantee and the network has a finite latency
+    /// bound.
+    pub bound: Option<Delta>,
+    /// Operations actually recorded.
+    pub ops_recorded: usize,
+    /// Operations the workload was configured to perform.
+    pub ops_expected: usize,
+}
+
+impl Conformance {
+    /// Whether the verdict is anything other than [`OracleVerdict::Violated`].
+    #[must_use]
+    pub fn acceptable(&self) -> bool {
+        !matches!(self.verdict, OracleVerdict::Violated(_))
+    }
+}
+
+/// The widened staleness bound for `config` under `plan`, or `None` when
+/// the protocol level is untimed, the network latency is unbounded, or
+/// the plan's disruption is unbounded.
+#[must_use]
+pub fn widened_bound(config: &RunConfig, plan: &FaultPlan, eps: Epsilon) -> Option<Delta> {
+    let (delta, round_trips) = match config.protocol.kind {
+        ProtocolKind::Tsc { delta } => (delta, 2),
+        ProtocolKind::Tcc { delta } => (delta, 4),
+        _ => return None,
+    };
+    let lat = config.world.net.latency.upper_bound()?;
+    let disruption = plan.max_disruption()?;
+    let retry = if disruption.ticks() > 0 {
+        RETRY_AFTER.ticks()
+    } else {
+        0
+    };
+    Some(Delta::from_ticks(
+        delta.ticks()
+            + round_trips * lat.ticks()
+            + 2 * eps.ticks()
+            + disruption.ticks()
+            + retry
+            + 4,
+    ))
+}
+
+/// Judges one run against the guarantees its configuration promises,
+/// widened by what `plan` may legitimately cost. `result` must come from
+/// [`crate::harness::run_with_faults`] with the same `config` and `plan`
+/// (its `epsilon` already includes injected skew).
+#[must_use]
+pub fn conformance(config: &RunConfig, plan: &FaultPlan, result: &RunResult) -> Conformance {
+    let eps = result.epsilon;
+    let ops_expected = config.n_clients * config.ops_per_client;
+    let ops_recorded = result.history.len();
+    let observed = min_delta_eps(&result.history, eps);
+    let bound = widened_bound(config, plan, eps);
+
+    let mut violation: Option<String> = None;
+    let mut note = |broken: String| {
+        if violation.is_none() {
+            violation = Some(broken);
+        }
+    };
+
+    // Untimed safety holds unconditionally, on whatever prefix completed.
+    if config.protocol.kind.is_causal_family() {
+        if satisfies_ccv(&result.history) != Outcome::Satisfied {
+            note("causal convergence (CCv) violated".to_string());
+        }
+    } else if !satisfies_sc_with(&result.history, SearchOptions::default())
+        .outcome()
+        .holds()
+    {
+        note("sequential consistency violated".to_string());
+    }
+
+    // Timed safety holds within the widened bound.
+    if let Some(bound) = bound {
+        let timed = check_on_time(&result.history, bound, eps);
+        if !timed.holds() {
+            note(format!(
+                "timed bound broken: observed staleness {} exceeds widened bound {} \
+                 (Δ-violating reads survived the fault plan)",
+                observed.ticks(),
+                bound.ticks()
+            ));
+        }
+    }
+
+    let verdict = match violation {
+        Some(v) => OracleVerdict::Violated(v),
+        None if ops_recorded < ops_expected => OracleVerdict::Stalled,
+        None => OracleVerdict::Conforms,
+    };
+    Conformance {
+        verdict,
+        observed_staleness: observed,
+        bound,
+        ops_recorded,
+        ops_expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run, run_with_faults, ProtocolConfig};
+    use tc_sim::workload::Workload;
+    use tc_sim::WorldConfig;
+
+    fn cfg(kind: ProtocolKind, seed: u64) -> RunConfig {
+        RunConfig {
+            protocol: ProtocolConfig::of(kind),
+            n_clients: 3,
+            workload: Workload::new(4, 0.8, 0.7, (Delta::from_ticks(5), Delta::from_ticks(40))),
+            ops_per_client: 30,
+            world: WorldConfig::deterministic(Delta::from_ticks(3), seed),
+        }
+    }
+
+    #[test]
+    fn fault_free_runs_conform() {
+        for kind in [
+            ProtocolKind::Sc,
+            ProtocolKind::Tsc {
+                delta: Delta::from_ticks(60),
+            },
+            ProtocolKind::Cc,
+            ProtocolKind::Tcc {
+                delta: Delta::from_ticks(60),
+            },
+        ] {
+            let config = cfg(kind, 21);
+            let result = run(&config);
+            let c = conformance(&config, &FaultPlan::none(), &result);
+            assert_eq!(c.verdict, OracleVerdict::Conforms, "{}", kind.label());
+            assert_eq!(c.ops_recorded, c.ops_expected);
+        }
+    }
+
+    #[test]
+    fn widened_bound_accounts_for_the_plan() {
+        let config = cfg(
+            ProtocolKind::Tsc {
+                delta: Delta::from_ticks(60),
+            },
+            0,
+        );
+        let quiet = widened_bound(&config, &FaultPlan::none(), Epsilon::ZERO).unwrap();
+        let noisy_plan = FaultPlan::none().partition(tc_sim::Window::ticks(100, 400), vec![0]);
+        let noisy = widened_bound(&config, &noisy_plan, Epsilon::ZERO).unwrap();
+        // 300 ticks of outage plus one retry interval.
+        assert_eq!(noisy.ticks(), quiet.ticks() + 300 + 500);
+        assert_eq!(
+            widened_bound(&config, &FaultPlan::none(), Epsilon::from_ticks(5))
+                .unwrap()
+                .ticks(),
+            quiet.ticks() + 10
+        );
+        // Untimed levels have no bound.
+        assert_eq!(
+            widened_bound(&cfg(ProtocolKind::Sc, 0), &FaultPlan::none(), Epsilon::ZERO),
+            None
+        );
+        // Nor do plans whose disruption never heals: a whole-run drop rule
+        // can defeat every retransmission, so no finite widening is sound.
+        let endless = FaultPlan::none().with(
+            tc_sim::Window::always(),
+            tc_sim::Scope::All,
+            tc_sim::FaultKind::Drop { probability: 0.1 },
+        );
+        assert_eq!(widened_bound(&config, &endless, Epsilon::ZERO), None);
+    }
+
+    #[test]
+    fn faulted_run_is_judged_with_the_widened_bound() {
+        let config = cfg(
+            ProtocolKind::Tcc {
+                delta: Delta::from_ticks(60),
+            },
+            5,
+        );
+        let plan = FaultPlan::none().with(
+            tc_sim::Window::ticks(200, 600),
+            tc_sim::Scope::All,
+            tc_sim::FaultKind::Drop { probability: 1.0 },
+        );
+        let result = run_with_faults(&config, plan.clone());
+        let c = conformance(&config, &plan, &result);
+        assert!(c.acceptable(), "verdict: {:?}", c.verdict);
+        assert!(c.bound.unwrap() >= Delta::from_ticks(60 + 400));
+    }
+}

@@ -41,11 +41,22 @@ impl Stored {
             value: self.value,
             alpha_t: self.alpha_t,
             alpha_v: self.alpha_v.clone(),
+            tiebreak: self.tiebreak,
         }
     }
 }
 
 /// The server node.
+///
+/// # Crash durability
+///
+/// Under injected crash–restart the store itself (`versions`, `last_alpha`,
+/// the write dedup map and the causal delivery cursor) is durable — it
+/// models disk. `known_clients` is
+/// volatile session state: after a restart, push invalidations flow only to
+/// clients that contact the server again. That is safe for the timed
+/// guarantees because pushes are an optimization; the Δ bound is enforced
+/// by the client-side lifetime rules alone.
 pub struct ServerNode {
     config: ProtocolConfig,
     versions: HashMap<ObjectId, Stored>,
@@ -55,6 +66,20 @@ pub struct ServerNode {
     /// cannot cache anything without contacting the server first, so this
     /// set always covers every cache holding data.
     known_clients: BTreeSet<NodeId>,
+    /// Physical-family writes already applied, by (globally unique) value,
+    /// with the α each was assigned. A duplicated or retransmitted
+    /// `WriteReq` is answered with the *original* α instead of being
+    /// re-applied — re-applying would assign a fresh α and clobber newer
+    /// writes to the same object.
+    applied_physical: HashMap<Value, Time>,
+    /// Per-writer causal delivery cursor: the writer-component of the last
+    /// causal write applied from each client node (durable — part of the
+    /// store). A causal write whose own vector-clock entry skips past
+    /// `cursor + 1` depends on an earlier write of the same client that is
+    /// still in flight (lost or reordered away); applying it would leave a
+    /// causal gap in the store, so it is ignored (no ack) until the
+    /// client's retransmit loop re-delivers the writes in order.
+    causal_applied: HashMap<usize, u64>,
     /// Total writes applied (dropped LWW losers excluded).
     pub writes_applied: u64,
 }
@@ -68,6 +93,8 @@ impl ServerNode {
             versions: HashMap::new(),
             last_alpha: Time::ZERO,
             known_clients: BTreeSet::new(),
+            applied_physical: HashMap::new(),
+            causal_applied: HashMap::new(),
             writes_applied: 0,
         }
     }
@@ -128,11 +155,17 @@ impl ServerNode {
 impl Process for ServerNode {
     type Msg = Msg;
 
+    fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
+        ctx.metrics().incr("server_restart");
+        // The store is disk-backed; only session state is lost.
+        self.known_clients.clear();
+    }
+
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
         self.known_clients.insert(from);
         let server_now = ctx.local_now();
         match msg {
-            Msg::FetchReq { object } => {
+            Msg::FetchReq { object, epoch } => {
                 ctx.metrics().incr("server_fetch");
                 let version = self.current(object).wire();
                 ctx.send(
@@ -141,10 +174,15 @@ impl Process for ServerNode {
                         object,
                         version,
                         server_now,
+                        epoch,
                     },
                 );
             }
-            Msg::ValidateReq { object, value } => {
+            Msg::ValidateReq {
+                object,
+                value,
+                epoch,
+            } => {
                 ctx.metrics().incr("server_validate");
                 let current = self.current(object);
                 let outcome = if current.value == value {
@@ -158,6 +196,7 @@ impl Process for ServerNode {
                         object,
                         outcome,
                         server_now,
+                        epoch,
                     },
                 );
             }
@@ -166,28 +205,62 @@ impl Process for ServerNode {
                 value,
                 alpha_v,
                 issued_at,
+                epoch,
             } => {
                 ctx.metrics().incr("server_write");
                 if let Some(alpha_v) = alpha_v {
-                    // Causal family: the writer already stamped the version;
-                    // apply with LWW and push if configured. No ack needed.
-                    let stored = Stored {
-                        value,
-                        alpha_t: issued_at,
-                        alpha_v: Some(alpha_v),
-                        tiebreak: (issued_at, from.index()),
-                    };
-                    let snapshot = stored.clone();
-                    if self.apply_causal(object, stored) {
-                        self.push_invalidations(ctx, object, from, &snapshot);
+                    // Causal family: the writer already stamped the version.
+                    // Every causal dependency a client can acquire flows
+                    // through this server, so the store stays causally
+                    // closed iff each client's writes apply in per-writer
+                    // order — enforce that with the delivery cursor before
+                    // the LWW apply (which stays idempotent under
+                    // duplicates: an Equal stamp never wins).
+                    let seq = alpha_v.own_entry();
+                    let cursor = self.causal_applied.get(&from.index()).copied().unwrap_or(0);
+                    if seq > cursor + 1 {
+                        // A causal gap: an earlier write of this client was
+                        // lost or detoured. No ack — the client retransmits
+                        // its unacked writes in order until the gap closes.
+                        ctx.metrics().incr("server_write_gap");
+                        return;
                     }
+                    if seq == cursor + 1 {
+                        self.causal_applied.insert(from.index(), seq);
+                        let stored = Stored {
+                            value,
+                            alpha_t: issued_at,
+                            alpha_v: Some(alpha_v),
+                            tiebreak: (issued_at, from.index()),
+                        };
+                        let snapshot = stored.clone();
+                        if self.apply_causal(object, stored) {
+                            self.push_invalidations(ctx, object, from, &snapshot);
+                        }
+                    } else {
+                        ctx.metrics().incr("server_write_dup");
+                    }
+                    ctx.send(from, Msg::WriteAckCausal { object, value });
                 } else {
                     // Physical family: the server linearizes writes by
                     // assigning strictly increasing start times, then acks.
-                    let alpha = Time::from_ticks(
-                        server_now.ticks().max(self.last_alpha.ticks() + 1),
-                    );
+                    // A replayed write keeps its original α.
+                    if let Some(&alpha) = self.applied_physical.get(&value) {
+                        ctx.metrics().incr("server_write_dup");
+                        ctx.send(
+                            from,
+                            Msg::WriteAck {
+                                object,
+                                alpha_t: alpha,
+                                epoch,
+                            },
+                        );
+                        return;
+                    }
+                    let alpha =
+                        Time::from_ticks(server_now.ticks().max(self.last_alpha.ticks() + 1));
                     self.last_alpha = alpha;
+                    self.applied_physical.insert(value, alpha);
                     let stored = Stored {
                         value,
                         alpha_t: alpha,
@@ -197,7 +270,14 @@ impl Process for ServerNode {
                     let snapshot = stored.clone();
                     self.versions.insert(object, stored);
                     self.writes_applied += 1;
-                    ctx.send(from, Msg::WriteAck { object, alpha_t: alpha });
+                    ctx.send(
+                        from,
+                        Msg::WriteAck {
+                            object,
+                            alpha_t: alpha,
+                            epoch,
+                        },
+                    );
                     self.push_invalidations(ctx, object, from, &snapshot);
                 }
             }
@@ -205,6 +285,7 @@ impl Process for ServerNode {
             Msg::FetchRep { .. }
             | Msg::ValidateRep { .. }
             | Msg::WriteAck { .. }
+            | Msg::WriteAckCausal { .. }
             | Msg::InvalidatePush { .. } => {
                 unreachable!("server received a client-bound message")
             }

@@ -10,6 +10,9 @@
 //!   deterministic in the seed.
 //! * [`NetworkModel`] / [`LatencyModel`] — constant, uniform or exponential
 //!   message latencies, optional FIFO channels, and message drops.
+//! * [`fault`] — deterministic fault injection layered on top of the
+//!   network and clock models: scheduled message drops, duplication,
+//!   reordering, partitions, clock-skew spikes, and crash–restart.
 //! * [`workload`] — Zipf object popularity and operation-mix samplers.
 //! * [`Metrics`] — counters and power-of-two histograms shared by every
 //!   experiment.
@@ -23,12 +26,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 mod metrics;
 mod net;
 mod trace;
 pub mod workload;
 mod world;
 
+pub use fault::{FaultKind, FaultPlan, FaultRule, Scope, Window};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use net::{LatencyModel, NetworkModel};
 pub use trace::TraceRecorder;

@@ -181,6 +181,78 @@ mod tests {
     }
 
     #[test]
+    fn uniform_latency_degenerates_when_lo_equals_hi() {
+        let m = LatencyModel::Uniform {
+            lo: Delta::from_ticks(4),
+            hi: Delta::from_ticks(4),
+        };
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(m.sample(&mut r), Delta::from_ticks(4));
+        }
+        assert_eq!(m.upper_bound(), Some(Delta::from_ticks(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn uniform_latency_rejects_inverted_bounds() {
+        let m = LatencyModel::Uniform {
+            lo: Delta::from_ticks(5),
+            hi: Delta::from_ticks(2),
+        };
+        let _ = m.sample(&mut rng());
+    }
+
+    #[test]
+    fn exponential_latency_clamps_to_min_when_mean_is_tiny() {
+        // With mean far below the floor, nearly every raw draw lands under
+        // `min`; the clamp must make the floor the sample, never less.
+        let m = LatencyModel::Exponential {
+            mean: Delta::from_ticks(1),
+            min: Delta::from_ticks(30),
+        };
+        let mut r = rng();
+        let mut clamped = 0;
+        for _ in 0..500 {
+            let d = m.sample(&mut r);
+            assert!(d.ticks() >= 30);
+            clamped += u64::from(d.ticks() == 30);
+        }
+        assert!(clamped >= 490, "only {clamped}/500 draws hit the floor");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_the_seed() {
+        for m in [
+            LatencyModel::Constant(Delta::from_ticks(7)),
+            LatencyModel::Uniform {
+                lo: Delta::from_ticks(1),
+                hi: Delta::from_ticks(90),
+            },
+            LatencyModel::Exponential {
+                mean: Delta::from_ticks(50),
+                min: Delta::from_ticks(10),
+            },
+        ] {
+            let mut a = StdRng::seed_from_u64(99);
+            let mut b = StdRng::seed_from_u64(99);
+            let first: Vec<Delta> = (0..200).map(|_| m.sample(&mut a)).collect();
+            let second: Vec<Delta> = (0..200).map(|_| m.sample(&mut b)).collect();
+            assert_eq!(first, second, "{m:?} must replay identically");
+        }
+        // And a different seed actually changes the stream.
+        let m = LatencyModel::Uniform {
+            lo: Delta::from_ticks(1),
+            hi: Delta::from_ticks(90),
+        };
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(100);
+        let first: Vec<Delta> = (0..200).map(|_| m.sample(&mut a)).collect();
+        let second: Vec<Delta> = (0..200).map(|_| m.sample(&mut b)).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
     fn drop_probability_zero_never_drops() {
         let m = NetworkModel::reliable(Delta::from_ticks(1));
         let mut r = rng();
@@ -199,6 +271,9 @@ mod tests {
     fn profiles_are_sane() {
         assert!(NetworkModel::lan().fifo);
         assert!(!NetworkModel::wan().fifo);
-        assert_eq!(NetworkModel::reliable(Delta::from_ticks(2)).drop_probability, 0.0);
+        assert_eq!(
+            NetworkModel::reliable(Delta::from_ticks(2)).drop_probability,
+            0.0
+        );
     }
 }

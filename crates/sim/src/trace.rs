@@ -23,6 +23,7 @@ pub struct TraceRecorder {
     builder: HistoryBuilder,
     last_time: Vec<u64>,
     next_value: u64,
+    recorded: usize,
 }
 
 impl TraceRecorder {
@@ -33,6 +34,7 @@ impl TraceRecorder {
             builder: HistoryBuilder::new(),
             last_time: Vec::new(),
             next_value: 1,
+            recorded: 0,
         }
     }
 
@@ -47,12 +49,14 @@ impl TraceRecorder {
     pub fn record_write(&mut self, site: SiteId, object: ObjectId, value: Value, at: Time) {
         let t = self.monotone_time(site, at);
         self.builder.write(site, object, value, t);
+        self.recorded += 1;
     }
 
     /// Records a read by `site` returning `value` at effective time `at`.
     pub fn record_read(&mut self, site: SiteId, object: ObjectId, value: Value, at: Time) {
         let t = self.monotone_time(site, at);
         self.builder.read(site, object, value, t);
+        self.recorded += 1;
     }
 
     /// Records a write that also carries the writer's logical timestamp
@@ -68,6 +72,7 @@ impl TraceRecorder {
         let t = self.monotone_time(site, at);
         let id = self.builder.write(site, object, value, t);
         self.builder.set_logical(id, logical);
+        self.recorded += 1;
     }
 
     /// Records a read that also carries the reader's logical timestamp.
@@ -82,6 +87,21 @@ impl TraceRecorder {
         let t = self.monotone_time(site, at);
         let id = self.builder.read(site, object, value, t);
         self.builder.set_logical(id, logical);
+        self.recorded += 1;
+    }
+
+    /// Operations recorded so far. Fault-injection tests compare this
+    /// against the workload's target to distinguish "the protocol stalled"
+    /// (fewer ops, still safe) from "the protocol lied" (checker failure).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.recorded
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Finishes the trace.

@@ -113,12 +113,16 @@ impl Workload {
     /// mild skew, 70% reads, short think times.
     #[must_use]
     pub fn interactive() -> Self {
-        Workload::new(
-            16,
-            0.5,
-            0.7,
-            (Delta::from_ticks(5), Delta::from_ticks(30)),
-        )
+        Workload::new(16, 0.5, 0.7, (Delta::from_ticks(5), Delta::from_ticks(30)))
+    }
+
+    /// An adversarial workload for fault-injection tests: 3 hot objects
+    /// under heavy contention (Zipf 1.2), half writes, short think times —
+    /// maximizes the windows in which a masked fault could surface as a
+    /// stale read or a lost write.
+    #[must_use]
+    pub fn adversarial() -> Self {
+        Workload::new(3, 1.2, 0.5, (Delta::from_ticks(5), Delta::from_ticks(25)))
     }
 
     /// Samples the next operation: kind, object index, and think time

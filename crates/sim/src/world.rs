@@ -10,7 +10,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tc_clocks::{Delta, DriftingClock, Epsilon, SyncedClock, Time};
 
+use crate::fault::FaultPlan;
 use crate::{Metrics, NetworkModel};
+
+/// Seed perturbation for the fault RNG stream: faults draw from their own
+/// generator so an inactive fault plan cannot shift the base simulation's
+/// random choices.
+const FAULT_SEED_XOR: u64 = 0xFA41_7FA4_17FA_4170;
 
 /// Identifies a node (process) within one [`World`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -44,6 +50,15 @@ pub trait Process: Any {
     /// Called when a timer set via [`Context::set_timer`] fires.
     fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, token: u64) {
         let _ = (ctx, token);
+    }
+
+    /// Called when the node restarts after an injected crash
+    /// ([`crate::FaultKind::Crash`]). While down the node receives nothing
+    /// and all its pending timers die; implementations should discard
+    /// volatile state (caches) here, keep only what the protocol declares
+    /// durable, and re-arm whatever timers drive their main loop.
+    fn on_restart(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
     }
 }
 
@@ -189,8 +204,20 @@ struct Event<M> {
 
 enum EventKind<M> {
     Start(NodeId),
-    Deliver { to: NodeId, from: NodeId, msg: M },
-    Timer { node: NodeId, token: u64 },
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+        // Timers are tagged with the incarnation that set them, so a crash
+        // (which bumps the incarnation) retires every pending timer.
+        incarnation: u64,
+    },
+    Crash(NodeId),
+    Restart(NodeId),
 }
 
 impl<M> PartialEq for Event<M> {
@@ -258,13 +285,18 @@ pub struct World<M> {
     fifo_last: HashMap<(NodeId, NodeId), Time>,
     epsilon: Epsilon,
     started: bool,
+    faults: FaultPlan,
+    fault_rng: StdRng,
+    incarnations: Vec<u64>,
+    down: Vec<bool>,
 }
 
-impl<M: 'static> World<M> {
+impl<M: Clone + 'static> World<M> {
     /// Creates an empty world.
     #[must_use]
     pub fn new(config: WorldConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
+        let fault_rng = StdRng::seed_from_u64(config.seed ^ FAULT_SEED_XOR);
         let epsilon = config.clock.epsilon();
         World {
             config,
@@ -278,7 +310,44 @@ impl<M: 'static> World<M> {
             fifo_last: HashMap::new(),
             epsilon,
             started: false,
+            faults: FaultPlan::none(),
+            fault_rng,
+            incarnations: Vec::new(),
+            down: Vec::new(),
         }
+    }
+
+    /// Installs a fault plan. Crash rules are scheduled immediately as
+    /// crash/restart events; message and clock rules are consulted as the
+    /// run proceeds. Call after adding the nodes the plan refers to and
+    /// before the world runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world has already started, or if a rule names a node
+    /// index that does not exist yet.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            !self.started,
+            "fault plans must be installed before the world runs"
+        );
+        for (node, crash_at, restart_at) in plan.crash_schedule() {
+            assert!(
+                node < self.procs.len(),
+                "crash rule names unknown node {node}"
+            );
+            self.push_event(crash_at, EventKind::Crash(NodeId(node)));
+            if restart_at < Time::MAX {
+                self.push_event(restart_at, EventKind::Restart(NodeId(node)));
+            }
+        }
+        self.faults = plan;
+    }
+
+    /// The installed fault plan (empty by default).
+    #[must_use]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Adds a node; its [`Process::on_start`] runs at time 0 in insertion
@@ -309,6 +378,8 @@ impl<M: 'static> World<M> {
             }
         };
         self.clocks.push(clock);
+        self.incarnations.push(0);
+        self.down.push(false);
         self.push_event(Time::ZERO, EventKind::Start(id));
         id
     }
@@ -389,6 +460,16 @@ impl<M: 'static> World<M> {
     }
 
     fn local_reading(&mut self, node: NodeId) -> Time {
+        let base = self.base_reading(node);
+        let skew = self.faults.skew(self.now, node.0);
+        if skew == 0 {
+            base
+        } else {
+            Time::from_ticks((base.ticks() as i64).saturating_add(skew).max(0) as u64)
+        }
+    }
+
+    fn base_reading(&mut self, node: NodeId) -> Time {
         let now = self.now;
         match &mut self.clocks[node.0] {
             None => now,
@@ -414,16 +495,41 @@ impl<M: 'static> World<M> {
     }
 
     fn dispatch(&mut self, ev: Event<M>) {
-        let (node, action): (NodeId, Box<dyn FnOnce(&mut dyn Process<Msg = M>, &mut Context<'_, M>)>) =
-            match ev.kind {
-                EventKind::Start(node) => (node, Box::new(|p, ctx| p.on_start(ctx))),
-                EventKind::Deliver { to, from, msg } => {
-                    (to, Box::new(move |p, ctx| p.on_message(ctx, from, msg)))
+        type Action<'a, M> = Box<dyn FnOnce(&mut dyn Process<Msg = M>, &mut Context<'_, M>) + 'a>;
+        let (node, action): (NodeId, Action<'_, M>) = match ev.kind {
+            EventKind::Start(node) => (node, Box::new(|p, ctx| p.on_start(ctx))),
+            EventKind::Deliver { to, from, msg } => {
+                if self.down[to.0] {
+                    // A crashed node hears nothing; in-flight messages
+                    // addressed to it are lost, exactly like packets to
+                    // a dead host.
+                    self.metrics.incr("fault_dropped_down");
+                    return;
                 }
-                EventKind::Timer { node, token } => {
-                    (node, Box::new(move |p, ctx| p.on_timer(ctx, token)))
+                (to, Box::new(move |p, ctx| p.on_message(ctx, from, msg)))
+            }
+            EventKind::Timer {
+                node,
+                token,
+                incarnation,
+            } => {
+                if self.down[node.0] || incarnation != self.incarnations[node.0] {
+                    return; // timer set by a previous incarnation
                 }
-            };
+                (node, Box::new(move |p, ctx| p.on_timer(ctx, token)))
+            }
+            EventKind::Crash(node) => {
+                self.incarnations[node.0] += 1;
+                self.down[node.0] = true;
+                self.metrics.incr("crash");
+                return;
+            }
+            EventKind::Restart(node) => {
+                self.down[node.0] = false;
+                self.metrics.incr("restart");
+                (node, Box::new(|p, ctx| p.on_restart(ctx)))
+            }
+        };
 
         let local_now = self.local_reading(node);
         let mut proc = self.procs[node.0].take().expect("node exists");
@@ -439,12 +545,17 @@ impl<M: 'static> World<M> {
             n_nodes: self.procs.len(),
         };
         action(proc.as_mut(), &mut ctx);
-        let Context {
-            outbox, timers, ..
-        } = ctx;
+        let Context { outbox, timers, .. } = ctx;
         self.procs[node.0] = Some(proc);
 
         for (to, msg) in outbox {
+            if self
+                .faults
+                .kills_message(self.now, node.0, to.0, &mut self.fault_rng)
+            {
+                self.metrics.incr("fault_dropped");
+                continue;
+            }
             if self.config.net.drops(&mut self.rng) {
                 self.metrics.incr("dropped");
                 continue;
@@ -452,18 +563,54 @@ impl<M: 'static> World<M> {
             let latency = self.config.net.latency.sample(&mut self.rng);
             let mut arrival = self.now + latency;
             if self.config.net.fifo {
-                let last = self
-                    .fifo_last
-                    .entry((node, to))
-                    .or_insert(Time::ZERO);
+                let last = self.fifo_last.entry((node, to)).or_insert(Time::ZERO);
                 arrival = arrival.max(*last);
                 *last = arrival;
             }
-            self.push_event(arrival, EventKind::Deliver { to, from: node, msg });
+            // Reorder jitter is applied after the FIFO clamp (and without
+            // updating it): the fault models a multipath detour that
+            // genuinely reorders even on an otherwise-FIFO network.
+            let jitter = self
+                .faults
+                .reorder_jitter(self.now, node.0, to.0, &mut self.fault_rng);
+            if jitter.ticks() > 0 {
+                self.metrics.incr("fault_jittered");
+            }
+            let arrival = arrival + jitter;
+            let dup = self
+                .faults
+                .duplicates(self.now, node.0, to.0, &mut self.fault_rng);
+            if let Some(lag) = dup {
+                self.metrics.incr("fault_duplicated");
+                let copy_at = arrival + Delta::from_ticks(lag.ticks().max(1));
+                self.push_event(
+                    copy_at,
+                    EventKind::Deliver {
+                        to,
+                        from: node,
+                        msg: msg.clone(),
+                    },
+                );
+            }
+            self.push_event(
+                arrival,
+                EventKind::Deliver {
+                    to,
+                    from: node,
+                    msg,
+                },
+            );
         }
         for (after, token) in timers {
             let at = self.now + Delta::from_ticks(after.ticks().max(1));
-            self.push_event(at, EventKind::Timer { node, token });
+            self.push_event(
+                at,
+                EventKind::Timer {
+                    node,
+                    token,
+                    incarnation: self.incarnations[node.0],
+                },
+            );
         }
     }
 }
@@ -542,7 +689,13 @@ mod tests {
         let b = w.add_node(Counter::new(None));
         let _a = w.add_node(Counter::new(Some(b)));
         w.run_until(Time::from_ticks(1_000));
-        let msgs: Vec<u32> = w.node::<Counter>(b).unwrap().received.iter().map(|(_, m)| *m).collect();
+        let msgs: Vec<u32> = w
+            .node::<Counter>(b)
+            .unwrap()
+            .received
+            .iter()
+            .map(|(_, m)| *m)
+            .collect();
         assert_eq!(msgs, vec![1, 2, 3]);
     }
 
@@ -567,8 +720,13 @@ mod tests {
             let b = w.add_node(Counter::new(None));
             let _a = w.add_node(Counter::new(Some(b)));
             w.run_until(Time::from_ticks(1_000));
-            let msgs: Vec<u32> =
-                w.node::<Counter>(b).unwrap().received.iter().map(|(_, m)| *m).collect();
+            let msgs: Vec<u32> = w
+                .node::<Counter>(b)
+                .unwrap()
+                .received
+                .iter()
+                .map(|(_, m)| *m)
+                .collect();
             if msgs != vec![1, 2, 3] {
                 reordered = true;
                 break;
@@ -668,6 +826,185 @@ mod tests {
         let _a = w.add_node(Counter::new(Some(b)));
         // 2 starts + 3 deliveries + 2 timers.
         assert_eq!(w.run_to_quiescence(100), 7);
+    }
+
+    struct Restartable {
+        peer: Option<NodeId>,
+        received: Vec<(Time, u32)>,
+        restarts: u32,
+        locals: Vec<(Time, Time)>,
+    }
+
+    impl Restartable {
+        fn new(peer: Option<NodeId>) -> Self {
+            Restartable {
+                peer,
+                received: Vec::new(),
+                restarts: 0,
+                locals: Vec::new(),
+            }
+        }
+    }
+
+    impl Process for Restartable {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.set_timer(Delta::from_ticks(10), 0);
+        }
+
+        fn on_message(&mut self, ctx: &mut Context<'_, u32>, _from: NodeId, msg: u32) {
+            self.received.push((ctx.true_now(), msg));
+        }
+
+        fn on_timer(&mut self, ctx: &mut Context<'_, u32>, _token: u64) {
+            self.locals.push((ctx.true_now(), ctx.local_now()));
+            if let Some(peer) = self.peer {
+                ctx.send(peer, self.locals.len() as u32);
+            }
+            if ctx.true_now() < Time::from_ticks(200) {
+                ctx.set_timer(Delta::from_ticks(10), 0);
+            }
+        }
+
+        fn on_restart(&mut self, ctx: &mut Context<'_, u32>) {
+            self.restarts += 1;
+            ctx.set_timer(Delta::from_ticks(10), 0);
+        }
+    }
+
+    use crate::fault::{FaultKind, FaultPlan, Scope, Window};
+
+    fn faulted_pair(plan: FaultPlan) -> (World<u32>, NodeId, NodeId) {
+        let mut w: World<u32> = World::new(WorldConfig::deterministic(Delta::from_ticks(5), 4));
+        let sink = w.add_node(Restartable::new(None));
+        let src = w.add_node(Restartable::new(Some(sink)));
+        w.set_fault_plan(plan);
+        (w, sink, src)
+    }
+
+    #[test]
+    fn crash_retires_timers_and_drops_deliveries_then_restarts() {
+        let plan = FaultPlan::none().crash(Window::ticks(15, 95), 0);
+        let (mut w, sink, _src) = faulted_pair(plan);
+        w.run_until(Time::from_ticks(300));
+        let node = w.node::<Restartable>(sink).unwrap();
+        assert_eq!(node.restarts, 1);
+        // The sink's pre-crash self-timer chain dies with the crash and is
+        // re-armed only by on_restart: no local readings in [15, 95).
+        assert!(node
+            .locals
+            .iter()
+            .all(|(t, _)| t.ticks() < 15 || t.ticks() >= 95));
+        // Messages sent to it while down are dropped, and the source keeps
+        // sending every 10 ticks throughout.
+        assert!(w.metrics().get("fault_dropped_down") > 0);
+        assert!(node
+            .received
+            .iter()
+            .all(|(t, _)| t.ticks() < 15 || t.ticks() >= 95));
+        assert_eq!(w.metrics().get("crash"), 1);
+        assert_eq!(w.metrics().get("restart"), 1);
+    }
+
+    #[test]
+    fn partition_drops_cross_traffic_until_heal() {
+        let plan = FaultPlan::none().partition(Window::ticks(0, 100), vec![0]);
+        let (mut w, sink, _src) = faulted_pair(plan);
+        w.run_until(Time::from_ticks(300));
+        let node = w.node::<Restartable>(sink).unwrap();
+        assert!(w.metrics().get("fault_dropped") >= 9);
+        assert!(!node.received.is_empty());
+        assert!(node.received.iter().all(|(t, _)| t.ticks() >= 100));
+    }
+
+    #[test]
+    fn skew_spike_shifts_local_clock_in_window_only() {
+        let plan = FaultPlan::none().with(
+            Window::ticks(50, 100),
+            Scope::All,
+            FaultKind::ClockSkew {
+                node: 0,
+                offset: 1_000,
+            },
+        );
+        let (mut w, sink, _src) = faulted_pair(plan);
+        w.run_until(Time::from_ticks(200));
+        for (t, local) in &w.node::<Restartable>(sink).unwrap().locals {
+            if (50..100).contains(&t.ticks()) {
+                assert_eq!(local.ticks(), t.ticks() + 1_000, "skew active at {t}");
+            } else {
+                assert_eq!(local, t, "no skew outside the window at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_deliver_twice() {
+        let plan = FaultPlan::none().with(
+            Window::always(),
+            Scope::To(0),
+            FaultKind::Duplicate {
+                probability: 1.0,
+                extra_delay: Delta::from_ticks(3),
+            },
+        );
+        let (mut w, sink, _src) = faulted_pair(plan);
+        w.run_until(Time::from_ticks(108));
+        let node = w.node::<Restartable>(sink).unwrap();
+        // Source fires at 10,20,...,100: 10 sends, each delivered twice.
+        assert_eq!(node.received.len(), 20);
+        assert_eq!(w.metrics().get("fault_duplicated"), 10);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_in_seed() {
+        let run = |seed: u64| -> (Vec<(Time, u32)>, u64) {
+            let cfg = WorldConfig::deterministic(Delta::from_ticks(5), seed);
+            let mut w: World<u32> = World::new(cfg);
+            let sink = w.add_node(Restartable::new(None));
+            let _src = w.add_node(Restartable::new(Some(sink)));
+            w.set_fault_plan(FaultPlan::none().with(
+                Window::always(),
+                Scope::All,
+                FaultKind::Drop { probability: 0.4 },
+            ));
+            w.run_until(Time::from_ticks(500));
+            (
+                w.node::<Restartable>(sink).unwrap().received.clone(),
+                w.metrics().get("fault_dropped"),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn empty_fault_plan_does_not_perturb_the_run() {
+        let run = |with_plan: bool| -> Vec<(Time, u32)> {
+            let cfg = WorldConfig {
+                net: NetworkModel::wan(),
+                clock: ClockConfig::Perfect,
+                seed: 12,
+            };
+            let mut w: World<u32> = World::new(cfg);
+            let b = w.add_node(Counter::new(None));
+            let _a = w.add_node(Counter::new(Some(b)));
+            if with_plan {
+                w.set_fault_plan(FaultPlan::none());
+            }
+            w.run_until(Time::from_ticks(10_000));
+            w.node::<Counter>(b).unwrap().received.clone()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn fault_plan_validates_crash_targets() {
+        let mut w: World<u32> = World::new(WorldConfig::deterministic(Delta::from_ticks(1), 2));
+        let _b = w.add_node(Counter::new(None));
+        w.set_fault_plan(FaultPlan::none().crash(Window::ticks(1, 2), 7));
     }
 
     #[test]

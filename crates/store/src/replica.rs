@@ -187,11 +187,7 @@ impl Replica {
 
     /// The replica's main loop; returns on [`Request::Shutdown`] or when
     /// all request senders are gone.
-    pub(crate) fn run(
-        mut self,
-        gossip_rx: Receiver<(Instant, Gossip)>,
-        req_rx: Receiver<Request>,
-    ) {
+    pub(crate) fn run(mut self, gossip_rx: Receiver<(Instant, Gossip)>, req_rx: Receiver<Request>) {
         loop {
             let tick = after(self.heartbeat_every);
             crossbeam::channel::select! {
@@ -352,8 +348,7 @@ impl Replica {
         }
         if let Some(delta) = read.delta {
             let threshold = self.clock.now().saturating_sub_delta(delta);
-            let fresh = (0..self.n)
-                .all(|p| p == self.me || self.watermarks[p] >= threshold);
+            let fresh = (0..self.n).all(|p| p == self.me || self.watermarks[p] >= threshold);
             if !fresh {
                 return false;
             }

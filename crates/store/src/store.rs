@@ -419,11 +419,7 @@ impl StoreHandle {
         self.read_inner(key, delta)
     }
 
-    fn read_inner(
-        &mut self,
-        key: &str,
-        delta: Option<Delta>,
-    ) -> Result<Option<Bytes>, StoreError> {
+    fn read_inner(&mut self, key: &str, delta: Option<Delta>) -> Result<Option<Bytes>, StoreError> {
         let target = if self.level.primary_reads() {
             0
         } else {

@@ -32,8 +32,7 @@ fn browse(ttl: Delta, propagation: Propagation, seed: u64) -> (f64, f64, u64, bo
         world: WorldConfig::deterministic(Delta::from_ticks(4), seed),
     });
     let reads = result.history.reads().count().max(1) as f64;
-    let revalidations =
-        (result.counter("validate") + result.counter("fetch")) as f64 / reads;
+    let revalidations = (result.counter("validate") + result.counter("fetch")) as f64 / reads;
     let stats = StalenessStats::of(&result.history);
     let sc = satisfies_sc_with(&result.history, SearchOptions::default()).holds();
     (
@@ -46,7 +45,10 @@ fn browse(ttl: Delta, propagation: Propagation, seed: u64) -> (f64, f64, u64, bo
 
 fn main() {
     println!("TTL sweep (pull, if-modified-since):");
-    println!("  {:>8}  {:>9}  {:>12}  {:>13}  {:>3}", "TTL(Δ)", "hit rate", "reval/read", "max staleness", "SC?");
+    println!(
+        "  {:>8}  {:>9}  {:>12}  {:>13}  {:>3}",
+        "TTL(Δ)", "hit rate", "reval/read", "max staleness", "SC?"
+    );
     for ttl in [10u64, 100, 1_000, 10_000] {
         let (hit, reval, stale, sc) = browse(Delta::from_ticks(ttl), Propagation::Pull, 1);
         println!(

@@ -4,8 +4,9 @@
 use proptest::prelude::*;
 use timed_consistency::clocks::{Delta, Epsilon};
 use timed_consistency::core::checker::{
-    check_on_time, classify_with, min_delta, satisfies_cc_fast, satisfies_cc_with, satisfies_ccv,
-    satisfies_lin, satisfies_sc_with, Outcome, SearchOptions,
+    check_on_time, classify_with, min_delta, min_delta_eps, satisfies_cc_fast, satisfies_cc_with,
+    satisfies_ccv, satisfies_lin, satisfies_sc_with, satisfies_tcc_eps, satisfies_tsc,
+    satisfies_tsc_eps, Outcome, SearchOptions,
 };
 use timed_consistency::core::generator::{
     random_history, replica_history, RandomHistoryConfig, ReplicaHistoryConfig,
@@ -14,7 +15,9 @@ use timed_consistency::core::stats::StalenessStats;
 use timed_consistency::core::{CausalOrder, History, OpId, Serialization};
 
 fn opts() -> SearchOptions {
-    SearchOptions { max_states: 100_000 }
+    SearchOptions {
+        max_states: 100_000,
+    }
 }
 
 fn small_random(seed: u64) -> History {
@@ -144,6 +147,66 @@ proptest! {
         prop_assert!(min_delta(&h) <= Delta::from_ticks(70));
     }
 
+    /// `satisfies_tsc_eps` (Definition 2's ε-relaxed comparisons) agrees
+    /// with the exact paths it composes: the on-time analysis via
+    /// `min_delta_eps` tightness and the SC search, each evaluated
+    /// independently.
+    #[test]
+    fn tsc_eps_agrees_with_exact_paths(seed in 0u64..5_000, delta in 0u64..200, eps in 0u64..60) {
+        let h = small_random(seed);
+        let delta = Delta::from_ticks(delta);
+        let eps = Epsilon::from_ticks(eps);
+        let v = satisfies_tsc_eps(&h, delta, eps, opts());
+        let sc = satisfies_sc_with(&h, opts()).outcome();
+        if sc != Outcome::Inconclusive {
+            let timed = min_delta_eps(&h, eps) <= delta;
+            prop_assert_eq!(
+                v.holds(),
+                sc.holds() && timed,
+                "seed {} Δ={:?} ε={:?}:\n{}", seed, delta, eps, h
+            );
+        }
+        // The ε=0 entry point is the same check under perfect clocks.
+        if eps == Epsilon::ZERO {
+            prop_assert_eq!(v.outcome(), satisfies_tsc(&h, delta).outcome());
+        }
+    }
+
+    /// Growing ε only relaxes Definition 2's comparisons: a history timed
+    /// within Δ under ε stays timed under any larger ε, and `min_delta_eps`
+    /// is both monotone in ε and exact (timed at its value, violated one
+    /// tick below).
+    #[test]
+    fn eps_relaxation_is_monotone_and_tight(seed in 0u64..5_000, eps in 0u64..60) {
+        let h = small_random(seed);
+        let eps = Epsilon::from_ticks(eps);
+        let wider = Epsilon::from_ticks(eps.ticks() + 13);
+        let d = min_delta_eps(&h, eps);
+        prop_assert!(min_delta_eps(&h, wider) <= d);
+        prop_assert!(min_delta_eps(&h, Epsilon::ZERO) >= d);
+        prop_assert!(check_on_time(&h, d, eps).holds());
+        if d > Delta::ZERO {
+            let below = Delta::from_ticks(d.ticks() - 1);
+            prop_assert!(!check_on_time(&h, below, eps).holds(), "seed {} ε={:?}:\n{}", seed, eps, h);
+        }
+    }
+
+    /// TSC ⊆ TCC under shared ε: SC implies CC, so a proven TSC history
+    /// can never have TCC proven violated at the same (Δ, ε).
+    #[test]
+    fn tsc_eps_implies_tcc_eps(seed in 0u64..5_000, delta in 0u64..200, eps in 0u64..60) {
+        let h = small_random(seed);
+        let delta = Delta::from_ticks(delta);
+        let eps = Epsilon::from_ticks(eps);
+        if satisfies_tsc_eps(&h, delta, eps, opts()).holds() {
+            let tcc = satisfies_tcc_eps(&h, delta, eps, opts());
+            prop_assert!(
+                tcc.outcome() != Outcome::Violated,
+                "seed {} Δ={:?} ε={:?}:\n{}", seed, delta, eps, h
+            );
+        }
+    }
+
     /// Exhaustive ground truth on tiny histories: enumerate all
     /// program-order-respecting interleavings and compare against the SC
     /// search.
@@ -162,6 +225,59 @@ proptest! {
         let brute = brute_force_sc(&h);
         let search = satisfies_sc_with(&h, opts());
         prop_assert_eq!(search.outcome().holds(), brute, "seed {}:\n{}", seed, h);
+    }
+}
+
+/// Replays the shrunk counterexample recorded in
+/// `checker_cross_validation.proptest-regressions` (seed = 321) as a plain
+/// named test, so the case runs on every `cargo test` regardless of
+/// whether the proptest runner consults the regression file. The seed once
+/// exposed a checker disagreement; pin every seed-parameterized property
+/// on it.
+#[test]
+fn regression_proptest_seed_321() {
+    let h = small_random(321);
+
+    let exact = satisfies_cc_with(&h, opts()).outcome();
+    let fast = satisfies_cc_fast(&h);
+    if exact != Outcome::Inconclusive {
+        assert_eq!(exact, fast, "CC exact vs saturation on seed 321:\n{h}");
+    }
+
+    for delta in [0u64, 1, 17, 100, 200] {
+        let c = classify_with(&h, Delta::from_ticks(delta), Epsilon::ZERO, opts());
+        assert_eq!(c.hierarchy_violation(), None, "Δ={delta}:\n{h}");
+    }
+
+    let d = min_delta(&h);
+    assert!(check_on_time(&h, d, Epsilon::ZERO).holds());
+    if d > Delta::ZERO {
+        assert!(!check_on_time(&h, Delta::from_ticks(d.ticks() - 1), Epsilon::ZERO).holds());
+    }
+    assert_eq!(d, StalenessStats::of(&h).max_staleness());
+
+    let sc = satisfies_sc_with(&h, opts());
+    if let Some(w) = sc.witness() {
+        assert!(w.is_legal(&h));
+        assert!(w.respects_program_order(&h));
+        assert_eq!(
+            satisfies_sc_with(&h, opts()).outcome().holds(),
+            brute_force_sc(&h)
+        );
+    }
+
+    // The ε-relaxed decomposition holds on the regression case too.
+    for (delta, eps) in [(0u64, 0u64), (40, 10), (120, 25)] {
+        let delta = Delta::from_ticks(delta);
+        let eps = Epsilon::from_ticks(eps);
+        let v = satisfies_tsc_eps(&h, delta, eps, opts());
+        if sc.outcome() != Outcome::Inconclusive {
+            assert_eq!(
+                v.holds(),
+                sc.outcome().holds() && min_delta_eps(&h, eps) <= delta,
+                "Δ={delta:?} ε={eps:?}:\n{h}"
+            );
+        }
     }
 }
 

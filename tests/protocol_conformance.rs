@@ -175,10 +175,7 @@ fn mark_old_validates_instead_of_refetching() {
     invalidate.protocol.stale = StalePolicy::Invalidate;
     let a = run(&markold);
     let b = run(&invalidate);
-    assert!(
-        a.counter("validate") > 0,
-        "mark-old must use validations"
-    );
+    assert!(a.counter("validate") > 0, "mark-old must use validations");
     assert_eq!(
         b.counter("validate"),
         0,
@@ -221,8 +218,12 @@ fn logical_tcc_traces_carry_stamps_and_definition6_is_monotone() {
             .count();
         assert_eq!(stamped, r.history.len(), "causal runs stamp every op");
         let v_small = check_on_time_xi(&r.history, &SumXi, 2.0).violations().len();
-        let v_mid = check_on_time_xi(&r.history, &SumXi, 20.0).violations().len();
-        let v_big = check_on_time_xi(&r.history, &SumXi, 2_000.0).violations().len();
+        let v_mid = check_on_time_xi(&r.history, &SumXi, 20.0)
+            .violations()
+            .len();
+        let v_big = check_on_time_xi(&r.history, &SumXi, 2_000.0)
+            .violations()
+            .len();
         assert!(v_small >= v_mid && v_mid >= v_big, "Δξ monotonicity");
         assert_eq!(v_big, 0, "a huge budget accepts everything");
         tight_staleness += StalenessStats::of(&r.history).mean_staleness();

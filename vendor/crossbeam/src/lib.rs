@@ -1,0 +1,371 @@
+//! Offline stand-in for `crossbeam` (the `channel` subset this workspace
+//! uses): `bounded` / `unbounded` channels, [`channel::after`] timers, and
+//! a `select!` macro over receivers — built on `std::sync::mpsc`.
+//!
+//! Semantics match crossbeam where the workspace depends on them:
+//!
+//! - `select!` blocks until some arm is ready; a **disconnected** channel
+//!   counts as ready and yields `Err(RecvError)`.
+//! - `after(d)` yields exactly one message at the deadline and is never
+//!   ready again (it does not look disconnected).
+//! - Arm bodies run *outside* the internal polling loop, so `break` /
+//!   `continue` / `return` in an arm act on the caller's control flow.
+//!
+//! The readiness wait is a poll loop with a short sleep rather than a
+//! futex-based blocking select — adequate for the store's millisecond-scale
+//! heartbeats, not for microsecond latency work.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    use std::cell::Cell;
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::time::{Duration, Instant};
+
+    /// How long `select!`/`recv` sleep between readiness polls.
+    const POLL_SLEEP: Duration = Duration::from_micros(50);
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Sending half of a channel.
+    pub enum Sender<T> {
+        #[doc(hidden)]
+        Unbounded(mpsc::Sender<T>),
+        #[doc(hidden)]
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Unbounded(tx) => Sender::Unbounded(tx.clone()),
+                Sender::Bounded(tx) => Sender::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends, blocking if the channel is bounded and full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Unbounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+                Sender::Bounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            }
+        }
+    }
+
+    /// Receiving half of a channel (or an [`after`] timer).
+    pub enum Receiver<T> {
+        #[doc(hidden)]
+        Chan(mpsc::Receiver<T>),
+        #[doc(hidden)]
+        After {
+            at: Instant,
+            fired: Cell<bool>,
+            produce: fn(Instant) -> T,
+        },
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            match self.poll() {
+                Some(Ok(v)) => Ok(v),
+                Some(Err(RecvError)) => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking receive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            match self {
+                Receiver::Chan(rx) => rx.recv().map_err(|_| RecvError),
+                Receiver::After { .. } => loop {
+                    if let Some(r) = self.poll() {
+                        return r;
+                    }
+                    std::thread::sleep(POLL_SLEEP);
+                },
+            }
+        }
+
+        /// One readiness poll: `Some(Ok(v))` message, `Some(Err(_))`
+        /// disconnected, `None` not ready. Used by `select!`.
+        #[doc(hidden)]
+        pub fn poll(&self) -> Option<Result<T, RecvError>> {
+            match self {
+                Receiver::Chan(rx) => match rx.try_recv() {
+                    Ok(v) => Some(Ok(v)),
+                    Err(mpsc::TryRecvError::Empty) => None,
+                    Err(mpsc::TryRecvError::Disconnected) => Some(Err(RecvError)),
+                },
+                Receiver::After { at, fired, produce } => {
+                    if !fired.get() && Instant::now() >= *at {
+                        fired.set(true);
+                        Some(Ok(produce(*at)))
+                    } else {
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver::Chan(rx))
+    }
+
+    /// Creates a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver::Chan(rx))
+    }
+
+    /// A receiver that yields one `Instant` (the deadline) once `duration`
+    /// has elapsed, and is never ready before or after.
+    pub fn after(duration: Duration) -> Receiver<Instant> {
+        Receiver::After {
+            at: Instant::now() + duration,
+            fired: Cell::new(false),
+            produce: std::convert::identity,
+        }
+    }
+
+    // `select!` winner encodings: one generic enum per arm count so each
+    // arm's payload keeps its own type while bodies run outside the poll
+    // loop (where the user's `break`/`continue` bind to *their* loops).
+    #[doc(hidden)]
+    pub enum Sel1<A> {
+        A(A),
+    }
+    #[doc(hidden)]
+    pub enum Sel2<A, B> {
+        A(A),
+        B(B),
+    }
+    #[doc(hidden)]
+    pub enum Sel3<A, B, C> {
+        A(A),
+        B(B),
+        C(C),
+    }
+    #[doc(hidden)]
+    pub enum Sel4<A, B, C, D> {
+        A(A),
+        B(B),
+        C(C),
+        D(D),
+    }
+
+    #[doc(hidden)]
+    pub fn poll_sleep() {
+        std::thread::sleep(POLL_SLEEP);
+    }
+
+    pub use crate::select;
+}
+
+/// Waits on multiple `recv` arms; runs exactly one ready arm's body.
+///
+/// Supported grammar (1–4 arms): `select! { recv(rx) -> pat => body, ... }`.
+#[macro_export]
+macro_rules! select {
+    (recv($rx0:expr) -> $pat0:pat => $body0:expr $(,)?) => {
+        match {
+            let __rx0 = &$rx0;
+            loop {
+                if let ::std::option::Option::Some(__v) = __rx0.poll() {
+                    break $crate::channel::Sel1::A(__v);
+                }
+                $crate::channel::poll_sleep();
+            }
+        } {
+            $crate::channel::Sel1::A($pat0) => $body0,
+        }
+    };
+    (
+        recv($rx0:expr) -> $pat0:pat => $body0:expr,
+        recv($rx1:expr) -> $pat1:pat => $body1:expr $(,)?
+    ) => {
+        match {
+            let (__rx0, __rx1) = (&$rx0, &$rx1);
+            loop {
+                if let ::std::option::Option::Some(__v) = __rx0.poll() {
+                    break $crate::channel::Sel2::A(__v);
+                }
+                if let ::std::option::Option::Some(__v) = __rx1.poll() {
+                    break $crate::channel::Sel2::B(__v);
+                }
+                $crate::channel::poll_sleep();
+            }
+        } {
+            $crate::channel::Sel2::A($pat0) => $body0,
+            $crate::channel::Sel2::B($pat1) => $body1,
+        }
+    };
+    (
+        recv($rx0:expr) -> $pat0:pat => $body0:expr,
+        recv($rx1:expr) -> $pat1:pat => $body1:expr,
+        recv($rx2:expr) -> $pat2:pat => $body2:expr $(,)?
+    ) => {
+        match {
+            let (__rx0, __rx1, __rx2) = (&$rx0, &$rx1, &$rx2);
+            loop {
+                if let ::std::option::Option::Some(__v) = __rx0.poll() {
+                    break $crate::channel::Sel3::A(__v);
+                }
+                if let ::std::option::Option::Some(__v) = __rx1.poll() {
+                    break $crate::channel::Sel3::B(__v);
+                }
+                if let ::std::option::Option::Some(__v) = __rx2.poll() {
+                    break $crate::channel::Sel3::C(__v);
+                }
+                $crate::channel::poll_sleep();
+            }
+        } {
+            $crate::channel::Sel3::A($pat0) => $body0,
+            $crate::channel::Sel3::B($pat1) => $body1,
+            $crate::channel::Sel3::C($pat2) => $body2,
+        }
+    };
+    (
+        recv($rx0:expr) -> $pat0:pat => $body0:expr,
+        recv($rx1:expr) -> $pat1:pat => $body1:expr,
+        recv($rx2:expr) -> $pat2:pat => $body2:expr,
+        recv($rx3:expr) -> $pat3:pat => $body3:expr $(,)?
+    ) => {
+        match {
+            let (__rx0, __rx1, __rx2, __rx3) = (&$rx0, &$rx1, &$rx2, &$rx3);
+            loop {
+                if let ::std::option::Option::Some(__v) = __rx0.poll() {
+                    break $crate::channel::Sel4::A(__v);
+                }
+                if let ::std::option::Option::Some(__v) = __rx1.poll() {
+                    break $crate::channel::Sel4::B(__v);
+                }
+                if let ::std::option::Option::Some(__v) = __rx2.poll() {
+                    break $crate::channel::Sel4::C(__v);
+                }
+                if let ::std::option::Option::Some(__v) = __rx3.poll() {
+                    break $crate::channel::Sel4::D(__v);
+                }
+                $crate::channel::poll_sleep();
+            }
+        } {
+            $crate::channel::Sel4::A($pat0) => $body0,
+            $crate::channel::Sel4::B($pat1) => $body1,
+            $crate::channel::Sel4::C($pat2) => $body2,
+            $crate::channel::Sel4::D($pat3) => $body3,
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{after, bounded, unbounded, RecvError};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn unbounded_roundtrip_and_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv(), Ok(7));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_oneshot_reply() {
+        let (tx, rx) = bounded::<&'static str>(1);
+        std::thread::spawn(move || tx.send("done").unwrap());
+        assert_eq!(rx.recv(), Ok("done"));
+    }
+
+    #[test]
+    fn select_picks_ready_channel_and_timer() {
+        let (tx, rx) = unbounded::<u32>();
+        let (_keep, never) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        let got = select! {
+            recv(rx) -> msg => msg.unwrap(),
+            recv(never) -> _ => unreachable!("empty channel must not win"),
+        };
+        assert_eq!(got, 1);
+
+        // Timer fires once the deadline passes; bodies see caller control
+        // flow (the `break` below exits the *user* loop).
+        let start = Instant::now();
+        let tick = after(Duration::from_millis(5));
+        loop {
+            select! {
+                recv(never) -> _ => unreachable!("empty channel must not win"),
+                recv(tick) -> at => {
+                    assert!(at.unwrap() >= start);
+                    break;
+                },
+            }
+        }
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn disconnected_channel_is_ready_in_select() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        let (_keep, never) = unbounded::<u32>();
+        let was_err = select! {
+            recv(rx) -> msg => msg.is_err(),
+            recv(never) -> _ => false,
+        };
+        assert!(was_err);
+    }
+}

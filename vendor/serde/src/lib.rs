@@ -1,0 +1,54 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` as annotations on
+//! plain data types but never drives a generic serializer through them (the
+//! one JSON emission path builds a `serde_json::Value` explicitly). With
+//! crates.io unreachable at build time, this crate supplies the two trait
+//! names as markers and re-exports derive macros that emit the marker
+//! impls, keeping every annotation compiling — and keeping the door open to
+//! swapping the real `serde` back in when a registry is available.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: the type is intended to be serializable.
+pub trait Serialize {}
+
+/// Marker: the type is intended to be deserializable.
+pub trait Deserialize {}
+
+macro_rules! markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl Deserialize for $t {}
+    )*};
+}
+markers!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for [T] {}
+impl Serialize for str {}

@@ -1,0 +1,98 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` crate defines `Serialize` / `Deserialize` as marker
+//! traits (the workspace only uses the derives as annotations; no generic
+//! code is bounded on them). These derive macros parse just enough of the
+//! item — visibility, `struct`/`enum` keyword, type name, optional generics
+//! — to emit the corresponding marker impl. No `syn`/`quote`: the build
+//! environment is offline, so the parser is hand-rolled over
+//! `proc_macro::TokenStream`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts `(name, generics)` from a struct/enum/union definition, where
+/// `generics` is the verbatim `<...>` token text (or empty). Returns `None`
+/// if the item shape is unrecognized.
+fn type_name(input: TokenStream) -> Option<(String, String)> {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        match tokens.peek() {
+            // Attribute: `#[...]` (doc comments included).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        tokens.next();
+                    }
+                    _ => return None,
+                }
+            }
+            // Visibility: `pub`, `pub(crate)`, …
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if matches!(id.to_string().as_str(), "struct" | "enum" | "union") =>
+            {
+                tokens.next();
+                break;
+            }
+            _ => return None,
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return None,
+    };
+    // Optional generics: collect `<...>` balanced on angle depth.
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            for tok in tokens {
+                let text = tok.to_string();
+                match &tok {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                    _ => {}
+                }
+                generics.push_str(&text);
+                generics.push(' ');
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    Some((name, generics))
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    match type_name(input) {
+        Some((name, generics)) if generics.is_empty() => {
+            format!("impl {trait_path} for {name} {{}}")
+                .parse()
+                .expect("well-formed impl block")
+        }
+        // Generic types (none exist in this workspace today) would need
+        // bound propagation; emit nothing rather than a wrong impl.
+        _ => TokenStream::new(),
+    }
+}
+
+/// Derives the vendored `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// Derives the vendored `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}
