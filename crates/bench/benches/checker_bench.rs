@@ -4,11 +4,11 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use tc_clocks::{Delta, Epsilon};
 use tc_core::checker::{
-    check_on_time, min_delta, satisfies_cc_fast, satisfies_cc_with, satisfies_lin,
-    satisfies_sc_with, SearchOptions,
+    check_on_time, check_on_time_naive, min_delta, satisfies_cc_fast, satisfies_cc_with,
+    satisfies_lin, satisfies_sc_with, OnTimeMonitor, SearchOptions,
 };
 use tc_core::generator::{replica_history, ReplicaHistoryConfig};
-use tc_core::History;
+use tc_core::{History, Operation};
 
 fn histories(ops_per_site: usize) -> Vec<History> {
     let cfg = ReplicaHistoryConfig {
@@ -98,9 +98,50 @@ fn bench_timed(c: &mut Criterion) {
     group.finish();
 }
 
+/// Old (naive scan) vs sweep-line batch checking vs streaming monitor
+/// ingestion, on single histories of {64, 512, 4096} total ops. At 4096
+/// the sweep line must be ≥5× the naive path (ISSUE 2 acceptance).
+fn bench_on_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("on_time");
+    let delta = Delta::from_ticks(30);
+    let eps = Epsilon::from_ticks(3);
+    for size in [64usize, 512, 4096] {
+        let h = replica_history(
+            &ReplicaHistoryConfig {
+                n_sites: 4,
+                n_objects: 3,
+                ops_per_site: size / 4,
+                read_fraction: 0.6,
+                max_time_step: 12,
+                delay: (5, 60),
+            },
+            1,
+        );
+        // The monitor's feed order, pre-sorted outside the measured loop.
+        let mut sorted: Vec<&Operation> = h.ops().iter().collect();
+        sorted.sort_by_key(|o| (o.time(), o.id()));
+        group.bench_with_input(BenchmarkId::new("naive", size), &h, |b, h| {
+            b.iter(|| black_box(check_on_time_naive(h, delta, eps)))
+        });
+        group.bench_with_input(BenchmarkId::new("sweep", size), &h, |b, h| {
+            b.iter(|| black_box(check_on_time(h, delta, eps)))
+        });
+        group.bench_with_input(BenchmarkId::new("monitor", size), &sorted, |b, sorted| {
+            b.iter(|| {
+                let mut m = OnTimeMonitor::new(delta, eps);
+                for op in sorted {
+                    m.ingest_op(op);
+                }
+                black_box(m.into_report())
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_sc, bench_cc, bench_timed
+    targets = bench_sc, bench_cc, bench_timed, bench_on_time
 }
 criterion_main!(benches);

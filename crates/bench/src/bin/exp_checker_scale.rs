@@ -1,0 +1,195 @@
+//! Checker scaling study: the naive O(R·W) batch checker vs the
+//! sweep-line batch checker vs the streaming [`OnTimeMonitor`], over
+//! replica-generated histories from 10² to 10⁵ operations.
+//!
+//! Each path computes the full timed verdict (`check_on_time` **and**
+//! `min_delta`; the monitor produces both in one ingestion pass), and the
+//! three reports are asserted equal before anything is timed — the
+//! experiment doubles as a cross-validation at scale. The naive path is
+//! capped at 10⁴ ops (beyond that it is minutes of pure rescanning; the
+//! cap is reported in the table as `-`).
+//!
+//! Outputs a table (for `results/checker_scale.txt`) and machine-readable
+//! `BENCH_checker.json` recording ops/sec per path and size.
+//!
+//! Flags: `--smoke` (sizes {100, 1000} and one rep — the CI bench-rot
+//! check), `--out PATH` (JSON path, default `BENCH_checker.json`),
+//! `--json` (print the table as JSON).
+
+use std::time::Instant;
+
+use tc_bench::{arg_value, f3, flag, json_flag, Table};
+use tc_clocks::{Delta, Epsilon};
+use tc_core::checker::{
+    check_on_time, check_on_time_naive, min_delta_eps, min_delta_eps_naive, OnTimeMonitor,
+};
+use tc_core::generator::{replica_history, ReplicaHistoryConfig};
+use tc_core::{History, Operation};
+
+/// Largest size the naive path is run at.
+const NAIVE_CAP: usize = 10_000;
+/// Δ used for the timed check: half the worst-case propagation delay, so
+/// violations actually occur and the violation paths are exercised.
+const DELTA: Delta = Delta::from_ticks(30);
+const EPS: Epsilon = Epsilon::from_ticks(3);
+
+fn history_of(total_ops: usize) -> History {
+    let cfg = ReplicaHistoryConfig {
+        n_sites: 4,
+        n_objects: 8,
+        ops_per_site: total_ops / 4,
+        read_fraction: 0.6,
+        max_time_step: 12,
+        delay: (5, 60),
+    };
+    replica_history(&cfg, 1)
+}
+
+/// Times `f` over enough repetitions for a stable mean; returns seconds
+/// per evaluation.
+fn time_per_eval<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let started = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    started.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    let json = json_flag();
+    let smoke = flag("smoke");
+    let out = arg_value("out").unwrap_or_else(|| "BENCH_checker.json".to_string());
+    let sizes: &[usize] = if smoke {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000, 100_000]
+    };
+
+    let mut t = Table::new(
+        format!(
+            "Checker scaling: batch-naive vs sweep-line vs streaming monitor \
+             (replica histories, 4 sites, 8 objects, Δ={}, ε={}; naive capped \
+             at {NAIVE_CAP} ops)",
+            DELTA.ticks(),
+            EPS.ticks()
+        ),
+        &["ops", "path", "ms/check", "ops/sec", "violations"],
+    );
+    let mut results = Vec::new();
+
+    for &size in sizes {
+        let h = history_of(size);
+        let ops = h.len();
+        // Pre-sorted ingestion order for the monitor (the recorder's
+        // natural feed); sorting is not part of the measured path.
+        let mut sorted: Vec<&Operation> = h.ops().iter().collect();
+        sorted.sort_by_key(|o| (o.time(), o.id()));
+
+        // Cross-validate the three paths before timing anything.
+        let sweep = check_on_time(&h, DELTA, EPS);
+        let sweep_min = min_delta_eps(&h, EPS);
+        let mut m = OnTimeMonitor::new(DELTA, EPS);
+        for op in &sorted {
+            m.ingest_op(op);
+        }
+        assert_eq!(m.min_delta(), sweep_min, "monitor min_delta diverged");
+        assert_eq!(m.into_report(), sweep, "monitor report diverged");
+        let run_naive = ops <= NAIVE_CAP;
+        if run_naive {
+            assert_eq!(check_on_time_naive(&h, DELTA, EPS), sweep, "sweep diverged");
+            assert_eq!(
+                min_delta_eps_naive(&h, EPS),
+                sweep_min,
+                "sweep min diverged"
+            );
+        }
+        let violations = sweep.violations().len();
+
+        // Repetitions scale down with size; --smoke runs everything once.
+        let reps = if smoke {
+            1
+        } else {
+            (200_000 / ops).clamp(1, 100)
+        };
+
+        let mut paths: Vec<(&str, Option<f64>)> = Vec::new();
+        paths.push((
+            "batch_naive",
+            run_naive.then(|| {
+                time_per_eval(reps, || {
+                    (
+                        check_on_time_naive(&h, DELTA, EPS),
+                        min_delta_eps_naive(&h, EPS),
+                    )
+                })
+            }),
+        ));
+        paths.push((
+            "sweep_line",
+            Some(time_per_eval(reps, || {
+                (check_on_time(&h, DELTA, EPS), min_delta_eps(&h, EPS))
+            })),
+        ));
+        paths.push((
+            "monitor",
+            Some(time_per_eval(reps, || {
+                let mut m = OnTimeMonitor::new(DELTA, EPS);
+                for op in &sorted {
+                    m.ingest_op(op);
+                }
+                (m.min_delta(), m.into_report())
+            })),
+        ));
+
+        for (path, secs) in paths {
+            match secs {
+                Some(secs) => {
+                    let ops_per_sec = ops as f64 / secs;
+                    t.row(&[
+                        &ops,
+                        &path,
+                        &f3(secs * 1e3),
+                        &format!("{ops_per_sec:.0}"),
+                        &violations,
+                    ]);
+                    results.push(serde_json::json!({
+                        "ops": ops,
+                        "path": path,
+                        "ms_per_check": (secs * 1e3),
+                        "ops_per_sec": ops_per_sec,
+                        "violations": violations,
+                    }));
+                }
+                None => {
+                    t.row(&[&ops, &path, &"-", &"-", &violations]);
+                    results.push(serde_json::json!({
+                        "ops": ops,
+                        "path": path,
+                        "skipped": (format!("naive path capped at {NAIVE_CAP} ops")),
+                    }));
+                }
+            }
+        }
+    }
+
+    t.emit(json);
+    println!(
+        "expected shape: sweep_line and monitor ops/sec stay near-flat as \
+         size grows; batch_naive ops/sec collapses linearly (O(R*W) total)"
+    );
+
+    let doc = serde_json::json!({
+        "experiment": "checker_scale",
+        "delta": (DELTA.ticks()),
+        "eps": (EPS.ticks()),
+        "naive_cap": NAIVE_CAP,
+        "smoke": smoke,
+        "results": results,
+    });
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&doc).expect("results serialize"),
+    )
+    .expect("write BENCH_checker.json");
+    println!("wrote {out}");
+}

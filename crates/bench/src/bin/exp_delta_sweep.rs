@@ -5,37 +5,64 @@
 //! delay profile and reports the fraction satisfying each criterion —
 //! the crossover happens around the propagation bound.
 //!
-//! Flags: `--histories N` (default 200), `--json`.
+//! Histories are independent, so generation and checking fan out over
+//! [`tc_bench::parallel_map`]: each history is generated and classified
+//! once (LIN, SC, and on-time at every Δ of the sweep) in one parallel
+//! pass, then the per-Δ rows aggregate the per-history verdicts — the
+//! same numbers the serial nested loop produced, in the same order.
+//!
+//! Flags: `--histories N` (default 200), `--serial`, `--json`.
 
-use tc_bench::{arg_value, json_flag, pct, Table};
+use tc_bench::{arg_value, flag, json_flag, parallel_map_with, pct, pool_size, Table};
 use tc_clocks::Delta;
 use tc_core::checker::{check_on_time, satisfies_lin, satisfies_sc_with, SearchOptions};
 use tc_core::generator::{replica_history, ReplicaHistoryConfig};
+
+const DELTAS: [u64; 11] = [0, 10, 20, 40, 60, 80, 100, 120, 160, 240, u64::MAX];
+
+/// Per-history verdicts, computed once.
+struct Judged {
+    lin: bool,
+    sc: bool,
+    on_time: Vec<bool>,
+}
 
 fn main() {
     let json = json_flag();
     let n: u64 = arg_value("histories")
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
+    let workers = if flag("serial") { 1 } else { pool_size() };
 
     let cfg = ReplicaHistoryConfig {
         delay: (10, 120),
         ops_per_site: 8,
         ..ReplicaHistoryConfig::default()
     };
-    let histories: Vec<_> = (0..n).map(|seed| replica_history(&cfg, seed)).collect();
     let opts = SearchOptions::default();
 
-    let lin_frac = histories
-        .iter()
-        .filter(|h| satisfies_lin(h).holds())
-        .count() as f64
-        / n as f64;
-    let sc_frac = histories
-        .iter()
-        .filter(|h| satisfies_sc_with(h, opts).holds())
-        .count() as f64
-        / n as f64;
+    let seeds: Vec<u64> = (0..n).collect();
+    let judged = parallel_map_with(&seeds, workers, |&seed| {
+        let h = replica_history(&cfg, seed);
+        Judged {
+            lin: satisfies_lin(&h).holds(),
+            sc: satisfies_sc_with(&h, opts).holds(),
+            on_time: DELTAS
+                .iter()
+                .map(|&d| {
+                    let delta = if d == u64::MAX {
+                        Delta::INFINITE
+                    } else {
+                        Delta::from_ticks(d)
+                    };
+                    check_on_time(&h, delta, tc_clocks::Epsilon::ZERO).holds()
+                })
+                .collect(),
+        }
+    });
+
+    let lin_frac = judged.iter().filter(|j| j.lin).count() as f64 / n as f64;
+    let sc_frac = judged.iter().filter(|j| j.sc).count() as f64 / n as f64;
 
     let mut t = Table::new(
         format!(
@@ -47,22 +74,22 @@ fn main() {
         &["Δ", "timed", "TSC", "TCC"],
     );
 
-    for d in [0u64, 10, 20, 40, 60, 80, 100, 120, 160, 240, u64::MAX] {
-        let delta = if d == u64::MAX {
+    for (i, d) in DELTAS.iter().enumerate() {
+        let delta = if *d == u64::MAX {
             Delta::INFINITE
         } else {
-            Delta::from_ticks(d)
+            Delta::from_ticks(*d)
         };
         let mut timed = 0usize;
         let mut tsc = 0usize;
         let mut tcc = 0usize;
-        for h in &histories {
-            let on_time = check_on_time(h, delta, tc_clocks::Epsilon::ZERO).holds();
+        for j in &judged {
+            let on_time = j.on_time[i];
             timed += usize::from(on_time);
             if on_time {
                 // Replica histories are CC by construction.
                 tcc += 1;
-                if satisfies_sc_with(h, opts).holds() {
+                if j.sc {
                     tsc += 1;
                 }
             }

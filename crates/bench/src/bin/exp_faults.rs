@@ -10,9 +10,17 @@
 //! retry traffic. Violations should be *zero* at every point of the sweep;
 //! everything else is the price of the faults.
 //!
-//! Flags: `--seeds N` (default 5), `--ops N` (default 40), `--json`.
+//! Every (Δ, protocol, drop rate, seed) cell is an independent simulation,
+//! so the sweep fans out over [`tc_bench::parallel_map`]; results are
+//! re-ordered by input index, making the table (and every per-seed oracle
+//! verdict) byte-identical to the serial path.
+//!
+//! Flags: `--seeds N` (default 5), `--ops N` (default 40), `--serial`
+//! (pin the pool to one worker, for A/B wall-clock runs), `--json`.
 
-use tc_bench::{arg_value, f3, json_flag, pct, Table};
+use std::time::Instant;
+
+use tc_bench::{arg_value, f3, flag, json_flag, parallel_map_with, pct, pool_size, Table};
 use tc_clocks::Delta;
 use tc_lifetime::{conformance, run_with_faults, OracleVerdict, ProtocolKind};
 use tc_sim::{FaultKind, FaultPlan, Scope, Window};
@@ -38,10 +46,27 @@ fn plan(drop_rate: f64) -> FaultPlan {
     }
 }
 
+/// One independent simulation of the sweep.
+struct Cell {
+    kind: ProtocolKind,
+    drop_rate: f64,
+    seed: u64,
+}
+
+/// What one simulation contributes to its table row.
+struct CellStats {
+    verdict: OracleVerdict,
+    done: usize,
+    expected: usize,
+    staleness: u64,
+    retries: u64,
+}
+
 fn main() {
     let json = json_flag();
     let seeds: u64 = arg_value("seeds").and_then(|v| v.parse().ok()).unwrap_or(5);
     let ops: usize = arg_value("ops").and_then(|v| v.parse().ok()).unwrap_or(40);
+    let workers = if flag("serial") { 1 } else { pool_size() };
 
     let mut t = Table::new(
         format!(
@@ -62,6 +87,8 @@ fn main() {
         ],
     );
 
+    // Flatten the sweep into independent cells, innermost index = seed.
+    let mut cells = Vec::new();
     for delta in [40u64, 80, 160] {
         for kind in [
             ProtocolKind::Tsc {
@@ -72,48 +99,84 @@ fn main() {
             },
         ] {
             for drop_rate in [0.0, 0.05, 0.15, 0.30] {
-                let mut conforms = 0usize;
-                let mut stalls = 0usize;
-                let mut violations = 0usize;
-                let mut done = 0usize;
-                let mut expected = 0usize;
-                let mut worst_staleness = 0u64;
-                let mut retries = 0u64;
                 for seed in 0..seeds {
-                    let cfg = tc_bench::standard_run(kind, seed, ops);
-                    let p = plan(drop_rate);
-                    let result = run_with_faults(&cfg, p.clone());
-                    let c = conformance(&cfg, &p, &result);
-                    match c.verdict {
-                        OracleVerdict::Conforms => conforms += 1,
-                        OracleVerdict::Stalled => stalls += 1,
-                        OracleVerdict::Violated(_) => violations += 1,
-                    }
-                    done += c.ops_recorded;
-                    expected += c.ops_expected;
-                    worst_staleness = worst_staleness.max(c.observed_staleness.ticks());
-                    retries += result.counter("retry")
-                        + result.counter("causal_retransmit")
-                        + result.counter("stale_reply");
+                    cells.push(Cell {
+                        kind,
+                        drop_rate,
+                        seed,
+                    });
                 }
-                let n = seeds as f64;
-                t.row(&[
-                    &kind.label(),
-                    &delta,
-                    &pct(drop_rate),
-                    &pct(conforms as f64 / n),
-                    &pct(stalls as f64 / n),
-                    &pct(violations as f64 / n),
-                    &pct(done as f64 / expected as f64),
-                    &worst_staleness,
-                    &f3(retries as f64 / n),
-                ]);
             }
         }
+    }
+
+    let started = Instant::now();
+    let stats = parallel_map_with(&cells, workers, |cell| {
+        let cfg = tc_bench::standard_run(cell.kind, cell.seed, ops);
+        let p = plan(cell.drop_rate);
+        let result = run_with_faults(&cfg, p.clone());
+        let c = conformance(&cfg, &p, &result);
+        CellStats {
+            verdict: c.verdict,
+            done: c.ops_recorded,
+            expected: c.ops_expected,
+            staleness: c.observed_staleness.ticks(),
+            retries: result.counter("retry")
+                + result.counter("causal_retransmit")
+                + result.counter("stale_reply"),
+        }
+    });
+    let elapsed = started.elapsed();
+
+    for (group, runs) in cells
+        .chunks(seeds as usize)
+        .zip(stats.chunks(seeds as usize))
+    {
+        let cell = &group[0];
+        let mut conforms = 0usize;
+        let mut stalls = 0usize;
+        let mut violations = 0usize;
+        let mut done = 0usize;
+        let mut expected = 0usize;
+        let mut worst_staleness = 0u64;
+        let mut retries = 0u64;
+        for s in runs {
+            match s.verdict {
+                OracleVerdict::Conforms => conforms += 1,
+                OracleVerdict::Stalled => stalls += 1,
+                OracleVerdict::Violated(_) => violations += 1,
+            }
+            done += s.done;
+            expected += s.expected;
+            worst_staleness = worst_staleness.max(s.staleness);
+            retries += s.retries;
+        }
+        let delta = match cell.kind {
+            ProtocolKind::Tsc { delta } | ProtocolKind::Tcc { delta } => delta.ticks(),
+            _ => unreachable!("sweep only covers the timed protocols"),
+        };
+        let n = seeds as f64;
+        t.row(&[
+            &cell.kind.label(),
+            &delta,
+            &pct(cell.drop_rate),
+            &pct(conforms as f64 / n),
+            &pct(stalls as f64 / n),
+            &pct(violations as f64 / n),
+            &pct(done as f64 / expected as f64),
+            &worst_staleness,
+            &f3(retries as f64 / n),
+        ]);
     }
     t.emit(json);
     println!(
         "expected shape: violations stay at 0.0% everywhere; higher drop \
          rates cost retries and (at tight Δ) stalls, never safety"
+    );
+    println!(
+        "wall-clock: {:.2}s for {} runs with {} worker(s)",
+        elapsed.as_secs_f64(),
+        cells.len(),
+        workers
     );
 }

@@ -7,6 +7,8 @@
 //! binaries to figures and records measured outputs.
 
 use std::fmt::Display;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use serde::Serialize;
 use tc_clocks::Delta;
@@ -121,6 +123,99 @@ pub fn json_flag() -> bool {
     std::env::args().any(|a| a == "--json")
 }
 
+/// Whether `--<name>` was passed to the binary.
+#[must_use]
+pub fn flag(name: &str) -> bool {
+    let flag = format!("--{name}");
+    std::env::args().any(|a| a == flag)
+}
+
+/// Worker count for [`parallel_map`]: `TC_BENCH_THREADS` when set (and
+/// positive), otherwise the machine's available parallelism.
+#[must_use]
+pub fn pool_size() -> usize {
+    std::env::var("TC_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `f` over every item on a crossbeam-scoped worker pool and returns
+/// the results **in input order** — experiment cells are independent, so
+/// fanning them across cores changes wall-clock only, never output.
+///
+/// Work is handed out through a shared atomic cursor (no per-worker
+/// striping), results come back over a channel tagged with their input
+/// index and are re-sorted into place; the output is therefore
+/// byte-identical to `items.iter().map(f).collect()` regardless of
+/// scheduling. With one worker (or one item) it simply maps serially.
+///
+/// # Panics
+///
+/// Propagates a panic from `f`.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_with(items, pool_size(), f)
+}
+
+/// [`parallel_map`] with an explicit worker count (`exp_*` binaries expose
+/// this as `--serial`, which pins it to 1 for A/B timing).
+///
+/// # Panics
+///
+/// Propagates a panic from `f`.
+pub fn parallel_map_with<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let outcome = crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                tx.send((i, f(&items[i])))
+                    .expect("collector outlives workers");
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+        while let Ok((i, r)) = rx.recv() {
+            slots[i] = Some(r);
+        }
+        slots
+    });
+    match outcome {
+        Ok(slots) => slots
+            .into_iter()
+            .map(|r| r.expect("every index was produced exactly once"))
+            .collect(),
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
 /// Value of `--<name> <value>` if present.
 #[must_use]
 pub fn arg_value(name: &str) -> Option<String> {
@@ -183,6 +278,28 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(f3(1.23456), "1.235");
         assert_eq!(pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 5, 16] {
+            assert_eq!(parallel_map_with(&items, workers, |x| x * x), serial);
+        }
+        assert_eq!(parallel_map(&items, |x| x * x), serial);
+        assert!(parallel_map_with(&[] as &[u64], 4, |x| *x).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_propagates_panics() {
+        let r = std::panic::catch_unwind(|| {
+            parallel_map_with(&[1u64, 2, 3], 2, |&x| {
+                assert!(x != 2, "boom");
+                x
+            })
+        });
+        assert!(r.is_err());
     }
 
     #[test]

@@ -13,6 +13,7 @@ mod cc;
 mod ccv;
 mod hierarchy;
 mod lin;
+mod monitor;
 mod sc;
 pub mod timed;
 mod tsc;
@@ -21,10 +22,11 @@ pub use cc::{satisfies_cc, satisfies_cc_fast, satisfies_cc_with, CcVerdict};
 pub use ccv::satisfies_ccv;
 pub use hierarchy::{classify, classify_with, Classification};
 pub use lin::{satisfies_lin, LinVerdict};
+pub use monitor::OnTimeMonitor;
 pub use sc::{satisfies_sc, satisfies_sc_with, ScVerdict};
 pub use timed::{
-    check_on_time, check_on_time_xi, min_delta, min_delta_eps, OnTimeViolation, TimedReport,
-    XiTimedReport,
+    check_on_time, check_on_time_naive, check_on_time_xi, min_delta, min_delta_eps,
+    min_delta_eps_naive, OnTimeViolation, TimedReport, XiTimedReport,
 };
 pub use tsc::{
     satisfies_tcc, satisfies_tcc_eps, satisfies_tsc, satisfies_tsc_eps, TccVerdict, TscVerdict,

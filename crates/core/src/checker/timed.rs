@@ -13,7 +13,7 @@
 
 use tc_clocks::{time::definitely_before, Delta, Epsilon, Time, XiMap};
 
-use crate::{History, OpId};
+use crate::{History, ObjectId, OpId};
 
 /// One read that fails to occur on time.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,6 +63,61 @@ impl TimedReport {
     pub fn violations(&self) -> &[OnTimeViolation] {
         &self.violations
     }
+
+    /// Assembles a report from already-computed violations (used by the
+    /// streaming [`crate::checker::OnTimeMonitor`], which must produce
+    /// reports identical to [`check_on_time`]).
+    pub(crate) fn new(delta: Delta, eps: Epsilon, violations: Vec<OnTimeViolation>) -> Self {
+        TimedReport {
+            delta,
+            eps,
+            violations,
+        }
+    }
+}
+
+/// The half-open tick window `[lo, hi)` that Definition 2 carves out of an
+/// object's writes: a write `w'` offends iff the source is definitely
+/// before it (`T(src) + ε < T(w')`, i.e. `T(w') ≥ lo`) and it is
+/// definitely before `upper` (`T(w') + ε < upper`, i.e. `T(w') < hi`).
+///
+/// Returns `None` when no tick can qualify because the lower bound
+/// saturates — the naive `definitely_before(src, ·, ε)` with saturating
+/// addition is then false for every write. The upper bound needs no such
+/// case: `saturating_sub` already yields an empty window, and for
+/// `T(w') < hi` the sum `T(w') + ε` provably does not overflow, so the
+/// window test and the saturating comparison agree tick for tick.
+fn window_ticks(source_time: Option<Time>, upper: Time, eps: Epsilon) -> Option<(u64, u64)> {
+    let lo = match source_time {
+        None => 0,
+        Some(ts) => ts
+            .ticks()
+            .checked_add(eps.ticks())
+            .and_then(|t| t.checked_add(1))?,
+    };
+    Some((lo, upper.ticks().saturating_sub(eps.ticks())))
+}
+
+/// The writes to `object` whose times fall in `[lo, hi)` — `W_r` as a
+/// contiguous sub-slice of the time-sorted `writes_to` index, located with
+/// two binary searches instead of a full scan.
+fn write_window(
+    history: &History,
+    object: ObjectId,
+    source_time: Option<Time>,
+    upper: Time,
+    eps: Epsilon,
+) -> &[OpId] {
+    let Some((lo, hi)) = window_ticks(source_time, upper, eps) else {
+        return &[];
+    };
+    if lo >= hi {
+        return &[];
+    }
+    let writes = history.writes_to(object);
+    let start = writes.partition_point(|&w| history.op(w).time().ticks() < lo);
+    let end = start + writes[start..].partition_point(|&w| history.op(w).time().ticks() < hi);
+    &writes[start..end]
 }
 
 /// Checks every read of `history` against Definition 1 (`eps == 0`) or
@@ -88,6 +143,38 @@ pub fn check_on_time(history: &History, delta: Delta, eps: Epsilon) -> TimedRepo
             .expect("reads always have a resolved source");
         let source_time = source.map(|w| history.op(w).time());
         let deadline = read.time().saturating_sub_delta(delta);
+        let missed = write_window(history, read.object(), source_time, deadline, eps);
+        if !missed.is_empty() {
+            let min_delta = read_min_delta(history, read.id(), source_time, eps)
+                .expect("a violated read has a positive minimal delta");
+            violations.push(OnTimeViolation {
+                read: read.id(),
+                source,
+                missed: missed.to_vec(),
+                min_delta,
+            });
+        }
+    }
+    TimedReport {
+        delta,
+        eps,
+        violations,
+    }
+}
+
+/// Reference O(R·W) implementation of [`check_on_time`]: the literal
+/// per-read scan over every write to the object. Kept (not deprecated) for
+/// cross-validation of the sweep-line path and for the scaling experiment
+/// `exp_checker_scale`; production callers should use [`check_on_time`].
+#[must_use]
+pub fn check_on_time_naive(history: &History, delta: Delta, eps: Epsilon) -> TimedReport {
+    let mut violations = Vec::new();
+    for read in history.reads() {
+        let source = history
+            .source_of(read.id())
+            .expect("reads always have a resolved source");
+        let source_time = source.map(|w| history.op(w).time());
+        let deadline = read.time().saturating_sub_delta(delta);
         let mut missed = Vec::new();
         for &w_id in history.writes_to(read.object()) {
             let tw = history.op(w_id).time();
@@ -100,7 +187,7 @@ pub fn check_on_time(history: &History, delta: Delta, eps: Epsilon) -> TimedRepo
             }
         }
         if !missed.is_empty() {
-            let min_delta = read_min_delta(history, read.id(), source_time, eps)
+            let min_delta = read_min_delta_naive(history, read.id(), source_time, eps)
                 .expect("a violated read has a positive minimal delta");
             violations.push(OnTimeViolation {
                 read: read.id(),
@@ -119,7 +206,41 @@ pub fn check_on_time(history: &History, delta: Delta, eps: Epsilon) -> TimedRepo
 
 /// The smallest Δ for which a single read occurs on time, or `None` when it
 /// is on time for every Δ (no newer write exists).
+///
+/// `T(r) − T(w') − ε` is non-increasing in `T(w')`, so the maximum over the
+/// qualifying writes is attained at the *earliest* write definitely after
+/// the source — one binary search instead of a scan.
 fn read_min_delta(
+    history: &History,
+    read: OpId,
+    source_time: Option<Time>,
+    eps: Epsilon,
+) -> Option<Delta> {
+    let r = history.op(read);
+    let lo = match source_time {
+        None => 0,
+        Some(ts) => ts
+            .ticks()
+            .checked_add(eps.ticks())
+            .and_then(|t| t.checked_add(1))?,
+    };
+    let writes = history.writes_to(r.object());
+    let first = writes.partition_point(|&w| history.op(w).time().ticks() < lo);
+    let tw = history.op(*writes.get(first)?).time();
+    if tw >= r.time() {
+        return None;
+    }
+    let gap = r
+        .time()
+        .ticks()
+        .saturating_sub(tw.ticks())
+        .saturating_sub(eps.ticks());
+    (gap > 0).then(|| Delta::from_ticks(gap))
+}
+
+/// Reference scan-everything version of [`read_min_delta`], used by
+/// [`check_on_time_naive`] / [`min_delta_eps_naive`].
+fn read_min_delta_naive(
     history: &History,
     read: OpId,
     source_time: Option<Time>,
@@ -179,6 +300,23 @@ pub fn min_delta_eps(history: &History, eps: Epsilon) -> Delta {
             .expect("reads always have a resolved source");
         let source_time = source.map(|w| history.op(w).time());
         if let Some(d) = read_min_delta(history, read.id(), source_time, eps) {
+            worst = worst.max(d);
+        }
+    }
+    worst
+}
+
+/// Reference O(R·W) implementation of [`min_delta_eps`], kept for
+/// cross-validation and the scaling experiment.
+#[must_use]
+pub fn min_delta_eps_naive(history: &History, eps: Epsilon) -> Delta {
+    let mut worst = Delta::ZERO;
+    for read in history.reads() {
+        let source = history
+            .source_of(read.id())
+            .expect("reads always have a resolved source");
+        let source_time = source.map(|w| history.op(w).time());
+        if let Some(d) = read_min_delta_naive(history, read.id(), source_time, eps) {
             worst = worst.max(d);
         }
     }
@@ -434,6 +572,37 @@ mod tests {
         let h = b.build().unwrap();
         assert!(check_on_time(&h, Delta::ZERO, Epsilon::ZERO).holds());
         assert_eq!(min_delta(&h), Delta::ZERO);
+    }
+
+    #[test]
+    fn sweep_line_matches_naive_on_saturating_edges() {
+        // Ticks near u64::MAX exercise every saturating branch of the
+        // window derivation; the sweep-line and naive paths must agree
+        // exactly (reports compare with `==`, so missed-vectors, order and
+        // min_delta are all covered).
+        let mut b = HistoryBuilder::new();
+        b.write(0, 'X', 1, 5);
+        b.write(0, 'X', 2, u64::MAX - 2);
+        b.write(3, 'X', 3, u64::MAX);
+        b.read(1, 'X', 1, u64::MAX - 1);
+        b.read(2, 'X', 0, u64::MAX);
+        let h = b.build().unwrap();
+        for delta in [0, 1, 10, u64::MAX - 1, u64::MAX] {
+            for eps in [0, 1, 3, u64::MAX - 2, u64::MAX] {
+                let d = Delta::from_ticks(delta);
+                let e = Epsilon::from_ticks(eps);
+                assert_eq!(
+                    check_on_time(&h, d, e),
+                    check_on_time_naive(&h, d, e),
+                    "delta={delta} eps={eps}"
+                );
+                assert_eq!(
+                    min_delta_eps(&h, e),
+                    min_delta_eps_naive(&h, e),
+                    "eps={eps}"
+                );
+            }
+        }
     }
 
     #[test]

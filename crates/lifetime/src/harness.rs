@@ -4,11 +4,13 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use tc_clocks::{Epsilon, Time};
+use tc_clocks::{Delta, Epsilon, Time};
+use tc_core::checker::TimedReport;
 use tc_core::History;
 use tc_sim::workload::Workload;
 use tc_sim::{FaultPlan, MetricsSnapshot, TraceRecorder, World, WorldConfig};
 
+use crate::oracle::widened_bound;
 use crate::{ClientNode, Msg, ProtocolConfig, ServerNode};
 
 /// Configuration of one simulation run.
@@ -41,6 +43,16 @@ pub struct RunResult {
     pub events: usize,
     /// True time when the run went quiescent.
     pub finished_at: Time,
+    /// Streaming on-time verdict, judged while the run executed by the
+    /// recorder's [`tc_core::checker::OnTimeMonitor`]. The Δ is the
+    /// fault-widened staleness bound of the run's configuration and plan
+    /// ([`crate::oracle::widened_bound`]), or [`Delta::INFINITE`] when the
+    /// level is untimed or the bound is unbounded (then the report holds
+    /// trivially but `observed_staleness` is still exact).
+    pub on_time: TimedReport,
+    /// The monitor's running `min_delta`: the smallest Δ for which the
+    /// recorded history is timed under the run's effective ε.
+    pub observed_staleness: Delta,
 }
 
 impl RunResult {
@@ -94,7 +106,14 @@ pub fn run(config: &RunConfig) -> RunResult {
 #[must_use]
 pub fn run_with_faults(config: &RunConfig, plan: FaultPlan) -> RunResult {
     let mut world: World<Msg> = World::new(config.world.clone());
-    let recorder = Rc::new(RefCell::new(TraceRecorder::new()));
+    // The effective ε and the fault-widened bound are both fixed before
+    // the run (the world's ε comes from its clock config, the widening
+    // from the plan), so the recorder can judge on-time behaviour online.
+    let epsilon = Epsilon::from_ticks(world.epsilon().ticks() + 2 * plan.max_abs_skew());
+    let monitor_delta = widened_bound(config, &plan, epsilon).unwrap_or(Delta::INFINITE);
+    let mut initial_recorder = TraceRecorder::new();
+    initial_recorder.attach_monitor(monitor_delta, epsilon);
+    let recorder = Rc::new(RefCell::new(initial_recorder));
     let server = world.add_node(ServerNode::new(config.protocol));
     for site in 0..config.n_clients {
         world.add_node(ClientNode::new(
@@ -107,7 +126,6 @@ pub fn run_with_faults(config: &RunConfig, plan: FaultPlan) -> RunResult {
             recorder.clone(),
         ));
     }
-    let skew_slack = 2 * plan.max_abs_skew();
     let faulted = !plan.is_empty();
     world.set_fault_plan(plan);
     // Every op costs at most a handful of events even with retries; faulted
@@ -120,21 +138,35 @@ pub fn run_with_faults(config: &RunConfig, plan: FaultPlan) -> RunResult {
     };
     let events = world.run_to_quiescence(budget);
     let finished_at = world.now();
-    let epsilon = Epsilon::from_ticks(world.epsilon().ticks() + skew_slack);
-    let metrics = world.metrics().snapshot();
+    let mut metrics = world.metrics().snapshot();
     drop(world);
     let recorder = Rc::try_unwrap(recorder)
         .expect("all clients dropped with the world")
         .into_inner();
-    let history = recorder
-        .finish()
+    let monitor = recorder
+        .monitor()
+        .expect("harness always attaches a monitor");
+    let observed_staleness = monitor.min_delta();
+    let late_writes = monitor.late_writes();
+    let (history, report) = recorder
+        .finish_with_report()
         .expect("protocol produced an invalid trace");
+    let on_time = report.expect("harness always attaches a monitor");
+    metrics.counters.insert(
+        "on_time_violations".to_string(),
+        on_time.violations().len() as u64,
+    );
+    metrics
+        .counters
+        .insert("monitor_late_writes".to_string(), late_writes);
     RunResult {
         history,
         metrics,
         epsilon,
         events,
         finished_at,
+        on_time,
+        observed_staleness,
     }
 }
 

@@ -1,7 +1,8 @@
 //! Recording simulated executions as [`tc_core::History`] values, so
 //! protocol runs can be fed to the paper's consistency checkers.
 
-use tc_clocks::{Time, VectorClock};
+use tc_clocks::{Delta, Epsilon, Time, VectorClock};
+use tc_core::checker::{OnTimeMonitor, TimedReport};
 use tc_core::{History, HistoryBuilder, HistoryError, ObjectId, SiteId, Value};
 
 /// Accumulates the reads and writes observed during a simulation into a
@@ -24,6 +25,7 @@ pub struct TraceRecorder {
     last_time: Vec<u64>,
     next_value: u64,
     recorded: usize,
+    monitor: Option<OnTimeMonitor>,
 }
 
 impl TraceRecorder {
@@ -35,7 +37,29 @@ impl TraceRecorder {
             last_time: Vec::new(),
             next_value: 1,
             recorded: 0,
+            monitor: None,
         }
+    }
+
+    /// Attaches a streaming [`OnTimeMonitor`]: every operation recorded
+    /// from here on is also judged online against `delta` under `eps`, so
+    /// the run's timed verdict is ready the moment it quiesces, with no
+    /// post-hoc re-check. The monitor sees the recorder's *nudged*
+    /// effective times — exactly what the finished history carries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operations were already recorded (they would be missing
+    /// from the verdict).
+    pub fn attach_monitor(&mut self, delta: Delta, eps: Epsilon) {
+        assert_eq!(self.recorded, 0, "attach the monitor before recording");
+        self.monitor = Some(OnTimeMonitor::new(delta, eps));
+    }
+
+    /// The attached monitor's live state, if any.
+    #[must_use]
+    pub fn monitor(&self) -> Option<&OnTimeMonitor> {
+        self.monitor.as_ref()
     }
 
     /// A fresh value, unique across the whole trace.
@@ -48,14 +72,20 @@ impl TraceRecorder {
     /// Records a write by `site` at effective time `at`.
     pub fn record_write(&mut self, site: SiteId, object: ObjectId, value: Value, at: Time) {
         let t = self.monotone_time(site, at);
-        self.builder.write(site, object, value, t);
+        let id = self.builder.write(site, object, value, t);
+        if let Some(m) = &mut self.monitor {
+            m.ingest_write(id, object, value, Time::from_ticks(t));
+        }
         self.recorded += 1;
     }
 
     /// Records a read by `site` returning `value` at effective time `at`.
     pub fn record_read(&mut self, site: SiteId, object: ObjectId, value: Value, at: Time) {
         let t = self.monotone_time(site, at);
-        self.builder.read(site, object, value, t);
+        let id = self.builder.read(site, object, value, t);
+        if let Some(m) = &mut self.monitor {
+            m.ingest_read(id, object, value, Time::from_ticks(t));
+        }
         self.recorded += 1;
     }
 
@@ -72,6 +102,9 @@ impl TraceRecorder {
         let t = self.monotone_time(site, at);
         let id = self.builder.write(site, object, value, t);
         self.builder.set_logical(id, logical);
+        if let Some(m) = &mut self.monitor {
+            m.ingest_write(id, object, value, Time::from_ticks(t));
+        }
         self.recorded += 1;
     }
 
@@ -87,6 +120,9 @@ impl TraceRecorder {
         let t = self.monotone_time(site, at);
         let id = self.builder.read(site, object, value, t);
         self.builder.set_logical(id, logical);
+        if let Some(m) = &mut self.monitor {
+            m.ingest_read(id, object, value, Time::from_ticks(t));
+        }
         self.recorded += 1;
     }
 
@@ -113,6 +149,19 @@ impl TraceRecorder {
     /// value).
     pub fn finish(self) -> Result<History, HistoryError> {
         self.builder.build()
+    }
+
+    /// Finishes the trace together with the attached monitor's verdict
+    /// (`None` when no monitor was attached). The report is identical to
+    /// running `check_on_time` on the returned history at the monitor's
+    /// Δ and ε — but was computed incrementally while the run executed.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceRecorder::finish`].
+    pub fn finish_with_report(self) -> Result<(History, Option<TimedReport>), HistoryError> {
+        let report = self.monitor.map(OnTimeMonitor::into_report);
+        Ok((self.builder.build()?, report))
     }
 
     fn monotone_time(&mut self, site: SiteId, at: Time) -> u64 {
@@ -190,6 +239,47 @@ mod tests {
         let mut t = TraceRecorder::new();
         t.record_read(site(0), obj('X'), Value::new(42), Time::from_ticks(1));
         assert!(t.finish().is_err(), "thin-air read must be rejected");
+    }
+
+    #[test]
+    fn attached_monitor_judges_while_recording() {
+        use tc_core::checker::check_on_time;
+        let delta = Delta::from_ticks(50);
+        let mut t = TraceRecorder::new();
+        t.attach_monitor(delta, Epsilon::ZERO);
+        let v = t.next_value();
+        t.record_write(site(0), obj('X'), v, Time::from_ticks(10));
+        t.record_read(site(1), obj('X'), Value::INITIAL, Time::from_ticks(200));
+        let m = t.monitor().expect("attached");
+        assert!(!m.holds(), "the stale read is flagged the moment it lands");
+        assert_eq!(m.min_delta().ticks(), 190);
+        let (h, report) = t.finish_with_report().unwrap();
+        assert_eq!(report.unwrap(), check_on_time(&h, delta, Epsilon::ZERO));
+    }
+
+    #[test]
+    fn monitor_sees_nudged_times() {
+        // Two same-tick ops: the builder nudges the second forward; the
+        // monitor must judge the nudged time the history will carry.
+        let mut t = TraceRecorder::new();
+        t.attach_monitor(Delta::ZERO, Epsilon::ZERO);
+        let v = t.next_value();
+        t.record_write(site(0), obj('X'), v, Time::from_ticks(5));
+        t.record_read(site(0), obj('X'), v, Time::from_ticks(5));
+        let (h, report) = t.finish_with_report().unwrap();
+        assert_eq!(
+            report.unwrap(),
+            tc_core::checker::check_on_time(&h, Delta::ZERO, Epsilon::ZERO)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "before recording")]
+    fn monitor_must_attach_before_recording() {
+        let mut t = TraceRecorder::new();
+        let v = t.next_value();
+        t.record_write(site(0), obj('X'), v, Time::from_ticks(1));
+        t.attach_monitor(Delta::ZERO, Epsilon::ZERO);
     }
 
     #[test]

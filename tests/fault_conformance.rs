@@ -106,35 +106,44 @@ fn fault_matrix() -> Vec<(&'static str, FaultPlan)> {
 /// across several seeds. Every run must be *acceptable* — either it
 /// conformed outright (all ops done, untimed + widened-timed guarantees
 /// hold) or it stalled safely. `Violated` is a protocol bug, full stop.
+///
+/// Each (protocol, plan, seed) cell is an independent simulation, so the
+/// 42-cell matrix fans out over [`tc_bench::parallel_map`]; results come
+/// back in input order and the assertions below run exactly as in the
+/// serial loop.
 #[test]
 fn fault_matrix_never_violates_the_oracle() {
-    let mut conformed = 0usize;
-    let mut total = 0usize;
+    let mut cells = Vec::new();
     for kind in timed_kinds() {
         for (label, plan) in fault_matrix() {
             for seed in [7, 21, 1999] {
-                let cfg = config(kind, seed);
-                let result = run_with_faults(&cfg, plan.clone());
-                let c = conformance(&cfg, &plan, &result);
-                assert!(
-                    c.acceptable(),
-                    "{} / {label} / seed {seed}: {:?}\n\
-                     observed staleness {} vs bound {:?}, {}ops recorded of {}\n{}",
-                    kind.label(),
-                    c.verdict,
-                    c.observed_staleness.ticks(),
-                    c.bound.map(|b| b.ticks()),
-                    c.ops_recorded,
-                    c.ops_expected,
-                    result.history,
-                );
-                total += 1;
-                if c.verdict == OracleVerdict::Conforms {
-                    conformed += 1;
-                }
+                cells.push((kind, label, plan.clone(), seed));
             }
         }
     }
+    let verdicts = tc_bench::parallel_map(&cells, |(kind, label, plan, seed)| {
+        let cfg = config(*kind, *seed);
+        let result = run_with_faults(&cfg, plan.clone());
+        let c = conformance(&cfg, plan, &result);
+        assert!(
+            c.acceptable(),
+            "{} / {label} / seed {seed}: {:?}\n\
+             observed staleness {} vs bound {:?}, {}ops recorded of {}\n{}",
+            kind.label(),
+            c.verdict,
+            c.observed_staleness.ticks(),
+            c.bound.map(|b| b.ticks()),
+            c.ops_recorded,
+            c.ops_expected,
+            result.history,
+        );
+        c.verdict
+    });
+    let total = verdicts.len();
+    let conformed = verdicts
+        .iter()
+        .filter(|v| **v == OracleVerdict::Conforms)
+        .count();
     // Healing plans should mostly complete; if everything stalled the
     // matrix would be vacuous (safety trivially holds on empty traces).
     assert!(
@@ -299,18 +308,22 @@ fn empty_plan_is_exactly_the_fault_free_run() {
 /// only the untimed guarantee (SC / CCv) and reports no bound.
 #[test]
 fn untimed_levels_keep_their_safety_under_faults() {
+    let mut cells = Vec::new();
     for kind in [ProtocolKind::Sc, ProtocolKind::Cc] {
         for (label, plan) in fault_matrix() {
-            let cfg = config(kind, 99);
-            let result = run_with_faults(&cfg, plan.clone());
-            let c = conformance(&cfg, &plan, &result);
-            assert!(c.bound.is_none(), "untimed level must have no Δ bound");
-            assert!(
-                c.acceptable(),
-                "{} / {label}: {:?}",
-                kind.label(),
-                c.verdict
-            );
+            cells.push((kind, label, plan));
         }
     }
+    tc_bench::parallel_map(&cells, |(kind, label, plan)| {
+        let cfg = config(*kind, 99);
+        let result = run_with_faults(&cfg, plan.clone());
+        let c = conformance(&cfg, plan, &result);
+        assert!(c.bound.is_none(), "untimed level must have no Δ bound");
+        assert!(
+            c.acceptable(),
+            "{} / {label}: {:?}",
+            kind.label(),
+            c.verdict
+        );
+    });
 }

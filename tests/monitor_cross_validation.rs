@@ -1,0 +1,179 @@
+//! Property-based cross-validation of the streaming [`OnTimeMonitor`] and
+//! the sweep-line batch checker against the naive reference scan.
+//!
+//! The monitor's contract is stronger than "same answer when fed the
+//! recorder's order": its verdicts and running `min_delta` must match the
+//! batch checker for *any* ingestion order, because the harness feeds it
+//! nudged per-operation times whose global order is only settled after the
+//! fact. These properties shuffle the operations adversarially.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use timed_consistency::clocks::{Delta, Epsilon};
+use timed_consistency::core::checker::{
+    check_on_time, check_on_time_naive, min_delta_eps, min_delta_eps_naive, OnTimeMonitor,
+};
+use timed_consistency::core::generator::{
+    random_history, replica_history, RandomHistoryConfig, ReplicaHistoryConfig,
+};
+use timed_consistency::core::{History, Operation};
+
+fn small_random(seed: u64) -> History {
+    random_history(
+        &RandomHistoryConfig {
+            n_sites: 3,
+            n_objects: 2,
+            ops_per_site: 5,
+            read_fraction: 0.5,
+            max_time_step: 30,
+        },
+        seed,
+    )
+}
+
+fn replica(seed: u64) -> History {
+    replica_history(
+        &ReplicaHistoryConfig {
+            n_sites: 3,
+            n_objects: 2,
+            ops_per_site: 6,
+            read_fraction: 0.6,
+            max_time_step: 40,
+            delay: (5, 70),
+        },
+        seed,
+    )
+}
+
+/// Feeds `h` to a fresh monitor in the given operation order and returns
+/// the (running min_delta, final report) pair.
+fn monitor_verdict(ops: &[&Operation], delta: Delta, eps: Epsilon) -> OnTimeMonitor {
+    let mut m = OnTimeMonitor::new(delta, eps);
+    for op in ops {
+        m.ingest_op(op);
+    }
+    m
+}
+
+/// The recorder's natural feed: effective-time order, ids breaking ties.
+fn time_order(h: &History) -> Vec<&Operation> {
+    let mut ops: Vec<&Operation> = h.ops().iter().collect();
+    ops.sort_by_key(|o| (o.time(), o.id()));
+    ops
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Monitor == batch on the recorder's in-order feed, for every Δ and ε
+    /// tried: same report (violations byte-for-byte) and same min_delta.
+    #[test]
+    fn monitor_matches_batch_in_time_order(
+        seed in 0u64..5_000,
+        delta in 0u64..200,
+        eps in 0u64..60,
+    ) {
+        let h = small_random(seed);
+        let delta = Delta::from_ticks(delta);
+        let eps = Epsilon::from_ticks(eps);
+        let m = monitor_verdict(&time_order(&h), delta, eps);
+        prop_assert_eq!(m.min_delta(), min_delta_eps(&h, eps), "seed {}:\n{}", seed, h);
+        prop_assert_eq!(
+            m.into_report(),
+            check_on_time(&h, delta, eps),
+            "seed {} Δ={:?} ε={:?}:\n{}", seed, delta, eps, h
+        );
+    }
+
+    /// Monitor verdicts are ingestion-order independent: an adversarial
+    /// shuffle (not even consistent with time) converges to the same
+    /// report and min_delta once every operation has arrived.
+    #[test]
+    fn monitor_is_order_independent(
+        seed in 0u64..5_000,
+        shuffle_seed in 0u64..1_000,
+        delta in 0u64..200,
+        eps in 0u64..60,
+    ) {
+        let h = small_random(seed);
+        let delta = Delta::from_ticks(delta);
+        let eps = Epsilon::from_ticks(eps);
+        let mut ops: Vec<&_> = h.ops().iter().collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(shuffle_seed);
+        // Fisher–Yates; the vendored rand has no SliceRandom.
+        for i in (1..ops.len()).rev() {
+            ops.swap(i, rng.gen_range(0..=i));
+        }
+        let m = monitor_verdict(&ops, delta, eps);
+        prop_assert_eq!(m.min_delta(), min_delta_eps(&h, eps), "seed {}:\n{}", seed, h);
+        prop_assert_eq!(
+            m.into_report(),
+            check_on_time(&h, delta, eps),
+            "seed {} shuffle {} Δ={:?} ε={:?}:\n{}", seed, shuffle_seed, delta, eps, h
+        );
+    }
+
+    /// The sweep-line windows agree with the naive reference scan on both
+    /// entry points (the acceptance criterion's byte-identity check),
+    /// including Δ = ∞ and large ε.
+    #[test]
+    fn sweep_line_matches_naive(
+        seed in 0u64..5_000,
+        delta in 0u64..300,
+        eps in 0u64..80,
+        infinite in 0u64..8,
+    ) {
+        let h = small_random(seed);
+        let delta = if infinite == 0 { Delta::INFINITE } else { Delta::from_ticks(delta) };
+        let eps = Epsilon::from_ticks(eps);
+        prop_assert_eq!(
+            check_on_time(&h, delta, eps),
+            check_on_time_naive(&h, delta, eps),
+            "seed {} Δ={:?} ε={:?}:\n{}", seed, delta, eps, h
+        );
+        prop_assert_eq!(
+            min_delta_eps(&h, eps),
+            min_delta_eps_naive(&h, eps),
+            "seed {} ε={:?}:\n{}", seed, eps, h
+        );
+    }
+
+    /// Replica-generated histories (the protocol-shaped corpus) take the
+    /// same three paths through richer write patterns: monitor == sweep ==
+    /// naive.
+    #[test]
+    fn all_three_paths_agree_on_replica_histories(
+        seed in 0u64..2_000,
+        delta in 0u64..150,
+        eps in 0u64..40,
+    ) {
+        let h = replica(seed);
+        let delta = Delta::from_ticks(delta);
+        let eps = Epsilon::from_ticks(eps);
+        let batch = check_on_time(&h, delta, eps);
+        prop_assert_eq!(&batch, &check_on_time_naive(&h, delta, eps));
+        let m = monitor_verdict(&time_order(&h), delta, eps);
+        prop_assert_eq!(m.min_delta(), min_delta_eps(&h, eps));
+        prop_assert_eq!(m.min_delta(), min_delta_eps_naive(&h, eps));
+        prop_assert_eq!(m.into_report(), batch, "seed {}:\n{}", seed, h);
+    }
+}
+
+/// The monitor's running `min_delta` is monotone: it only ratchets upward
+/// as operations arrive, and each prefix's value is a lower bound on the
+/// final answer (what makes "report while the run executes" sound).
+#[test]
+fn running_min_delta_ratchets_up() {
+    for seed in [3u64, 17, 321, 4444] {
+        let h = replica(seed);
+        let eps = Epsilon::from_ticks(5);
+        let mut m = OnTimeMonitor::new(Delta::INFINITE, eps);
+        let mut last = Delta::ZERO;
+        for op in time_order(&h) {
+            m.ingest_op(op);
+            assert!(m.min_delta() >= last, "seed {seed}: min_delta regressed");
+            last = m.min_delta();
+        }
+        assert_eq!(last, min_delta_eps(&h, eps), "seed {seed}");
+    }
+}

@@ -163,10 +163,26 @@ impl Bencher {
     }
 }
 
+/// Whether the bench binary was invoked with `--test` (as in
+/// `cargo bench -- --test`): compile-and-run-once mode, used by CI to
+/// catch bench rot without paying for measurement.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_one<F>(label: &str, sample_size: usize, measurement_time: Duration, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    if test_mode() {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {label} ... ok");
+        return;
+    }
     // One calibration sample decides the per-sample iteration count so a
     // full run roughly fits the measurement time.
     let mut calib = Bencher {

@@ -1,6 +1,7 @@
-//! Offline stand-in for `crossbeam` (the `channel` subset this workspace
-//! uses): `bounded` / `unbounded` channels, [`channel::after`] timers, and
-//! a `select!` macro over receivers — built on `std::sync::mpsc`.
+//! Offline stand-in for `crossbeam` (the subset this workspace uses):
+//! `bounded` / `unbounded` channels, [`channel::after`] timers, a
+//! `select!` macro over receivers — built on `std::sync::mpsc` — and
+//! [`thread::scope`] scoped threads built on `std::thread::scope`.
 //!
 //! Semantics match crossbeam where the workspace depends on them:
 //!
@@ -16,6 +17,102 @@
 //! heartbeats, not for microsecond latency work.
 
 #![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with crossbeam's API shape
+    //! (`scope(|s| { s.spawn(|_| …); }).unwrap()`), backed by the standard
+    //! library's scoped threads.
+    //!
+    //! Matching crossbeam's contract, [`scope`] joins every spawned thread
+    //! before returning and yields `Err` with the first panic payload when
+    //! any spawned thread panicked (std's `thread::scope` would instead
+    //! propagate the panic).
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::thread as stdthread;
+
+    /// A scope for spawning threads that may borrow from the caller.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned in a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result (`Err`
+        /// carries the panic payload if it panicked).
+        pub fn join(self) -> stdthread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again so
+        /// workers can spawn further workers, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope; all threads spawned inside are joined before it
+    /// returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the panic payload if a spawned thread (or the
+    /// closure itself) panicked.
+    pub fn scope<'env, F, R>(f: F) -> stdthread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            stdthread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let counter = AtomicUsize::new(0);
+            let counter = &counter;
+            let total = super::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|i| {
+                        s.spawn(move |_| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            i * 2
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::Relaxed), 4);
+            assert_eq!(total, 0 + 2 + 4 + 6);
+        }
+
+        #[test]
+        fn worker_panic_surfaces_as_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("worker down"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}
 
 pub mod channel {
     use std::cell::Cell;
