@@ -14,6 +14,7 @@ use tc_bench::{arg_value, f3, json_flag, pct, standard_run, Table};
 use tc_clocks::Delta;
 use tc_core::stats::StalenessStats;
 use tc_lifetime::{run, Propagation, ProtocolKind, StalePolicy};
+use tc_sim::metrics::names;
 
 fn main() {
     let json = json_flag();
@@ -63,9 +64,10 @@ fn main() {
                 let r = run(&cfg);
                 let reads = r.history.reads().count().max(1) as f64;
                 hits += r.hit_rate();
-                msgs_per_read += (r.counter("fetch") + r.counter("validate")) as f64 / reads;
-                inval += r.counter("invalidate");
-                marked += r.counter("mark_old");
+                msgs_per_read +=
+                    (r.counter(names::FETCH) + r.counter(names::VALIDATE)) as f64 / reads;
+                inval += r.counter(names::INVALIDATE);
+                marked += r.counter(names::MARK_OLD);
                 let stats = StalenessStats::of(&r.history);
                 mean_stale += stats.mean_staleness();
                 max_stale = max_stale.max(stats.max_staleness().ticks());

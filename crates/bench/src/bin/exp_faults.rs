@@ -23,6 +23,7 @@ use std::time::Instant;
 use tc_bench::{arg_value, f3, flag, json_flag, parallel_map_with, pct, pool_size, Table};
 use tc_clocks::Delta;
 use tc_lifetime::{conformance, run_with_faults, OracleVerdict, ProtocolKind};
+use tc_sim::metrics::names;
 use tc_sim::{FaultKind, FaultPlan, Scope, Window};
 
 fn plan(drop_rate: f64) -> FaultPlan {
@@ -121,9 +122,9 @@ fn main() {
             done: c.ops_recorded,
             expected: c.ops_expected,
             staleness: c.observed_staleness.ticks(),
-            retries: result.counter("retry")
-                + result.counter("causal_retransmit")
-                + result.counter("stale_reply"),
+            retries: result.counter(names::RETRY)
+                + result.counter(names::CAUSAL_RETRANSMIT)
+                + result.counter(names::STALE_REPLY),
         }
     });
     let elapsed = started.elapsed();

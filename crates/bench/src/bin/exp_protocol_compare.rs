@@ -14,6 +14,7 @@ use tc_core::checker::{
 };
 use tc_core::stats::StalenessStats;
 use tc_lifetime::{run, ProtocolKind};
+use tc_sim::metrics::names;
 
 fn main() {
     let json = json_flag();
@@ -62,9 +63,9 @@ fn main() {
             let cfg = standard_run(kind, seed, ops);
             let r = run(&cfg);
             hit += r.hit_rate();
-            stale_events += r.counter("invalidate") + r.counter("mark_old");
+            stale_events += r.counter(names::INVALIDATE) + r.counter(names::MARK_OLD);
             let n_ops = r.history.len().max(1) as f64;
-            msgs_per_op += r.counter("message") as f64 / n_ops;
+            msgs_per_op += r.counter(names::MESSAGE) as f64 / n_ops;
             let stats = StalenessStats::of(&r.history);
             mean_stale += stats.mean_staleness();
             max_stale = max_stale.max(min_delta(&r.history).ticks());

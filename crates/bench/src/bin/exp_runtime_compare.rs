@@ -1,0 +1,193 @@
+//! Simulation study 6: one protocol engine, two drivers.
+//!
+//! The sans-io refactor promises that the §5 lifetime state machines are
+//! byte-for-byte the same code whether they run under the deterministic
+//! simulator (`tc_lifetime::run_with_private_sources`) or the threaded
+//! runtime (`tc_store::run_threaded`). This experiment runs identical
+//! (protocol, seed, workload-size) configurations through **both** drivers
+//! and tabulates what each can measure that the other cannot:
+//!
+//! * the simulator gives virtual-time staleness with zero scheduling noise
+//!   and finishes in microseconds of wall-clock;
+//! * the threaded runtime gives real wall-clock throughput and per-op
+//!   latency percentiles, with the streaming monitor judging the live run.
+//!
+//! Both drivers derive per-client operation streams from the same private
+//! seeds, so row pairs execute the *same* per-site workload. Every run
+//! must come back monitor-clean; the binary asserts it.
+//!
+//! Outputs a table (for `results/runtime_compare.txt`) and
+//! machine-readable `BENCH_runtime.json`.
+//!
+//! Flags: `--smoke` (one small size, two protocols — the CI bench-rot
+//! check), `--out PATH` (JSON path, default `BENCH_runtime.json`),
+//! `--json` (print the table as JSON).
+
+use std::time::Instant;
+
+use tc_bench::{arg_value, f3, flag, json_flag, standard_run, Table};
+use tc_clocks::Delta;
+use tc_lifetime::{run_with_private_sources, ProtocolKind};
+use tc_store::{run_threaded, RuntimeConfig};
+
+/// The private-source base seed shared by both drivers.
+const SEED: u64 = 7;
+
+/// One row of the comparison.
+struct Cell {
+    driver: &'static str,
+    wall_ms: f64,
+    ops_per_sec: f64,
+    mean_us: Option<f64>,
+    p99_us: Option<f64>,
+    staleness: Delta,
+    violations: usize,
+    ops: usize,
+}
+
+fn sim_cell(kind: ProtocolKind, ops_per_client: usize) -> Cell {
+    let config = standard_run(kind, SEED, ops_per_client);
+    let started = Instant::now();
+    let r = run_with_private_sources(&config, SEED);
+    let wall = started.elapsed();
+    Cell {
+        driver: "sim",
+        wall_ms: wall.as_secs_f64() * 1e3,
+        ops_per_sec: r.history.len() as f64 / wall.as_secs_f64().max(1e-9),
+        mean_us: None,
+        p99_us: None,
+        staleness: r.observed_staleness,
+        violations: r.on_time.violations().len(),
+        ops: r.history.len(),
+    }
+}
+
+fn threaded_cell(kind: ProtocolKind, ops_per_client: usize) -> Cell {
+    let sim = standard_run(kind, SEED, ops_per_client);
+    let config = RuntimeConfig::for_protocol(
+        sim.protocol,
+        sim.n_clients,
+        sim.workload,
+        ops_per_client,
+        SEED,
+    );
+    let r = run_threaded(&config);
+    Cell {
+        driver: "threaded",
+        wall_ms: r.wall.as_secs_f64() * 1e3,
+        ops_per_sec: r.throughput(),
+        mean_us: Some(r.latency.mean_us),
+        p99_us: Some(r.latency.p99_us),
+        staleness: r.observed_staleness,
+        violations: r.on_time.violations().len(),
+        ops: r.ops_done,
+    }
+}
+
+fn main() {
+    let json = json_flag();
+    let smoke = flag("smoke");
+    let out = arg_value("out").unwrap_or_else(|| "BENCH_runtime.json".to_string());
+
+    let sizes: &[usize] = if smoke { &[30] } else { &[50, 150, 400] };
+    let kinds: &[ProtocolKind] = if smoke {
+        &[
+            ProtocolKind::Sc,
+            ProtocolKind::Tsc {
+                delta: Delta::from_ticks(400),
+            },
+        ]
+    } else {
+        &[
+            ProtocolKind::Sc,
+            ProtocolKind::Tsc {
+                delta: Delta::from_ticks(400),
+            },
+            ProtocolKind::Cc,
+        ]
+    };
+
+    let mut t = Table::new(
+        "One engine, two drivers: deterministic simulator vs threaded \
+         runtime (4 clients, Zipf(0.8) over 8 objects, 70% reads, shared \
+         private seeds)",
+        &[
+            "protocol",
+            "ops/client",
+            "driver",
+            "ops",
+            "wall ms",
+            "ops/sec",
+            "mean lat µs",
+            "p99 lat µs",
+            "staleness",
+            "violations",
+        ],
+    );
+    let mut results = Vec::new();
+
+    for &kind in kinds {
+        for &ops_per_client in sizes {
+            for cell in [
+                sim_cell(kind, ops_per_client),
+                threaded_cell(kind, ops_per_client),
+            ] {
+                assert_eq!(
+                    cell.violations,
+                    0,
+                    "{} driver must be monitor-clean for {} at {} ops",
+                    cell.driver,
+                    kind.label(),
+                    ops_per_client
+                );
+                let opt = |v: Option<f64>| v.map_or("-".to_string(), f3);
+                t.row(&[
+                    &kind.label(),
+                    &ops_per_client,
+                    &cell.driver,
+                    &cell.ops,
+                    &f3(cell.wall_ms),
+                    &format!("{:.0}", cell.ops_per_sec),
+                    &opt(cell.mean_us),
+                    &opt(cell.p99_us),
+                    &cell.staleness,
+                    &cell.violations,
+                ]);
+                results.push(serde_json::json!({
+                    "protocol": (kind.label()),
+                    "ops_per_client": ops_per_client,
+                    "driver": (cell.driver),
+                    "ops": (cell.ops),
+                    "wall_ms": (cell.wall_ms),
+                    "ops_per_sec": (cell.ops_per_sec),
+                    "mean_latency_us": (cell.mean_us.map_or(serde_json::Value::Null, Into::into)),
+                    "p99_latency_us": (cell.p99_us.map_or(serde_json::Value::Null, Into::into)),
+                    "observed_staleness_ticks": (cell.staleness.ticks()),
+                    "violations": (cell.violations),
+                }));
+            }
+        }
+    }
+
+    t.emit(json);
+    println!(
+        "expected shape: the simulator's wall-clock stays in the \
+         milliseconds regardless of think times (virtual time is free); \
+         the threaded driver pays real think-time waits but reports true \
+         per-op latency, and both stay monitor-clean — same engine, same \
+         verdict"
+    );
+
+    let doc = serde_json::json!({
+        "experiment": "runtime_compare",
+        "seed": SEED,
+        "smoke": smoke,
+        "results": results,
+    });
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&doc).expect("results serialize"),
+    )
+    .expect("write BENCH_runtime.json");
+    println!("wrote {out}");
+}

@@ -20,6 +20,7 @@ use tc_core::stats::StalenessStats;
 use tc_core::{ObjectId, Value};
 use tc_lifetime::cache::{Cache, CacheEntry};
 use tc_lifetime::{run, Propagation, ProtocolConfig, ProtocolKind, RunConfig, StalePolicy};
+use tc_sim::metrics::names;
 use tc_sim::workload::Workload;
 use tc_sim::WorldConfig;
 
@@ -151,6 +152,7 @@ fn ttl_study(json: bool) {
                         } else {
                             Propagation::Pull
                         },
+                        retry_after: tc_lifetime::DEFAULT_RETRY_AFTER,
                     },
                     n_clients: 6,
                     workload: Workload::web(),
@@ -160,7 +162,7 @@ fn ttl_study(json: bool) {
                 let r = run(&cfg);
                 hit += r.hit_rate();
                 let reads = r.history.reads().count().max(1) as f64;
-                msgs += (r.counter("fetch") + r.counter("validate")) as f64 / reads;
+                msgs += (r.counter(names::FETCH) + r.counter(names::VALIDATE)) as f64 / reads;
                 stale += StalenessStats::of(&r.history).mean_staleness();
             }
             let k = seeds as f64;

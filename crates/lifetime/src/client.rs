@@ -1,91 +1,115 @@
-//! The client site: a cache `C_i` with its `Context_i`, driven by a
-//! synthetic workload, speaking the §5 lifetime protocol to the server.
+//! Simulator adapter for [`ClientEngine`]: a thin [`Process`] impl that
+//! injects the world's clocks, routes the engine's randomness and value
+//! allocation, and replays emitted effects into the [`tc_sim::World`].
 //!
-//! The client is a closed loop: one outstanding operation at a time, a
-//! think-time pause between operations. Reads prefer the cache; the
-//! protocol rules decide when a cached version may still be used. Writes
-//! are synchronous (server-ordered) in the physical family — the cost of
-//! SC the paper alludes to — and asynchronous in the causal family.
+//! All protocol logic lives in [`crate::engine`]; this file owns only the
+//! sim-side plumbing. Effects are executed strictly in emission order,
+//! which (together with delegating `rng`/`next_value` to the world's
+//! shared sources) keeps simulated runs byte-identical with the
+//! pre-engine, `Process`-welded implementation.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use tc_clocks::{ClockOrdering, Delta, SiteClock, SumXi, Time, Timestamp, VectorClock, XiMap};
-use tc_core::{ObjectId, SiteId, Value};
-use tc_sim::workload::{OpChoice, Workload};
+use rand::rngs::StdRng;
+use tc_core::Value;
+use tc_sim::workload::Workload;
 use tc_sim::{Context, NodeId, Process, TraceRecorder};
 
-use crate::cache::{Cache, CacheEntry, SweepOutcome};
-use crate::msg::{Msg, ValidateOutcome, WireVersion};
-use crate::{ProtocolConfig, ProtocolKind, StalePolicy};
+use crate::engine::{ClientEngine, Effect, Event, Inputs, Now, PrivateSources, RecordOp};
+use crate::msg::Msg;
+use crate::ProtocolConfig;
 
-/// How long a client waits before resending an unanswered request. The
-/// conformance oracle adds one retry interval per fault-plan outage when
-/// widening its staleness bound (see [`crate::oracle`]).
-pub(crate) const RETRY_AFTER: Delta = Delta::from_ticks(500);
-
-/// Timer token for "issue the next planned operation".
-const TIMER_NEXT_OP: u64 = 0;
-
-/// Timer token for "retransmit unacked causal writes". Request-retry timers
-/// use the request epoch (which starts at 1) as their token, so `u64::MAX`
-/// can never collide.
-const TIMER_FLUSH_CAUSAL: u64 = u64::MAX;
-
-enum Pending {
-    Read { object: ObjectId },
-    Write { object: ObjectId, value: Value },
+/// Replays a batch of engine effects into the simulator, in order.
+/// `recorder` is required iff the effects can contain [`Effect::Record`]
+/// (i.e. for client engines).
+pub(crate) fn replay_effects(
+    ctx: &mut Context<'_, Msg>,
+    recorder: Option<&Rc<RefCell<TraceRecorder>>>,
+    effects: Vec<Effect>,
+) {
+    for effect in effects {
+        match effect {
+            Effect::Send { to, msg } => ctx.send(to, msg),
+            Effect::SetTimer { after, token } => ctx.set_timer(after, token),
+            // Zero-increments still materialize the counter — experiment
+            // tables rely on swept-but-empty counters being present.
+            Effect::Metric { name, add } => ctx.metrics().add(name, add),
+            Effect::Record(op) => {
+                let mut recorder = recorder
+                    .expect("only client engines record operations")
+                    .borrow_mut();
+                match op {
+                    RecordOp::Write {
+                        site,
+                        object,
+                        value,
+                        at,
+                        logical: Some(logical),
+                    } => recorder.record_write_stamped(site, object, value, at, logical),
+                    RecordOp::Write {
+                        site,
+                        object,
+                        value,
+                        at,
+                        logical: None,
+                    } => recorder.record_write(site, object, value, at),
+                    RecordOp::Read {
+                        site,
+                        object,
+                        value,
+                        at,
+                        logical: Some(logical),
+                    } => recorder.record_read_stamped(site, object, value, at, logical),
+                    RecordOp::Read {
+                        site,
+                        object,
+                        value,
+                        at,
+                        logical: None,
+                    } => recorder.record_read(site, object, value, at),
+                }
+            }
+        }
+    }
 }
 
-/// The client node.
-///
-/// # Crash durability
-///
-/// Under injected crash–restart ([`tc_sim::FaultKind::Crash`]) the client
-/// models a process with a small write-ahead log: the cache and the
-/// physical context are *volatile* (cache loss is the point of the fault),
-/// while everything whose loss would silently corrupt the protocol is
-/// *durable*:
-///
-/// * `context_v` — reusing vector-clock stamps after a restart would forge
-///   causality;
-/// * `pending` / `outstanding` / `req_epoch` — a physical write the server
-///   may already have applied must be re-driven to completion, or other
-///   sites could read a value whose write was never recorded;
-/// * `unacked` — causal writes are recorded at issue time, so they must
-///   eventually reach the server;
-/// * `ops_done` and the workload position.
+/// The engine's [`Inputs`], bound to simulator sources: by default the
+/// world's seeded RNG and the recorder's shared value counter (exact
+/// pre-engine draw order); optionally a client-private source for
+/// cross-driver equivalence runs.
+struct SimInputs<'a, 'w> {
+    ctx: &'a mut Context<'w, Msg>,
+    recorder: &'a Rc<RefCell<TraceRecorder>>,
+    private: Option<&'a mut PrivateSources>,
+}
+
+impl Inputs for SimInputs<'_, '_> {
+    fn rng(&mut self) -> &mut StdRng {
+        match &mut self.private {
+            Some(p) => p.rng(),
+            None => self.ctx.rng(),
+        }
+    }
+
+    fn next_value(&mut self) -> Value {
+        match &mut self.private {
+            Some(p) => p.next_value(),
+            None => self.recorder.borrow_mut().next_value(),
+        }
+    }
+}
+
+/// The simulated client node: a [`ClientEngine`] plus its recorder handle.
 pub struct ClientNode {
-    config: ProtocolConfig,
-    server: NodeId,
-    site: usize,
-    workload: Workload,
-    ops_target: usize,
-    ops_done: usize,
-    cache: Cache,
-    context_t: Time,
-    context_v: VectorClock,
+    engine: ClientEngine,
     recorder: Rc<RefCell<TraceRecorder>>,
-    pending: Option<Pending>,
-    outstanding: Option<Msg>,
-    req_epoch: u64,
-    planned: Option<(OpChoice, ObjectId)>,
-    /// Causal writes shipped but not yet acked: (object, value, stamp,
-    /// issue time). Retransmitted until [`Msg::WriteAckCausal`] clears
-    /// them; the server's LWW application is idempotent, so retransmits are
-    /// harmless.
-    unacked: Vec<(ObjectId, Value, VectorClock, Time)>,
-    /// This site's newest causal write per object, kept past the ack
-    /// (durable, like `unacked`). A server reply can be generated before
-    /// our write applied yet delivered after its ack — `unacked` alone
-    /// cannot see that race, but installing such a reply would make the
-    /// site read a value older than its own write. `install` arbitrates
-    /// every fetched version against this map.
-    own_writes: std::collections::HashMap<ObjectId, (Value, VectorClock, Time)>,
+    private: Option<PrivateSources>,
 }
 
 impl ClientNode {
-    /// Creates a client.
+    /// Creates a client driven by the world's shared sources (the default;
+    /// byte-identical with the historical implementation).
     ///
     /// `site` is this client's 0-based index among `n_clients` clients; it
     /// doubles as the trace site id and the vector-clock component.
@@ -100,354 +124,53 @@ impl ClientNode {
         recorder: Rc<RefCell<TraceRecorder>>,
     ) -> Self {
         ClientNode {
-            config,
-            server,
-            site,
-            workload,
-            ops_target,
-            ops_done: 0,
-            cache: Cache::new(),
-            context_t: Time::ZERO,
-            context_v: VectorClock::new(site, n_clients),
+            engine: ClientEngine::new(config, server, site, n_clients, workload, ops_target),
             recorder,
-            pending: None,
-            outstanding: None,
-            req_epoch: 0,
-            planned: None,
-            unacked: Vec::new(),
-            own_writes: std::collections::HashMap::new(),
+            private: None,
         }
+    }
+
+    /// Switches workload sampling and value allocation to
+    /// [`PrivateSources`] derived from `base_seed` instead of the world's
+    /// shared sources. With private sources the client's operation
+    /// sequence depends only on `(base_seed, site, n_clients)` — the same
+    /// sequence the threaded runtime's clients produce, which is what the
+    /// engine-equivalence suite compares.
+    #[must_use]
+    pub fn with_private_sources(mut self, base_seed: u64, site: usize, n_clients: usize) -> Self {
+        self.private = Some(PrivateSources::new(base_seed, site, n_clients));
+        self
     }
 
     /// Operations completed so far.
     #[must_use]
     pub fn ops_done(&self) -> usize {
-        self.ops_done
+        self.engine.ops_done()
     }
 
     /// Whether the client has finished its workload.
     #[must_use]
     pub fn finished(&self) -> bool {
-        self.ops_done >= self.ops_target
+        self.engine.finished()
     }
 
-    fn plan_next(&mut self, ctx: &mut Context<'_, Msg>) {
-        if self.finished() {
-            return;
-        }
-        let (kind, obj_idx, think) = self.workload.next_op(ctx.rng());
-        self.planned = Some((kind, ObjectId::new(obj_idx as u32)));
-        ctx.set_timer(think, TIMER_NEXT_OP);
-    }
-
-    fn complete(&mut self, ctx: &mut Context<'_, Msg>) {
-        self.ops_done += 1;
-        self.pending = None;
-        self.outstanding = None;
-        self.plan_next(ctx);
-    }
-
-    fn send_request(&mut self, ctx: &mut Context<'_, Msg>, mut msg: Msg) {
-        self.req_epoch += 1;
-        match &mut msg {
-            Msg::FetchReq { epoch, .. }
-            | Msg::ValidateReq { epoch, .. }
-            | Msg::WriteReq { epoch, .. } => *epoch = self.req_epoch,
-            _ => unreachable!("only requests go through send_request"),
-        }
-        self.outstanding = Some(msg.clone());
-        ctx.send(self.server, msg);
-        ctx.set_timer(RETRY_AFTER, self.req_epoch);
-    }
-
-    /// Whether a reply's echoed epoch answers the current outstanding
-    /// request. Anything else is a delayed or duplicated reply to a
-    /// request this client has moved past — using it could complete a
-    /// newer operation with stale data, so it is dropped.
-    fn reply_is_current(&self, ctx: &mut Context<'_, Msg>, epoch: u64) -> bool {
-        if self.outstanding.is_some() && epoch == self.req_epoch {
-            true
-        } else {
-            ctx.metrics().incr("stale_reply");
-            false
-        }
-    }
-
-    fn count_sweep(ctx: &mut Context<'_, Msg>, out: SweepOutcome) {
-        ctx.metrics().add("invalidate", out.invalidated as u64);
-        ctx.metrics().add("mark_old", out.marked_old as u64);
-    }
-
-    /// Applies the protocol's freshness rules before an access (§5.1 rule
-    /// 3 and the sweeps).
-    fn refresh(&mut self, ctx: &mut Context<'_, Msg>, t_loc: Time) {
-        let policy = self.config.stale;
-        match self.config.kind {
-            ProtocolKind::NoCache => {}
-            ProtocolKind::Sc => {
-                let out = self.cache.sweep_physical(self.context_t, policy);
-                Self::count_sweep(ctx, out);
-            }
-            ProtocolKind::Tsc { delta } => {
-                // Rule 3: Context_i := max(t_i − Δ, Context_i).
-                self.context_t = self.context_t.max(t_loc.saturating_sub_delta(delta));
-                let out = self.cache.sweep_physical(self.context_t, policy);
-                Self::count_sweep(ctx, out);
-            }
-            ProtocolKind::Cc => {
-                let out = self.cache.sweep_causal(&self.context_v, self.site, policy);
-                Self::count_sweep(ctx, out);
-            }
-            ProtocolKind::Tcc { delta } => {
-                let out = self.cache.sweep_causal(&self.context_v, self.site, policy);
-                Self::count_sweep(ctx, out);
-                let out = self
-                    .cache
-                    .sweep_beta(t_loc.saturating_sub_delta(delta), policy);
-                Self::count_sweep(ctx, out);
-            }
-            ProtocolKind::TccLogical { xi_delta } => {
-                let out = self.cache.sweep_causal(&self.context_v, self.site, policy);
-                Self::count_sweep(ctx, out);
-                let xi_ctx = SumXi.xi(self.context_v.entries());
-                let out = self.cache.sweep_xi(&SumXi, xi_ctx, xi_delta, policy);
-                Self::count_sweep(ctx, out);
-            }
-        }
-    }
-
-    fn start_read(&mut self, ctx: &mut Context<'_, Msg>, object: ObjectId) {
-        let t_loc = ctx.local_now();
-        self.refresh(ctx, t_loc);
-        if self.config.kind == ProtocolKind::NoCache {
-            ctx.metrics().incr("fetch");
-            self.pending = Some(Pending::Read { object });
-            self.send_request(ctx, Msg::FetchReq { object, epoch: 0 });
-            return;
-        }
-        match self.cache.get(object) {
-            Some(entry) if !entry.old => {
-                ctx.metrics().incr("cache_hit");
-                let value = entry.value;
-                self.record_read(ctx, object, value);
-                self.complete(ctx);
-            }
-            Some(entry) => {
-                // MarkOld policy: cheap revalidation instead of a refetch.
-                ctx.metrics().incr("validate");
-                let value = entry.value;
-                self.pending = Some(Pending::Read { object });
-                self.send_request(
-                    ctx,
-                    Msg::ValidateReq {
-                        object,
-                        value,
-                        epoch: 0,
-                    },
-                );
-            }
-            None => {
-                ctx.metrics().incr("cache_miss");
-                ctx.metrics().incr("fetch");
-                self.pending = Some(Pending::Read { object });
-                self.send_request(ctx, Msg::FetchReq { object, epoch: 0 });
-            }
-        }
-    }
-
-    fn start_write(&mut self, ctx: &mut Context<'_, Msg>, object: ObjectId) {
-        let value = self.recorder.borrow_mut().next_value();
-        let t_loc = ctx.local_now();
-        if self.config.kind.is_causal_family() {
-            // Rule 2 with vector clocks: tick, stamp, apply locally, ship
-            // asynchronously.
-            let alpha_v = self.context_v.tick();
-            self.cache.insert(
-                object,
-                CacheEntry {
-                    value,
-                    alpha_t: t_loc,
-                    omega_t: t_loc,
-                    alpha_v: Some(alpha_v.clone()),
-                    omega_v: Some(alpha_v.clone()),
-                    beta: t_loc,
-                    old: false,
-                },
-            );
-            // Buffer until the server acks: a dropped WriteReq would
-            // otherwise leave a recorded write invisible forever, silently
-            // violating the causal family's Δ bound.
-            let was_idle = self.unacked.is_empty();
-            self.unacked.push((object, value, alpha_v.clone(), t_loc));
-            self.own_writes
-                .insert(object, (value, alpha_v.clone(), t_loc));
-            ctx.send(
-                self.server,
-                Msg::WriteReq {
-                    object,
-                    value,
-                    alpha_v: Some(alpha_v.clone()),
-                    issued_at: t_loc,
-                    epoch: 0,
-                },
-            );
-            if was_idle {
-                ctx.set_timer(RETRY_AFTER, TIMER_FLUSH_CAUSAL);
-            }
-            let now = ctx.true_now();
-            self.recorder.borrow_mut().record_write_stamped(
-                SiteId::new(self.site),
-                object,
-                value,
-                now,
-                alpha_v,
-            );
-            self.complete(ctx);
-        } else {
-            // Physical family: the server linearizes the write; block until
-            // the ack carries the assigned α (rule 2 then applies).
-            self.pending = Some(Pending::Write { object, value });
-            self.send_request(
+    fn drive(&mut self, ctx: &mut Context<'_, Msg>, event: Event) {
+        let now = Now {
+            me: ctx.me(),
+            local: ctx.local_now(),
+            truth: ctx.true_now(),
+        };
+        let mut out = Vec::new();
+        {
+            let mut io = SimInputs {
                 ctx,
-                Msg::WriteReq {
-                    object,
-                    value,
-                    alpha_v: None,
-                    issued_at: t_loc,
-                    epoch: 0,
-                },
-            );
+                recorder: &self.recorder,
+                private: self.private.as_mut(),
+            };
+            self.engine.handle(Event::Now(now), &mut io, &mut out);
+            self.engine.handle(event, &mut io, &mut out);
         }
-    }
-
-    /// Retransmits every unacked causal write (idempotent at the server).
-    fn flush_unacked(&mut self, ctx: &mut Context<'_, Msg>) {
-        for (object, value, alpha_v, issued_at) in self.unacked.clone() {
-            ctx.metrics().incr("causal_retransmit");
-            ctx.send(
-                self.server,
-                Msg::WriteReq {
-                    object,
-                    value,
-                    alpha_v: Some(alpha_v),
-                    issued_at,
-                    epoch: 0,
-                },
-            );
-        }
-        if !self.unacked.is_empty() {
-            ctx.set_timer(RETRY_AFTER, TIMER_FLUSH_CAUSAL);
-        }
-    }
-
-    fn record_read(&mut self, ctx: &mut Context<'_, Msg>, object: ObjectId, value: Value) {
-        let now = ctx.true_now();
-        if self.config.kind.is_causal_family() {
-            // Causal runs carry L(op) so traces can also be judged by the
-            // logical-clock Definition 6 (checker::check_on_time_xi).
-            self.recorder.borrow_mut().record_read_stamped(
-                SiteId::new(self.site),
-                object,
-                value,
-                now,
-                self.context_v.clone(),
-            );
-        } else {
-            self.recorder
-                .borrow_mut()
-                .record_read(SiteId::new(self.site), object, value, now);
-        }
-    }
-
-    /// Installs a fetched/newer version into the cache and advances
-    /// `Context_i` (rule 1). Returns the version's value.
-    fn install(
-        &mut self,
-        ctx: &mut Context<'_, Msg>,
-        object: ObjectId,
-        version: &WireVersion,
-        server_now: Time,
-    ) -> Value {
-        let t_loc = ctx.local_now();
-        if self.config.kind == ProtocolKind::NoCache {
-            return version.value;
-        }
-        if self.config.kind.is_causal_family() {
-            if let Some(av) = &version.alpha_v {
-                self.context_v = self.context_v.join(av);
-            }
-            // A reply must not clobber this site's own writes: a version
-            // generated before our write applied at the server (loss, a
-            // detour, a slow reply racing the ack) is *older* than what we
-            // wrote, and installing it would make this site read a value
-            // older than its own write. Resolve the fetched version
-            // against our newest write to the object with *exactly* the
-            // server's last-writer-wins arbitration (vector clocks, then
-            // the (issue time, writer) tie-break), so the value we keep is
-            // the one the store will converge to. If ours wins, either the
-            // server already has it or the retransmit loop will land it,
-            // and the discarded server version never becomes visible here,
-            // keeping the recorded history causally consistent.
-            if let Some((value, alpha_v, issued_at)) = self.own_writes.get(&object).cloned() {
-                let ours_wins = match version.alpha_v.as_ref() {
-                    None => true,
-                    Some(av) if alpha_v.dominated_by(av) => false,
-                    Some(av) if av.dominated_by(&alpha_v) => true,
-                    Some(_) => (issued_at, ctx.me().index()) > version.tiebreak,
-                };
-                if ours_wins {
-                    ctx.metrics().incr("own_write_preserved");
-                    let omega_v = self.context_v.clone();
-                    self.cache.insert(
-                        object,
-                        CacheEntry {
-                            value,
-                            alpha_t: issued_at,
-                            omega_t: server_now,
-                            alpha_v: Some(alpha_v),
-                            omega_v: Some(omega_v),
-                            beta: t_loc,
-                            old: false,
-                        },
-                    );
-                    return value;
-                }
-            }
-            // The version is the server's *current* copy, and everything in
-            // Context_i has passed through the same server, so the version
-            // is known valid at the whole context — extend its lifetime
-            // accordingly (otherwise fetching any page would immediately
-            // age every concurrent cached page, the §4 Dow-Jones/CNN
-            // scenario's false positive).
-            let omega_v = self.context_v.clone();
-            self.cache.insert(
-                object,
-                CacheEntry {
-                    value: version.value,
-                    alpha_t: version.alpha_t,
-                    omega_t: server_now,
-                    alpha_v: version.alpha_v.clone(),
-                    omega_v: Some(omega_v),
-                    beta: t_loc,
-                    old: false,
-                },
-            );
-        } else {
-            self.context_t = self.context_t.max(version.alpha_t);
-            self.cache.insert(
-                object,
-                CacheEntry {
-                    value: version.value,
-                    alpha_t: version.alpha_t,
-                    omega_t: server_now.max(version.alpha_t),
-                    alpha_v: None,
-                    omega_v: None,
-                    beta: t_loc,
-                    old: false,
-                },
-            );
-        }
-        version.value
+        replay_effects(ctx, Some(&self.recorder), out);
     }
 }
 
@@ -455,209 +178,18 @@ impl Process for ClientNode {
     type Msg = Msg;
 
     fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
-        self.plan_next(ctx);
+        self.drive(ctx, Event::Start);
     }
 
     fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
-        ctx.metrics().incr("client_restart");
-        // Volatile state dies with the process: the cache (that is the
-        // fault being modelled), the physical context floor (safe to lose —
-        // rule 3 re-raises it on the next access, and the cache it guarded
-        // is empty anyway), and the not-yet-issued planned op.
-        self.cache = Cache::new();
-        self.context_t = Time::ZERO;
-        self.planned = None;
-        // Durable state drives recovery: finish the in-flight request if
-        // one was logged, flush unacked causal writes, then resume the
-        // workload. The server deduplicates replayed physical writes, so
-        // re-driving `outstanding` is safe even if it was already applied.
-        self.flush_unacked(ctx);
-        if let Some(msg) = self.outstanding.clone() {
-            ctx.metrics().incr("retry");
-            ctx.send(self.server, msg);
-            ctx.set_timer(RETRY_AFTER, self.req_epoch);
-        } else {
-            self.plan_next(ctx);
-        }
+        self.drive(ctx, Event::Restart);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: u64) {
-        if token == TIMER_NEXT_OP {
-            if let Some((kind, object)) = self.planned.take() {
-                match kind {
-                    OpChoice::Read => self.start_read(ctx, object),
-                    OpChoice::Write => self.start_write(ctx, object),
-                }
-            }
-        } else if token == TIMER_FLUSH_CAUSAL {
-            self.flush_unacked(ctx);
-        } else if token == self.req_epoch {
-            // Retry an unanswered request (lost message).
-            if let Some(msg) = self.outstanding.clone() {
-                ctx.metrics().incr("retry");
-                ctx.send(self.server, msg);
-                ctx.set_timer(RETRY_AFTER, self.req_epoch);
-            }
-        }
+        self.drive(ctx, Event::Timer { token });
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
-        match msg {
-            Msg::FetchRep {
-                object,
-                version,
-                server_now,
-                epoch,
-            } => {
-                if !self.reply_is_current(ctx, epoch) {
-                    return;
-                }
-                let value = self.install(ctx, object, &version, server_now);
-                if matches!(self.pending, Some(Pending::Read { object: o }) if o == object) {
-                    self.record_read(ctx, object, value);
-                    self.complete(ctx);
-                }
-            }
-            Msg::ValidateRep {
-                object,
-                outcome,
-                server_now,
-                epoch,
-            } => {
-                if !self.reply_is_current(ctx, epoch) {
-                    return;
-                }
-                let value = match outcome {
-                    ValidateOutcome::StillValid => {
-                        let t_loc = ctx.local_now();
-                        let context_v = self.context_v.clone();
-                        match self.cache.get_mut(object) {
-                            Some(entry) => {
-                                entry.old = false;
-                                entry.beta = t_loc;
-                                if self.config.kind.is_causal_family() {
-                                    if let Some(omega) = &entry.omega_v {
-                                        entry.omega_v = Some(omega.join(&context_v));
-                                    }
-                                } else {
-                                    entry.omega_t = entry.omega_t.max(server_now);
-                                }
-                                Some(entry.value)
-                            }
-                            None => {
-                                // The entry vanished (push race): fall back
-                                // to a fetch for the pending read.
-                                if matches!(
-                                    self.pending,
-                                    Some(Pending::Read { object: o }) if o == object
-                                ) {
-                                    ctx.metrics().incr("fetch");
-                                    self.send_request(ctx, Msg::FetchReq { object, epoch: 0 });
-                                }
-                                None
-                            }
-                        }
-                    }
-                    ValidateOutcome::Newer(version) => {
-                        Some(self.install(ctx, object, &version, server_now))
-                    }
-                };
-                if let Some(value) = value {
-                    if matches!(self.pending, Some(Pending::Read { object: o }) if o == object) {
-                        self.record_read(ctx, object, value);
-                        self.complete(ctx);
-                    }
-                }
-            }
-            Msg::WriteAck {
-                object,
-                alpha_t,
-                epoch,
-            } => {
-                if !self.reply_is_current(ctx, epoch) {
-                    return;
-                }
-                if let Some(Pending::Write { object: o, value }) = self.pending {
-                    if o == object {
-                        // Rule 2: Context_i := X^α := the (server-assigned)
-                        // write time.
-                        self.context_t = self.context_t.max(alpha_t);
-                        if self.config.kind != ProtocolKind::NoCache {
-                            let t_loc = ctx.local_now();
-                            self.cache.insert(
-                                object,
-                                CacheEntry {
-                                    value,
-                                    alpha_t,
-                                    omega_t: alpha_t,
-                                    alpha_v: None,
-                                    omega_v: None,
-                                    beta: t_loc,
-                                    old: false,
-                                },
-                            );
-                        }
-                        // Record the write at the server-assigned α — the
-                        // moment it became the current version — not at
-                        // ack receipt. Under faults the ack can arrive
-                        // arbitrarily late (retransmits after an outage),
-                        // and recording then would place the write after
-                        // reads other sites already performed on it.
-                        self.recorder.borrow_mut().record_write(
-                            SiteId::new(self.site),
-                            object,
-                            value,
-                            alpha_t,
-                        );
-                        self.complete(ctx);
-                    }
-                }
-            }
-            Msg::WriteAckCausal { value, .. } => {
-                self.unacked.retain(|(_, v, _, _)| *v != value);
-            }
-            Msg::InvalidatePush {
-                object,
-                alpha_t,
-                alpha_v,
-            } => {
-                ctx.metrics().incr("push_received");
-                let mine_newer = match self.cache.get(object) {
-                    None => return,
-                    Some(entry) => {
-                        if self.config.kind.is_causal_family() {
-                            match (&entry.alpha_v, &alpha_v) {
-                                (Some(mine), Some(theirs)) => matches!(
-                                    mine.compare(theirs),
-                                    ClockOrdering::After | ClockOrdering::Equal
-                                ),
-                                _ => false,
-                            }
-                        } else {
-                            entry.alpha_t >= alpha_t
-                        }
-                    }
-                };
-                if !mine_newer {
-                    match self.config.stale {
-                        StalePolicy::Invalidate => {
-                            self.cache.remove(object);
-                            ctx.metrics().incr("invalidate");
-                        }
-                        StalePolicy::MarkOld => {
-                            if let Some(e) = self.cache.get_mut(object) {
-                                if !e.old {
-                                    e.old = true;
-                                    ctx.metrics().incr("mark_old");
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            Msg::FetchReq { .. } | Msg::ValidateReq { .. } | Msg::WriteReq { .. } => {
-                unreachable!("client received a server-bound message")
-            }
-        }
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        self.drive(ctx, Event::Message { from, msg });
     }
 }

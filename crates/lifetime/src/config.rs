@@ -100,6 +100,10 @@ pub enum Propagation {
     PushInvalidate,
 }
 
+/// The default interval a client waits before resending an unanswered
+/// request ([`ProtocolConfig::retry_after`]).
+pub const DEFAULT_RETRY_AFTER: Delta = Delta::from_ticks(500);
+
 /// Full protocol configuration for one run.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ProtocolConfig {
@@ -109,16 +113,23 @@ pub struct ProtocolConfig {
     pub stale: StalePolicy,
     /// Update propagation.
     pub propagation: Propagation,
+    /// How long a client waits before resending an unanswered request.
+    /// The conformance oracle adds one retry interval per fault-plan
+    /// outage when widening its staleness bound (see [`crate::oracle`]) —
+    /// keeping the knob here keeps that coupling visible in one place.
+    pub retry_after: Delta,
 }
 
 impl ProtocolConfig {
-    /// The conventional configuration for a level: pull-based, mark-old.
+    /// The conventional configuration for a level: pull-based, mark-old,
+    /// default retry interval.
     #[must_use]
     pub fn of(kind: ProtocolKind) -> Self {
         ProtocolConfig {
             kind,
             stale: StalePolicy::MarkOld,
             propagation: Propagation::Pull,
+            retry_after: DEFAULT_RETRY_AFTER,
         }
     }
 }
@@ -175,5 +186,7 @@ mod tests {
         let c = ProtocolConfig::of(ProtocolKind::Cc);
         assert_eq!(c.stale, StalePolicy::MarkOld);
         assert_eq!(c.propagation, Propagation::Pull);
+        assert_eq!(c.retry_after, DEFAULT_RETRY_AFTER);
+        assert_eq!(DEFAULT_RETRY_AFTER, Delta::from_ticks(500));
     }
 }

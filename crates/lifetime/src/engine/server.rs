@@ -1,0 +1,446 @@
+//! The object-server §5 state machine, sans-io: long-term storage,
+//! fetch/validate service, write ordering, and (optionally) push
+//! invalidations.
+//!
+//! The paper's architecture gives each object "a set of server sites"; this
+//! implementation uses a single server for all objects, which is what makes
+//! the lifetime bookkeeping honest with no inter-server protocol: every
+//! write passes through one place, so "current at server time t" is a
+//! global statement. DESIGN.md records this simplification.
+
+use std::collections::{BTreeSet, HashMap};
+
+use tc_clocks::{ClockOrdering, Time, Timestamp, VectorClock};
+use tc_core::{ObjectId, Value};
+use tc_sim::metrics::names;
+use tc_sim::NodeId;
+
+use crate::engine::{Effect, Event, Now};
+use crate::msg::{Msg, ValidateOutcome, WireVersion};
+use crate::{Propagation, ProtocolConfig};
+
+/// A stored version.
+#[derive(Clone, Debug)]
+struct Stored {
+    value: Value,
+    alpha_t: Time,
+    alpha_v: Option<VectorClock>,
+    /// Tie-break key for concurrent causal writes: (issue time, writer).
+    tiebreak: (Time, usize),
+}
+
+impl Stored {
+    fn initial() -> Stored {
+        Stored {
+            value: Value::INITIAL,
+            alpha_t: Time::ZERO,
+            alpha_v: None,
+            tiebreak: (Time::ZERO, usize::MAX),
+        }
+    }
+
+    fn wire(&self) -> WireVersion {
+        WireVersion {
+            value: self.value,
+            alpha_t: self.alpha_t,
+            alpha_v: self.alpha_v.clone(),
+            tiebreak: self.tiebreak,
+        }
+    }
+}
+
+/// The server engine.
+///
+/// # Crash durability
+///
+/// Under crash–restart ([`Event::Restart`]) the store itself (`versions`,
+/// `last_alpha`, the write dedup map and the causal delivery cursor) is
+/// durable — it models disk. `known_clients` is volatile session state:
+/// after a restart, push invalidations flow only to clients that contact
+/// the server again. That is safe for the timed guarantees because pushes
+/// are an optimization; the Δ bound is enforced by the client-side
+/// lifetime rules alone.
+pub struct ServerEngine {
+    config: ProtocolConfig,
+    versions: HashMap<ObjectId, Stored>,
+    /// Strictly increasing physical-family write stamp.
+    last_alpha: Time,
+    /// Clients that have contacted us (push-invalidation targets). A client
+    /// cannot cache anything without contacting the server first, so this
+    /// set always covers every cache holding data.
+    known_clients: BTreeSet<NodeId>,
+    /// Physical-family writes already applied, by (globally unique) value,
+    /// with the α each was assigned. A duplicated or retransmitted
+    /// `WriteReq` is answered with the *original* α instead of being
+    /// re-applied — re-applying would assign a fresh α and clobber newer
+    /// writes to the same object.
+    applied_physical: HashMap<Value, Time>,
+    /// Per-writer causal delivery cursor: the writer-component of the last
+    /// causal write applied from each client node (durable — part of the
+    /// store). A causal write whose own vector-clock entry skips past
+    /// `cursor + 1` depends on an earlier write of the same client that is
+    /// still in flight (lost or reordered away); applying it would leave a
+    /// causal gap in the store, so it is ignored (no ack) until the
+    /// client's retransmit loop re-delivers the writes in order.
+    causal_applied: HashMap<usize, u64>,
+    /// Total writes applied (dropped LWW losers excluded).
+    writes_applied: u64,
+    /// The latest driver-injected clock sample.
+    now: Option<Now>,
+}
+
+impl ServerEngine {
+    /// Creates an empty server engine.
+    #[must_use]
+    pub fn new(config: ProtocolConfig) -> Self {
+        ServerEngine {
+            config,
+            versions: HashMap::new(),
+            last_alpha: Time::ZERO,
+            known_clients: BTreeSet::new(),
+            applied_physical: HashMap::new(),
+            causal_applied: HashMap::new(),
+            writes_applied: 0,
+            now: None,
+        }
+    }
+
+    /// Total writes applied (dropped LWW losers excluded).
+    #[must_use]
+    pub fn writes_applied(&self) -> u64 {
+        self.writes_applied
+    }
+
+    /// Handles one event, appending the resulting effects to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a message arrives before the first [`Event::Now`].
+    pub fn handle(&mut self, event: Event, out: &mut Vec<Effect>) {
+        match event {
+            Event::Now(now) => self.now = Some(now),
+            Event::Start | Event::Timer { .. } => {}
+            Event::Restart => {
+                out.push(Effect::Metric {
+                    name: names::SERVER_RESTART,
+                    add: 1,
+                });
+                // The store is disk-backed; only session state is lost.
+                self.known_clients.clear();
+            }
+            Event::Message { from, msg } => self.on_message(from, msg, out),
+        }
+    }
+
+    fn current(&self, object: ObjectId) -> Stored {
+        self.versions
+            .get(&object)
+            .cloned()
+            .unwrap_or_else(Stored::initial)
+    }
+
+    fn push_invalidations(
+        &self,
+        out: &mut Vec<Effect>,
+        object: ObjectId,
+        except: NodeId,
+        stored: &Stored,
+    ) {
+        if self.config.propagation != Propagation::PushInvalidate {
+            return;
+        }
+        for &client in &self.known_clients {
+            if client != except {
+                out.push(Effect::Metric {
+                    name: names::PUSH,
+                    add: 1,
+                });
+                out.push(Effect::Send {
+                    to: client,
+                    msg: Msg::InvalidatePush {
+                        object,
+                        alpha_t: stored.alpha_t,
+                        alpha_v: stored.alpha_v.clone(),
+                    },
+                });
+            }
+        }
+    }
+
+    /// Applies a causal-family write with last-writer-wins resolution.
+    /// Returns whether the write became the current version.
+    fn apply_causal(&mut self, object: ObjectId, incoming: Stored) -> bool {
+        let current = self.current(object);
+        let wins = match (&incoming.alpha_v, &current.alpha_v) {
+            (_, None) => true, // anything beats the initial version
+            (None, Some(_)) => false,
+            (Some(new), Some(cur)) => match new.compare(cur) {
+                ClockOrdering::After => true,
+                ClockOrdering::Before | ClockOrdering::Equal => false,
+                ClockOrdering::Concurrent => incoming.tiebreak > current.tiebreak,
+            },
+        };
+        if wins {
+            self.versions.insert(object, incoming);
+            self.writes_applied += 1;
+        }
+        wins
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Msg, out: &mut Vec<Effect>) {
+        self.known_clients.insert(from);
+        let server_now = self
+            .now
+            .expect("driver must inject Event::Now before lifecycle events")
+            .local;
+        match msg {
+            Msg::FetchReq { object, epoch } => {
+                out.push(Effect::Metric {
+                    name: names::SERVER_FETCH,
+                    add: 1,
+                });
+                let version = self.current(object).wire();
+                out.push(Effect::Send {
+                    to: from,
+                    msg: Msg::FetchRep {
+                        object,
+                        version,
+                        server_now,
+                        epoch,
+                    },
+                });
+            }
+            Msg::ValidateReq {
+                object,
+                value,
+                epoch,
+            } => {
+                out.push(Effect::Metric {
+                    name: names::SERVER_VALIDATE,
+                    add: 1,
+                });
+                let current = self.current(object);
+                let outcome = if current.value == value {
+                    ValidateOutcome::StillValid
+                } else {
+                    ValidateOutcome::Newer(current.wire())
+                };
+                out.push(Effect::Send {
+                    to: from,
+                    msg: Msg::ValidateRep {
+                        object,
+                        outcome,
+                        server_now,
+                        epoch,
+                    },
+                });
+            }
+            Msg::WriteReq {
+                object,
+                value,
+                alpha_v,
+                issued_at,
+                epoch,
+            } => {
+                out.push(Effect::Metric {
+                    name: names::SERVER_WRITE,
+                    add: 1,
+                });
+                if let Some(alpha_v) = alpha_v {
+                    // Causal family: the writer already stamped the version.
+                    // Every causal dependency a client can acquire flows
+                    // through this server, so the store stays causally
+                    // closed iff each client's writes apply in per-writer
+                    // order — enforce that with the delivery cursor before
+                    // the LWW apply (which stays idempotent under
+                    // duplicates: an Equal stamp never wins).
+                    let seq = alpha_v.own_entry();
+                    let cursor = self.causal_applied.get(&from.index()).copied().unwrap_or(0);
+                    if seq > cursor + 1 {
+                        // A causal gap: an earlier write of this client was
+                        // lost or detoured. No ack — the client retransmits
+                        // its unacked writes in order until the gap closes.
+                        out.push(Effect::Metric {
+                            name: names::SERVER_WRITE_GAP,
+                            add: 1,
+                        });
+                        return;
+                    }
+                    if seq == cursor + 1 {
+                        self.causal_applied.insert(from.index(), seq);
+                        let stored = Stored {
+                            value,
+                            alpha_t: issued_at,
+                            alpha_v: Some(alpha_v),
+                            tiebreak: (issued_at, from.index()),
+                        };
+                        let snapshot = stored.clone();
+                        if self.apply_causal(object, stored) {
+                            self.push_invalidations(out, object, from, &snapshot);
+                        }
+                    } else {
+                        out.push(Effect::Metric {
+                            name: names::SERVER_WRITE_DUP,
+                            add: 1,
+                        });
+                    }
+                    out.push(Effect::Send {
+                        to: from,
+                        msg: Msg::WriteAckCausal { object, value },
+                    });
+                } else {
+                    // Physical family: the server linearizes writes by
+                    // assigning strictly increasing start times, then acks.
+                    // A replayed write keeps its original α.
+                    if let Some(&alpha) = self.applied_physical.get(&value) {
+                        out.push(Effect::Metric {
+                            name: names::SERVER_WRITE_DUP,
+                            add: 1,
+                        });
+                        out.push(Effect::Send {
+                            to: from,
+                            msg: Msg::WriteAck {
+                                object,
+                                alpha_t: alpha,
+                                epoch,
+                            },
+                        });
+                        return;
+                    }
+                    let alpha =
+                        Time::from_ticks(server_now.ticks().max(self.last_alpha.ticks() + 1));
+                    self.last_alpha = alpha;
+                    self.applied_physical.insert(value, alpha);
+                    let stored = Stored {
+                        value,
+                        alpha_t: alpha,
+                        alpha_v: None,
+                        tiebreak: (issued_at, from.index()),
+                    };
+                    let snapshot = stored.clone();
+                    self.versions.insert(object, stored);
+                    self.writes_applied += 1;
+                    out.push(Effect::Send {
+                        to: from,
+                        msg: Msg::WriteAck {
+                            object,
+                            alpha_t: alpha,
+                            epoch,
+                        },
+                    });
+                    self.push_invalidations(out, object, from, &snapshot);
+                }
+            }
+            // Server never receives replies or pushes.
+            Msg::FetchRep { .. }
+            | Msg::ValidateRep { .. }
+            | Msg::WriteAck { .. }
+            | Msg::WriteAckCausal { .. }
+            | Msg::InvalidatePush { .. } => {
+                unreachable!("server received a client-bound message")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProtocolKind, StalePolicy};
+    use tc_clocks::SiteClock;
+
+    fn cfg() -> ProtocolConfig {
+        ProtocolConfig::of(ProtocolKind::Cc)
+    }
+
+    #[test]
+    fn initial_version_is_zero() {
+        let s = ServerEngine::new(cfg());
+        let v = s.current(ObjectId::from_letter('X'));
+        assert_eq!(v.value, Value::INITIAL);
+        assert_eq!(v.alpha_t, Time::ZERO);
+    }
+
+    #[test]
+    fn causal_lww_prefers_causally_newer() {
+        let mut s = ServerEngine::new(cfg());
+        let obj = ObjectId::from_letter('X');
+        let mut clock = VectorClock::new(0, 2);
+        let a1 = clock.tick();
+        let a2 = clock.tick();
+        assert!(s.apply_causal(
+            obj,
+            Stored {
+                value: Value::new(1),
+                alpha_t: Time::from_ticks(10),
+                alpha_v: Some(a2.clone()),
+                tiebreak: (Time::from_ticks(10), 0),
+            }
+        ));
+        // A causally older write arriving late loses.
+        assert!(!s.apply_causal(
+            obj,
+            Stored {
+                value: Value::new(2),
+                alpha_t: Time::from_ticks(5),
+                alpha_v: Some(a1),
+                tiebreak: (Time::from_ticks(5), 0),
+            }
+        ));
+        assert_eq!(s.current(obj).value, Value::new(1));
+        assert_eq!(s.writes_applied, 1);
+    }
+
+    #[test]
+    fn causal_lww_breaks_concurrent_ties_deterministically() {
+        let obj = ObjectId::from_letter('X');
+        let mk = |site: usize| {
+            let mut c = VectorClock::new(site, 2);
+            c.tick()
+        };
+        // Same issue time, higher writer index wins; order of arrival must
+        // not matter.
+        for (first, second) in [((0usize, 1u64), (1usize, 2u64)), ((1, 2), (0, 1))] {
+            let mut s = ServerEngine::new(cfg());
+            for (site, val) in [first, second] {
+                s.apply_causal(
+                    obj,
+                    Stored {
+                        value: Value::new(val),
+                        alpha_t: Time::from_ticks(10),
+                        alpha_v: Some(mk(site)),
+                        tiebreak: (Time::from_ticks(10), site),
+                    },
+                );
+            }
+            assert_eq!(s.current(obj).value, Value::new(2), "site 1 must win");
+        }
+    }
+
+    #[test]
+    fn stale_policy_is_carried_in_config() {
+        let mut c = cfg();
+        c.stale = StalePolicy::Invalidate;
+        let s = ServerEngine::new(c);
+        assert_eq!(s.config.stale, StalePolicy::Invalidate);
+    }
+
+    #[test]
+    fn messages_before_now_panic() {
+        let result = std::panic::catch_unwind(|| {
+            let mut s = ServerEngine::new(cfg());
+            let mut out = Vec::new();
+            s.handle(
+                Event::Message {
+                    from: NodeId::new(1),
+                    msg: Msg::FetchReq {
+                        object: ObjectId::from_letter('X'),
+                        epoch: 1,
+                    },
+                },
+                &mut out,
+            );
+        });
+        assert!(result.is_err(), "lifecycle before Now must panic");
+    }
+}

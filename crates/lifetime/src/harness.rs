@@ -7,6 +7,7 @@ use std::rc::Rc;
 use tc_clocks::{Delta, Epsilon, Time};
 use tc_core::checker::TimedReport;
 use tc_core::History;
+use tc_sim::metrics::names;
 use tc_sim::workload::Workload;
 use tc_sim::{FaultPlan, MetricsSnapshot, TraceRecorder, World, WorldConfig};
 
@@ -65,8 +66,8 @@ impl RunResult {
     /// Cache hit rate over all client reads that consulted the cache.
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
-        let hits = self.counter("cache_hit") as f64;
-        let misses = self.counter("cache_miss") as f64 + self.counter("validate") as f64;
+        let hits = self.counter(names::CACHE_HIT) as f64;
+        let misses = self.counter(names::CACHE_MISS) as f64 + self.counter(names::VALIDATE) as f64;
         if hits + misses == 0.0 {
             0.0
         } else {
@@ -105,6 +106,27 @@ pub fn run(config: &RunConfig) -> RunResult {
 /// eventually let messages through.
 #[must_use]
 pub fn run_with_faults(config: &RunConfig, plan: FaultPlan) -> RunResult {
+    run_impl(config, plan, None)
+}
+
+/// Runs one fault-free simulation whose clients draw their workload and
+/// written values from [`crate::engine::PrivateSources`] seeded with
+/// `base_seed`, instead of the world's shared RNG and the recorder's
+/// shared value counter.
+///
+/// With private sources each client's operation sequence depends only on
+/// `(base_seed, site, n_clients)` — exactly how the threaded runtime in
+/// `tc-store` seeds its clients — so a simulated and a threaded run of the
+/// same configuration perform the same per-site operations. The
+/// engine-equivalence suite is built on this entry point; experiments use
+/// [`run`]/[`run_with_faults`], whose shared sources keep historical runs
+/// byte-identical.
+#[must_use]
+pub fn run_with_private_sources(config: &RunConfig, base_seed: u64) -> RunResult {
+    run_impl(config, FaultPlan::none(), Some(base_seed))
+}
+
+fn run_impl(config: &RunConfig, plan: FaultPlan, private_seed: Option<u64>) -> RunResult {
     let mut world: World<Msg> = World::new(config.world.clone());
     // The effective ε and the fault-widened bound are both fixed before
     // the run (the world's ε comes from its clock config, the widening
@@ -116,7 +138,7 @@ pub fn run_with_faults(config: &RunConfig, plan: FaultPlan) -> RunResult {
     let recorder = Rc::new(RefCell::new(initial_recorder));
     let server = world.add_node(ServerNode::new(config.protocol));
     for site in 0..config.n_clients {
-        world.add_node(ClientNode::new(
+        let node = ClientNode::new(
             config.protocol,
             server,
             site,
@@ -124,7 +146,12 @@ pub fn run_with_faults(config: &RunConfig, plan: FaultPlan) -> RunResult {
             config.workload.clone(),
             config.ops_per_client,
             recorder.clone(),
-        ));
+        );
+        let node = match private_seed {
+            None => node,
+            Some(base_seed) => node.with_private_sources(base_seed, site, config.n_clients),
+        };
+        world.add_node(node);
     }
     let faulted = !plan.is_empty();
     world.set_fault_plan(plan);
@@ -153,12 +180,12 @@ pub fn run_with_faults(config: &RunConfig, plan: FaultPlan) -> RunResult {
         .expect("protocol produced an invalid trace");
     let on_time = report.expect("harness always attaches a monitor");
     metrics.counters.insert(
-        "on_time_violations".to_string(),
+        names::ON_TIME_VIOLATIONS.to_string(),
         on_time.violations().len() as u64,
     );
     metrics
         .counters
-        .insert("monitor_late_writes".to_string(), late_writes);
+        .insert(names::MONITOR_LATE_WRITES.to_string(), late_writes);
     RunResult {
         history,
         metrics,
@@ -299,9 +326,9 @@ mod tests {
     #[test]
     fn nocache_reads_always_fetch() {
         let r = run(&base_config(ProtocolKind::NoCache, 3));
-        assert_eq!(r.counter("cache_hit"), 0);
+        assert_eq!(r.counter(names::CACHE_HIT), 0);
         let reads = r.history.reads().count() as u64;
-        assert_eq!(r.counter("fetch"), reads);
+        assert_eq!(r.counter(names::FETCH), reads);
     }
 
     #[test]
@@ -319,11 +346,11 @@ mod tests {
             5,
         ));
         assert!(
-            costly.counter("validate") + costly.counter("fetch")
-                > cheap.counter("validate") + cheap.counter("fetch"),
+            costly.counter(names::VALIDATE) + costly.counter(names::FETCH)
+                > cheap.counter(names::VALIDATE) + cheap.counter(names::FETCH),
             "tight Δ must talk to the server more (cheap {} vs costly {})",
-            cheap.counter("validate") + cheap.counter("fetch"),
-            costly.counter("validate") + costly.counter("fetch"),
+            cheap.counter(names::VALIDATE) + cheap.counter(names::FETCH),
+            costly.counter(names::VALIDATE) + costly.counter(names::FETCH),
         );
         assert!(costly.hit_rate() < cheap.hit_rate());
     }
@@ -339,7 +366,7 @@ mod tests {
         cfg.protocol.propagation = Propagation::PushInvalidate;
         cfg.protocol.stale = StalePolicy::Invalidate;
         let r = run(&cfg);
-        assert!(r.counter("push") > 0, "pushes must flow");
+        assert!(r.counter(names::PUSH) > 0, "pushes must flow");
         // Staleness should now be bounded by push latency, far below Δ.
         assert!(min_delta(&r.history).ticks() <= 100 + 2 * 3 + 4);
     }

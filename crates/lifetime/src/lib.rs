@@ -65,14 +65,16 @@
 pub mod cache;
 mod client;
 mod config;
+pub mod engine;
 mod harness;
 mod msg;
 pub mod oracle;
 mod server;
 
 pub use client::ClientNode;
-pub use config::{Propagation, ProtocolConfig, ProtocolKind, StalePolicy};
-pub use harness::{run, run_with_faults, RunConfig, RunResult};
+pub use config::{Propagation, ProtocolConfig, ProtocolKind, StalePolicy, DEFAULT_RETRY_AFTER};
+pub use engine::{ClientEngine, ServerEngine};
+pub use harness::{run, run_with_faults, run_with_private_sources, RunConfig, RunResult};
 pub use msg::{Msg, ValidateOutcome, WireVersion};
 pub use oracle::{conformance, Conformance, OracleVerdict};
 pub use server::ServerNode;

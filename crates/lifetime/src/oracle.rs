@@ -37,7 +37,6 @@ use tc_core::checker::{
 };
 use tc_sim::FaultPlan;
 
-use crate::client::RETRY_AFTER;
 use crate::{ProtocolKind, RunConfig, RunResult};
 
 /// The oracle's judgement of one run.
@@ -98,7 +97,7 @@ pub fn widened_bound(config: &RunConfig, plan: &FaultPlan, eps: Epsilon) -> Opti
     let lat = config.world.net.latency.upper_bound()?;
     let disruption = plan.max_disruption()?;
     let retry = if disruption.ticks() > 0 {
-        RETRY_AFTER.ticks()
+        config.protocol.retry_after.ticks()
     } else {
         0
     };

@@ -1,87 +1,17 @@
-//! The object server: long-term storage, fetch/validate service, write
-//! ordering, and (optionally) push invalidations.
-//!
-//! The paper's architecture gives each object "a set of server sites"; this
-//! implementation uses a single server node for all objects, which is what
-//! makes the lifetime bookkeeping honest with no inter-server protocol:
-//! every write passes through one place, so "current at server time t" is a
-//! global statement. DESIGN.md records this simplification.
+//! Simulator adapter for [`ServerEngine`]: injects the world's clocks and
+//! replays the engine's effects. All server protocol logic lives in
+//! [`crate::engine`].
 
-use std::collections::{BTreeSet, HashMap};
-
-use tc_clocks::{ClockOrdering, Time, Timestamp, VectorClock};
-use tc_core::{ObjectId, Value};
 use tc_sim::{Context, NodeId, Process};
 
-use crate::msg::{Msg, ValidateOutcome, WireVersion};
-use crate::{Propagation, ProtocolConfig};
+use crate::client::replay_effects;
+use crate::engine::{Event, Now, ServerEngine};
+use crate::msg::Msg;
+use crate::ProtocolConfig;
 
-/// A stored version.
-#[derive(Clone, Debug)]
-struct Stored {
-    value: Value,
-    alpha_t: Time,
-    alpha_v: Option<VectorClock>,
-    /// Tie-break key for concurrent causal writes: (issue time, writer).
-    tiebreak: (Time, usize),
-}
-
-impl Stored {
-    fn initial() -> Stored {
-        Stored {
-            value: Value::INITIAL,
-            alpha_t: Time::ZERO,
-            alpha_v: None,
-            tiebreak: (Time::ZERO, usize::MAX),
-        }
-    }
-
-    fn wire(&self) -> WireVersion {
-        WireVersion {
-            value: self.value,
-            alpha_t: self.alpha_t,
-            alpha_v: self.alpha_v.clone(),
-            tiebreak: self.tiebreak,
-        }
-    }
-}
-
-/// The server node.
-///
-/// # Crash durability
-///
-/// Under injected crash–restart the store itself (`versions`, `last_alpha`,
-/// the write dedup map and the causal delivery cursor) is durable — it
-/// models disk. `known_clients` is
-/// volatile session state: after a restart, push invalidations flow only to
-/// clients that contact the server again. That is safe for the timed
-/// guarantees because pushes are an optimization; the Δ bound is enforced
-/// by the client-side lifetime rules alone.
+/// The simulated server node.
 pub struct ServerNode {
-    config: ProtocolConfig,
-    versions: HashMap<ObjectId, Stored>,
-    /// Strictly increasing physical-family write stamp.
-    last_alpha: Time,
-    /// Clients that have contacted us (push-invalidation targets). A client
-    /// cannot cache anything without contacting the server first, so this
-    /// set always covers every cache holding data.
-    known_clients: BTreeSet<NodeId>,
-    /// Physical-family writes already applied, by (globally unique) value,
-    /// with the α each was assigned. A duplicated or retransmitted
-    /// `WriteReq` is answered with the *original* α instead of being
-    /// re-applied — re-applying would assign a fresh α and clobber newer
-    /// writes to the same object.
-    applied_physical: HashMap<Value, Time>,
-    /// Per-writer causal delivery cursor: the writer-component of the last
-    /// causal write applied from each client node (durable — part of the
-    /// store). A causal write whose own vector-clock entry skips past
-    /// `cursor + 1` depends on an earlier write of the same client that is
-    /// still in flight (lost or reordered away); applying it would leave a
-    /// causal gap in the store, so it is ignored (no ack) until the
-    /// client's retransmit loop re-delivers the writes in order.
-    causal_applied: HashMap<usize, u64>,
-    /// Total writes applied (dropped LWW losers excluded).
-    pub writes_applied: u64,
+    engine: ServerEngine,
 }
 
 impl ServerNode {
@@ -89,66 +19,26 @@ impl ServerNode {
     #[must_use]
     pub fn new(config: ProtocolConfig) -> Self {
         ServerNode {
-            config,
-            versions: HashMap::new(),
-            last_alpha: Time::ZERO,
-            known_clients: BTreeSet::new(),
-            applied_physical: HashMap::new(),
-            causal_applied: HashMap::new(),
-            writes_applied: 0,
+            engine: ServerEngine::new(config),
         }
     }
 
-    fn current(&self, object: ObjectId) -> Stored {
-        self.versions
-            .get(&object)
-            .cloned()
-            .unwrap_or_else(Stored::initial)
+    /// Total writes applied (dropped LWW losers excluded).
+    #[must_use]
+    pub fn writes_applied(&self) -> u64 {
+        self.engine.writes_applied()
     }
 
-    fn push_invalidations(
-        &self,
-        ctx: &mut Context<'_, Msg>,
-        object: ObjectId,
-        except: NodeId,
-        stored: &Stored,
-    ) {
-        if self.config.propagation != Propagation::PushInvalidate {
-            return;
-        }
-        for &client in &self.known_clients {
-            if client != except {
-                ctx.metrics().incr("push");
-                ctx.send(
-                    client,
-                    Msg::InvalidatePush {
-                        object,
-                        alpha_t: stored.alpha_t,
-                        alpha_v: stored.alpha_v.clone(),
-                    },
-                );
-            }
-        }
-    }
-
-    /// Applies a causal-family write with last-writer-wins resolution.
-    /// Returns whether the write became the current version.
-    fn apply_causal(&mut self, object: ObjectId, incoming: Stored) -> bool {
-        let current = self.current(object);
-        let wins = match (&incoming.alpha_v, &current.alpha_v) {
-            (_, None) => true, // anything beats the initial version
-            (None, Some(_)) => false,
-            (Some(new), Some(cur)) => match new.compare(cur) {
-                ClockOrdering::After => true,
-                ClockOrdering::Before | ClockOrdering::Equal => false,
-                ClockOrdering::Concurrent => incoming.tiebreak > current.tiebreak,
-            },
+    fn drive(&mut self, ctx: &mut Context<'_, Msg>, event: Event) {
+        let now = Now {
+            me: ctx.me(),
+            local: ctx.local_now(),
+            truth: ctx.true_now(),
         };
-        if wins {
-            self.versions.insert(object, incoming);
-            self.writes_applied += 1;
-        }
-        wins
+        let mut out = Vec::new();
+        self.engine.handle(Event::Now(now), &mut out);
+        self.engine.handle(event, &mut out);
+        replay_effects(ctx, None, out);
     }
 }
 
@@ -156,222 +46,10 @@ impl Process for ServerNode {
     type Msg = Msg;
 
     fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
-        ctx.metrics().incr("server_restart");
-        // The store is disk-backed; only session state is lost.
-        self.known_clients.clear();
+        self.drive(ctx, Event::Restart);
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
-        self.known_clients.insert(from);
-        let server_now = ctx.local_now();
-        match msg {
-            Msg::FetchReq { object, epoch } => {
-                ctx.metrics().incr("server_fetch");
-                let version = self.current(object).wire();
-                ctx.send(
-                    from,
-                    Msg::FetchRep {
-                        object,
-                        version,
-                        server_now,
-                        epoch,
-                    },
-                );
-            }
-            Msg::ValidateReq {
-                object,
-                value,
-                epoch,
-            } => {
-                ctx.metrics().incr("server_validate");
-                let current = self.current(object);
-                let outcome = if current.value == value {
-                    ValidateOutcome::StillValid
-                } else {
-                    ValidateOutcome::Newer(current.wire())
-                };
-                ctx.send(
-                    from,
-                    Msg::ValidateRep {
-                        object,
-                        outcome,
-                        server_now,
-                        epoch,
-                    },
-                );
-            }
-            Msg::WriteReq {
-                object,
-                value,
-                alpha_v,
-                issued_at,
-                epoch,
-            } => {
-                ctx.metrics().incr("server_write");
-                if let Some(alpha_v) = alpha_v {
-                    // Causal family: the writer already stamped the version.
-                    // Every causal dependency a client can acquire flows
-                    // through this server, so the store stays causally
-                    // closed iff each client's writes apply in per-writer
-                    // order — enforce that with the delivery cursor before
-                    // the LWW apply (which stays idempotent under
-                    // duplicates: an Equal stamp never wins).
-                    let seq = alpha_v.own_entry();
-                    let cursor = self.causal_applied.get(&from.index()).copied().unwrap_or(0);
-                    if seq > cursor + 1 {
-                        // A causal gap: an earlier write of this client was
-                        // lost or detoured. No ack — the client retransmits
-                        // its unacked writes in order until the gap closes.
-                        ctx.metrics().incr("server_write_gap");
-                        return;
-                    }
-                    if seq == cursor + 1 {
-                        self.causal_applied.insert(from.index(), seq);
-                        let stored = Stored {
-                            value,
-                            alpha_t: issued_at,
-                            alpha_v: Some(alpha_v),
-                            tiebreak: (issued_at, from.index()),
-                        };
-                        let snapshot = stored.clone();
-                        if self.apply_causal(object, stored) {
-                            self.push_invalidations(ctx, object, from, &snapshot);
-                        }
-                    } else {
-                        ctx.metrics().incr("server_write_dup");
-                    }
-                    ctx.send(from, Msg::WriteAckCausal { object, value });
-                } else {
-                    // Physical family: the server linearizes writes by
-                    // assigning strictly increasing start times, then acks.
-                    // A replayed write keeps its original α.
-                    if let Some(&alpha) = self.applied_physical.get(&value) {
-                        ctx.metrics().incr("server_write_dup");
-                        ctx.send(
-                            from,
-                            Msg::WriteAck {
-                                object,
-                                alpha_t: alpha,
-                                epoch,
-                            },
-                        );
-                        return;
-                    }
-                    let alpha =
-                        Time::from_ticks(server_now.ticks().max(self.last_alpha.ticks() + 1));
-                    self.last_alpha = alpha;
-                    self.applied_physical.insert(value, alpha);
-                    let stored = Stored {
-                        value,
-                        alpha_t: alpha,
-                        alpha_v: None,
-                        tiebreak: (issued_at, from.index()),
-                    };
-                    let snapshot = stored.clone();
-                    self.versions.insert(object, stored);
-                    self.writes_applied += 1;
-                    ctx.send(
-                        from,
-                        Msg::WriteAck {
-                            object,
-                            alpha_t: alpha,
-                            epoch,
-                        },
-                    );
-                    self.push_invalidations(ctx, object, from, &snapshot);
-                }
-            }
-            // Server never receives replies or pushes.
-            Msg::FetchRep { .. }
-            | Msg::ValidateRep { .. }
-            | Msg::WriteAck { .. }
-            | Msg::WriteAckCausal { .. }
-            | Msg::InvalidatePush { .. } => {
-                unreachable!("server received a client-bound message")
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::{ProtocolKind, StalePolicy};
-    use tc_clocks::SiteClock;
-
-    fn cfg() -> ProtocolConfig {
-        ProtocolConfig::of(ProtocolKind::Cc)
-    }
-
-    #[test]
-    fn initial_version_is_zero() {
-        let s = ServerNode::new(cfg());
-        let v = s.current(ObjectId::from_letter('X'));
-        assert_eq!(v.value, Value::INITIAL);
-        assert_eq!(v.alpha_t, Time::ZERO);
-    }
-
-    #[test]
-    fn causal_lww_prefers_causally_newer() {
-        let mut s = ServerNode::new(cfg());
-        let obj = ObjectId::from_letter('X');
-        let mut clock = VectorClock::new(0, 2);
-        let a1 = clock.tick();
-        let a2 = clock.tick();
-        assert!(s.apply_causal(
-            obj,
-            Stored {
-                value: Value::new(1),
-                alpha_t: Time::from_ticks(10),
-                alpha_v: Some(a2.clone()),
-                tiebreak: (Time::from_ticks(10), 0),
-            }
-        ));
-        // A causally older write arriving late loses.
-        assert!(!s.apply_causal(
-            obj,
-            Stored {
-                value: Value::new(2),
-                alpha_t: Time::from_ticks(5),
-                alpha_v: Some(a1),
-                tiebreak: (Time::from_ticks(5), 0),
-            }
-        ));
-        assert_eq!(s.current(obj).value, Value::new(1));
-        assert_eq!(s.writes_applied, 1);
-    }
-
-    #[test]
-    fn causal_lww_breaks_concurrent_ties_deterministically() {
-        let obj = ObjectId::from_letter('X');
-        let mk = |site: usize| {
-            let mut c = VectorClock::new(site, 2);
-            c.tick()
-        };
-        // Same issue time, higher writer index wins; order of arrival must
-        // not matter.
-        for (first, second) in [((0usize, 1u64), (1usize, 2u64)), ((1, 2), (0, 1))] {
-            let mut s = ServerNode::new(cfg());
-            for (site, val) in [first, second] {
-                s.apply_causal(
-                    obj,
-                    Stored {
-                        value: Value::new(val),
-                        alpha_t: Time::from_ticks(10),
-                        alpha_v: Some(mk(site)),
-                        tiebreak: (Time::from_ticks(10), site),
-                    },
-                );
-            }
-            assert_eq!(s.current(obj).value, Value::new(2), "site 1 must win");
-        }
-    }
-
-    #[test]
-    fn stale_policy_is_carried_in_config() {
-        let mut c = cfg();
-        c.stale = StalePolicy::Invalidate;
-        let s = ServerNode::new(c);
-        assert_eq!(s.config.stale, StalePolicy::Invalidate);
+        self.drive(ctx, Event::Message { from, msg });
     }
 }

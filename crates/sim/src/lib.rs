@@ -27,7 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod fault;
-mod metrics;
+pub mod metrics;
 mod net;
 mod trace;
 pub mod workload;

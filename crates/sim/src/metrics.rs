@@ -5,12 +5,80 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
+/// The canonical metric vocabulary shared by the simulator kernel, the
+/// `tc-lifetime` protocol engines, and the experiment binaries.
+///
+/// Protocol and experiment code must name counters through these constants
+/// rather than free-form string literals, so a typo'd counter name is a
+/// compile error instead of a silently-zero column in an experiment table.
+pub mod names {
+    /// A message handed to the network by [`crate::Context::send`].
+    pub const MESSAGE: &str = "message";
+    /// A message dropped by the network model's loss probability.
+    pub const DROPPED: &str = "dropped";
+    /// A message killed by a fault-plan rule (drop/partition).
+    pub const FAULT_DROPPED: &str = "fault_dropped";
+    /// A message addressed to a crashed (down) node.
+    pub const FAULT_DROPPED_DOWN: &str = "fault_dropped_down";
+    /// A message delayed by a fault-plan reorder rule.
+    pub const FAULT_JITTERED: &str = "fault_jittered";
+    /// A message duplicated by a fault-plan rule.
+    pub const FAULT_DUPLICATED: &str = "fault_duplicated";
+    /// A node crash event.
+    pub const CRASH: &str = "crash";
+    /// A node restart event.
+    pub const RESTART: &str = "restart";
+
+    /// Client read that fetched from the server (miss or no-cache).
+    pub const FETCH: &str = "fetch";
+    /// Client read that revalidated a marked-old entry.
+    pub const VALIDATE: &str = "validate";
+    /// Client read served from a live cache entry.
+    pub const CACHE_HIT: &str = "cache_hit";
+    /// Client read that found no cache entry.
+    pub const CACHE_MISS: &str = "cache_miss";
+    /// Cache entry invalidated by a sweep or push.
+    pub const INVALIDATE: &str = "invalidate";
+    /// Cache entry newly marked old by a sweep or push.
+    pub const MARK_OLD: &str = "mark_old";
+    /// Reply discarded because its epoch is no longer current.
+    pub const STALE_REPLY: &str = "stale_reply";
+    /// Request retransmitted after its retry timer fired.
+    pub const RETRY: &str = "retry";
+    /// Unacked causal write retransmitted.
+    pub const CAUSAL_RETRANSMIT: &str = "causal_retransmit";
+    /// Fetched version lost LWW arbitration to the site's own write.
+    pub const OWN_WRITE_PRESERVED: &str = "own_write_preserved";
+    /// Push invalidation received by a client.
+    pub const PUSH_RECEIVED: &str = "push_received";
+    /// Client crash-restart recovery.
+    pub const CLIENT_RESTART: &str = "client_restart";
+
+    /// Server-side fetch served.
+    pub const SERVER_FETCH: &str = "server_fetch";
+    /// Server-side validation served.
+    pub const SERVER_VALIDATE: &str = "server_validate";
+    /// Server-side write received.
+    pub const SERVER_WRITE: &str = "server_write";
+    /// Causal write ignored because of a per-writer delivery gap.
+    pub const SERVER_WRITE_GAP: &str = "server_write_gap";
+    /// Duplicate write answered without re-applying.
+    pub const SERVER_WRITE_DUP: &str = "server_write_dup";
+    /// Push invalidation sent by the server.
+    pub const PUSH: &str = "push";
+    /// Server crash-restart recovery.
+    pub const SERVER_RESTART: &str = "server_restart";
+
+    /// Reads the streaming monitor flagged as Δ-violating (harness output).
+    pub const ON_TIME_VIOLATIONS: &str = "on_time_violations";
+    /// Writes the streaming monitor ingested behind a judged read.
+    pub const MONITOR_LATE_WRITES: &str = "monitor_late_writes";
+}
+
 /// A bag of named counters plus power-of-two latency histograms.
 ///
-/// Metric names are free-form `&'static str`s; protocols in `tc-lifetime`
-/// use a small conventional vocabulary (`"fetch"`, `"invalidate"`,
-/// `"validate"`, `"push"`, `"cache_hit"`, `"cache_miss"`, `"stale_read"`,
-/// `"message"`).
+/// Metric names are `&'static str`s; protocols and experiments draw them
+/// from the shared [`names`] vocabulary rather than inventing literals.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Metrics {
     counters: BTreeMap<&'static str, u64>,

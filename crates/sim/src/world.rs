@@ -11,6 +11,7 @@ use rand::{Rng, SeedableRng};
 use tc_clocks::{Delta, DriftingClock, Epsilon, SyncedClock, Time};
 
 use crate::fault::FaultPlan;
+use crate::metrics::names;
 use crate::{Metrics, NetworkModel};
 
 /// Seed perturbation for the fault RNG stream: faults draw from their own
@@ -23,6 +24,14 @@ const FAULT_SEED_XOR: u64 = 0xFA41_7FA4_17FA_4170;
 pub struct NodeId(usize);
 
 impl NodeId {
+    /// A node id from a raw index. Drivers outside the simulator (the
+    /// threaded runtime) use this to address sans-io engines with the same
+    /// id space the simulator would.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
     /// The underlying index.
     #[must_use]
     pub const fn index(self) -> usize {
@@ -112,7 +121,7 @@ impl<'a, M> Context<'a, M> {
     /// Sends `msg` to `to` (delivered after the network's latency, unless
     /// dropped). Messages to self are also routed through the network.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.metrics.incr("message");
+        self.metrics.incr(names::MESSAGE);
         self.outbox.push((to, msg));
     }
 
@@ -503,7 +512,7 @@ impl<M: Clone + 'static> World<M> {
                     // A crashed node hears nothing; in-flight messages
                     // addressed to it are lost, exactly like packets to
                     // a dead host.
-                    self.metrics.incr("fault_dropped_down");
+                    self.metrics.incr(names::FAULT_DROPPED_DOWN);
                     return;
                 }
                 (to, Box::new(move |p, ctx| p.on_message(ctx, from, msg)))
@@ -521,12 +530,12 @@ impl<M: Clone + 'static> World<M> {
             EventKind::Crash(node) => {
                 self.incarnations[node.0] += 1;
                 self.down[node.0] = true;
-                self.metrics.incr("crash");
+                self.metrics.incr(names::CRASH);
                 return;
             }
             EventKind::Restart(node) => {
                 self.down[node.0] = false;
-                self.metrics.incr("restart");
+                self.metrics.incr(names::RESTART);
                 (node, Box::new(|p, ctx| p.on_restart(ctx)))
             }
         };
@@ -553,11 +562,11 @@ impl<M: Clone + 'static> World<M> {
                 .faults
                 .kills_message(self.now, node.0, to.0, &mut self.fault_rng)
             {
-                self.metrics.incr("fault_dropped");
+                self.metrics.incr(names::FAULT_DROPPED);
                 continue;
             }
             if self.config.net.drops(&mut self.rng) {
-                self.metrics.incr("dropped");
+                self.metrics.incr(names::DROPPED);
                 continue;
             }
             let latency = self.config.net.latency.sample(&mut self.rng);
@@ -574,14 +583,14 @@ impl<M: Clone + 'static> World<M> {
                 .faults
                 .reorder_jitter(self.now, node.0, to.0, &mut self.fault_rng);
             if jitter.ticks() > 0 {
-                self.metrics.incr("fault_jittered");
+                self.metrics.incr(names::FAULT_JITTERED);
             }
             let arrival = arrival + jitter;
             let dup = self
                 .faults
                 .duplicates(self.now, node.0, to.0, &mut self.fault_rng);
             if let Some(lag) = dup {
-                self.metrics.incr("fault_duplicated");
+                self.metrics.incr(names::FAULT_DUPLICATED);
                 let copy_at = arrival + Delta::from_ticks(lag.ticks().max(1));
                 self.push_event(
                     copy_at,

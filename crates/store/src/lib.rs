@@ -40,9 +40,11 @@
 mod clock;
 mod level;
 mod replica;
+pub mod runtime;
 mod store;
 
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use level::ConsistencyLevel;
 pub use replica::{StoreMetrics, StoreMetricsSnapshot};
+pub use runtime::{run_threaded, LatencySummary, RuntimeConfig, RuntimeResult, MONITOR_SLACK};
 pub use store::{Builder, StoreError, StoreHandle, TimedStore};

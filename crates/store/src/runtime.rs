@@ -1,0 +1,553 @@
+//! A real threaded driver for the sans-io §5 lifetime engines.
+//!
+//! This is the counterpart of the deterministic simulator adapter in
+//! `tc-lifetime`: the *same* [`ClientEngine`]/[`ServerEngine`] types run
+//! here over OS threads, crossbeam channels, and an [`Instant`]-based
+//! clock, with every recorded operation fed into a live
+//! [`OnTimeMonitor`](tc_core::checker::OnTimeMonitor) — so real-concurrency
+//! executions get streaming timed-consistency verdicts, not just simulated
+//! ones.
+//!
+//! # Layout
+//!
+//! Node ids follow the simulator harness: node 0 is the server, clients are
+//! nodes `1..=n_clients` (client site `i` is node `i + 1`). One thread per
+//! node; clients send to the server over per-node unbounded channels, the
+//! server replies (and pushes invalidations) the same way. A client exits
+//! once its workload is finished and nothing is in flight, dropping its
+//! sender; the server exits when every client has hung up.
+//!
+//! # Time
+//!
+//! Real time is ticked down to the protocol's [`Time`] unit by dividing the
+//! elapsed time since a shared epoch by [`RuntimeConfig::tick`]. All
+//! threads read the same epoch, so ε is bounded by tick rounding (±1 tick
+//! per reader) — the monitor gets a small ε to absorb it. Scheduling
+//! jitter cannot be bounded the way simulated latency can, so
+//! [`RuntimeConfig::for_protocol`] widens the monitor's Δ by a generous
+//! real-time slack; the run's *observed* staleness is still reported
+//! exactly, and the monitor verdict asserts the widened bound.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use tc_clocks::{Delta, Epsilon, Time};
+use tc_core::checker::TimedReport;
+use tc_core::History;
+use tc_lifetime::engine::{
+    ClientEngine, Effect, Event, Now, PrivateSources, RecordOp, ServerEngine, TIMER_NEXT_OP,
+};
+use tc_lifetime::{Msg, ProtocolConfig};
+use tc_sim::workload::Workload;
+use tc_sim::{Metrics, MetricsSnapshot, NodeId, TraceRecorder};
+
+/// Configuration of one threaded run.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// The protocol under test.
+    pub protocol: ProtocolConfig,
+    /// Number of client sites (threads).
+    pub n_clients: usize,
+    /// The workload every client runs.
+    pub workload: Workload,
+    /// Operations each client performs.
+    pub ops_per_client: usize,
+    /// Base seed; client `i` draws from
+    /// [`tc_lifetime::engine::client_rng_seed`]`(seed, i)` — the same
+    /// derivation the simulator's private-source mode uses, so sim and
+    /// threaded runs of one configuration perform identical per-site
+    /// operation sequences.
+    pub seed: u64,
+    /// Real-time duration of one protocol tick.
+    pub tick: Duration,
+    /// Δ handed to the on-time monitor.
+    pub monitor_delta: Delta,
+    /// ε handed to the on-time monitor (absorbs tick rounding).
+    pub monitor_eps: Epsilon,
+}
+
+/// Extra Δ given to the monitor on top of the protocol's own threshold:
+/// OS scheduling can delay any thread unboundedly in principle, so the
+/// *verdict* bound is generous while
+/// [`RuntimeResult::observed_staleness`] stays exact. 20 000 ticks = 1 s
+/// at the default 50 µs tick.
+pub const MONITOR_SLACK: Delta = Delta::from_ticks(20_000);
+
+impl RuntimeConfig {
+    /// A ready-to-run configuration: 50 µs ticks, monitor at the
+    /// protocol's Δ plus [`MONITOR_SLACK`] (or unbounded for untimed
+    /// levels), ε of 2 ticks for rounding.
+    #[must_use]
+    pub fn for_protocol(
+        protocol: ProtocolConfig,
+        n_clients: usize,
+        workload: Workload,
+        ops_per_client: usize,
+        seed: u64,
+    ) -> Self {
+        let monitor_delta = match protocol.kind.delta() {
+            Some(delta) => Delta::from_ticks(delta.ticks().saturating_add(MONITOR_SLACK.ticks())),
+            None => Delta::INFINITE,
+        };
+        RuntimeConfig {
+            protocol,
+            n_clients,
+            workload,
+            ops_per_client,
+            seed,
+            tick: Duration::from_micros(50),
+            monitor_delta,
+            monitor_eps: Epsilon::from_ticks(2),
+        }
+    }
+}
+
+/// Latency distribution of completed operations (issue → completion).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    /// Completed operations measured.
+    pub count: usize,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// 99th-percentile latency in microseconds (nearest-rank).
+    pub p99_us: f64,
+    /// Worst observed latency in microseconds.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    fn from_durations(mut v: Vec<Duration>) -> Self {
+        if v.is_empty() {
+            return LatencySummary::default();
+        }
+        v.sort_unstable();
+        let count = v.len();
+        let sum: Duration = v.iter().sum();
+        let rank = ((0.99 * count as f64).ceil() as usize).clamp(1, count);
+        LatencySummary {
+            count,
+            mean_us: sum.as_secs_f64() * 1e6 / count as f64,
+            p99_us: v[rank - 1].as_secs_f64() * 1e6,
+            max_us: v[count - 1].as_secs_f64() * 1e6,
+        }
+    }
+}
+
+/// Everything a threaded run produces.
+#[derive(Clone, Debug)]
+pub struct RuntimeResult {
+    /// The recorded execution (sites are client indices), checker-ready.
+    pub history: History,
+    /// The live monitor's verdict at the configured Δ and ε.
+    pub on_time: TimedReport,
+    /// The monitor's running `min_delta`: the smallest Δ for which this
+    /// run was timed.
+    pub observed_staleness: Delta,
+    /// Protocol cost counters (same names as the simulator's).
+    pub metrics: MetricsSnapshot,
+    /// Operations completed across all clients.
+    pub ops_done: usize,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Per-operation latency distribution.
+    pub latency: LatencySummary,
+}
+
+impl RuntimeResult {
+    /// Completed operations per wall-clock second.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.ops_done as f64 / self.wall.as_secs_f64()
+        }
+    }
+
+    /// A named cost counter, zero when absent.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.metrics.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// The shared tick clock: every thread derives protocol [`Time`] from one
+/// epoch, so "local" and "true" time coincide up to rounding.
+#[derive(Clone, Copy)]
+struct TickClock {
+    epoch: Instant,
+    tick_nanos: u64,
+}
+
+impl TickClock {
+    fn new(tick: Duration) -> Self {
+        TickClock {
+            epoch: Instant::now(),
+            tick_nanos: (tick.as_nanos() as u64).max(1),
+        }
+    }
+
+    fn now(&self) -> Time {
+        Time::from_ticks(self.epoch.elapsed().as_nanos() as u64 / self.tick_nanos)
+    }
+
+    fn delta_to_duration(&self, delta: Delta) -> Duration {
+        Duration::from_nanos(self.tick_nanos.saturating_mul(delta.ticks().max(1)))
+    }
+}
+
+/// Shared mutable run state: the trace recorder (with attached monitor)
+/// and the metric bag. Coarse mutexes are fine here — recording is a few
+/// hundred nanoseconds against multi-tick think times.
+struct Shared {
+    recorder: Mutex<TraceRecorder>,
+    metrics: Mutex<Metrics>,
+}
+
+impl Shared {
+    fn record(&self, op: RecordOp) {
+        let mut recorder = self.recorder.lock().expect("recorder lock");
+        match op {
+            RecordOp::Write {
+                site,
+                object,
+                value,
+                at,
+                logical: Some(logical),
+            } => recorder.record_write_stamped(site, object, value, at, logical),
+            RecordOp::Write {
+                site,
+                object,
+                value,
+                at,
+                logical: None,
+            } => recorder.record_write(site, object, value, at),
+            RecordOp::Read {
+                site,
+                object,
+                value,
+                at,
+                logical: Some(logical),
+            } => recorder.record_read_stamped(site, object, value, at, logical),
+            RecordOp::Read {
+                site,
+                object,
+                value,
+                at,
+                logical: None,
+            } => recorder.record_read(site, object, value, at),
+        }
+    }
+
+    fn add_metric(&self, name: &'static str, add: u64) {
+        // Unconditional like the sim adapter: zero-increments materialize
+        // the counter so snapshots carry it.
+        self.metrics.lock().expect("metrics lock").add(name, add);
+    }
+}
+
+/// One client thread: engine + private sources + a local timer wheel over
+/// real deadlines.
+struct ClientRt<'a> {
+    engine: ClientEngine,
+    sources: PrivateSources,
+    clock: TickClock,
+    me: NodeId,
+    to_server: Sender<(NodeId, Msg)>,
+    shared: &'a Shared,
+    timers: Vec<(Instant, u64)>,
+    latencies: Vec<Duration>,
+    op_started: Option<Instant>,
+    completed: usize,
+}
+
+impl ClientRt<'_> {
+    fn feed(&mut self, event: Event) {
+        if matches!(
+            event,
+            Event::Timer {
+                token: TIMER_NEXT_OP
+            }
+        ) {
+            self.op_started = Some(Instant::now());
+        }
+        let t = self.clock.now();
+        let now = Now {
+            me: self.me,
+            local: t,
+            truth: t,
+        };
+        let mut out = Vec::new();
+        self.engine
+            .handle(Event::Now(now), &mut self.sources, &mut out);
+        self.engine.handle(event, &mut self.sources, &mut out);
+        for effect in out {
+            match effect {
+                Effect::Send { msg, .. } => {
+                    // Client engines only ever address the server; a send
+                    // can't fail while this client still holds its sender.
+                    let _ = self.to_server.send((self.me, msg));
+                }
+                Effect::SetTimer { after, token } => {
+                    let deadline = Instant::now() + self.clock.delta_to_duration(after);
+                    self.timers.push((deadline, token));
+                }
+                Effect::Metric { name, add } => self.shared.add_metric(name, add),
+                Effect::Record(op) => self.shared.record(op),
+            }
+        }
+        if self.engine.ops_done() > self.completed {
+            self.completed = self.engine.ops_done();
+            if let Some(started) = self.op_started.take() {
+                self.latencies.push(started.elapsed());
+            }
+        }
+    }
+
+    fn run(mut self, inbox: &Receiver<(NodeId, Msg)>) -> Vec<Duration> {
+        self.feed(Event::Start);
+        loop {
+            if self.engine.finished() && self.engine.is_idle() {
+                break;
+            }
+            // Fire every already-due timer (collected first: a firing timer
+            // may arm new ones, which belong to the next pass).
+            let now_inst = Instant::now();
+            let mut due: Vec<(Instant, u64)> = Vec::new();
+            self.timers.retain(|&(deadline, token)| {
+                if deadline <= now_inst {
+                    due.push((deadline, token));
+                    false
+                } else {
+                    true
+                }
+            });
+            due.sort_by_key(|&(deadline, _)| deadline);
+            let fired = !due.is_empty();
+            for (_, token) in due {
+                self.feed(Event::Timer { token });
+            }
+            // Drain the inbox (stops on Empty or — impossible while we
+            // hold our server sender — Disconnected).
+            let mut received = false;
+            while let Ok((from, msg)) = inbox.try_recv() {
+                received = true;
+                self.feed(Event::Message { from, msg });
+            }
+            if !fired && !received {
+                // Nothing ready: sleep towards the next deadline, capped so
+                // a late-arriving message is picked up promptly.
+                let nap = self
+                    .timers
+                    .iter()
+                    .map(|&(deadline, _)| deadline)
+                    .min()
+                    .map_or(Duration::from_micros(50), |deadline| {
+                        deadline
+                            .saturating_duration_since(Instant::now())
+                            .min(Duration::from_micros(200))
+                    });
+                if !nap.is_zero() {
+                    std::thread::sleep(nap);
+                }
+            }
+        }
+        self.latencies
+    }
+}
+
+fn server_thread(
+    mut engine: ServerEngine,
+    clock: TickClock,
+    inbox: &Receiver<(NodeId, Msg)>,
+    client_txs: &[Sender<(NodeId, Msg)>],
+    shared: &Shared,
+) {
+    let me = NodeId::new(0);
+    // Exits when every client dropped its sender (recv disconnects).
+    while let Ok((from, msg)) = inbox.recv() {
+        let t = clock.now();
+        let mut out = Vec::new();
+        engine.handle(
+            Event::Now(Now {
+                me,
+                local: t,
+                truth: t,
+            }),
+            &mut out,
+        );
+        engine.handle(Event::Message { from, msg }, &mut out);
+        for effect in out {
+            match effect {
+                Effect::Send { to, msg } => {
+                    // A client that finished and hung up may still be
+                    // pushed invalidations; dropping them mirrors the
+                    // simulator's dead-letter path.
+                    let _ = client_txs[to.index() - 1].send((me, msg));
+                }
+                Effect::Metric { name, add } => shared.add_metric(name, add),
+                Effect::SetTimer { .. } | Effect::Record(_) => {
+                    unreachable!("the server engine sets no timers and records nothing")
+                }
+            }
+        }
+    }
+}
+
+/// Runs one threaded execution to completion and judges it.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics or the recorded trace violates a
+/// history invariant (a protocol bug — exactly what the monitor-in-the-
+/// loop runtime exists to surface).
+#[must_use]
+pub fn run_threaded(config: &RuntimeConfig) -> RuntimeResult {
+    let clock = TickClock::new(config.tick);
+    let mut recorder = TraceRecorder::new();
+    recorder.attach_monitor(config.monitor_delta, config.monitor_eps);
+    let shared = Shared {
+        recorder: Mutex::new(recorder),
+        metrics: Mutex::new(Metrics::new()),
+    };
+
+    let (server_tx, server_rx) = unbounded::<(NodeId, Msg)>();
+    let mut client_txs = Vec::with_capacity(config.n_clients);
+    let mut client_rxs = Vec::with_capacity(config.n_clients);
+    for _ in 0..config.n_clients {
+        let (tx, rx) = unbounded::<(NodeId, Msg)>();
+        client_txs.push(tx);
+        client_rxs.push(Some(rx));
+    }
+
+    let started = Instant::now();
+    let shared_ref = &shared;
+    let client_txs_ref = &client_txs[..];
+    let latencies: Vec<Duration> = crossbeam::thread::scope(|scope| {
+        let server_engine = ServerEngine::new(config.protocol);
+        scope.spawn(move |_| {
+            server_thread(server_engine, clock, &server_rx, client_txs_ref, shared_ref);
+        });
+        let mut workers = Vec::with_capacity(config.n_clients);
+        for (site, rx_slot) in client_rxs.iter_mut().enumerate() {
+            let engine = ClientEngine::new(
+                config.protocol,
+                NodeId::new(0),
+                site,
+                config.n_clients,
+                config.workload.clone(),
+                config.ops_per_client,
+            );
+            let rt = ClientRt {
+                engine,
+                sources: PrivateSources::new(config.seed, site, config.n_clients),
+                clock,
+                me: NodeId::new(site + 1),
+                to_server: server_tx.clone(),
+                shared: shared_ref,
+                timers: Vec::new(),
+                latencies: Vec::new(),
+                op_started: None,
+                completed: 0,
+            };
+            let inbox = rx_slot.take().expect("receiver taken once");
+            workers.push(scope.spawn(move |_| rt.run(&inbox)));
+        }
+        // Drop the original sender so the server's recv disconnects once
+        // the last client hangs up.
+        drop(server_tx);
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("client thread panicked"))
+            .collect()
+    })
+    .expect("a runtime thread panicked");
+    let wall = started.elapsed();
+
+    let Shared { recorder, metrics } = shared;
+    let recorder = recorder.into_inner().expect("recorder lock");
+    let metrics = metrics.into_inner().expect("metrics lock").snapshot();
+    let observed_staleness = recorder
+        .monitor()
+        .expect("monitor attached above")
+        .min_delta();
+    let (history, report) = recorder
+        .finish_with_report()
+        .expect("protocol produced an invalid trace");
+    let on_time = report.expect("monitor attached above");
+    let ops_done = history.len();
+    RuntimeResult {
+        history,
+        on_time,
+        observed_staleness,
+        metrics,
+        ops_done,
+        wall,
+        latency: LatencySummary::from_durations(latencies),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_lifetime::ProtocolKind;
+    use tc_sim::metrics::names;
+
+    fn small(kind: ProtocolKind, seed: u64) -> RuntimeConfig {
+        RuntimeConfig::for_protocol(
+            ProtocolConfig::of(kind),
+            2,
+            Workload::new(4, 0.8, 0.7, (Delta::from_ticks(2), Delta::from_ticks(10))),
+            15,
+            seed,
+        )
+    }
+
+    #[test]
+    fn threaded_sc_completes_and_holds() {
+        let r = run_threaded(&small(ProtocolKind::Sc, 11));
+        assert_eq!(r.ops_done, 2 * 15, "every op must be recorded");
+        assert!(r.on_time.holds(), "monitor must report zero violations");
+        assert!(r.throughput() > 0.0);
+        assert!(
+            r.counter(names::FETCH) > 0,
+            "SC clients fetch from the server"
+        );
+    }
+
+    #[test]
+    fn threaded_tsc_is_judged_by_the_monitor() {
+        let r = run_threaded(&small(
+            ProtocolKind::Tsc {
+                delta: Delta::from_ticks(400),
+            },
+            12,
+        ));
+        assert_eq!(r.ops_done, 2 * 15);
+        assert!(
+            r.on_time.holds(),
+            "violations: {}",
+            r.on_time.violations().len()
+        );
+        assert!(
+            r.on_time.delta() < Delta::INFINITE,
+            "timed level gets a finite Δ"
+        );
+    }
+
+    #[test]
+    fn threaded_causal_flushes_unacked_writes() {
+        let r = run_threaded(&small(ProtocolKind::Cc, 13));
+        assert_eq!(r.ops_done, 2 * 15);
+        assert!(r.on_time.holds());
+    }
+
+    #[test]
+    fn latency_summary_orders_percentiles() {
+        let s = LatencySummary::from_durations((1..=100).map(Duration::from_micros).collect());
+        assert_eq!(s.count, 100);
+        assert!(s.mean_us <= s.p99_us && s.p99_us <= s.max_us);
+        assert!((s.max_us - 100.0).abs() < 1e-6);
+    }
+}

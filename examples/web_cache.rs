@@ -16,6 +16,7 @@ use timed_consistency::core::stats::StalenessStats;
 use timed_consistency::lifetime::{
     run, Propagation, ProtocolConfig, ProtocolKind, RunConfig, StalePolicy,
 };
+use timed_consistency::sim::metrics::names;
 use timed_consistency::sim::workload::Workload;
 use timed_consistency::sim::WorldConfig;
 
@@ -25,6 +26,7 @@ fn browse(ttl: Delta, propagation: Propagation, seed: u64) -> (f64, f64, u64, bo
             kind: ProtocolKind::Tsc { delta: ttl },
             stale: StalePolicy::MarkOld, // keep + revalidate, like HTTP
             propagation,
+            retry_after: timed_consistency::lifetime::DEFAULT_RETRY_AFTER,
         },
         n_clients: 5,
         workload: Workload::web(), // 64 pages, Zipf 0.9, 95% reads
@@ -32,7 +34,8 @@ fn browse(ttl: Delta, propagation: Propagation, seed: u64) -> (f64, f64, u64, bo
         world: WorldConfig::deterministic(Delta::from_ticks(4), seed),
     });
     let reads = result.history.reads().count().max(1) as f64;
-    let revalidations = (result.counter("validate") + result.counter("fetch")) as f64 / reads;
+    let revalidations =
+        (result.counter(names::VALIDATE) + result.counter(names::FETCH)) as f64 / reads;
     let stats = StalenessStats::of(&result.history);
     let sc = satisfies_sc_with(&result.history, SearchOptions::default()).holds();
     (

@@ -1,0 +1,160 @@
+//! Engine equivalence: the sans-io §5 state machines must behave the same
+//! under the deterministic simulator and the real threaded runtime.
+//!
+//! Both drivers instantiate the *same* `ClientEngine`/`ServerEngine` types
+//! and draw each client's operation stream from the same private seed
+//! derivation (`tc_lifetime::engine::client_rng_seed`), so the per-site
+//! sequence of (kind, object) — and the exact values written — depends
+//! only on `(seed, site, n_clients)`, never on the driver. What a *read
+//! returns* legitimately differs (real scheduling reorders server
+//! arrivals), so read values are compared only against the consistency
+//! checkers, not across drivers.
+//!
+//! For each protocol family this asserts:
+//!
+//! 1. both drivers complete the full workload with **zero** live-monitor
+//!    violations at the configured Δ;
+//! 2. per-site (kind, object) sequences and written values are identical
+//!    across drivers — the jitter-free fingerprint of "same engine, same
+//!    inputs";
+//! 3. the threaded history independently satisfies the level's checker
+//!    (SC search for the physical family, CCv for the causal family).
+
+use std::time::Duration;
+
+use timed_consistency::clocks::Delta;
+use timed_consistency::core::checker::{satisfies_ccv, satisfies_sc_with, SearchOptions};
+use timed_consistency::core::{History, SiteId, Value};
+use timed_consistency::lifetime::{
+    run_with_private_sources, ProtocolConfig, ProtocolKind, RunConfig,
+};
+use timed_consistency::sim::workload::Workload;
+use timed_consistency::sim::WorldConfig;
+use timed_consistency::store::{run_threaded, RuntimeConfig};
+
+const SEED: u64 = 42;
+const N_CLIENTS: usize = 3;
+const OPS: usize = 40;
+
+fn workload() -> Workload {
+    Workload::new(6, 0.8, 0.65, (Delta::from_ticks(3), Delta::from_ticks(12)))
+}
+
+/// The driver-independent fingerprint of one site's behaviour: operation
+/// kinds, objects, and written values in program order. Read *values* are
+/// excluded — they depend on timing, which is the one thing the two
+/// drivers do not share.
+fn site_fingerprint(history: &History, site: usize) -> Vec<(bool, u64, Option<Value>)> {
+    history
+        .site_ops(SiteId::new(site))
+        .iter()
+        .map(|&id| {
+            let op = history.op(id);
+            (
+                op.is_write(),
+                op.object().index() as u64,
+                op.is_write().then(|| op.value()),
+            )
+        })
+        .collect()
+}
+
+fn check_equivalence(kind: ProtocolKind) {
+    let protocol = ProtocolConfig::of(kind);
+
+    let sim = run_with_private_sources(
+        &RunConfig {
+            protocol,
+            n_clients: N_CLIENTS,
+            workload: workload(),
+            ops_per_client: OPS,
+            world: WorldConfig::deterministic(Delta::from_ticks(3), SEED),
+        },
+        SEED,
+    );
+    let mut threaded_cfg = RuntimeConfig::for_protocol(protocol, N_CLIENTS, workload(), OPS, SEED);
+    // A short tick keeps the test fast; the monitor Δ already carries the
+    // real-time slack.
+    threaded_cfg.tick = Duration::from_micros(20);
+    let threaded = run_threaded(&threaded_cfg);
+
+    // 1. Both drivers complete the workload, monitor-clean.
+    assert_eq!(sim.history.len(), N_CLIENTS * OPS, "{kind:?}: sim ops");
+    assert_eq!(threaded.ops_done, N_CLIENTS * OPS, "{kind:?}: threaded ops");
+    assert!(
+        sim.on_time.holds(),
+        "{kind:?}: sim monitor violations: {}",
+        sim.on_time.violations().len()
+    );
+    assert!(
+        threaded.on_time.holds(),
+        "{kind:?}: threaded monitor violations: {}",
+        threaded.on_time.violations().len()
+    );
+
+    // 2. Identical per-site programs modulo read values.
+    for site in 0..N_CLIENTS {
+        assert_eq!(
+            site_fingerprint(&sim.history, site),
+            site_fingerprint(&threaded.history, site),
+            "{kind:?}: site {site} diverged between drivers"
+        );
+    }
+
+    // 3. The threaded history stands on its own under the level's checker.
+    if kind.is_causal_family() {
+        assert!(
+            satisfies_ccv(&threaded.history).holds(),
+            "{kind:?}: threaded history must be causally consistent"
+        );
+    } else {
+        assert!(
+            satisfies_sc_with(&threaded.history, SearchOptions::default()).holds(),
+            "{kind:?}: threaded history must be sequentially consistent"
+        );
+    }
+}
+
+#[test]
+fn sc_engines_are_driver_independent() {
+    check_equivalence(ProtocolKind::Sc);
+}
+
+#[test]
+fn tsc_engines_are_driver_independent() {
+    check_equivalence(ProtocolKind::Tsc {
+        delta: Delta::from_ticks(400),
+    });
+}
+
+#[test]
+fn causal_engines_are_driver_independent() {
+    check_equivalence(ProtocolKind::Cc);
+}
+
+/// The fingerprint really is seed-determined: two threaded runs of the
+/// same configuration execute the same per-site programs even though
+/// their interleavings differ.
+#[test]
+fn threaded_runs_are_reproducible_per_site() {
+    let cfg = {
+        let mut c = RuntimeConfig::for_protocol(
+            ProtocolConfig::of(ProtocolKind::Sc),
+            N_CLIENTS,
+            workload(),
+            OPS,
+            SEED,
+        );
+        c.tick = Duration::from_micros(20);
+        c
+    };
+    let a = run_threaded(&cfg);
+    let b = run_threaded(&cfg);
+    for site in 0..N_CLIENTS {
+        assert_eq!(
+            site_fingerprint(&a.history, site),
+            site_fingerprint(&b.history, site),
+            "site {site} diverged between two threaded runs"
+        );
+    }
+}

@@ -10,6 +10,7 @@ use timed_consistency::core::checker::{
 use timed_consistency::lifetime::{
     run, Propagation, ProtocolConfig, ProtocolKind, RunConfig, StalePolicy,
 };
+use timed_consistency::sim::metrics::names;
 use timed_consistency::sim::workload::Workload;
 use timed_consistency::sim::{ClockConfig, LatencyModel, NetworkModel, WorldConfig};
 
@@ -175,14 +176,17 @@ fn mark_old_validates_instead_of_refetching() {
     invalidate.protocol.stale = StalePolicy::Invalidate;
     let a = run(&markold);
     let b = run(&invalidate);
-    assert!(a.counter("validate") > 0, "mark-old must use validations");
+    assert!(
+        a.counter(names::VALIDATE) > 0,
+        "mark-old must use validations"
+    );
     assert_eq!(
-        b.counter("validate"),
+        b.counter(names::VALIDATE),
         0,
         "invalidate policy never validates"
     );
     assert!(
-        b.counter("fetch") > a.counter("fetch"),
+        b.counter(names::FETCH) > a.counter(names::FETCH),
         "invalidate pays full fetches where mark-old revalidates"
     );
 }
