@@ -153,6 +153,8 @@ fn ttl_study(json: bool) {
                             Propagation::Pull
                         },
                         retry_after: tc_lifetime::DEFAULT_RETRY_AFTER,
+                        shards: 1,
+                        push_batch: tc_lifetime::PushBatch::IMMEDIATE,
                     },
                     n_clients: 6,
                     workload: Workload::web(),

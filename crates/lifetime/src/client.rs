@@ -113,10 +113,11 @@ impl ClientNode {
     ///
     /// `site` is this client's 0-based index among `n_clients` clients; it
     /// doubles as the trace site id and the vector-clock component.
+    /// `servers` holds every shard's node id, in shard order.
     #[must_use]
     pub fn new(
         config: ProtocolConfig,
-        server: NodeId,
+        servers: Vec<NodeId>,
         site: usize,
         n_clients: usize,
         workload: Workload,
@@ -124,7 +125,7 @@ impl ClientNode {
         recorder: Rc<RefCell<TraceRecorder>>,
     ) -> Self {
         ClientNode {
-            engine: ClientEngine::new(config, server, site, n_clients, workload, ops_target),
+            engine: ClientEngine::new(config, servers, site, n_clients, workload, ops_target),
             recorder,
             private: None,
         }

@@ -4,6 +4,8 @@
 //! expressed over [`Event`]s and [`Effect`]s. The module-level docs of
 //! [`crate::engine`] state the determinism contract.
 
+use std::collections::VecDeque;
+
 use tc_clocks::{ClockOrdering, SiteClock, SumXi, Time, Timestamp, VectorClock, XiMap};
 use tc_core::{ObjectId, SiteId, Value};
 use tc_sim::metrics::names;
@@ -11,13 +13,43 @@ use tc_sim::workload::{OpChoice, Workload};
 use tc_sim::NodeId;
 
 use crate::cache::{Cache, CacheEntry, SweepOutcome};
-use crate::engine::{Effect, Event, Inputs, Now, RecordOp, TIMER_FLUSH_CAUSAL, TIMER_NEXT_OP};
+use crate::engine::{
+    Effect, Event, Inputs, Now, RecordOp, ShardMap, TIMER_FLUSH_CAUSAL, TIMER_NEXT_OP,
+};
 use crate::msg::{Msg, ValidateOutcome, WireVersion};
 use crate::{ProtocolConfig, ProtocolKind, StalePolicy};
 
 enum Pending {
     Read { object: ObjectId },
     Write { object: ObjectId, value: Value },
+}
+
+/// A causal write on its way to (or through) its owning shard: queued
+/// behind the cross-shard barrier in `deferred`, then retransmitted from
+/// `unacked` until the shard acks it.
+#[derive(Clone, Debug)]
+struct CausalWrite {
+    object: ObjectId,
+    value: Value,
+    alpha_v: VectorClock,
+    issued_at: Time,
+    /// The owning shard (index into `servers`).
+    shard: usize,
+    /// Position in this client's per-shard write stream (starts at 1).
+    shard_seq: u64,
+}
+
+impl CausalWrite {
+    fn wire(&self) -> Msg {
+        Msg::WriteReq {
+            object: self.object,
+            value: self.value,
+            alpha_v: Some(self.alpha_v.clone()),
+            issued_at: self.issued_at,
+            epoch: 0,
+            shard_seq: self.shard_seq,
+        }
+    }
 }
 
 /// The client engine: cache `C_i` with its `Context_i`, driven by a
@@ -41,12 +73,16 @@ enum Pending {
 /// * `pending` / `outstanding` / `req_epoch` — a physical write the server
 ///   may already have applied must be re-driven to completion, or other
 ///   sites could read a value whose write was never recorded;
-/// * `unacked` — causal writes are recorded at issue time, so they must
-///   eventually reach the server;
+/// * `unacked` / `deferred` / `causal_seq` — causal writes are recorded at
+///   issue time, so they must eventually reach their owning shard, in
+///   per-shard sequence order;
 /// * `ops_done` and the workload position.
 pub struct ClientEngine {
     config: ProtocolConfig,
-    server: NodeId,
+    /// The server fleet, one node per shard ([`ShardMap`] indexes into
+    /// this). One entry reproduces the single-server protocol exactly.
+    servers: Vec<NodeId>,
+    shard_map: ShardMap,
     site: usize,
     workload: Workload,
     ops_target: usize,
@@ -58,11 +94,18 @@ pub struct ClientEngine {
     outstanding: Option<Msg>,
     req_epoch: u64,
     planned: Option<(OpChoice, ObjectId)>,
-    /// Causal writes shipped but not yet acked: (object, value, stamp,
-    /// issue time). Retransmitted until [`Msg::WriteAckCausal`] clears
-    /// them; the server's LWW application is idempotent, so retransmits are
-    /// harmless.
-    unacked: Vec<(ObjectId, Value, VectorClock, Time)>,
+    /// Next `shard_seq` per shard (durable): `causal_seq[s]` is the number
+    /// of causal writes this client has issued to shard `s`.
+    causal_seq: Vec<u64>,
+    /// Causal writes issued but held back by the cross-shard write barrier
+    /// (durable, FIFO): the head ships only once every unacked write
+    /// targets the same shard, so a shard never applies a write whose
+    /// causal dependencies are still in flight to a different shard.
+    deferred: VecDeque<CausalWrite>,
+    /// Causal writes shipped but not yet acked. Retransmitted until
+    /// [`Msg::WriteAckCausal`] clears them; the server's LWW application
+    /// is idempotent, so retransmits are harmless.
+    unacked: Vec<CausalWrite>,
     /// This site's newest causal write per object, kept past the ack
     /// (durable, like `unacked`). A server reply can be generated before
     /// our write applied yet delivered after its ack — `unacked` alone
@@ -79,19 +122,28 @@ impl ClientEngine {
     ///
     /// `site` is this client's 0-based index among `n_clients` clients; it
     /// doubles as the trace site id and the vector-clock component.
-    /// `server` is the driver-assigned address of the server node.
+    /// `servers` holds the driver-assigned address of every shard, in
+    /// shard order; it must agree with `config.shards`.
     #[must_use]
     pub fn new(
         config: ProtocolConfig,
-        server: NodeId,
+        servers: Vec<NodeId>,
         site: usize,
         n_clients: usize,
         workload: Workload,
         ops_target: usize,
     ) -> Self {
+        assert_eq!(
+            servers.len(),
+            config.shards,
+            "fleet addresses must match the configured shard count"
+        );
+        let causal_seq = vec![0; servers.len()];
+        let shard_map = ShardMap::new(servers.len());
         ClientEngine {
             config,
-            server,
+            servers,
+            shard_map,
             site,
             workload,
             ops_target,
@@ -103,6 +155,8 @@ impl ClientEngine {
             outstanding: None,
             req_epoch: 0,
             planned: None,
+            causal_seq,
+            deferred: VecDeque::new(),
             unacked: Vec::new(),
             own_writes: std::collections::HashMap::new(),
             now: None,
@@ -122,11 +176,23 @@ impl ClientEngine {
     }
 
     /// Whether nothing is in flight: no pending operation, no outstanding
-    /// request, and no unacked causal writes. A driver may tear the client
-    /// down once `finished() && is_idle()`.
+    /// request, and no unacked or barrier-deferred causal writes. A driver
+    /// may tear the client down once `finished() && is_idle()`.
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.pending.is_none() && self.outstanding.is_none() && self.unacked.is_empty()
+        self.pending.is_none()
+            && self.outstanding.is_none()
+            && self.unacked.is_empty()
+            && self.deferred.is_empty()
+    }
+
+    /// Whether a synchronous request is outstanding — i.e. the engine is
+    /// blocked on a server reply. The threaded driver spins (instead of
+    /// napping) while this holds, because the reply is the only thing that
+    /// can unblock progress and it usually arrives within a few µs.
+    #[must_use]
+    pub fn awaiting_reply(&self) -> bool {
+        self.outstanding.is_some()
     }
 
     /// Handles one event, appending the resulting effects to `out` (in
@@ -170,6 +236,21 @@ impl ClientEngine {
         self.plan_next(io, out);
     }
 
+    /// The shard node that owns `object`.
+    fn shard_for(&self, object: ObjectId) -> NodeId {
+        self.servers[self.shard_map.shard_of(object)]
+    }
+
+    /// The fleet destination of a request: the owning shard of its object.
+    fn request_dest(&self, msg: &Msg) -> NodeId {
+        match msg {
+            Msg::FetchReq { object, .. }
+            | Msg::ValidateReq { object, .. }
+            | Msg::WriteReq { object, .. } => self.shard_for(*object),
+            _ => unreachable!("only requests have a fleet destination"),
+        }
+    }
+
     fn send_request(&mut self, out: &mut Vec<Effect>, mut msg: Msg) {
         self.req_epoch += 1;
         match &mut msg {
@@ -178,11 +259,9 @@ impl ClientEngine {
             | Msg::WriteReq { epoch, .. } => *epoch = self.req_epoch,
             _ => unreachable!("only requests go through send_request"),
         }
+        let to = self.request_dest(&msg);
         self.outstanding = Some(msg.clone());
-        out.push(Effect::Send {
-            to: self.server,
-            msg,
-        });
+        out.push(Effect::Send { to, msg });
         out.push(Effect::SetTimer {
             after: self.config.retry_after,
             token: self.req_epoch,
@@ -309,28 +388,27 @@ impl ClientEngine {
                     old: false,
                 },
             );
-            // Buffer until the server acks: a dropped WriteReq would
+            // Buffer until the owning shard acks: a dropped WriteReq would
             // otherwise leave a recorded write invisible forever, silently
-            // violating the causal family's Δ bound.
-            let was_idle = self.unacked.is_empty();
-            self.unacked.push((object, value, alpha_v.clone(), t_loc));
+            // violating the causal family's Δ bound. The write enters the
+            // deferred queue first; the barrier ships it the moment no
+            // other shard's write is unacked (immediately, with one
+            // shard).
+            let shard = self.shard_map.shard_of(object);
+            self.causal_seq[shard] += 1;
             self.own_writes
                 .insert(object, (value, alpha_v.clone(), t_loc));
-            out.push(Effect::Send {
-                to: self.server,
-                msg: Msg::WriteReq {
-                    object,
-                    value,
-                    alpha_v: Some(alpha_v.clone()),
-                    issued_at: t_loc,
-                    epoch: 0,
-                },
+            self.deferred.push_back(CausalWrite {
+                object,
+                value,
+                alpha_v: alpha_v.clone(),
+                issued_at: t_loc,
+                shard,
+                shard_seq: self.causal_seq[shard],
             });
-            if was_idle {
-                out.push(Effect::SetTimer {
-                    after: self.config.retry_after,
-                    token: TIMER_FLUSH_CAUSAL,
-                });
+            self.ship_deferred(out);
+            if !self.deferred.is_empty() {
+                out.push(Effect::metric(names::CAUSAL_DEFERRED));
             }
             let now = self.now().truth;
             out.push(Effect::Record(RecordOp::Write {
@@ -342,8 +420,8 @@ impl ClientEngine {
             }));
             self.complete(io, out);
         } else {
-            // Physical family: the server linearizes the write; block until
-            // the ack carries the assigned α (rule 2 then applies).
+            // Physical family: the owning shard linearizes the write; block
+            // until the ack carries the assigned α (rule 2 then applies).
             self.pending = Some(Pending::Write { object, value });
             self.send_request(
                 out,
@@ -353,24 +431,49 @@ impl ClientEngine {
                     alpha_v: None,
                     issued_at: t_loc,
                     epoch: 0,
+                    shard_seq: 0,
                 },
             );
         }
     }
 
-    /// Retransmits every unacked causal write (idempotent at the server).
+    /// Ships deferred causal writes whose cross-shard barrier has cleared:
+    /// the queue head may go to shard `S` only while every unacked write
+    /// also targets `S`. Under that discipline a write reaches its shard
+    /// only after all of this client's earlier writes to *other* shards
+    /// were acked (applied there), which — inductively, since every
+    /// version a client can depend on was read from a shard that had
+    /// applied it — keeps each shard's store causally closed with no
+    /// inter-shard protocol. With one shard the barrier never holds
+    /// anything back.
+    fn ship_deferred(&mut self, out: &mut Vec<Effect>) {
+        while let Some(head) = self.deferred.front() {
+            if self.unacked.iter().any(|w| w.shard != head.shard) {
+                break;
+            }
+            let w = self.deferred.pop_front().expect("checked non-empty");
+            let was_idle = self.unacked.is_empty();
+            out.push(Effect::Send {
+                to: self.servers[w.shard],
+                msg: w.wire(),
+            });
+            if was_idle {
+                out.push(Effect::SetTimer {
+                    after: self.config.retry_after,
+                    token: TIMER_FLUSH_CAUSAL,
+                });
+            }
+            self.unacked.push(w);
+        }
+    }
+
+    /// Retransmits every unacked causal write (idempotent at the shard).
     fn flush_unacked(&mut self, out: &mut Vec<Effect>) {
-        for (object, value, alpha_v, issued_at) in self.unacked.clone() {
+        for w in self.unacked.clone() {
             out.push(Effect::metric(names::CAUSAL_RETRANSMIT));
             out.push(Effect::Send {
-                to: self.server,
-                msg: Msg::WriteReq {
-                    object,
-                    value,
-                    alpha_v: Some(alpha_v),
-                    issued_at,
-                    epoch: 0,
-                },
+                to: self.servers[w.shard],
+                msg: w.wire(),
             });
         }
         if !self.unacked.is_empty() {
@@ -505,16 +608,16 @@ impl ClientEngine {
         self.context_t = Time::ZERO;
         self.planned = None;
         // Durable state drives recovery: finish the in-flight request if
-        // one was logged, flush unacked causal writes, then resume the
-        // workload. The server deduplicates replayed physical writes, so
-        // re-driving `outstanding` is safe even if it was already applied.
+        // one was logged, flush unacked causal writes (then let the
+        // barrier ship anything it can), and resume the workload. The
+        // server deduplicates replayed physical writes, so re-driving
+        // `outstanding` is safe even if it was already applied.
         self.flush_unacked(out);
+        self.ship_deferred(out);
         if let Some(msg) = self.outstanding.clone() {
             out.push(Effect::metric(names::RETRY));
-            out.push(Effect::Send {
-                to: self.server,
-                msg,
-            });
+            let to = self.request_dest(&msg);
+            out.push(Effect::Send { to, msg });
             out.push(Effect::SetTimer {
                 after: self.config.retry_after,
                 token: self.req_epoch,
@@ -538,14 +641,55 @@ impl ClientEngine {
             // Retry an unanswered request (lost message).
             if let Some(msg) = self.outstanding.clone() {
                 out.push(Effect::metric(names::RETRY));
-                out.push(Effect::Send {
-                    to: self.server,
-                    msg,
-                });
+                let to = self.request_dest(&msg);
+                out.push(Effect::Send { to, msg });
                 out.push(Effect::SetTimer {
                     after: self.config.retry_after,
                     token: self.req_epoch,
                 });
+            }
+        }
+    }
+
+    /// Applies one (standalone or batched) push invalidation against the
+    /// cache, unless the cached version is at least as new.
+    fn apply_invalidation(
+        &mut self,
+        object: ObjectId,
+        alpha_t: Time,
+        alpha_v: Option<&VectorClock>,
+        out: &mut Vec<Effect>,
+    ) {
+        let mine_newer = match self.cache.get(object) {
+            None => return,
+            Some(entry) => {
+                if self.config.kind.is_causal_family() {
+                    match (&entry.alpha_v, alpha_v) {
+                        (Some(mine), Some(theirs)) => matches!(
+                            mine.compare(theirs),
+                            ClockOrdering::After | ClockOrdering::Equal
+                        ),
+                        _ => false,
+                    }
+                } else {
+                    entry.alpha_t >= alpha_t
+                }
+            }
+        };
+        if !mine_newer {
+            match self.config.stale {
+                StalePolicy::Invalidate => {
+                    self.cache.remove(object);
+                    out.push(Effect::metric(names::INVALIDATE));
+                }
+                StalePolicy::MarkOld => {
+                    if let Some(e) = self.cache.get_mut(object) {
+                        if !e.old {
+                            e.old = true;
+                            out.push(Effect::metric(names::MARK_OLD));
+                        }
+                    }
+                }
             }
         }
     }
@@ -664,7 +808,10 @@ impl ClientEngine {
                 }
             }
             Msg::WriteAckCausal { value, .. } => {
-                self.unacked.retain(|(_, v, _, _)| *v != value);
+                self.unacked.retain(|w| w.value != value);
+                // An ack may clear the cross-shard barrier for queued
+                // writes.
+                self.ship_deferred(out);
             }
             Msg::InvalidatePush {
                 object,
@@ -672,37 +819,17 @@ impl ClientEngine {
                 alpha_v,
             } => {
                 out.push(Effect::metric(names::PUSH_RECEIVED));
-                let mine_newer = match self.cache.get(object) {
-                    None => return,
-                    Some(entry) => {
-                        if self.config.kind.is_causal_family() {
-                            match (&entry.alpha_v, &alpha_v) {
-                                (Some(mine), Some(theirs)) => matches!(
-                                    mine.compare(theirs),
-                                    ClockOrdering::After | ClockOrdering::Equal
-                                ),
-                                _ => false,
-                            }
-                        } else {
-                            entry.alpha_t >= alpha_t
-                        }
-                    }
-                };
-                if !mine_newer {
-                    match self.config.stale {
-                        StalePolicy::Invalidate => {
-                            self.cache.remove(object);
-                            out.push(Effect::metric(names::INVALIDATE));
-                        }
-                        StalePolicy::MarkOld => {
-                            if let Some(e) = self.cache.get_mut(object) {
-                                if !e.old {
-                                    e.old = true;
-                                    out.push(Effect::metric(names::MARK_OLD));
-                                }
-                            }
-                        }
-                    }
+                self.apply_invalidation(object, alpha_t, alpha_v.as_ref(), out);
+            }
+            Msg::InvalidateBatch { entries } => {
+                for entry in entries {
+                    out.push(Effect::metric(names::PUSH_RECEIVED));
+                    self.apply_invalidation(
+                        entry.object,
+                        entry.alpha_t,
+                        entry.alpha_v.as_ref(),
+                        out,
+                    );
                 }
             }
             Msg::FetchReq { .. } | Msg::ValidateReq { .. } | Msg::WriteReq { .. } => {

@@ -40,9 +40,11 @@ use crate::msg::Msg;
 
 mod client;
 mod server;
+mod shard;
 
 pub use client::ClientEngine;
 pub use server::ServerEngine;
+pub use shard::ShardMap;
 
 /// Timer token for "issue the next planned operation". Exposed so drivers
 /// can recognize op-issue instants (the threaded runtime starts its

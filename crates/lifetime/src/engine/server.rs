@@ -1,14 +1,18 @@
-//! The object-server §5 state machine, sans-io: long-term storage,
+//! The object-shard §5 state machine, sans-io: long-term storage,
 //! fetch/validate service, write ordering, and (optionally) push
 //! invalidations.
 //!
 //! The paper's architecture gives each object "a set of server sites"; this
-//! implementation uses a single server for all objects, which is what makes
-//! the lifetime bookkeeping honest with no inter-server protocol: every
-//! write passes through one place, so "current at server time t" is a
-//! global statement. DESIGN.md records this simplification.
+//! implementation partitions the object space across a fleet of shards
+//! (one `ServerEngine` instance per shard, routed by
+//! [`crate::engine::ShardMap`]) with *no inter-shard protocol*: every write
+//! to an object passes through the object's one owning shard, so "current
+//! at shard time t" is a global statement about that object. With one
+//! shard this degenerates to the original single server. DESIGN.md §11
+//! records how cross-shard causality stays sound (per-shard write
+//! sequences plus the client-side write barrier).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use tc_clocks::{ClockOrdering, Time, Timestamp, VectorClock};
 use tc_core::{ObjectId, Value};
@@ -16,8 +20,16 @@ use tc_sim::metrics::names;
 use tc_sim::NodeId;
 
 use crate::engine::{Effect, Event, Now};
-use crate::msg::{Msg, ValidateOutcome, WireVersion};
+use crate::msg::{InvalidateEntry, Msg, ValidateOutcome, WireVersion};
 use crate::{Propagation, ProtocolConfig};
+
+/// The timer token a shard arms to flush `client`'s pending invalidation
+/// batch. Shards have no other timers, so the client's node index is the
+/// whole token space.
+#[must_use]
+pub(crate) fn flush_token(client: NodeId) -> u64 {
+    client.index() as u64
+}
 
 /// A stored version.
 #[derive(Clone, Debug)]
@@ -49,25 +61,26 @@ impl Stored {
     }
 }
 
-/// The server engine.
+/// The server (shard) engine.
 ///
 /// # Crash durability
 ///
 /// Under crash–restart ([`Event::Restart`]) the store itself (`versions`,
-/// `last_alpha`, the write dedup map and the causal delivery cursor) is
-/// durable — it models disk. `known_clients` is volatile session state:
-/// after a restart, push invalidations flow only to clients that contact
-/// the server again. That is safe for the timed guarantees because pushes
-/// are an optimization; the Δ bound is enforced by the client-side
-/// lifetime rules alone.
+/// `last_alpha`, the write dedup map and the causal delivery cursors) is
+/// durable — it models disk. `known_clients` and the pending invalidation
+/// batches are volatile session state: after a restart, push invalidations
+/// flow only to clients that contact the shard again, and any coalesced
+/// but unflushed batch is simply lost. That is safe for the timed
+/// guarantees because pushes are an optimization; the Δ bound is enforced
+/// by the client-side lifetime rules alone.
 pub struct ServerEngine {
     config: ProtocolConfig,
     versions: HashMap<ObjectId, Stored>,
     /// Strictly increasing physical-family write stamp.
     last_alpha: Time,
     /// Clients that have contacted us (push-invalidation targets). A client
-    /// cannot cache anything without contacting the server first, so this
-    /// set always covers every cache holding data.
+    /// cannot cache anything without contacting the owning shard first, so
+    /// this set always covers every cache holding this shard's data.
     known_clients: BTreeSet<NodeId>,
     /// Physical-family writes already applied, by (globally unique) value,
     /// with the α each was assigned. A duplicated or retransmitted
@@ -75,16 +88,25 @@ pub struct ServerEngine {
     /// re-applied — re-applying would assign a fresh α and clobber newer
     /// writes to the same object.
     applied_physical: HashMap<Value, Time>,
-    /// Per-writer causal delivery cursor: the writer-component of the last
+    /// Per-writer causal delivery cursor: the `shard_seq` of the last
     /// causal write applied from each client node (durable — part of the
-    /// store). A causal write whose own vector-clock entry skips past
-    /// `cursor + 1` depends on an earlier write of the same client that is
-    /// still in flight (lost or reordered away); applying it would leave a
-    /// causal gap in the store, so it is ignored (no ack) until the
-    /// client's retransmit loop re-delivers the writes in order.
+    /// store). A causal write whose sequence skips past `cursor + 1`
+    /// depends on an earlier write of the same client *to this shard* that
+    /// is still in flight (lost or reordered away); applying it would
+    /// leave a causal gap in the store, so it is ignored (no ack) until
+    /// the client's retransmit loop re-delivers the writes in order. The
+    /// sequence is per-(writer, shard) — carried explicitly in
+    /// [`Msg::WriteReq`] rather than read off the vector clock, whose own
+    /// entry counts writes across *all* shards.
     causal_applied: HashMap<usize, u64>,
+    /// Per-client invalidation batches not yet flushed (volatile, BTreeMap
+    /// for deterministic flush order).
+    pending: BTreeMap<NodeId, Vec<InvalidateEntry>>,
     /// Total writes applied (dropped LWW losers excluded).
     writes_applied: u64,
+    /// Total client requests served (fetch + validate + write), the
+    /// per-shard load statistic the threaded runtime reports.
+    requests_served: u64,
     /// The latest driver-injected clock sample.
     now: Option<Now>,
 }
@@ -100,7 +122,9 @@ impl ServerEngine {
             known_clients: BTreeSet::new(),
             applied_physical: HashMap::new(),
             causal_applied: HashMap::new(),
+            pending: BTreeMap::new(),
             writes_applied: 0,
+            requests_served: 0,
             now: None,
         }
     }
@@ -111,6 +135,12 @@ impl ServerEngine {
         self.writes_applied
     }
 
+    /// Total client requests served (fetch + validate + write).
+    #[must_use]
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
     /// Handles one event, appending the resulting effects to `out`.
     ///
     /// # Panics
@@ -119,7 +149,12 @@ impl ServerEngine {
     pub fn handle(&mut self, event: Event, out: &mut Vec<Effect>) {
         match event {
             Event::Now(now) => self.now = Some(now),
-            Event::Start | Event::Timer { .. } => {}
+            Event::Start => {}
+            Event::Timer { token } => {
+                // The only shard timers are batch-flush deadlines; a timer
+                // for an already-flushed (empty) batch is a no-op.
+                self.flush_batch(NodeId::new(token as usize), out);
+            }
             Event::Restart => {
                 out.push(Effect::Metric {
                     name: names::SERVER_RESTART,
@@ -127,6 +162,7 @@ impl ServerEngine {
                 });
                 // The store is disk-backed; only session state is lost.
                 self.known_clients.clear();
+                self.pending.clear();
             }
             Event::Message { from, msg } => self.on_message(from, msg, out),
         }
@@ -140,7 +176,7 @@ impl ServerEngine {
     }
 
     fn push_invalidations(
-        &self,
+        &mut self,
         out: &mut Vec<Effect>,
         object: ObjectId,
         except: NodeId,
@@ -149,22 +185,78 @@ impl ServerEngine {
         if self.config.propagation != Propagation::PushInvalidate {
             return;
         }
-        for &client in &self.known_clients {
-            if client != except {
-                out.push(Effect::Metric {
-                    name: names::PUSH,
-                    add: 1,
-                });
-                out.push(Effect::Send {
-                    to: client,
-                    msg: Msg::InvalidatePush {
-                        object,
-                        alpha_t: stored.alpha_t,
-                        alpha_v: stored.alpha_v.clone(),
-                    },
+        if !self.config.push_batch.is_enabled() {
+            // Immediate mode: one standalone push per write per client —
+            // byte-identical with the pre-batching protocol.
+            for &client in &self.known_clients {
+                if client != except {
+                    out.push(Effect::Metric {
+                        name: names::PUSH,
+                        add: 1,
+                    });
+                    out.push(Effect::Send {
+                        to: client,
+                        msg: Msg::InvalidatePush {
+                            object,
+                            alpha_t: stored.alpha_t,
+                            alpha_v: stored.alpha_v.clone(),
+                        },
+                    });
+                }
+            }
+            return;
+        }
+        // Batched mode: append to each client's pending batch, flush on
+        // fullness, otherwise arm the max_delay deadline when the batch
+        // goes non-empty. A deadline firing after a fullness flush finds
+        // either an empty batch (no-op) or a younger one (an early flush —
+        // harmless: it only reduces coalescing, never delays an entry).
+        let targets: Vec<NodeId> = self
+            .known_clients
+            .iter()
+            .copied()
+            .filter(|&c| c != except)
+            .collect();
+        for client in targets {
+            out.push(Effect::Metric {
+                name: names::PUSH,
+                add: 1,
+            });
+            let batch = self.pending.entry(client).or_default();
+            let was_empty = batch.is_empty();
+            batch.push(InvalidateEntry {
+                object,
+                alpha_t: stored.alpha_t,
+                alpha_v: stored.alpha_v.clone(),
+            });
+            if batch.len() >= self.config.push_batch.max_entries {
+                self.flush_batch(client, out);
+            } else if was_empty {
+                out.push(Effect::SetTimer {
+                    after: self.config.push_batch.max_delay,
+                    token: flush_token(client),
                 });
             }
         }
+    }
+
+    /// Flushes `client`'s pending invalidation batch, if any.
+    fn flush_batch(&mut self, client: NodeId, out: &mut Vec<Effect>) {
+        let Some(batch) = self.pending.get_mut(&client) else {
+            return;
+        };
+        if batch.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(batch);
+        out.push(Effect::Metric {
+            name: names::PUSH_BATCH,
+            add: 1,
+        });
+        out.push(Effect::Send {
+            to: client,
+            msg: Msg::InvalidateBatch { entries },
+        });
     }
 
     /// Applies a causal-family write with last-writer-wins resolution.
@@ -189,6 +281,7 @@ impl ServerEngine {
 
     fn on_message(&mut self, from: NodeId, msg: Msg, out: &mut Vec<Effect>) {
         self.known_clients.insert(from);
+        self.requests_served += 1;
         let server_now = self
             .now
             .expect("driver must inject Event::Now before lifecycle events")
@@ -241,6 +334,7 @@ impl ServerEngine {
                 alpha_v,
                 issued_at,
                 epoch,
+                shard_seq,
             } => {
                 out.push(Effect::Metric {
                     name: names::SERVER_WRITE,
@@ -249,12 +343,16 @@ impl ServerEngine {
                 if let Some(alpha_v) = alpha_v {
                     // Causal family: the writer already stamped the version.
                     // Every causal dependency a client can acquire flows
-                    // through this server, so the store stays causally
-                    // closed iff each client's writes apply in per-writer
-                    // order — enforce that with the delivery cursor before
-                    // the LWW apply (which stays idempotent under
-                    // duplicates: an Equal stamp never wins).
-                    let seq = alpha_v.own_entry();
+                    // through the dependency's owning shard, and the
+                    // client-side write barrier guarantees a write reaches
+                    // this shard only after all its cross-shard
+                    // dependencies were acked by theirs — so the fleet
+                    // stays causally closed iff each client's writes to
+                    // *this shard* apply in per-writer order. Enforce that
+                    // with the delivery cursor over `shard_seq` before the
+                    // LWW apply (which stays idempotent under duplicates:
+                    // an Equal stamp never wins).
+                    let seq = shard_seq;
                     let cursor = self.causal_applied.get(&from.index()).copied().unwrap_or(0);
                     if seq > cursor + 1 {
                         // A causal gap: an earlier write of this client was
@@ -336,7 +434,8 @@ impl ServerEngine {
             | Msg::ValidateRep { .. }
             | Msg::WriteAck { .. }
             | Msg::WriteAckCausal { .. }
-            | Msg::InvalidatePush { .. } => {
+            | Msg::InvalidatePush { .. }
+            | Msg::InvalidateBatch { .. } => {
                 unreachable!("server received a client-bound message")
             }
         }

@@ -91,8 +91,10 @@ pub fn run(config: &RunConfig) -> RunResult {
 
 /// Runs one simulation to quiescence under an injected [`FaultPlan`].
 ///
-/// Node indices in the plan follow the harness layout: node 0 is the
-/// server, nodes `1..=n_clients` are the client sites.
+/// Node indices in the plan follow the harness layout: nodes
+/// `0..protocol.shards` are the server shards (node 0 is *the* server in a
+/// single-shard run), the following `n_clients` nodes are the client
+/// sites.
 ///
 /// The returned [`RunResult::epsilon`] is the run's *effective* clock
 /// bound: the world's ε plus twice the plan's largest injected skew, which
@@ -136,11 +138,15 @@ fn run_impl(config: &RunConfig, plan: FaultPlan, private_seed: Option<u64>) -> R
     let mut initial_recorder = TraceRecorder::new();
     initial_recorder.attach_monitor(monitor_delta, epsilon);
     let recorder = Rc::new(RefCell::new(initial_recorder));
-    let server = world.add_node(ServerNode::new(config.protocol));
+    // The fleet first (nodes 0..shards; with one shard this is exactly the
+    // historical "node 0 is the server" layout), then the clients.
+    let servers: Vec<_> = (0..config.protocol.shards)
+        .map(|_| world.add_node(ServerNode::new(config.protocol)))
+        .collect();
     for site in 0..config.n_clients {
         let node = ClientNode::new(
             config.protocol,
-            server,
+            servers.clone(),
             site,
             config.n_clients,
             config.workload.clone(),
@@ -369,6 +375,106 @@ mod tests {
         assert!(r.counter(names::PUSH) > 0, "pushes must flow");
         // Staleness should now be bounded by push latency, far below Δ.
         assert!(min_delta(&r.history).ticks() <= 100 + 2 * 3 + 4);
+    }
+
+    #[test]
+    fn sharded_fleet_preserves_every_protocol_guarantee() {
+        // The consistency arguments must survive object partitioning: SC
+        // search, CCv, and the timed bounds all hold at every fleet size.
+        let lat = Delta::from_ticks(3);
+        for shards in [2, 3, 4] {
+            for seed in 0..4 {
+                let mut cfg = base_config(ProtocolKind::Sc, seed);
+                cfg.protocol = cfg.protocol.with_shards(shards);
+                let r = run(&cfg);
+                assert_eq!(r.history.len(), 3 * 40, "SC {shards} shards seed {seed}");
+                assert!(
+                    satisfies_sc_with(&r.history, SearchOptions::default()).holds(),
+                    "SC broke at {shards} shards (seed {seed}):\n{}",
+                    r.history
+                );
+
+                let mut cfg = base_config(ProtocolKind::Cc, seed);
+                cfg.protocol = cfg.protocol.with_shards(shards);
+                let r = run(&cfg);
+                assert_eq!(r.history.len(), 3 * 40, "CC {shards} shards seed {seed}");
+                assert_eq!(
+                    satisfies_ccv(&r.history),
+                    Outcome::Satisfied,
+                    "CCv broke at {shards} shards (seed {seed}):\n{}",
+                    r.history
+                );
+
+                let delta = Delta::from_ticks(60);
+                let mut cfg = base_config(ProtocolKind::Tsc { delta }, seed);
+                cfg.protocol = cfg.protocol.with_shards(shards);
+                let r = run(&cfg);
+                let bound = delta.ticks() + 2 * lat.ticks() + 2 * r.epsilon.ticks() + 4;
+                assert!(
+                    min_delta(&r.history).ticks() <= bound,
+                    "TSC staleness {} exceeds bound {bound} at {shards} shards (seed {seed})",
+                    min_delta(&r.history).ticks()
+                );
+
+                let mut cfg = base_config(ProtocolKind::Tcc { delta }, seed);
+                cfg.protocol = cfg.protocol.with_shards(shards);
+                let r = run(&cfg);
+                assert_eq!(satisfies_ccv(&r.history), Outcome::Satisfied);
+                let bound = delta.ticks() + 4 * lat.ticks() + 2 * r.epsilon.ticks() + 4;
+                assert!(
+                    min_delta(&r.history).ticks() <= bound,
+                    "TCC staleness {} exceeds bound {bound} at {shards} shards (seed {seed})",
+                    min_delta(&r.history).ticks()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_config_is_byte_identical_to_the_fleet_of_one() {
+        // `with_shards(1)` must not perturb anything: same history string,
+        // same metrics as the plain config.
+        let a = run(&base_config(ProtocolKind::Cc, 9));
+        let mut cfg = base_config(ProtocolKind::Cc, 9);
+        cfg.protocol = cfg.protocol.with_shards(1);
+        let b = run(&cfg);
+        assert_eq!(a.history.to_string(), b.history.to_string());
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn batched_pushes_flow_and_respect_the_delta_bound() {
+        let delta = Delta::from_ticks(100);
+        let mut cfg = base_config(ProtocolKind::Tsc { delta }, 11);
+        cfg.protocol = cfg
+            .protocol
+            .with_shards(2)
+            .with_push_batch(crate::PushBatch {
+                max_entries: 4,
+                max_delay: Delta::from_ticks(20),
+            });
+        cfg.protocol.propagation = Propagation::PushInvalidate;
+        cfg.protocol.stale = StalePolicy::Invalidate;
+        let r = run(&cfg);
+        assert!(r.counter(names::PUSH) > 0, "pushes must flow");
+        assert!(
+            r.counter(names::PUSH_BATCH) > 0,
+            "batches must be flushed: {:?}",
+            r.metrics.counters
+        );
+        assert!(
+            r.counter(names::PUSH_BATCH) <= r.counter(names::PUSH),
+            "a batch carries at least one push"
+        );
+        // The client-side rules still enforce Δ; batching only delays the
+        // optimization, bounded by max_delay.
+        let bound = delta.ticks() + 2 * 3 + 2 * r.epsilon.ticks() + 20 + 4;
+        assert!(
+            min_delta(&r.history).ticks() <= bound,
+            "batched-push staleness {} exceeds {bound}",
+            min_delta(&r.history).ticks()
+        );
+        assert!(r.on_time.holds(), "monitor must stay green under batching");
     }
 
     #[test]

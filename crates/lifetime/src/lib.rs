@@ -72,9 +72,11 @@ pub mod oracle;
 mod server;
 
 pub use client::ClientNode;
-pub use config::{Propagation, ProtocolConfig, ProtocolKind, StalePolicy, DEFAULT_RETRY_AFTER};
-pub use engine::{ClientEngine, ServerEngine};
+pub use config::{
+    Propagation, ProtocolConfig, ProtocolKind, PushBatch, StalePolicy, DEFAULT_RETRY_AFTER,
+};
+pub use engine::{ClientEngine, ServerEngine, ShardMap};
 pub use harness::{run, run_with_faults, run_with_private_sources, RunConfig, RunResult};
-pub use msg::{Msg, ValidateOutcome, WireVersion};
+pub use msg::{InvalidateEntry, Msg, ValidateOutcome, WireVersion};
 pub use oracle::{conformance, Conformance, OracleVerdict};
 pub use server::ServerNode;

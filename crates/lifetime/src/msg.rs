@@ -103,6 +103,13 @@ pub enum Msg {
         /// The client's request epoch (physical family; causal writes are
         /// asynchronous and send 0).
         epoch: u64,
+        /// Position of this write in the writer's per-shard stream,
+        /// starting at 1 (causal family; physical writes send 0). Each
+        /// shard's delivery cursor advances over *this* sequence, so the
+        /// gap check survives the writer's stream being striped across an
+        /// object-partitioned fleet. With one shard it equals the writer's
+        /// own vector-clock entry.
+        shard_seq: u64,
     },
     /// Server → client: physical-family write acknowledgement carrying the
     /// server-assigned `α`.
@@ -134,6 +141,25 @@ pub enum Msg {
         /// Vector stamp of the new current version (causal family).
         alpha_v: Option<VectorClock>,
     },
+    /// Server → client: a deadline-batched run of invalidations, coalesced
+    /// per destination client (see [`crate::PushBatch`]). Entries are in
+    /// application order; each is exactly the payload of one
+    /// [`Msg::InvalidatePush`].
+    InvalidateBatch {
+        /// The coalesced invalidations, oldest first.
+        entries: Vec<InvalidateEntry>,
+    },
+}
+
+/// One entry of a [`Msg::InvalidateBatch`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InvalidateEntry {
+    /// The overwritten object.
+    pub object: ObjectId,
+    /// Start time of the new current version.
+    pub alpha_t: Time,
+    /// Vector stamp of the new current version (causal family).
+    pub alpha_v: Option<VectorClock>,
 }
 
 #[cfg(test)]

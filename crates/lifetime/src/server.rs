@@ -9,7 +9,7 @@ use crate::engine::{Event, Now, ServerEngine};
 use crate::msg::Msg;
 use crate::ProtocolConfig;
 
-/// The simulated server node.
+/// The simulated server node (one shard of the fleet).
 pub struct ServerNode {
     engine: ServerEngine,
 }
@@ -27,6 +27,12 @@ impl ServerNode {
     #[must_use]
     pub fn writes_applied(&self) -> u64 {
         self.engine.writes_applied()
+    }
+
+    /// Total client requests served (fetch + validate + write).
+    #[must_use]
+    pub fn requests_served(&self) -> u64 {
+        self.engine.requests_served()
     }
 
     fn drive(&mut self, ctx: &mut Context<'_, Msg>, event: Event) {
@@ -47,6 +53,11 @@ impl Process for ServerNode {
 
     fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
         self.drive(ctx, Event::Restart);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: u64) {
+        // Batch-flush deadlines (the shard's only timers).
+        self.drive(ctx, Event::Timer { token });
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {

@@ -66,6 +66,11 @@ pub mod names {
     pub const SERVER_WRITE_DUP: &str = "server_write_dup";
     /// Push invalidation sent by the server.
     pub const PUSH: &str = "push";
+    /// Coalesced invalidation batch flushed by the server (deadline or
+    /// fullness); each batch carries one or more `PUSH` entries.
+    pub const PUSH_BATCH: &str = "push_batch";
+    /// Causal write held back by the client's cross-shard write barrier.
+    pub const CAUSAL_DEFERRED: &str = "causal_deferred";
     /// Server crash-restart recovery.
     pub const SERVER_RESTART: &str = "server_restart";
 
@@ -152,8 +157,8 @@ pub struct MetricsSnapshot {
     pub histogram_means: BTreeMap<String, f64>,
 }
 
-/// A histogram with power-of-two buckets: bucket `i` counts values in
-/// `[2^(i-1), 2^i)`, bucket 0 counts zeros and ones.
+/// A histogram with power-of-two buckets: bucket `i` (for `i ≥ 1`) counts
+/// values in `[2^(i-1), 2^i)`; bucket 0 counts only zeros.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Histogram {
     buckets: Vec<u64>,
@@ -171,7 +176,9 @@ impl Histogram {
         }
         self.buckets[bucket] += 1;
         self.count += 1;
-        self.sum += value;
+        // Saturate: near-u64::MAX samples (e.g. "infinite" deltas) must not
+        // abort the run; the mean degrades gracefully instead.
+        self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
     }
 
@@ -214,8 +221,19 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                // Upper edge of bucket i.
-                return if i == 0 { 1 } else { (1u64 << i) - 1 };
+                // Upper edge of bucket i: bucket 0 holds only zeros;
+                // bucket i ≥ 1 holds [2^(i-1), 2^i − 1]. Bucket 64
+                // (values ≥ 2^63) has no representable `2^64 − 1 + 1`
+                // edge — the old `(1u64 << i) - 1` wrapped to 0 there and
+                // under-reported the quantile. Capping every edge by the
+                // recorded max keeps the result a true upper bound while
+                // tightening the top bucket to an exact one.
+                let edge = match i {
+                    0 => 0,
+                    1..=63 => (1u64 << i) - 1,
+                    _ => u64::MAX,
+                };
+                return edge.min(self.max);
             }
         }
         self.max
@@ -260,6 +278,65 @@ mod tests {
         assert!((50..=127).contains(&p50), "p50 bound {p50}");
         assert!(h.quantile_bound(1.0) >= 100);
         assert_eq!(Histogram::default().quantile_bound(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_bound_survives_top_bucket_values() {
+        // Regression: values ≥ 2^63 land in bucket 64, whose upper edge
+        // `(1u64 << 64) - 1` used to wrap to 0 and report p100 = 0.
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        assert_eq!(h.quantile_bound(1.0), u64::MAX);
+        // Both samples share bucket 64; the edge is capped by the max.
+        assert_eq!(h.quantile_bound(0.5), h.max());
+    }
+
+    #[test]
+    fn quantile_bound_of_zeros_is_zero() {
+        // Regression: bucket 0 holds only zeros, but its edge was
+        // reported as 1.
+        let mut h = Histogram::default();
+        for _ in 0..5 {
+            h.record(0);
+        }
+        assert_eq!(h.quantile_bound(0.5), 0);
+        assert_eq!(h.quantile_bound(1.0), 0);
+    }
+
+    /// The exact nearest-rank quantile of a sample set.
+    fn exact_quantile(samples: &[u64], q: f64) -> u64 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    proptest::proptest! {
+        /// Cross-validation: for any sample set (including huge values)
+        /// and any quantile, the bucketed bound covers the exact
+        /// nearest-rank quantile from above, never exceeds the recorded
+        /// max, and stays within the 2× slack of power-of-two buckets.
+        #[test]
+        fn quantile_bound_covers_exact_nearest_rank(
+            small in proptest::collection::vec(0u64..1024, 0..32),
+            huge in proptest::collection::vec(0u64..=u64::MAX, 1..32),
+            q in 0.0f64..=1.0,
+        ) {
+            let samples: Vec<u64> = small.iter().chain(&huge).copied().collect();
+            let mut h = Histogram::default();
+            for &v in &samples {
+                h.record(v);
+            }
+            let exact = exact_quantile(&samples, q);
+            let bound = h.quantile_bound(q);
+            proptest::prop_assert!(bound >= exact, "bound {bound} < exact {exact}");
+            proptest::prop_assert!(bound <= h.max());
+            proptest::prop_assert!(
+                bound <= exact.saturating_mul(2).max(1),
+                "bound {bound} too loose for exact {exact}"
+            );
+        }
     }
 
     #[test]

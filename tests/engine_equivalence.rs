@@ -60,8 +60,11 @@ fn site_fingerprint(history: &History, site: usize) -> Vec<(bool, u64, Option<Va
 }
 
 fn check_equivalence(kind: ProtocolKind) {
-    let protocol = ProtocolConfig::of(kind);
+    check_equivalence_of(ProtocolConfig::of(kind));
+}
 
+fn check_equivalence_of(protocol: ProtocolConfig) {
+    let kind = protocol.kind;
     let sim = run_with_private_sources(
         &RunConfig {
             protocol,
@@ -91,6 +94,22 @@ fn check_equivalence(kind: ProtocolKind) {
         "{kind:?}: threaded monitor violations: {}",
         threaded.on_time.violations().len()
     );
+    // For timed levels, "monitor-clean" must mean clean *at the configured
+    // Δ*: pin the verdict's bound and the run's observed staleness to it
+    // instead of settling for any finite value.
+    if !threaded_cfg.monitor_delta.is_infinite() {
+        assert_eq!(
+            threaded.on_time.delta(),
+            threaded_cfg.monitor_delta,
+            "{kind:?}: verdict must be judged at the configured monitor Δ"
+        );
+        assert!(
+            threaded.observed_staleness <= threaded_cfg.monitor_delta,
+            "{kind:?}: observed staleness {} exceeds the configured bound {}",
+            threaded.observed_staleness,
+            threaded_cfg.monitor_delta
+        );
+    }
 
     // 2. Identical per-site programs modulo read values.
     for site in 0..N_CLIENTS {
@@ -130,6 +149,26 @@ fn tsc_engines_are_driver_independent() {
 #[test]
 fn causal_engines_are_driver_independent() {
     check_equivalence(ProtocolKind::Cc);
+}
+
+/// Sharding must be invisible to engine equivalence: with the object space
+/// split over a fleet, both drivers still run identical per-site programs
+/// and stay monitor-clean at the configured Δ.
+#[test]
+fn sharded_engines_are_driver_independent() {
+    check_equivalence_of(
+        ProtocolConfig::of(ProtocolKind::Tsc {
+            delta: Delta::from_ticks(400),
+        })
+        .with_shards(3),
+    );
+}
+
+/// The causal family crosses shards through the client-side write barrier;
+/// the equivalence guarantee must survive that too.
+#[test]
+fn sharded_causal_engines_are_driver_independent() {
+    check_equivalence_of(ProtocolConfig::of(ProtocolKind::Cc).with_shards(2));
 }
 
 /// The fingerprint really is seed-determined: two threaded runs of the

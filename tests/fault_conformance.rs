@@ -304,6 +304,71 @@ fn empty_plan_is_exactly_the_fault_free_run() {
     assert_eq!(plain.metrics, faultless.metrics);
 }
 
+/// The shard fleet rides through faults too: with the object space split
+/// over ≥2 shards, drop and reorder storms (which hit *every* link,
+/// including each per-shard request stream independently) must leave the
+/// conformance oracle green for both timed protocols. Node indices shift
+/// under sharding — shards occupy nodes `0..shards`, clients follow — so
+/// this case sticks to `Scope::All` faults plus a crash of shard 0 and of
+/// one client addressed by their post-shift indices.
+#[test]
+fn sharded_fleet_survives_drop_and_reorder_faults() {
+    const SHARDS: usize = 3;
+    let plans = vec![
+        (
+            "drop: blackout for 400 ticks across the fleet",
+            FaultPlan::none().with(
+                Window::ticks(200, 600),
+                Scope::All,
+                FaultKind::Drop { probability: 1.0 },
+            ),
+        ),
+        (
+            "reorder: 40-tick jitter on every fleet link",
+            FaultPlan::none().with(
+                Window::always(),
+                Scope::All,
+                FaultKind::Reorder {
+                    max_jitter: Delta::from_ticks(40),
+                },
+            ),
+        ),
+        (
+            "crash-restart: shard 0 goes down for 400 ticks",
+            FaultPlan::none().crash(Window::ticks(250, 650), 0),
+        ),
+        (
+            "crash-restart: client 1 (node shards+1) loses its cache",
+            FaultPlan::none().crash(Window::ticks(250, 650), SHARDS + 1),
+        ),
+    ];
+    let mut cells = Vec::new();
+    for kind in timed_kinds() {
+        for (label, plan) in &plans {
+            for seed in [7, 21] {
+                cells.push((kind, *label, plan.clone(), seed));
+            }
+        }
+    }
+    tc_bench::parallel_map(&cells, |(kind, label, plan, seed)| {
+        let mut cfg = config(*kind, *seed);
+        cfg.protocol = cfg.protocol.with_shards(SHARDS);
+        let result = run_with_faults(&cfg, plan.clone());
+        let c = conformance(&cfg, plan, &result);
+        assert!(
+            c.acceptable(),
+            "{} / {label} / seed {seed} at {SHARDS} shards: {:?}\n\
+             observed staleness {} vs bound {:?}, {} ops recorded of {}",
+            kind.label(),
+            c.verdict,
+            c.observed_staleness.ticks(),
+            c.bound.map(|b| b.ticks()),
+            c.ops_recorded,
+            c.ops_expected,
+        );
+    });
+}
+
 /// Untimed levels ride through the matrix too: the oracle then checks
 /// only the untimed guarantee (SC / CCv) and reports no bound.
 #[test]

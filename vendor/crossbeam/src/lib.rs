@@ -159,6 +159,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Deadline passed with no message.
+        Timeout,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
     /// Sending half of a channel.
     pub enum Sender<T> {
         #[doc(hidden)]
@@ -230,6 +239,34 @@ pub mod channel {
                     }
                     std::thread::sleep(POLL_SLEEP);
                 },
+            }
+        }
+
+        /// Blocking receive with a deadline.
+        ///
+        /// # Errors
+        ///
+        /// `Timeout` if `timeout` elapses with no message, `Disconnected`
+        /// if the channel is empty and every sender is gone.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            match self {
+                Receiver::Chan(rx) => rx.recv_timeout(timeout).map_err(|e| match e {
+                    mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                    mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+                }),
+                Receiver::After { .. } => {
+                    let deadline = Instant::now() + timeout;
+                    loop {
+                        if let Some(r) = self.poll() {
+                            return r.map_err(|RecvError| RecvTimeoutError::Disconnected);
+                        }
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                        std::thread::sleep(POLL_SLEEP.min(deadline - now));
+                    }
+                }
             }
         }
 
