@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use serde::Serialize;
 use tc_clocks::Delta;
+use tc_core::{History, SiteId, Value};
 use tc_lifetime::{ProtocolConfig, ProtocolKind, RunConfig};
 use tc_sim::workload::Workload;
 use tc_sim::WorldConfig;
@@ -238,6 +239,40 @@ pub fn standard_run(kind: ProtocolKind, seed: u64, ops_per_client: usize) -> Run
         ops_per_client,
         world: WorldConfig::deterministic(Delta::from_ticks(3), seed),
     }
+}
+
+/// The driver-independent fingerprint of one site's behaviour: operation
+/// kinds, objects, and written values in program order. Read *values* are
+/// excluded — they depend on timing, the one thing concurrently-scheduled
+/// drivers do not share. Equal fingerprints across drivers certify "same
+/// engine, same inputs, same per-site program" (the invariant the
+/// engine-equivalence suite and the transport-compare experiment both
+/// assert).
+#[must_use]
+pub fn site_fingerprint(history: &History, site: usize) -> Vec<(bool, u64, Option<Value>)> {
+    history
+        .site_ops(SiteId::new(site))
+        .iter()
+        .map(|&id| {
+            let op = history.op(id);
+            (
+                op.is_write(),
+                u64::from(op.object().index()),
+                op.is_write().then(|| op.value()),
+            )
+        })
+        .collect()
+}
+
+/// [`site_fingerprint`] for every site of an `n_clients`-site run.
+#[must_use]
+pub fn fleet_fingerprint(
+    history: &History,
+    n_clients: usize,
+) -> Vec<Vec<(bool, u64, Option<Value>)>> {
+    (0..n_clients)
+        .map(|site| site_fingerprint(history, site))
+        .collect()
 }
 
 /// Format a float with 3 decimals (table cell helper).

@@ -76,6 +76,15 @@ impl VectorClock {
         self.entries.len()
     }
 
+    /// The site that owns this clock (whose entry [`VectorClock::tick`]
+    /// advances). Together with [`VectorClock::entries`] this is the full
+    /// serializable identity of the clock — wire codecs rebuild it with
+    /// [`VectorClock::from_entries`].
+    #[must_use]
+    pub fn site(&self) -> usize {
+        self.site
+    }
+
     /// The entry owned by this clock's site.
     #[must_use]
     pub fn own_entry(&self) -> u64 {

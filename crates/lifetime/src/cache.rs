@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use tc_clocks::{ClockOrdering, SiteClock, Time, Timestamp, VectorClock, XiMap};
+use tc_clocks::{ClockOrdering, Time, Timestamp, VectorClock, XiMap};
 use tc_core::{ObjectId, Value};
 
 use crate::StalePolicy;

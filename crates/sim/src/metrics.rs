@@ -74,6 +74,21 @@ pub mod names {
     /// Server crash-restart recovery.
     pub const SERVER_RESTART: &str = "server_restart";
 
+    /// TCP transport: handshake completed on a fresh connection.
+    pub const TCP_CONNECT: &str = "tcp_connect";
+    /// TCP transport: link re-established after a drop (backoff path).
+    pub const TCP_RECONNECT: &str = "tcp_reconnect";
+    /// TCP transport: failed connect/handshake attempt (refused, reset,
+    /// timed out) that the backoff schedule absorbed.
+    pub const TCP_CONNECT_FAILED: &str = "tcp_connect_failed";
+    /// TCP transport: protocol frame dropped because its link was down
+    /// (the engines' retry timers recover it).
+    pub const TCP_SEND_DROPPED: &str = "tcp_send_dropped";
+    /// TCP transport: keep-alive frame written by an idle connection.
+    pub const TCP_HEARTBEAT: &str = "tcp_heartbeat";
+    /// TCP transport: a chaos-killed shard listener came back up.
+    pub const TCP_LISTENER_RESTART: &str = "tcp_listener_restart";
+
     /// Reads the streaming monitor flagged as Δ-violating (harness output).
     pub const ON_TIME_VIOLATIONS: &str = "on_time_violations";
     /// Writes the streaming monitor ingested behind a judged read.

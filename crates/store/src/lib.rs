@@ -42,9 +42,11 @@ mod level;
 mod replica;
 pub mod runtime;
 mod store;
+pub mod transport;
 
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use level::ConsistencyLevel;
 pub use replica::{StoreMetrics, StoreMetricsSnapshot};
 pub use runtime::{run_threaded, LatencySummary, RuntimeConfig, RuntimeResult, MONITOR_SLACK};
 pub use store::{Builder, StoreError, StoreHandle, TimedStore};
+pub use transport::{run_tcp, run_tcp_with, Backoff, ListenerChaos, TcpRuntimeConfig};

@@ -29,6 +29,8 @@
 //! real-time slack; the run's *observed* staleness is still reported
 //! exactly, and the monitor verdict asserts the widened bound.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -118,7 +120,7 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    fn from_durations(mut v: Vec<Duration>) -> Self {
+    pub(crate) fn from_durations(mut v: Vec<Duration>) -> Self {
         if v.is_empty() {
             return LatencySummary::default();
         }
@@ -176,23 +178,73 @@ impl RuntimeResult {
     }
 }
 
+/// A deadline-ordered timer wheel over real [`Instant`]s, shared by the
+/// in-process threaded driver and the TCP transport.
+///
+/// Timers pop in deadline order; equal deadlines pop in arming order (a
+/// monotone sequence number breaks ties), so a driver that arms `A` then
+/// `B` for the same instant fires `A` first — the property the engines'
+/// effect-order contract leans on. The old implementation was a linear
+/// `Vec` scanned per pass; the heap makes `arm` O(log n) and a pop-due
+/// sweep O(k log n) for k due timers.
+pub(crate) struct TimerWheel {
+    heap: BinaryHeap<Reverse<(Instant, u64, u64)>>,
+    seq: u64,
+}
+
+impl TimerWheel {
+    pub(crate) fn new() -> Self {
+        TimerWheel {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Arms a timer: `token` will pop once `deadline` has passed.
+    pub(crate) fn arm(&mut self, deadline: Instant, token: u64) {
+        self.seq += 1;
+        self.heap.push(Reverse((deadline, self.seq, token)));
+    }
+
+    /// The earliest armed deadline, if any timer is pending.
+    pub(crate) fn next_deadline(&self) -> Option<Instant> {
+        self.heap.peek().map(|Reverse((deadline, _, _))| *deadline)
+    }
+
+    /// Pops every timer due at `now`, in (deadline, arming) order. Due
+    /// timers are collected in one sweep *before* any fires: a firing
+    /// timer may arm new ones, and those belong to the next pass even if
+    /// already due.
+    pub(crate) fn pop_due(&mut self, now: Instant) -> Vec<u64> {
+        let mut due = Vec::new();
+        while let Some(Reverse((deadline, _, _))) = self.heap.peek() {
+            if *deadline > now {
+                break;
+            }
+            let Reverse((_, _, token)) = self.heap.pop().expect("peeked non-empty");
+            due.push(token);
+        }
+        due
+    }
+}
+
 /// The shared tick clock: every thread derives protocol [`Time`] from one
 /// epoch, so "local" and "true" time coincide up to rounding.
 #[derive(Clone, Copy)]
-struct TickClock {
+pub(crate) struct TickClock {
     epoch: Instant,
     tick_nanos: u64,
 }
 
 impl TickClock {
-    fn new(tick: Duration) -> Self {
+    pub(crate) fn new(tick: Duration) -> Self {
         TickClock {
             epoch: Instant::now(),
             tick_nanos: (tick.as_nanos() as u64).max(1),
         }
     }
 
-    fn now(&self) -> Time {
+    pub(crate) fn now(&self) -> Time {
         Time::from_ticks(self.epoch.elapsed().as_nanos() as u64 / self.tick_nanos)
     }
 
@@ -201,7 +253,7 @@ impl TickClock {
     /// old behaviour multiplied `u64::MAX` ticks into a ~584-year
     /// `Duration`) is both wrong in spirit and a way to keep a timer wheel
     /// non-empty forever.
-    fn delta_to_duration(&self, delta: Delta) -> Option<Duration> {
+    pub(crate) fn delta_to_duration(&self, delta: Delta) -> Option<Duration> {
         if delta.is_infinite() {
             return None;
         }
@@ -214,13 +266,13 @@ impl TickClock {
 /// Shared mutable run state: the trace recorder (with attached monitor)
 /// and the metric bag. Coarse mutexes are fine here — recording is a few
 /// hundred nanoseconds against multi-tick think times.
-struct Shared {
-    recorder: Mutex<TraceRecorder>,
-    metrics: Mutex<Metrics>,
+pub(crate) struct Shared {
+    pub(crate) recorder: Mutex<TraceRecorder>,
+    pub(crate) metrics: Mutex<Metrics>,
 }
 
 impl Shared {
-    fn record(&self, op: RecordOp) {
+    pub(crate) fn record(&self, op: RecordOp) {
         let mut recorder = self.recorder.lock().expect("recorder lock");
         match op {
             RecordOp::Write {
@@ -254,31 +306,55 @@ impl Shared {
         }
     }
 
-    fn add_metric(&self, name: &'static str, add: u64) {
+    pub(crate) fn add_metric(&self, name: &'static str, add: u64) {
         // Unconditional like the sim adapter: zero-increments materialize
         // the counter so snapshots carry it.
         self.metrics.lock().expect("metrics lock").add(name, add);
     }
 }
 
-/// One client thread: engine + private sources + a local timer wheel over
-/// real deadlines.
-struct ClientRt<'a> {
-    engine: ClientEngine,
-    sources: PrivateSources,
-    clock: TickClock,
-    me: NodeId,
-    /// One sender per shard; `Effect::Send { to }` routes by `to.index()`
-    /// (shard node ids are `0..shards`).
-    to_servers: Vec<Sender<(NodeId, Msg)>>,
-    shared: &'a Shared,
-    timers: Vec<(Instant, u64)>,
-    latencies: Vec<Duration>,
-    op_started: Option<Instant>,
-    completed: usize,
+/// Where a client's outbound protocol messages go — the only seam between
+/// the shared client loop ([`ClientRt`]) and a concrete transport:
+/// in-process channels here, framed TCP links in
+/// [`crate::transport`].
+pub(crate) trait Outbound {
+    /// Delivers `msg` from client node `me` to shard node `to`. Delivery
+    /// may silently fail (a hung-up channel, a link mid-reconnect): the
+    /// engines' retry timers own recovery, so a lost send is never an
+    /// error here.
+    fn send(&mut self, me: NodeId, to: NodeId, msg: Msg);
 }
 
-impl ClientRt<'_> {
+/// The in-process transport: one unbounded channel per shard, indexed by
+/// the shard's node id.
+pub(crate) struct ChannelOutbound(pub(crate) Vec<Sender<(NodeId, Msg)>>);
+
+impl Outbound for ChannelOutbound {
+    fn send(&mut self, me: NodeId, to: NodeId, msg: Msg) {
+        // Client engines only ever address server shards; a send can't
+        // fail while this client still holds its senders.
+        let _ = self.0[to.index()].send((me, msg));
+    }
+}
+
+/// One client thread: engine + private sources + a local timer wheel over
+/// real deadlines. Generic over the [`Outbound`] transport so the
+/// in-process and TCP drivers share one event loop (and therefore one
+/// op-sequence / latency-measurement behaviour).
+pub(crate) struct ClientRt<'a, O: Outbound> {
+    pub(crate) engine: ClientEngine,
+    pub(crate) sources: PrivateSources,
+    pub(crate) clock: TickClock,
+    pub(crate) me: NodeId,
+    pub(crate) outbound: O,
+    pub(crate) shared: &'a Shared,
+    pub(crate) timers: TimerWheel,
+    pub(crate) latencies: Vec<Duration>,
+    pub(crate) op_started: Option<Instant>,
+    pub(crate) completed: usize,
+}
+
+impl<O: Outbound> ClientRt<'_, O> {
     fn feed(&mut self, event: Event) {
         if matches!(
             event,
@@ -300,15 +376,11 @@ impl ClientRt<'_> {
         self.engine.handle(event, &mut self.sources, &mut out);
         for effect in out {
             match effect {
-                Effect::Send { to, msg } => {
-                    // Client engines only ever address server shards; a send
-                    // can't fail while this client still holds its senders.
-                    let _ = self.to_servers[to.index()].send((self.me, msg));
-                }
+                Effect::Send { to, msg } => self.outbound.send(self.me, to, msg),
                 Effect::SetTimer { after, token } => {
                     // An infinite delta means "never" — arm nothing.
                     if let Some(d) = self.clock.delta_to_duration(after) {
-                        self.timers.push((Instant::now() + d, token));
+                        self.timers.arm(Instant::now() + d, token);
                     }
                 }
                 Effect::Metric { name, add } => self.shared.add_metric(name, add),
@@ -323,60 +395,48 @@ impl ClientRt<'_> {
         }
     }
 
-    fn run(mut self, inbox: &Receiver<(NodeId, Msg)>) -> Vec<Duration> {
+    pub(crate) fn run(mut self, inbox: &Receiver<(NodeId, Msg)>) -> Vec<Duration> {
         self.feed(Event::Start);
         loop {
             if self.engine.finished() && self.engine.is_idle() {
                 break;
             }
-            // Fire every already-due timer (collected first: a firing timer
-            // may arm new ones, which belong to the next pass).
-            let now_inst = Instant::now();
-            let mut due: Vec<(Instant, u64)> = Vec::new();
-            self.timers.retain(|&(deadline, token)| {
-                if deadline <= now_inst {
-                    due.push((deadline, token));
-                    false
-                } else {
-                    true
-                }
-            });
-            due.sort_by_key(|&(deadline, _)| deadline);
+            // Fire every already-due timer (pop_due collects before any
+            // fires: a firing timer may arm new ones, which belong to the
+            // next pass).
+            let due = self.timers.pop_due(Instant::now());
             let fired = !due.is_empty();
-            for (_, token) in due {
+            for token in due {
                 self.feed(Event::Timer { token });
             }
-            // Drain the inbox (stops on Empty or — impossible while we
-            // hold our server sender — Disconnected).
+            // Drain the inbox (stops on Empty or — impossible while the
+            // shards still hold this client's sender — Disconnected).
             let mut received = false;
             while let Ok((from, msg)) = inbox.try_recv() {
                 received = true;
                 self.feed(Event::Message { from, msg });
             }
-            if !fired && !received {
-                if self.engine.awaiting_reply() {
-                    // A shard reply is due any instant; yielding instead of
-                    // sleeping keeps round-trip latency at scheduler
-                    // granularity (and on a machine with fewer cores than
-                    // threads it hands the slice straight to the shard).
-                    std::thread::yield_now();
-                    continue;
-                }
-                // Nothing ready: sleep towards the next deadline, capped so
-                // a late-arriving message is picked up promptly.
-                let nap = self
-                    .timers
-                    .iter()
-                    .map(|&(deadline, _)| deadline)
-                    .min()
-                    .map_or(Duration::from_micros(50), |deadline| {
-                        deadline
-                            .saturating_duration_since(Instant::now())
-                            .min(Duration::from_micros(200))
-                    });
-                if !nap.is_zero() {
-                    std::thread::sleep(nap);
-                }
+            if fired || received {
+                continue;
+            }
+            // Nothing ready: block on the inbox until the next timer
+            // deadline. A shard reply wakes the thread immediately (the
+            // channel wait parks on a condvar — no spin, no yield loop);
+            // with no timer armed a 5 ms heartbeat bounds the wait so an
+            // exit condition is always revisited.
+            let wait = self
+                .timers
+                .next_deadline()
+                .map_or(Duration::from_millis(5), |deadline| {
+                    deadline.saturating_duration_since(Instant::now())
+                });
+            if wait.is_zero() {
+                continue; // the deadline passed while draining; fire it now
+            }
+            match inbox.recv_timeout(wait) {
+                Ok((from, msg)) => self.feed(Event::Message { from, msg }),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
             }
         }
         self.latencies
@@ -386,38 +446,33 @@ impl ClientRt<'_> {
 /// One shard thread: blocking on its inbox, with a timer wheel for the
 /// deadline-batched push-invalidation flushes. Returns the number of
 /// client requests the shard served (the fleet's load statistic).
-fn server_thread(
+///
+/// `send` is the transport seam (mirroring [`Outbound`] on the client
+/// side): in-process channels or a TCP connection registry. Exits when the
+/// inbox disconnects — every transport arranges for its senders to drop
+/// once the run is over.
+pub(crate) fn server_thread(
     mut engine: ServerEngine,
     clock: TickClock,
     me: NodeId,
-    shards: usize,
     inbox: &Receiver<(NodeId, Msg)>,
-    client_txs: &[Sender<(NodeId, Msg)>],
+    send: &mut dyn FnMut(NodeId, Msg),
     shared: &Shared,
 ) -> u64 {
-    let mut timers: Vec<(Instant, u64)> = Vec::new();
+    let mut timers = TimerWheel::new();
     loop {
-        // Fire every already-due flush timer (collected first: handling one
-        // may arm new ones, which belong to the next pass).
-        let now_inst = Instant::now();
-        let mut due: Vec<(Instant, u64)> = Vec::new();
-        timers.retain(|&(deadline, token)| {
-            if deadline <= now_inst {
-                due.push((deadline, token));
-                false
-            } else {
-                true
-            }
-        });
-        due.sort_by_key(|&(deadline, _)| deadline);
-        let mut events: Vec<Event> = due
+        // Fire every already-due flush timer (pop_due collects before any
+        // fires: handling one may arm new ones, which belong to the next
+        // pass).
+        let mut events: Vec<Event> = timers
+            .pop_due(Instant::now())
             .into_iter()
-            .map(|(_, token)| Event::Timer { token })
+            .map(|token| Event::Timer { token })
             .collect();
         if events.is_empty() {
             // Block towards the next flush deadline (or indefinitely with
             // none armed). Exits when every client dropped its sender.
-            let received = match timers.iter().map(|&(deadline, _)| deadline).min() {
+            let received = match timers.next_deadline() {
                 Some(deadline) => {
                     match inbox.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
                         Ok(m) => Some(m),
@@ -449,16 +504,11 @@ fn server_thread(
             engine.handle(event, &mut out);
             for effect in out {
                 match effect {
-                    Effect::Send { to, msg } => {
-                        // A client that finished and hung up may still be
-                        // pushed invalidations; dropping them mirrors the
-                        // simulator's dead-letter path.
-                        let _ = client_txs[to.index() - shards].send((me, msg));
-                    }
+                    Effect::Send { to, msg } => send(to, msg),
                     Effect::SetTimer { after, token } => {
                         // Batch flush deadline. Infinite means "never".
                         if let Some(d) = clock.delta_to_duration(after) {
-                            timers.push((Instant::now() + d, token));
+                            timers.arm(Instant::now() + d, token);
                         }
                     }
                     Effect::Metric { name, add } => shared.add_metric(name, add),
@@ -515,15 +565,14 @@ pub fn run_threaded(config: &RuntimeConfig) -> RuntimeResult {
                 let server_engine = ServerEngine::new(config.protocol);
                 let inbox = rx_slot.take().expect("receiver taken once");
                 shard_workers.push(scope.spawn(move |_| {
-                    server_thread(
-                        server_engine,
-                        clock,
-                        NodeId::new(shard),
-                        shards,
-                        &inbox,
-                        client_txs_ref,
-                        shared_ref,
-                    )
+                    let me = NodeId::new(shard);
+                    // A client that finished and hung up may still be
+                    // pushed invalidations; dropping them mirrors the
+                    // simulator's dead-letter path.
+                    let mut send = |to: NodeId, msg: Msg| {
+                        let _ = client_txs_ref[to.index() - shards].send((me, msg));
+                    };
+                    server_thread(server_engine, clock, me, &inbox, &mut send, shared_ref)
                 }));
             }
             let mut workers = Vec::with_capacity(config.n_clients);
@@ -541,9 +590,9 @@ pub fn run_threaded(config: &RuntimeConfig) -> RuntimeResult {
                     sources: PrivateSources::new(config.seed, site, config.n_clients),
                     clock,
                     me: NodeId::new(shards + site),
-                    to_servers: server_txs.clone(),
+                    outbound: ChannelOutbound(server_txs.clone()),
                     shared: shared_ref,
-                    timers: Vec::new(),
+                    timers: TimerWheel::new(),
                     latencies: Vec::new(),
                     op_started: None,
                     completed: 0,
@@ -566,18 +615,30 @@ pub fn run_threaded(config: &RuntimeConfig) -> RuntimeResult {
         })
         .expect("a runtime thread panicked");
     let wall = started.elapsed();
+    finish_run(shared, latencies, shard_requests, wall)
+}
 
+/// Assembles a [`RuntimeResult`] out of a finished run's shared state —
+/// the common tail of [`run_threaded`] and the TCP driver
+/// ([`crate::transport::run_tcp`]), so both report through identical
+/// monitor/metrics plumbing.
+pub(crate) fn finish_run(
+    shared: Shared,
+    latencies: Vec<Duration>,
+    shard_requests: Vec<u64>,
+    wall: Duration,
+) -> RuntimeResult {
     let Shared { recorder, metrics } = shared;
     let recorder = recorder.into_inner().expect("recorder lock");
     let metrics = metrics.into_inner().expect("metrics lock").snapshot();
     let observed_staleness = recorder
         .monitor()
-        .expect("monitor attached above")
+        .expect("monitor attached by the driver")
         .min_delta();
     let (history, report) = recorder
         .finish_with_report()
         .expect("protocol produced an invalid trace");
-    let on_time = report.expect("monitor attached above");
+    let on_time = report.expect("monitor attached by the driver");
     let ops_done = history.len();
     RuntimeResult {
         history,
@@ -649,6 +710,41 @@ mod tests {
             r.observed_staleness,
             cfg.monitor_delta
         );
+    }
+
+    #[test]
+    fn timer_wheel_pops_out_of_order_armings_by_deadline() {
+        let base = Instant::now();
+        let mut wheel = TimerWheel::new();
+        // Armed out of deadline order on purpose: the wheel must sort.
+        wheel.arm(base + Duration::from_millis(30), 3);
+        wheel.arm(base + Duration::from_millis(10), 1);
+        wheel.arm(base + Duration::from_millis(20), 2);
+        // Two timers for one deadline pop in arming order (stable ties).
+        wheel.arm(base + Duration::from_millis(20), 4);
+        assert_eq!(
+            wheel.next_deadline(),
+            Some(base + Duration::from_millis(10))
+        );
+
+        // Nothing is due before the earliest deadline.
+        assert!(wheel.pop_due(base).is_empty());
+        // A cutoff mid-way pops exactly the due prefix, deadline-ordered.
+        assert_eq!(
+            wheel.pop_due(base + Duration::from_millis(25)),
+            vec![1, 2, 4]
+        );
+        assert_eq!(
+            wheel.next_deadline(),
+            Some(base + Duration::from_millis(30))
+        );
+        assert_eq!(wheel.pop_due(base + Duration::from_millis(35)), vec![3]);
+        assert_eq!(wheel.next_deadline(), None);
+
+        // Re-arming after a drain works (seq keeps growing, order holds).
+        wheel.arm(base + Duration::from_millis(50), 9);
+        wheel.arm(base + Duration::from_millis(40), 8);
+        assert_eq!(wheel.pop_due(base + Duration::from_millis(60)), vec![8, 9]);
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! Framing: a fixed 16-byte header in front of every payload.
+//!
+//! ```text
+//!  0        4        6        8        12       16
+//!  +--------+--------+--------+--------+--------+----------------+
+//!  | magic  | ver    | shard  | length | crc32  | payload ...    |
+//!  | u32 LE | u16 LE | u16 LE | u32 LE | u32 LE | length bytes   |
+//!  +--------+--------+--------+--------+--------+----------------+
+//! ```
+//!
+//! * `magic` — `0x54435752` (`"TCWR"` read as little-endian bytes
+//!   `52 57 43 54`); anything else means the stream is not speaking this
+//!   protocol and must be dropped before a byte of payload is trusted.
+//! * `ver` — [`WIRE_VERSION`]; a reader rejects frames from a different
+//!   protocol generation instead of guessing at field layouts.
+//! * `shard` — the shard index this frame concerns: the destination shard
+//!   on client→server frames, the originating shard on server→client
+//!   frames. Carried in the clear so a multiplexing proxy (or a pcap
+//!   reader) can route without decoding payloads.
+//! * `length` — payload byte count, capped at [`MAX_PAYLOAD`] so a
+//!   corrupted length cannot make a reader allocate gigabytes.
+//! * `crc32` — CRC-32/IEEE over the payload bytes (see [`crate::crc`]).
+//!
+//! Decoding is strict: bad magic, alien version, oversized length,
+//! mismatched CRC, or leftover bytes after the payload each produce a
+//! distinct [`WireError`], and none of them panic.
+
+use std::io::{Read, Write};
+
+use crate::codec::{Reader, WireError, Writer};
+use crate::crc::crc32;
+use crate::msg::{get_wire_msg, put_wire_msg, WireMsg};
+
+/// The frame magic, `"TCWR"` as a little-endian `u32`.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"TCWR");
+
+/// The wire-protocol generation this build speaks.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 16;
+
+/// Upper bound on a payload (16 MiB) — far beyond any legitimate frame
+/// (the largest is an invalidation batch), tight enough that a forged
+/// length field cannot drive allocation.
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// A decoded frame header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Protocol generation of the sender.
+    pub version: u16,
+    /// Shard index (destination on requests, origin on replies/pushes).
+    pub shard: u16,
+    /// Payload byte count.
+    pub len: u32,
+    /// CRC-32 the payload must hash to.
+    pub crc: u32,
+}
+
+/// Encodes `msg` into a complete frame addressed to/from `shard`.
+#[must_use]
+pub fn encode_frame(shard: u16, msg: &WireMsg) -> Vec<u8> {
+    let mut payload = Writer::new();
+    put_wire_msg(&mut payload, msg);
+    let payload = payload.into_bytes();
+    assert!(
+        payload.len() as u64 <= MAX_PAYLOAD as u64,
+        "payload exceeds MAX_PAYLOAD"
+    );
+    let mut w = Writer::new();
+    w.u32(MAGIC);
+    w.u16(WIRE_VERSION);
+    w.u16(shard);
+    w.u32(payload.len() as u32);
+    w.u32(crc32(&payload));
+    let mut bytes = w.into_bytes();
+    bytes.extend_from_slice(&payload);
+    bytes
+}
+
+/// Decodes a header from the first [`HEADER_LEN`] bytes of `bytes`,
+/// validating magic, version, and the length cap (the CRC can only be
+/// checked once the payload is in hand).
+pub fn decode_header(bytes: &[u8]) -> Result<FrameHeader, WireError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.u32("frame magic")?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic { found: magic });
+    }
+    let version = r.u16("frame version")?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion { found: version });
+    }
+    let shard = r.u16("frame shard")?;
+    let len = r.u32("frame length")?;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::OversizedPayload { len });
+    }
+    let crc = r.u32("frame crc")?;
+    Ok(FrameHeader {
+        version,
+        shard,
+        len,
+        crc,
+    })
+}
+
+/// Decodes a payload against its already-validated header: CRC first,
+/// then the message, then a strict no-trailing-bytes check.
+pub fn decode_payload(header: &FrameHeader, payload: &[u8]) -> Result<WireMsg, WireError> {
+    if payload.len() != header.len as usize {
+        return Err(WireError::Truncated {
+            what: "frame payload",
+        });
+    }
+    let found = crc32(payload);
+    if found != header.crc {
+        return Err(WireError::BadCrc {
+            expected: header.crc,
+            found,
+        });
+    }
+    let mut r = Reader::new(payload);
+    let msg = get_wire_msg(&mut r)?;
+    r.finish()?;
+    Ok(msg)
+}
+
+/// Decodes one complete frame from the front of `bytes`, returning the
+/// shard, the message, and the number of bytes consumed.
+pub fn decode_frame(bytes: &[u8]) -> Result<(u16, WireMsg, usize), WireError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            what: "frame header",
+        });
+    }
+    let header = decode_header(&bytes[..HEADER_LEN])?;
+    let total = HEADER_LEN + header.len as usize;
+    if bytes.len() < total {
+        return Err(WireError::Truncated {
+            what: "frame payload",
+        });
+    }
+    let msg = decode_payload(&header, &bytes[HEADER_LEN..total])?;
+    Ok((header.shard, msg, total))
+}
+
+/// Writes one frame to `w` (a single `write_all`; the frame is already
+/// contiguous, so no interleaving with other writers of the same stream).
+pub fn write_frame<W: Write>(w: &mut W, shard: u16, msg: &WireMsg) -> std::io::Result<()> {
+    w.write_all(&encode_frame(shard, msg))
+}
+
+/// Reads one frame from `r` (blocking), mapping a malformed frame to
+/// `io::ErrorKind::InvalidData` so transport code can treat protocol rot
+/// and connection death uniformly.
+pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<(u16, WireMsg)> {
+    let mut header_bytes = [0u8; HEADER_LEN];
+    r.read_exact(&mut header_bytes)?;
+    let header = decode_header(&header_bytes)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let mut payload = vec![0u8; header.len as usize];
+    r.read_exact(&mut payload)?;
+    let msg = decode_payload(&header, &payload)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    Ok((header.shard, msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips_with_exact_consumption() {
+        let frame = encode_frame(3, &WireMsg::Heartbeat);
+        let (shard, msg, used) = decode_frame(&frame).unwrap();
+        assert_eq!(shard, 3);
+        assert_eq!(msg, WireMsg::Heartbeat);
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut frame = encode_frame(0, &WireMsg::Bye);
+        frame[0] ^= 0xFF;
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(WireError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut frame = encode_frame(0, &WireMsg::Bye);
+        frame[4] = 0xFE;
+        assert_eq!(
+            decode_frame(&frame),
+            Err(WireError::BadVersion { found: 0xFE })
+        );
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_crc() {
+        let mut frame = encode_frame(0, &WireMsg::HelloAck { shard: 9 });
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(WireError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_anywhere_is_truncated_not_panic() {
+        let frame = encode_frame(1, &WireMsg::HelloAck { shard: 1 });
+        for cut in 0..frame.len() {
+            assert!(
+                matches!(
+                    decode_frame(&frame[..cut]),
+                    Err(WireError::Truncated { .. })
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut frame = encode_frame(0, &WireMsg::Heartbeat);
+        frame[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert_eq!(
+            decode_frame(&frame),
+            Err(WireError::OversizedPayload {
+                len: MAX_PAYLOAD + 1
+            })
+        );
+    }
+
+    #[test]
+    fn io_round_trip_over_a_cursor() {
+        let msg = WireMsg::HelloReject {
+            reason: "shard index mismatch".to_string(),
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 7, &msg).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let (shard, decoded) = read_frame(&mut cursor).unwrap();
+        assert_eq!(shard, 7);
+        assert_eq!(decoded, msg);
+    }
+}

@@ -1,0 +1,582 @@
+//! Payload codec: every [`tc_lifetime::Msg`] variant plus the transport's
+//! own session messages (handshake, heartbeat, goodbye), encoded with
+//! explicit one-byte variant tags.
+//!
+//! The encoding is deliberately boring: tag byte, then fields in
+//! declaration order, little-endian, `Option` as a presence byte,
+//! `Vec` as a `u32` length prefix. Boring survives: a reader one protocol
+//! version behind fails loudly on the frame header, never by
+//! misinterpreting fields.
+
+use tc_clocks::{Delta, Time, VectorClock};
+use tc_core::{ObjectId, Value};
+use tc_lifetime::{
+    InvalidateEntry, Msg, Propagation, ProtocolConfig, ProtocolKind, PushBatch, StalePolicy,
+    ValidateOutcome, WireVersion,
+};
+
+use crate::codec::{Reader, WireError, Writer};
+
+/// Everything that travels inside a frame: transport session control plus
+/// the lifetime protocol's own messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireMsg {
+    /// Client → shard, first frame on every (re)connection: who is
+    /// connecting and under which protocol configuration. The shard
+    /// rejects a mismatch — two processes disagreeing on Δ, the shard
+    /// count, or the stale policy would *silently* void every timed
+    /// guarantee, so the disagreement must be loud and immediate.
+    Hello {
+        /// The client's site index (trace site, vector-clock component).
+        site: u32,
+        /// Total clients in the run (shards validate the id space).
+        n_clients: u32,
+        /// The shard index the client believes it dialled.
+        shard: u32,
+        /// The client's full protocol configuration.
+        protocol: ProtocolConfig,
+    },
+    /// Shard → client: handshake accepted; frames may flow.
+    HelloAck {
+        /// The shard index confirming.
+        shard: u32,
+    },
+    /// Shard → client: handshake refused (config/version/shard mismatch).
+    /// The connection closes after this frame.
+    HelloReject {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+    /// Keep-alive, sent by an idle writer so the peer's read timeout only
+    /// fires on a genuinely dead connection.
+    Heartbeat,
+    /// Orderly goodbye: the client finished its workload; the shard may
+    /// drop connection state without treating the close as a failure.
+    Bye,
+    /// A lifetime-protocol message.
+    Proto(Msg),
+}
+
+const TAG_HELLO: u8 = 0;
+const TAG_HELLO_ACK: u8 = 1;
+const TAG_HELLO_REJECT: u8 = 2;
+const TAG_HEARTBEAT: u8 = 3;
+const TAG_BYE: u8 = 4;
+const TAG_PROTO: u8 = 5;
+
+const TAG_FETCH_REQ: u8 = 0;
+const TAG_FETCH_REP: u8 = 1;
+const TAG_VALIDATE_REQ: u8 = 2;
+const TAG_VALIDATE_REP: u8 = 3;
+const TAG_WRITE_REQ: u8 = 4;
+const TAG_WRITE_ACK: u8 = 5;
+const TAG_WRITE_ACK_CAUSAL: u8 = 6;
+const TAG_INVALIDATE_PUSH: u8 = 7;
+const TAG_INVALIDATE_BATCH: u8 = 8;
+
+fn put_time(w: &mut Writer, t: Time) {
+    w.u64(t.ticks());
+}
+
+fn get_time(r: &mut Reader<'_>, what: &'static str) -> Result<Time, WireError> {
+    Ok(Time::from_ticks(r.u64(what)?))
+}
+
+fn put_delta(w: &mut Writer, d: Delta) {
+    w.u64(d.ticks());
+}
+
+fn get_delta(r: &mut Reader<'_>, what: &'static str) -> Result<Delta, WireError> {
+    Ok(Delta::from_ticks(r.u64(what)?))
+}
+
+fn put_object(w: &mut Writer, o: ObjectId) {
+    w.u32(o.index());
+}
+
+fn get_object(r: &mut Reader<'_>) -> Result<ObjectId, WireError> {
+    Ok(ObjectId::new(r.u32("object")?))
+}
+
+fn put_value(w: &mut Writer, v: Value) {
+    w.u64(v.raw());
+}
+
+fn get_value(r: &mut Reader<'_>) -> Result<Value, WireError> {
+    Ok(Value::new(r.u64("value")?))
+}
+
+fn put_vclock(w: &mut Writer, vc: &VectorClock) {
+    w.u32(vc.site() as u32);
+    w.u32(vc.n_sites() as u32);
+    for &e in vc.entries() {
+        w.u64(e);
+    }
+}
+
+fn get_vclock(r: &mut Reader<'_>) -> Result<VectorClock, WireError> {
+    let site = r.u32("vclock site")? as usize;
+    let n = r.u32("vclock width")? as usize;
+    if n == 0 || site >= n || n > u16::MAX as usize {
+        return Err(WireError::BadVectorClock);
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(r.u64("vclock entry")?);
+    }
+    Ok(VectorClock::from_entries(site, entries))
+}
+
+fn put_opt_vclock(w: &mut Writer, vc: Option<&VectorClock>) {
+    match vc {
+        None => w.u8(0),
+        Some(vc) => {
+            w.u8(1);
+            put_vclock(w, vc);
+        }
+    }
+}
+
+fn get_opt_vclock(r: &mut Reader<'_>) -> Result<Option<VectorClock>, WireError> {
+    match r.u8("vclock presence")? {
+        0 => Ok(None),
+        1 => Ok(Some(get_vclock(r)?)),
+        tag => Err(WireError::UnknownTag {
+            what: "vclock presence",
+            tag,
+        }),
+    }
+}
+
+fn put_version(w: &mut Writer, v: &WireVersion) {
+    put_value(w, v.value);
+    put_time(w, v.alpha_t);
+    put_opt_vclock(w, v.alpha_v.as_ref());
+    put_time(w, v.tiebreak.0);
+    w.u64(v.tiebreak.1 as u64);
+}
+
+fn get_version(r: &mut Reader<'_>) -> Result<WireVersion, WireError> {
+    Ok(WireVersion {
+        value: get_value(r)?,
+        alpha_t: get_time(r, "alpha_t")?,
+        alpha_v: get_opt_vclock(r)?,
+        tiebreak: (
+            get_time(r, "tiebreak time")?,
+            r.u64("tiebreak node")? as usize,
+        ),
+    })
+}
+
+fn put_entry(w: &mut Writer, e: &InvalidateEntry) {
+    put_object(w, e.object);
+    put_time(w, e.alpha_t);
+    put_opt_vclock(w, e.alpha_v.as_ref());
+}
+
+fn get_entry(r: &mut Reader<'_>) -> Result<InvalidateEntry, WireError> {
+    Ok(InvalidateEntry {
+        object: get_object(r)?,
+        alpha_t: get_time(r, "alpha_t")?,
+        alpha_v: get_opt_vclock(r)?,
+    })
+}
+
+/// Encodes a [`ProtocolConfig`] (the handshake's compatibility contract).
+pub fn put_protocol(w: &mut Writer, c: &ProtocolConfig) {
+    match c.kind {
+        ProtocolKind::Sc => w.u8(0),
+        ProtocolKind::Tsc { delta } => {
+            w.u8(1);
+            put_delta(w, delta);
+        }
+        ProtocolKind::Cc => w.u8(2),
+        ProtocolKind::Tcc { delta } => {
+            w.u8(3);
+            put_delta(w, delta);
+        }
+        ProtocolKind::TccLogical { xi_delta } => {
+            w.u8(4);
+            w.f64(xi_delta);
+        }
+        ProtocolKind::NoCache => w.u8(5),
+    }
+    w.u8(match c.stale {
+        StalePolicy::Invalidate => 0,
+        StalePolicy::MarkOld => 1,
+    });
+    w.u8(match c.propagation {
+        Propagation::Pull => 0,
+        Propagation::PushInvalidate => 1,
+    });
+    put_delta(w, c.retry_after);
+    w.u32(c.shards as u32);
+    w.u32(c.push_batch.max_entries as u32);
+    put_delta(w, c.push_batch.max_delay);
+}
+
+/// Decodes a [`ProtocolConfig`].
+pub fn get_protocol(r: &mut Reader<'_>) -> Result<ProtocolConfig, WireError> {
+    let kind = match r.u8("protocol kind")? {
+        0 => ProtocolKind::Sc,
+        1 => ProtocolKind::Tsc {
+            delta: get_delta(r, "tsc delta")?,
+        },
+        2 => ProtocolKind::Cc,
+        3 => ProtocolKind::Tcc {
+            delta: get_delta(r, "tcc delta")?,
+        },
+        4 => ProtocolKind::TccLogical {
+            xi_delta: r.f64("xi delta")?,
+        },
+        5 => ProtocolKind::NoCache,
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "protocol kind",
+                tag,
+            })
+        }
+    };
+    let stale = match r.u8("stale policy")? {
+        0 => StalePolicy::Invalidate,
+        1 => StalePolicy::MarkOld,
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "stale policy",
+                tag,
+            })
+        }
+    };
+    let propagation = match r.u8("propagation")? {
+        0 => Propagation::Pull,
+        1 => Propagation::PushInvalidate,
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "propagation",
+                tag,
+            })
+        }
+    };
+    let retry_after = get_delta(r, "retry_after")?;
+    let shards = r.u32("shards")? as usize;
+    let push_batch = PushBatch {
+        max_entries: r.u32("push batch entries")? as usize,
+        max_delay: get_delta(r, "push batch delay")?,
+    };
+    Ok(ProtocolConfig {
+        kind,
+        stale,
+        propagation,
+        retry_after,
+        shards,
+        push_batch,
+    })
+}
+
+/// Encodes a lifetime-protocol message.
+pub fn put_msg(w: &mut Writer, msg: &Msg) {
+    match msg {
+        Msg::FetchReq { object, epoch } => {
+            w.u8(TAG_FETCH_REQ);
+            put_object(w, *object);
+            w.u64(*epoch);
+        }
+        Msg::FetchRep {
+            object,
+            version,
+            server_now,
+            epoch,
+        } => {
+            w.u8(TAG_FETCH_REP);
+            put_object(w, *object);
+            put_version(w, version);
+            put_time(w, *server_now);
+            w.u64(*epoch);
+        }
+        Msg::ValidateReq {
+            object,
+            value,
+            epoch,
+        } => {
+            w.u8(TAG_VALIDATE_REQ);
+            put_object(w, *object);
+            put_value(w, *value);
+            w.u64(*epoch);
+        }
+        Msg::ValidateRep {
+            object,
+            outcome,
+            server_now,
+            epoch,
+        } => {
+            w.u8(TAG_VALIDATE_REP);
+            put_object(w, *object);
+            match outcome {
+                ValidateOutcome::StillValid => w.u8(0),
+                ValidateOutcome::Newer(version) => {
+                    w.u8(1);
+                    put_version(w, version);
+                }
+            }
+            put_time(w, *server_now);
+            w.u64(*epoch);
+        }
+        Msg::WriteReq {
+            object,
+            value,
+            alpha_v,
+            issued_at,
+            epoch,
+            shard_seq,
+        } => {
+            w.u8(TAG_WRITE_REQ);
+            put_object(w, *object);
+            put_value(w, *value);
+            put_opt_vclock(w, alpha_v.as_ref());
+            put_time(w, *issued_at);
+            w.u64(*epoch);
+            w.u64(*shard_seq);
+        }
+        Msg::WriteAck {
+            object,
+            alpha_t,
+            epoch,
+        } => {
+            w.u8(TAG_WRITE_ACK);
+            put_object(w, *object);
+            put_time(w, *alpha_t);
+            w.u64(*epoch);
+        }
+        Msg::WriteAckCausal { object, value } => {
+            w.u8(TAG_WRITE_ACK_CAUSAL);
+            put_object(w, *object);
+            put_value(w, *value);
+        }
+        Msg::InvalidatePush {
+            object,
+            alpha_t,
+            alpha_v,
+        } => {
+            w.u8(TAG_INVALIDATE_PUSH);
+            put_object(w, *object);
+            put_time(w, *alpha_t);
+            put_opt_vclock(w, alpha_v.as_ref());
+        }
+        Msg::InvalidateBatch { entries } => {
+            w.u8(TAG_INVALIDATE_BATCH);
+            w.u32(entries.len() as u32);
+            for e in entries {
+                put_entry(w, e);
+            }
+        }
+    }
+}
+
+/// Decodes a lifetime-protocol message.
+pub fn get_msg(r: &mut Reader<'_>) -> Result<Msg, WireError> {
+    Ok(match r.u8("msg tag")? {
+        TAG_FETCH_REQ => Msg::FetchReq {
+            object: get_object(r)?,
+            epoch: r.u64("epoch")?,
+        },
+        TAG_FETCH_REP => Msg::FetchRep {
+            object: get_object(r)?,
+            version: get_version(r)?,
+            server_now: get_time(r, "server_now")?,
+            epoch: r.u64("epoch")?,
+        },
+        TAG_VALIDATE_REQ => Msg::ValidateReq {
+            object: get_object(r)?,
+            value: get_value(r)?,
+            epoch: r.u64("epoch")?,
+        },
+        TAG_VALIDATE_REP => {
+            let object = get_object(r)?;
+            let outcome = match r.u8("validate outcome")? {
+                0 => ValidateOutcome::StillValid,
+                1 => ValidateOutcome::Newer(get_version(r)?),
+                tag => {
+                    return Err(WireError::UnknownTag {
+                        what: "validate outcome",
+                        tag,
+                    })
+                }
+            };
+            Msg::ValidateRep {
+                object,
+                outcome,
+                server_now: get_time(r, "server_now")?,
+                epoch: r.u64("epoch")?,
+            }
+        }
+        TAG_WRITE_REQ => Msg::WriteReq {
+            object: get_object(r)?,
+            value: get_value(r)?,
+            alpha_v: get_opt_vclock(r)?,
+            issued_at: get_time(r, "issued_at")?,
+            epoch: r.u64("epoch")?,
+            shard_seq: r.u64("shard_seq")?,
+        },
+        TAG_WRITE_ACK => Msg::WriteAck {
+            object: get_object(r)?,
+            alpha_t: get_time(r, "alpha_t")?,
+            epoch: r.u64("epoch")?,
+        },
+        TAG_WRITE_ACK_CAUSAL => Msg::WriteAckCausal {
+            object: get_object(r)?,
+            value: get_value(r)?,
+        },
+        TAG_INVALIDATE_PUSH => Msg::InvalidatePush {
+            object: get_object(r)?,
+            alpha_t: get_time(r, "alpha_t")?,
+            alpha_v: get_opt_vclock(r)?,
+        },
+        TAG_INVALIDATE_BATCH => {
+            let n = r.u32("batch length")? as usize;
+            // Cap preallocation by what the buffer could possibly hold
+            // (each entry is ≥ 13 bytes) so a forged length cannot force
+            // a huge allocation before Truncated fires.
+            let mut entries = Vec::with_capacity(n.min(r.remaining() / 13 + 1));
+            for _ in 0..n {
+                entries.push(get_entry(r)?);
+            }
+            Msg::InvalidateBatch { entries }
+        }
+        tag => return Err(WireError::UnknownTag { what: "msg", tag }),
+    })
+}
+
+/// Encodes a [`WireMsg`] payload (without frame header).
+pub fn put_wire_msg(w: &mut Writer, msg: &WireMsg) {
+    match msg {
+        WireMsg::Hello {
+            site,
+            n_clients,
+            shard,
+            protocol,
+        } => {
+            w.u8(TAG_HELLO);
+            w.u32(*site);
+            w.u32(*n_clients);
+            w.u32(*shard);
+            put_protocol(w, protocol);
+        }
+        WireMsg::HelloAck { shard } => {
+            w.u8(TAG_HELLO_ACK);
+            w.u32(*shard);
+        }
+        WireMsg::HelloReject { reason } => {
+            w.u8(TAG_HELLO_REJECT);
+            w.string(reason);
+        }
+        WireMsg::Heartbeat => w.u8(TAG_HEARTBEAT),
+        WireMsg::Bye => w.u8(TAG_BYE),
+        WireMsg::Proto(msg) => {
+            w.u8(TAG_PROTO);
+            put_msg(w, msg);
+        }
+    }
+}
+
+/// Decodes a [`WireMsg`] payload (without frame header).
+pub fn get_wire_msg(r: &mut Reader<'_>) -> Result<WireMsg, WireError> {
+    Ok(match r.u8("wire msg tag")? {
+        TAG_HELLO => WireMsg::Hello {
+            site: r.u32("site")?,
+            n_clients: r.u32("n_clients")?,
+            shard: r.u32("shard")?,
+            protocol: get_protocol(r)?,
+        },
+        TAG_HELLO_ACK => WireMsg::HelloAck {
+            shard: r.u32("shard")?,
+        },
+        TAG_HELLO_REJECT => WireMsg::HelloReject {
+            reason: r.string("reason")?,
+        },
+        TAG_HEARTBEAT => WireMsg::Heartbeat,
+        TAG_BYE => WireMsg::Bye,
+        TAG_PROTO => WireMsg::Proto(get_msg(r)?),
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "wire msg",
+                tag,
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: &WireMsg) {
+        let mut w = Writer::new();
+        put_wire_msg(&mut w, msg);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let decoded = get_wire_msg(&mut r).expect("decodes");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(&decoded, msg);
+    }
+
+    #[test]
+    fn session_messages_round_trip() {
+        round_trip(&WireMsg::Heartbeat);
+        round_trip(&WireMsg::Bye);
+        round_trip(&WireMsg::HelloAck { shard: 3 });
+        round_trip(&WireMsg::HelloReject {
+            reason: "Δ mismatch".to_string(),
+        });
+        round_trip(&WireMsg::Hello {
+            site: 2,
+            n_clients: 4,
+            shard: 1,
+            protocol: ProtocolConfig::of(ProtocolKind::Tsc {
+                delta: Delta::from_ticks(400),
+            })
+            .with_shards(2),
+        });
+    }
+
+    #[test]
+    fn protocol_config_round_trips_every_kind() {
+        for kind in [
+            ProtocolKind::Sc,
+            ProtocolKind::Tsc {
+                delta: Delta::from_ticks(123),
+            },
+            ProtocolKind::Cc,
+            ProtocolKind::Tcc {
+                delta: Delta::INFINITE,
+            },
+            ProtocolKind::TccLogical { xi_delta: 2.5 },
+            ProtocolKind::NoCache,
+        ] {
+            let mut config = ProtocolConfig::of(kind).with_shards(7);
+            config.stale = StalePolicy::Invalidate;
+            config.propagation = Propagation::PushInvalidate;
+            config.push_batch = PushBatch {
+                max_entries: 8,
+                max_delay: Delta::from_ticks(40),
+            };
+            let mut w = Writer::new();
+            put_protocol(&mut w, &config);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(get_protocol(&mut r).unwrap(), config);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn vclock_rejects_owner_out_of_range() {
+        let mut w = Writer::new();
+        w.u32(5); // site 5 ...
+        w.u32(2); // ... of a 2-wide clock
+        w.u64(0);
+        w.u64(0);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(get_vclock(&mut r), Err(WireError::BadVectorClock));
+    }
+}

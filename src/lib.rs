@@ -35,3 +35,4 @@ pub use tc_core as core;
 pub use tc_lifetime as lifetime;
 pub use tc_sim as sim;
 pub use tc_store as store;
+pub use tc_wire as wire;

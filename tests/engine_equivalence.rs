@@ -1,36 +1,39 @@
 //! Engine equivalence: the sans-io §5 state machines must behave the same
-//! under the deterministic simulator and the real threaded runtime.
+//! under all three drivers — the deterministic simulator, the threaded
+//! in-process runtime, and the framed loopback-TCP transport.
 //!
-//! Both drivers instantiate the *same* `ClientEngine`/`ServerEngine` types
-//! and draw each client's operation stream from the same private seed
-//! derivation (`tc_lifetime::engine::client_rng_seed`), so the per-site
-//! sequence of (kind, object) — and the exact values written — depends
-//! only on `(seed, site, n_clients)`, never on the driver. What a *read
-//! returns* legitimately differs (real scheduling reorders server
+//! Every driver instantiates the *same* `ClientEngine`/`ServerEngine`
+//! types and draws each client's operation stream from the same private
+//! seed derivation (`tc_lifetime::engine::client_rng_seed`), so the
+//! per-site sequence of (kind, object) — and the exact values written —
+//! depends only on `(seed, site, n_clients)`, never on the driver. What a
+//! *read returns* legitimately differs (real scheduling reorders server
 //! arrivals), so read values are compared only against the consistency
 //! checkers, not across drivers.
 //!
 //! For each protocol family this asserts:
 //!
-//! 1. both drivers complete the full workload with **zero** live-monitor
+//! 1. all drivers complete the full workload with **zero** live-monitor
 //!    violations at the configured Δ;
 //! 2. per-site (kind, object) sequences and written values are identical
 //!    across drivers — the jitter-free fingerprint of "same engine, same
-//!    inputs";
-//! 3. the threaded history independently satisfies the level's checker
+//!    inputs" (for TCP this additionally certifies that the `tc-wire`
+//!    frame codec, handshakes, and heartbeats are invisible to the
+//!    protocol);
+//! 3. the real-runtime histories independently satisfy the level's checker
 //!    (SC search for the physical family, CCv for the causal family).
 
 use std::time::Duration;
 
+use tc_bench::site_fingerprint;
 use timed_consistency::clocks::Delta;
 use timed_consistency::core::checker::{satisfies_ccv, satisfies_sc_with, SearchOptions};
-use timed_consistency::core::{History, SiteId, Value};
 use timed_consistency::lifetime::{
     run_with_private_sources, ProtocolConfig, ProtocolKind, RunConfig,
 };
 use timed_consistency::sim::workload::Workload;
 use timed_consistency::sim::WorldConfig;
-use timed_consistency::store::{run_threaded, RuntimeConfig};
+use timed_consistency::store::{run_tcp, run_threaded, RuntimeConfig};
 
 const SEED: u64 = 42;
 const N_CLIENTS: usize = 3;
@@ -38,25 +41,6 @@ const OPS: usize = 40;
 
 fn workload() -> Workload {
     Workload::new(6, 0.8, 0.65, (Delta::from_ticks(3), Delta::from_ticks(12)))
-}
-
-/// The driver-independent fingerprint of one site's behaviour: operation
-/// kinds, objects, and written values in program order. Read *values* are
-/// excluded — they depend on timing, which is the one thing the two
-/// drivers do not share.
-fn site_fingerprint(history: &History, site: usize) -> Vec<(bool, u64, Option<Value>)> {
-    history
-        .site_ops(SiteId::new(site))
-        .iter()
-        .map(|&id| {
-            let op = history.op(id);
-            (
-                op.is_write(),
-                op.object().index() as u64,
-                op.is_write().then(|| op.value()),
-            )
-        })
-        .collect()
 }
 
 fn check_equivalence(kind: ProtocolKind) {
@@ -80,57 +64,67 @@ fn check_equivalence_of(protocol: ProtocolConfig) {
     // real-time slack.
     threaded_cfg.tick = Duration::from_micros(20);
     let threaded = run_threaded(&threaded_cfg);
+    let tcp = run_tcp(&threaded_cfg);
 
-    // 1. Both drivers complete the workload, monitor-clean.
+    // 1. Every driver completes the workload, monitor-clean.
     assert_eq!(sim.history.len(), N_CLIENTS * OPS, "{kind:?}: sim ops");
-    assert_eq!(threaded.ops_done, N_CLIENTS * OPS, "{kind:?}: threaded ops");
     assert!(
         sim.on_time.holds(),
         "{kind:?}: sim monitor violations: {}",
         sim.on_time.violations().len()
     );
-    assert!(
-        threaded.on_time.holds(),
-        "{kind:?}: threaded monitor violations: {}",
-        threaded.on_time.violations().len()
-    );
-    // For timed levels, "monitor-clean" must mean clean *at the configured
-    // Δ*: pin the verdict's bound and the run's observed staleness to it
-    // instead of settling for any finite value.
-    if !threaded_cfg.monitor_delta.is_infinite() {
-        assert_eq!(
-            threaded.on_time.delta(),
-            threaded_cfg.monitor_delta,
-            "{kind:?}: verdict must be judged at the configured monitor Δ"
-        );
+    for (driver, run) in [("threaded", &threaded), ("tcp", &tcp)] {
+        assert_eq!(run.ops_done, N_CLIENTS * OPS, "{kind:?}: {driver} ops");
         assert!(
-            threaded.observed_staleness <= threaded_cfg.monitor_delta,
-            "{kind:?}: observed staleness {} exceeds the configured bound {}",
-            threaded.observed_staleness,
-            threaded_cfg.monitor_delta
+            run.on_time.holds(),
+            "{kind:?}: {driver} monitor violations: {}",
+            run.on_time.violations().len()
         );
+        // For timed levels, "monitor-clean" must mean clean *at the
+        // configured Δ*: pin the verdict's bound and the run's observed
+        // staleness to it instead of settling for any finite value.
+        if !threaded_cfg.monitor_delta.is_infinite() {
+            assert_eq!(
+                run.on_time.delta(),
+                threaded_cfg.monitor_delta,
+                "{kind:?}: {driver} verdict must be judged at the configured monitor Δ"
+            );
+            assert!(
+                run.observed_staleness <= threaded_cfg.monitor_delta,
+                "{kind:?}: {driver} observed staleness {} exceeds the configured bound {}",
+                run.observed_staleness,
+                threaded_cfg.monitor_delta
+            );
+        }
     }
 
-    // 2. Identical per-site programs modulo read values.
+    // 2. Identical per-site programs modulo read values, across all three
+    // drivers — for TCP this is what certifies the wire codec invisible.
     for site in 0..N_CLIENTS {
-        assert_eq!(
-            site_fingerprint(&sim.history, site),
-            site_fingerprint(&threaded.history, site),
-            "{kind:?}: site {site} diverged between drivers"
-        );
+        let reference = site_fingerprint(&sim.history, site);
+        for (driver, history) in [("threaded", &threaded.history), ("tcp", &tcp.history)] {
+            assert_eq!(
+                &site_fingerprint(history, site),
+                &reference,
+                "{kind:?}: site {site} diverged between sim and {driver}"
+            );
+        }
     }
 
-    // 3. The threaded history stands on its own under the level's checker.
-    if kind.is_causal_family() {
-        assert!(
-            satisfies_ccv(&threaded.history).holds(),
-            "{kind:?}: threaded history must be causally consistent"
-        );
-    } else {
-        assert!(
-            satisfies_sc_with(&threaded.history, SearchOptions::default()).holds(),
-            "{kind:?}: threaded history must be sequentially consistent"
-        );
+    // 3. The real-runtime histories stand on their own under the level's
+    // checker.
+    for (driver, history) in [("threaded", &threaded.history), ("tcp", &tcp.history)] {
+        if kind.is_causal_family() {
+            assert!(
+                satisfies_ccv(history).holds(),
+                "{kind:?}: {driver} history must be causally consistent"
+            );
+        } else {
+            assert!(
+                satisfies_sc_with(history, SearchOptions::default()).holds(),
+                "{kind:?}: {driver} history must be sequentially consistent"
+            );
+        }
     }
 }
 
