@@ -89,6 +89,15 @@ pub mod names {
     /// TCP transport: a chaos-killed shard listener came back up.
     pub const TCP_LISTENER_RESTART: &str = "tcp_listener_restart";
 
+    /// Reactor driver: a shard accepted a connection (registered its fd).
+    pub const REACTOR_CONN_OPENED: &str = "reactor_conn_opened";
+    /// Reactor driver: a shard closed a connection (deregistered its fd).
+    /// Equals [`REACTOR_CONN_OPENED`] at the end of a leak-free run.
+    pub const REACTOR_CONN_CLOSED: &str = "reactor_conn_closed";
+    /// Reactor driver: a churn dial (connect that never intends to speak
+    /// the protocol) reached a shard listener.
+    pub const REACTOR_CHURN_DIAL: &str = "reactor_churn_dial";
+
     /// Reads the streaming monitor flagged as Δ-violating (harness output).
     pub const ON_TIME_VIOLATIONS: &str = "on_time_violations";
     /// Writes the streaming monitor ingested behind a judged read.

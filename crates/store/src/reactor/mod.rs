@@ -1,0 +1,1280 @@
+//! Evented reactor TCP driver: the fourth driver of the sans-io §5
+//! lifetime engines, built for connection counts the thread-per-connection
+//! transport cannot reach.
+//!
+//! [`crate::transport::run_tcp`] spends four OS threads per (site, shard)
+//! link — a client loop, a link reader, and a writer pair — which tops out
+//! around a few hundred connections on a small machine. This module runs
+//! the *unchanged* [`ClientEngine`]/[`ServerEngine`] fleet over the same
+//! `tc-wire` framing with **two** kinds of threads total:
+//!
+//! * one **shard reactor** per shard: a hand-rolled epoll loop (see
+//!   [`sys`] for the scoped FFI binding — the workspace vendors no `mio`)
+//!   owning the listener and every accepted connection as a registered fd,
+//!   with per-connection read/write buffers and an incremental
+//!   [`tc_wire::FrameDecoder`] (see [`conn`]);
+//! * one **client reactor** hosting *all* [`ClientCore`]s: their engine
+//!   timers live in one [`TimerWheel`] folded into the epoll timeout, and
+//!   their per-shard links follow the same Hello/HelloAck handshake,
+//!   heartbeat, and backoff-reconnect rules as the blocking transport.
+//!
+//! The protocol surface is byte-identical to `run_tcp` — same handshake
+//! validation, same heartbeat/read-timeout liveness rules, same
+//! dead-letter semantics for sends on a down link, same [`ListenerChaos`]
+//! fault injection — so [`run_reactor`] returns the same
+//! [`RuntimeResult`] shape and the conformance oracle, the
+//! [`OnTimeMonitor`](tc_core::checker::OnTimeMonitor), and the metrics
+//! pipeline apply unchanged. `tests/engine_equivalence.rs` pins all four
+//! drivers to identical per-site operation fingerprints.
+//!
+//! # Liveness bookkeeping
+//!
+//! Connections live in a [`Slab`] whose tokens carry a **generation**
+//! number: an epoll event batch may contain events for a connection an
+//! earlier event in the same batch closed, and a reconnect may reuse the
+//! closed connection's slot (and fd). A stale token simply fails to
+//! resolve instead of reaching the wrong connection. The server counts
+//! every accept as [`names::REACTOR_CONN_OPENED`] and every deregistration
+//! as [`names::REACTOR_CONN_CLOSED`]; a leak-free run ends with the two
+//! equal, which the connection-churn soak test asserts under hundreds of
+//! half-open dials ([`ConnectionChurn`]).
+//!
+//! # Time
+//!
+//! `epoll_wait` has millisecond granularity, so sub-millisecond timer
+//! deadlines round *up* (never down to a busy-spin). Think-time pauses
+//! therefore quantize to ~1 ms where the blocking drivers sleep with
+//! microsecond precision; per-site operation *sequences* are unaffected
+//! (they are RNG-derived, not timing-derived) and the monitor's widened Δ
+//! absorbs the skew, exactly as it absorbs scheduler noise.
+
+mod conn;
+mod sys;
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use tc_lifetime::engine::{ClientEngine, Effect, Event, PrivateSources, ServerEngine};
+use tc_sim::metrics::names;
+use tc_sim::{Metrics, NodeId, TraceRecorder};
+use tc_wire::{write_frame, WireMsg};
+
+use crate::runtime::{
+    finish_run, step_server, ClientCore, RuntimeConfig, RuntimeResult, Shared, TickClock,
+    TimerWheel,
+};
+use crate::transport::{splitmix64, ListenerChaos, TcpRuntimeConfig};
+
+use conn::{Close, Conn};
+use sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+/// Synthetic connection load for the churn soak test: a side thread that
+/// dials shard listeners, never completes a handshake, and hangs up — the
+/// reactor must shed these without leaking a registration or disturbing
+/// the protocol traffic sharing the listener.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnectionChurn {
+    /// Total junk dials to perform over the run.
+    pub connections: usize,
+    /// Pause between dials (zero = as fast as the dialer can).
+    pub every: Duration,
+}
+
+/// Configuration of one reactor run: the TCP transport knobs (heartbeat,
+/// read timeout, backoff, chaos) plus the reactor's own fault plan.
+#[derive(Clone, Debug)]
+pub struct ReactorConfig {
+    /// Runtime + transport timing and fault-injection knobs, shared with
+    /// [`crate::transport::run_tcp_with`] so the two drivers are
+    /// configured identically.
+    pub tcp: TcpRuntimeConfig,
+    /// Optional connection-churn injection.
+    pub churn: Option<ConnectionChurn>,
+}
+
+impl ReactorConfig {
+    /// Reactor defaults: transport defaults, no churn.
+    #[must_use]
+    pub fn new(runtime: RuntimeConfig) -> Self {
+        ReactorConfig {
+            tcp: TcpRuntimeConfig::new(runtime),
+            churn: None,
+        }
+    }
+}
+
+/// The listener's epoll token; connection tokens (generation ≪ 32 | slot)
+/// can never reach it.
+const TOKEN_LISTENER: u64 = u64::MAX;
+
+/// Interest every registered connection always has; `EPOLLOUT` is OR-ed
+/// in only while the outbox holds unsent bytes.
+const BASE_INTEREST: u32 = EPOLLIN | EPOLLRDHUP;
+
+/// Initial dials are issued in waves of this many connections…
+const DIAL_WAVE: usize = 32;
+/// …spaced this far apart, so a 1k-client fleet does not overrun the
+/// listener backlog (and the single accepting core) in one burst.
+const DIAL_WAVE_EVERY: Duration = Duration::from_millis(2);
+
+/// A generational slot map: tokens are `(generation << 32) | slot`, so a
+/// token outlives neither its connection nor a slot reuse.
+struct Slab<T> {
+    slots: Vec<Option<(u32, T)>>,
+    free: Vec<usize>,
+    next_gen: u32,
+}
+
+fn pack(slot: usize, gen: u32) -> u64 {
+    (u64::from(gen) << 32) | slot as u64
+}
+
+fn unpack(token: u64) -> (usize, u32) {
+    (token as u32 as usize, (token >> 32) as u32)
+}
+
+impl<T> Slab<T> {
+    fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_gen: 0,
+        }
+    }
+
+    fn insert(&mut self, value: T) -> u64 {
+        self.next_gen = self.next_gen.wrapping_add(1);
+        let gen = self.next_gen;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some((gen, value));
+                slot
+            }
+            None => {
+                self.slots.push(Some((gen, value)));
+                self.slots.len() - 1
+            }
+        };
+        pack(slot, gen)
+    }
+
+    fn get_mut(&mut self, token: u64) -> Option<&mut T> {
+        let (slot, gen) = unpack(token);
+        match self.slots.get_mut(slot) {
+            Some(Some((g, value))) if *g == gen => Some(value),
+            _ => None,
+        }
+    }
+
+    fn remove(&mut self, token: u64) -> Option<T> {
+        let (slot, gen) = unpack(token);
+        let cell = self.slots.get_mut(slot)?;
+        if matches!(cell, Some((g, _)) if *g == gen) {
+            let (_, value) = cell.take().expect("matched Some");
+            self.free.push(slot);
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// A snapshot of the live tokens, for sweeps that may close entries.
+    fn tokens(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, cell)| cell.as_ref().map(|(gen, _)| pack(slot, *gen)))
+            .collect()
+    }
+}
+
+/// One registered connection's socket + buffers + current interest mask.
+struct Endpoint {
+    stream: TcpStream,
+    conn: Conn,
+    interest: u32,
+}
+
+/// Re-syncs `EPOLLOUT` interest with the outbox state.
+fn sync_interest(epoll: &Epoll, ep: &mut Endpoint, token: u64) {
+    let want = if ep.conn.wants_write() {
+        BASE_INTEREST | EPOLLOUT
+    } else {
+        BASE_INTEREST
+    };
+    if want != ep.interest && epoll.modify(ep.stream.as_raw_fd(), want, token).is_ok() {
+        ep.interest = want;
+    }
+}
+
+/// Pushes outbox bytes as far as the socket allows and re-arms (or
+/// disarms) write interest. `Some` means the connection died writing.
+fn flush(epoll: &Epoll, ep: &mut Endpoint, token: u64, now: Instant) -> Option<Close> {
+    if let Some(verdict) = ep.conn.on_writable(&mut ep.stream, now) {
+        return Some(verdict);
+    }
+    sync_interest(epoll, ep, token);
+    None
+}
+
+/// What the liveness sweep decided for one connection.
+enum SweepAction {
+    Nothing,
+    Heartbeat,
+    DeadPeer,
+}
+
+/// Decides timeout/heartbeat for one endpoint — shared by both reactors.
+fn sweep_endpoint(ep: &Endpoint, now: Instant, cfg: &TcpRuntimeConfig) -> SweepAction {
+    if now.duration_since(ep.conn.last_read) > cfg.read_timeout {
+        SweepAction::DeadPeer
+    } else if now.duration_since(ep.conn.last_write) >= cfg.heartbeat {
+        SweepAction::Heartbeat
+    } else {
+        SweepAction::Nothing
+    }
+}
+
+/// The epoll timeout for one loop pass: the earliest timer deadline,
+/// capped by a polling granularity that keeps heartbeats, chaos schedules,
+/// and the shutdown flag honoured.
+fn wait_timeout(next_deadline: Option<Instant>, cfg: &TcpRuntimeConfig, now: Instant) -> Duration {
+    let granularity = (cfg.heartbeat / 2).clamp(Duration::from_millis(1), Duration::from_millis(5));
+    match next_deadline {
+        Some(deadline) => granularity.min(deadline.saturating_duration_since(now)),
+        None => granularity,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shard side
+// ---------------------------------------------------------------------
+
+/// Peer state of one accepted connection.
+enum ServerPeer {
+    /// Accepted, no Hello yet (may be a churn dial that never sends one —
+    /// the read timeout reaps those).
+    AwaitHello,
+    /// Handshake complete: frames on this connection speak for `site`.
+    Up { site: usize },
+}
+
+struct ServerConn {
+    ep: Endpoint,
+    peer: ServerPeer,
+}
+
+/// Timer tokens of the shard reactor's wheel: engine flush deadlines plus
+/// the chaos rebind alarm. `Ord` only to satisfy the heap — deadlines and
+/// arming order decide pops.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum ShardTimer {
+    Engine(u64),
+    Rebind,
+}
+
+struct ShardReactor<'a> {
+    shard: usize,
+    shards: usize,
+    cfg: &'a TcpRuntimeConfig,
+    engine: ServerEngine,
+    clock: TickClock,
+    me: NodeId,
+    epoll: Epoll,
+    listener: Option<TcpListener>,
+    addr: SocketAddr,
+    conns: Slab<ServerConn>,
+    /// site → live connection token. A reconnect replaces the route; the
+    /// superseded connection's close leaves the new route alone.
+    routes: HashMap<usize, u64>,
+    timers: TimerWheel<ShardTimer>,
+    shared: &'a Shared,
+}
+
+impl<'a> ShardReactor<'a> {
+    fn new(
+        shard: usize,
+        shards: usize,
+        cfg: &'a TcpRuntimeConfig,
+        clock: TickClock,
+        listener: TcpListener,
+        addr: SocketAddr,
+        shared: &'a Shared,
+    ) -> Self {
+        ShardReactor {
+            shard,
+            shards,
+            cfg,
+            engine: ServerEngine::new(cfg.runtime.protocol),
+            clock,
+            me: NodeId::new(shard),
+            epoll: Epoll::new().expect("epoll create"),
+            listener: Some(listener),
+            addr,
+            conns: Slab::new(),
+            routes: HashMap::new(),
+            timers: TimerWheel::new(),
+            shared,
+        }
+    }
+
+    /// Deregisters and drops a connection, unrouting its site (only if the
+    /// route still names this connection — a reconnect may have replaced
+    /// it already).
+    fn close(&mut self, token: u64) {
+        if let Some(entry) = self.conns.remove(token) {
+            let _ = self.epoll.del(entry.ep.stream.as_raw_fd());
+            if let ServerPeer::Up { site } = entry.peer {
+                if self.routes.get(&site) == Some(&token) {
+                    self.routes.remove(&site);
+                }
+            }
+            self.shared.add_metric(names::REACTOR_CONN_CLOSED, 1);
+        }
+    }
+
+    /// Queues a frame and flushes as far as the socket allows. `false`
+    /// means the connection was dead (or died writing) and is gone.
+    fn queue_and_flush(&mut self, token: u64, msg: &WireMsg) -> bool {
+        let now = Instant::now();
+        let shard_tag = self.shard as u16;
+        let closed = {
+            let Some(entry) = self.conns.get_mut(token) else {
+                return false;
+            };
+            entry.ep.conn.queue(shard_tag, msg);
+            flush(&self.epoll, &mut entry.ep, token, now).is_some()
+        };
+        if closed {
+            self.close(token);
+            return false;
+        }
+        true
+    }
+
+    /// Feeds one event to the shard engine and executes the effects.
+    fn step_engine(&mut self, event: Event) {
+        let mut out = Vec::new();
+        step_server(&mut self.engine, &self.clock, self.me, event, &mut out);
+        for effect in out {
+            match effect {
+                Effect::Send { to, msg } => {
+                    let site = to.index() - self.shards;
+                    let delivered = match self.routes.get(&site).copied() {
+                        Some(token) => self.queue_and_flush(token, &WireMsg::Proto(msg)),
+                        None => false,
+                    };
+                    if !delivered {
+                        self.shared.add_metric(names::TCP_SEND_DROPPED, 1);
+                    }
+                }
+                Effect::SetTimer { after, token } => {
+                    if let Some(d) = self.clock.delta_to_duration(after) {
+                        self.timers
+                            .arm(Instant::now() + d, ShardTimer::Engine(token));
+                    }
+                }
+                Effect::Metric { name, add } => self.shared.add_metric(name, add),
+                Effect::Record(_) => unreachable!("the server engine records nothing"),
+            }
+        }
+    }
+
+    /// Drains the accept queue, registering every new connection.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    let fd = stream.as_raw_fd();
+                    let token = self.conns.insert(ServerConn {
+                        ep: Endpoint {
+                            stream,
+                            conn: Conn::new(Instant::now()),
+                            interest: BASE_INTEREST,
+                        },
+                        peer: ServerPeer::AwaitHello,
+                    });
+                    if self.epoll.add(fd, BASE_INTEREST, token).is_err() {
+                        self.conns.remove(token);
+                        continue;
+                    }
+                    self.shared.add_metric(names::REACTOR_CONN_OPENED, 1);
+                }
+                // WouldBlock (queue drained) or a transient accept error:
+                // either way the next readiness event resumes accepting.
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Reacts to readiness bits for one connection token.
+    fn handle_conn_event(&mut self, token: u64, bits: u32) {
+        let now = Instant::now();
+        let mut frames = Vec::new();
+        let verdict = {
+            let Some(entry) = self.conns.get_mut(token) else {
+                return; // closed earlier in this same event batch
+            };
+            let mut verdict = None;
+            if bits & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0 {
+                verdict = entry
+                    .ep
+                    .conn
+                    .on_readable(&mut entry.ep.stream, now, &mut frames);
+            }
+            if verdict.is_none() && bits & EPOLLOUT != 0 {
+                verdict = flush(&self.epoll, &mut entry.ep, token, now);
+            }
+            verdict
+        };
+        // Frames decoded before an EOF/error still count (the blocking
+        // driver reads them the same way before noticing the close).
+        self.dispatch_frames(token, frames);
+        if verdict.is_some() {
+            self.close(token);
+        }
+    }
+
+    fn dispatch_frames(&mut self, token: u64, frames: Vec<(u16, WireMsg)>) {
+        for (_tag, msg) in frames {
+            // A previous frame (Bye, protocol rot) may have closed us.
+            let peer_site = match self.conns.get_mut(token) {
+                Some(entry) => match entry.peer {
+                    ServerPeer::AwaitHello => None,
+                    ServerPeer::Up { site } => Some(site),
+                },
+                None => return,
+            };
+            match (peer_site, msg) {
+                (
+                    None,
+                    WireMsg::Hello {
+                        site,
+                        n_clients,
+                        shard: dialled,
+                        protocol,
+                    },
+                ) => self.handle_hello(token, site, n_clients, dialled, protocol),
+                (None, _) => {
+                    // Any frame before Hello is a protocol violation: the
+                    // churn injector sends exactly this shape on purpose.
+                    self.close(token);
+                }
+                (Some(site), WireMsg::Proto(msg)) => {
+                    let from = NodeId::new(self.shards + site);
+                    self.step_engine(Event::Message { from, msg });
+                }
+                (Some(_), WireMsg::Heartbeat) => {}
+                (Some(_), WireMsg::Bye) => self.close(token),
+                (Some(_), _) => self.close(token), // a second Hello, a stray Ack
+            }
+        }
+    }
+
+    /// The handshake: validation identical to the blocking transport's
+    /// accept loop, so the two drivers reject the same misconfigurations
+    /// with the same reasons.
+    fn handle_hello(
+        &mut self,
+        token: u64,
+        site: u32,
+        n_clients: u32,
+        dialled: u32,
+        protocol: tc_lifetime::ProtocolConfig,
+    ) {
+        let rc = &self.cfg.runtime;
+        let reason = if protocol != rc.protocol {
+            Some("protocol config mismatch".to_string())
+        } else if dialled as usize != self.shard {
+            Some(format!("dialled shard {dialled}, reached {}", self.shard))
+        } else if n_clients as usize != rc.n_clients || site >= n_clients {
+            Some(format!("bad id space: site {site} of {n_clients}"))
+        } else {
+            None
+        };
+        match reason {
+            Some(reason) => {
+                // Best-effort reject, then drop the connection.
+                self.queue_and_flush(token, &WireMsg::HelloReject { reason });
+                self.close(token);
+            }
+            None => {
+                let site = site as usize;
+                if let Some(entry) = self.conns.get_mut(token) {
+                    entry.peer = ServerPeer::Up { site };
+                }
+                self.routes.insert(site, token);
+                self.queue_and_flush(
+                    token,
+                    &WireMsg::HelloAck {
+                        shard: self.shard as u32,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Read-timeout + heartbeat sweep over every live connection.
+    fn sweep(&mut self, now: Instant) {
+        for token in self.conns.tokens() {
+            let action = match self.conns.get_mut(token) {
+                Some(entry) => sweep_endpoint(&entry.ep, now, self.cfg),
+                None => continue,
+            };
+            match action {
+                SweepAction::DeadPeer => self.close(token),
+                SweepAction::Heartbeat => {
+                    self.shared.add_metric(names::TCP_HEARTBEAT, 1);
+                    self.queue_and_flush(token, &WireMsg::Heartbeat);
+                }
+                SweepAction::Nothing => {}
+            }
+        }
+    }
+
+    /// Chaos kill: unregister + drop the listener, hard-close every live
+    /// connection, and arm the rebind alarm.
+    fn chaos_kill(&mut self, down_for: Duration) {
+        if let Some(listener) = self.listener.take() {
+            let _ = self.epoll.del(listener.as_raw_fd());
+        }
+        for token in self.conns.tokens() {
+            self.close(token);
+        }
+        self.routes.clear();
+        self.timers
+            .arm(Instant::now() + down_for, ShardTimer::Rebind);
+    }
+
+    /// Chaos rebind: the same address (std sets `SO_REUSEADDR` on Unix
+    /// listeners, so the killed connections' TIME_WAIT entries don't block
+    /// it), with a grace loop in case the OS lags.
+    fn rebind(&mut self) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let reborn = loop {
+            match TcpListener::bind(self.addr) {
+                Ok(l) => break l,
+                Err(e) => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "shard {} listener rebind failed: {e}",
+                        self.shard
+                    );
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        };
+        reborn.set_nonblocking(true).expect("nonblocking listener");
+        self.epoll
+            .add(reborn.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)
+            .expect("register reborn listener");
+        self.shared.add_metric(names::TCP_LISTENER_RESTART, 1);
+        self.listener = Some(reborn);
+    }
+
+    /// The event loop. Exits when `shutdown` goes high (after every client
+    /// said its goodbyes), returning the shard's served-request count.
+    fn run(mut self, chaos: Option<ListenerChaos>, started: Instant, shutdown: &AtomicBool) -> u64 {
+        let fd = self
+            .listener
+            .as_ref()
+            .expect("listener present")
+            .as_raw_fd();
+        self.epoll
+            .add(fd, EPOLLIN, TOKEN_LISTENER)
+            .expect("register listener");
+        let mut chaos_pending = chaos;
+        let mut events = [EpollEvent { events: 0, data: 0 }; 128];
+        loop {
+            if shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            let now = Instant::now();
+            if let Some(c) = chaos_pending {
+                if now.duration_since(started) >= c.kill_after {
+                    chaos_pending = None;
+                    self.chaos_kill(c.down_for);
+                }
+            }
+            for timer in self.timers.pop_due(now) {
+                match timer {
+                    ShardTimer::Engine(token) => self.step_engine(Event::Timer { token }),
+                    ShardTimer::Rebind => self.rebind(),
+                }
+            }
+            self.sweep(Instant::now());
+            let now = Instant::now();
+            let mut timeout = wait_timeout(self.timers.next_deadline(), self.cfg, now);
+            if let Some(c) = chaos_pending {
+                let kill_at = started + c.kill_after;
+                timeout = timeout.min(kill_at.saturating_duration_since(now));
+            }
+            let n = self.epoll.wait(&mut events, timeout).expect("epoll wait");
+            for ev in &events[..n] {
+                let (bits, token) = (ev.events, ev.data);
+                if token == TOKEN_LISTENER {
+                    self.accept_ready();
+                } else {
+                    self.handle_conn_event(token, bits);
+                }
+            }
+        }
+        // Drain every registration so opened == closed on a clean exit.
+        for token in self.conns.tokens() {
+            self.close(token);
+        }
+        self.engine.requests_served()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------
+
+/// One (site, shard) link's lifecycle state.
+enum LinkState {
+    /// No connection; a `Redial` timer is (or is about to be) armed.
+    Down { attempt: u32 },
+    /// Hello written, waiting for the ack.
+    AwaitAck { token: u64 },
+    /// Handshake complete: protocol frames flow.
+    Up { token: u64 },
+}
+
+/// One hosted client: its engine core plus per-shard link states.
+struct ClientState {
+    core: ClientCore,
+    links: Vec<LinkState>,
+    /// Completed handshakes per shard (first = connect, rest = reconnect).
+    connects: Vec<u64>,
+    /// Whether `Event::Start` has been fed (gated on every link being up,
+    /// like the blocking transport's link-wait, so the opening op isn't
+    /// taxed a retry round-trip).
+    started: bool,
+    /// Workload complete with nothing in flight; excluded from `remaining`.
+    finished: bool,
+}
+
+struct ClientConn {
+    ep: Endpoint,
+    client: usize,
+    shard: usize,
+}
+
+/// Timer tokens of the client reactor's wheel: engine timers tagged with
+/// their owning client, plus per-link redial alarms.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum ClientTimer {
+    Engine { client: usize, token: u64 },
+    Redial { client: usize, shard: usize },
+}
+
+struct ClientReactor<'a> {
+    cfg: &'a TcpRuntimeConfig,
+    shards: usize,
+    addrs: &'a [SocketAddr],
+    clock: TickClock,
+    epoll: Epoll,
+    conns: Slab<ClientConn>,
+    clients: Vec<ClientState>,
+    timers: TimerWheel<ClientTimer>,
+    shared: &'a Shared,
+    /// Clients not yet `finished`; the loop exits at zero.
+    remaining: usize,
+}
+
+impl<'a> ClientReactor<'a> {
+    fn new(
+        cfg: &'a TcpRuntimeConfig,
+        shards: usize,
+        addrs: &'a [SocketAddr],
+        clock: TickClock,
+        shared: &'a Shared,
+    ) -> Self {
+        let rc = &cfg.runtime;
+        let clients: Vec<ClientState> = (0..rc.n_clients)
+            .map(|site| {
+                let engine = ClientEngine::new(
+                    rc.protocol,
+                    (0..shards).map(NodeId::new).collect(),
+                    site,
+                    rc.n_clients,
+                    rc.workload.clone(),
+                    rc.ops_per_client,
+                );
+                ClientState {
+                    core: ClientCore::new(
+                        engine,
+                        PrivateSources::new(rc.seed, site, rc.n_clients),
+                        clock,
+                        NodeId::new(shards + site),
+                    ),
+                    links: (0..shards)
+                        .map(|_| LinkState::Down { attempt: 0 })
+                        .collect(),
+                    connects: vec![0; shards],
+                    started: false,
+                    finished: false,
+                }
+            })
+            .collect();
+        let remaining = clients.len();
+        ClientReactor {
+            cfg,
+            shards,
+            addrs,
+            clock,
+            epoll: Epoll::new().expect("epoll create"),
+            conns: Slab::new(),
+            clients,
+            timers: TimerWheel::new(),
+            shared,
+            remaining,
+        }
+    }
+
+    /// Deregisters a connection and downgrades its link to `Down`,
+    /// arming an immediate redial (the blocking transport's link thread
+    /// also retries at once; backoff starts on *failed* dials). A
+    /// superseded connection — one the link no longer names — just dies.
+    fn close_link(&mut self, token: u64) {
+        let Some(entry) = self.conns.remove(token) else {
+            return;
+        };
+        let _ = self.epoll.del(entry.ep.stream.as_raw_fd());
+        let (client, shard) = (entry.client, entry.shard);
+        let link = &mut self.clients[client].links[shard];
+        let owns = matches!(
+            link,
+            LinkState::AwaitAck { token: t } | LinkState::Up { token: t } if *t == token
+        );
+        if owns {
+            *link = LinkState::Down { attempt: 0 };
+            if !self.clients[client].finished {
+                self.timers
+                    .arm(Instant::now(), ClientTimer::Redial { client, shard });
+            }
+        }
+    }
+
+    /// Queues a frame (tagged with the link's target shard) and flushes.
+    /// `false` means the connection was dead or died writing.
+    fn queue_and_flush(&mut self, token: u64, msg: &WireMsg) -> bool {
+        let now = Instant::now();
+        let closed = {
+            let Some(entry) = self.conns.get_mut(token) else {
+                return false;
+            };
+            let shard_tag = entry.shard as u16;
+            entry.ep.conn.queue(shard_tag, msg);
+            flush(&self.epoll, &mut entry.ep, token, now).is_some()
+        };
+        if closed {
+            self.close_link(token);
+            return false;
+        }
+        true
+    }
+
+    /// Feeds one event to a hosted client and executes the effects —
+    /// the reactor's analogue of `ClientRt::feed`, with sends routed
+    /// through the link table and timers tagged with the client index.
+    fn feed(&mut self, client: usize, event: Event) {
+        let mut out = Vec::new();
+        self.clients[client].core.step(event, &mut out);
+        for effect in out {
+            match effect {
+                Effect::Send { to, msg } => {
+                    let shard = to.index();
+                    let delivered = match self.clients[client].links[shard] {
+                        LinkState::Up { token } => {
+                            self.queue_and_flush(token, &WireMsg::Proto(msg))
+                        }
+                        _ => false,
+                    };
+                    if !delivered {
+                        self.shared.add_metric(names::TCP_SEND_DROPPED, 1);
+                    }
+                }
+                Effect::SetTimer { after, token } => {
+                    if let Some(d) = self.clock.delta_to_duration(after) {
+                        self.timers
+                            .arm(Instant::now() + d, ClientTimer::Engine { client, token });
+                    }
+                }
+                Effect::Metric { name, add } => self.shared.add_metric(name, add),
+                Effect::Record(op) => self.shared.record(op),
+            }
+        }
+        if !self.clients[client].finished && self.clients[client].core.finished_idle() {
+            self.clients[client].finished = true;
+            self.remaining -= 1;
+        }
+    }
+
+    /// Dials one link: blocking connect (instant on loopback — refused
+    /// connections fail immediately), blocking Hello write, then the
+    /// socket goes nonblocking and into the slab awaiting its ack.
+    fn dial(&mut self, client: usize, shard: usize) {
+        if self.clients[client].finished {
+            return;
+        }
+        let attempt = match self.clients[client].links[shard] {
+            LinkState::Down { attempt } => attempt,
+            // A live connection beat the redial timer; nothing to do.
+            _ => return,
+        };
+        let rc = &self.cfg.runtime;
+        let hello = WireMsg::Hello {
+            site: client as u32,
+            n_clients: rc.n_clients as u32,
+            shard: shard as u32,
+            protocol: rc.protocol,
+        };
+        let dialled = (|| {
+            let mut stream =
+                TcpStream::connect_timeout(&self.addrs[shard], self.cfg.read_timeout).ok()?;
+            let _ = stream.set_nodelay(true);
+            write_frame(&mut stream, shard as u16, &hello).ok()?;
+            stream.set_nonblocking(true).ok()?;
+            Some(stream)
+        })();
+        match dialled {
+            Some(stream) => {
+                let fd = stream.as_raw_fd();
+                let token = self.conns.insert(ClientConn {
+                    ep: Endpoint {
+                        stream,
+                        conn: Conn::new(Instant::now()),
+                        interest: BASE_INTEREST,
+                    },
+                    client,
+                    shard,
+                });
+                if self.epoll.add(fd, BASE_INTEREST, token).is_err() {
+                    self.conns.remove(token);
+                    self.retry(client, shard, attempt);
+                    return;
+                }
+                self.clients[client].links[shard] = LinkState::AwaitAck { token };
+            }
+            None => self.retry(client, shard, attempt),
+        }
+    }
+
+    /// Books a failed dial and schedules the next under backoff — the
+    /// same deterministic jittered schedule as the blocking transport.
+    fn retry(&mut self, client: usize, shard: usize, attempt: u32) {
+        self.shared.add_metric(names::TCP_CONNECT_FAILED, 1);
+        assert!(
+            attempt < self.cfg.backoff.max_attempts,
+            "shard {shard} unreachable after {attempt} attempts"
+        );
+        let seed = splitmix64(self.cfg.runtime.seed ^ ((client as u64) << 32) ^ shard as u64);
+        let delay = self.cfg.backoff.delay(attempt, seed);
+        self.clients[client].links[shard] = LinkState::Down {
+            attempt: attempt + 1,
+        };
+        self.timers.arm(
+            Instant::now() + delay,
+            ClientTimer::Redial { client, shard },
+        );
+    }
+
+    /// Feeds `Event::Start` once every link of `client` is up.
+    fn maybe_start(&mut self, client: usize) {
+        if self.clients[client].started {
+            return;
+        }
+        let all_up = self.clients[client]
+            .links
+            .iter()
+            .all(|l| matches!(l, LinkState::Up { .. }));
+        if all_up {
+            self.clients[client].started = true;
+            self.feed(client, Event::Start);
+        }
+    }
+
+    fn handle_conn_event(&mut self, token: u64, bits: u32) {
+        let now = Instant::now();
+        let mut frames = Vec::new();
+        let verdict = {
+            let Some(entry) = self.conns.get_mut(token) else {
+                return;
+            };
+            let mut verdict = None;
+            if bits & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0 {
+                verdict = entry
+                    .ep
+                    .conn
+                    .on_readable(&mut entry.ep.stream, now, &mut frames);
+            }
+            if verdict.is_none() && bits & EPOLLOUT != 0 {
+                verdict = flush(&self.epoll, &mut entry.ep, token, now);
+            }
+            verdict
+        };
+        self.dispatch_frames(token, frames);
+        if verdict.is_some() {
+            self.close_link(token);
+        }
+    }
+
+    fn dispatch_frames(&mut self, token: u64, frames: Vec<(u16, WireMsg)>) {
+        for (_tag, msg) in frames {
+            let Some(entry) = self.conns.get_mut(token) else {
+                return; // closed by an earlier frame
+            };
+            let (client, shard) = (entry.client, entry.shard);
+            match msg {
+                WireMsg::HelloAck { .. } => {
+                    let awaiting = matches!(
+                        self.clients[client].links[shard],
+                        LinkState::AwaitAck { token: t } if t == token
+                    );
+                    if awaiting {
+                        self.clients[client].links[shard] = LinkState::Up { token };
+                        let connects = self.clients[client].connects[shard];
+                        self.shared.add_metric(
+                            if connects == 0 {
+                                names::TCP_CONNECT
+                            } else {
+                                names::TCP_RECONNECT
+                            },
+                            1,
+                        );
+                        self.clients[client].connects[shard] += 1;
+                        self.maybe_start(client);
+                    }
+                }
+                WireMsg::HelloReject { reason } => {
+                    panic!("shard {shard} rejected site {client}: {reason}")
+                }
+                WireMsg::Proto(msg) => {
+                    let current = matches!(
+                        self.clients[client].links[shard],
+                        LinkState::Up { token: t } if t == token
+                    );
+                    // A superseded connection's stragglers are dropped —
+                    // the engines' retry timers own recovery.
+                    if current {
+                        let from = NodeId::new(shard);
+                        self.feed(client, Event::Message { from, msg });
+                    }
+                }
+                WireMsg::Heartbeat => {}
+                // A server never sends Hello or Bye mid-session; treat
+                // either as the link dying.
+                WireMsg::Hello { .. } | WireMsg::Bye => self.close_link(token),
+            }
+        }
+    }
+
+    /// Read-timeout + heartbeat sweep over every live link.
+    fn sweep(&mut self, now: Instant) {
+        for token in self.conns.tokens() {
+            let action = match self.conns.get_mut(token) {
+                Some(entry) => sweep_endpoint(&entry.ep, now, self.cfg),
+                None => continue,
+            };
+            match action {
+                SweepAction::DeadPeer => self.close_link(token),
+                SweepAction::Heartbeat => {
+                    self.shared.add_metric(names::TCP_HEARTBEAT, 1);
+                    self.queue_and_flush(token, &WireMsg::Heartbeat);
+                }
+                SweepAction::Nothing => {}
+            }
+        }
+    }
+
+    /// The event loop: initial dials staggered in waves, then timers +
+    /// readiness until every client finishes, then an orderly goodbye on
+    /// every live link. Returns all per-operation latencies.
+    fn run(mut self) -> Vec<Duration> {
+        let base = Instant::now();
+        for client in 0..self.clients.len() {
+            for shard in 0..self.shards {
+                let wave = (client * self.shards + shard) / DIAL_WAVE;
+                self.timers.arm(
+                    base + DIAL_WAVE_EVERY * wave as u32,
+                    ClientTimer::Redial { client, shard },
+                );
+            }
+        }
+        let mut events = [EpollEvent { events: 0, data: 0 }; 256];
+        while self.remaining > 0 {
+            let now = Instant::now();
+            for timer in self.timers.pop_due(now) {
+                match timer {
+                    ClientTimer::Engine { client, token } => {
+                        if !self.clients[client].finished {
+                            self.feed(client, Event::Timer { token });
+                        }
+                    }
+                    ClientTimer::Redial { client, shard } => self.dial(client, shard),
+                }
+            }
+            self.sweep(Instant::now());
+            if self.remaining == 0 {
+                break;
+            }
+            let now = Instant::now();
+            let timeout = wait_timeout(self.timers.next_deadline(), self.cfg, now);
+            let n = self.epoll.wait(&mut events, timeout).expect("epoll wait");
+            for ev in &events[..n] {
+                let (bits, token) = (ev.events, ev.data);
+                self.handle_conn_event(token, bits);
+            }
+        }
+        // Orderly goodbye: a Bye on every live link, flushed as far as the
+        // socket allows, then close. A blocked socket just loses its
+        // goodbye — the shard's read timeout reaps it, exactly like the
+        // blocking driver's half-close path.
+        for token in self.conns.tokens() {
+            self.queue_and_flush(token, &WireMsg::Bye);
+            self.close_link(token);
+        }
+        self.clients
+            .into_iter()
+            .flat_map(|c| c.core.into_latencies())
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Churn injection + entry points
+// ---------------------------------------------------------------------
+
+/// The churn dialer: junk connections that never complete a handshake.
+/// Odd dials speak a protocol violation (a frame before Hello) so the
+/// reject path runs; even dials hang up silently (a pre-Hello EOF).
+fn churn_loop(
+    churn: ConnectionChurn,
+    addrs: &[SocketAddr],
+    shutdown: &AtomicBool,
+    shared: &Shared,
+) {
+    for i in 0..churn.connections {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let addr = addrs[i % addrs.len()];
+        if let Ok(mut stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(50)) {
+            shared.add_metric(names::REACTOR_CHURN_DIAL, 1);
+            if i % 2 == 1 {
+                let _ = write_frame(&mut stream, 0, &WireMsg::Heartbeat);
+            }
+        }
+        if !churn.every.is_zero() {
+            std::thread::sleep(churn.every);
+        }
+    }
+}
+
+/// Runs one execution of the lifetime protocol over the evented reactor
+/// with transport defaults, returning the same [`RuntimeResult`] shape as
+/// the other three drivers — identical seeds produce identical per-site
+/// operation sequences across all of them.
+///
+/// # Panics
+///
+/// Panics if a reactor thread panics, a shard rejects a handshake (a
+/// configuration mismatch inside one process is a harness bug), or a
+/// shard stays unreachable past the backoff budget.
+#[must_use]
+pub fn run_reactor(config: &RuntimeConfig) -> RuntimeResult {
+    run_reactor_with(&ReactorConfig::new(config.clone()))
+}
+
+/// [`run_reactor`] with explicit transport timing, fault-injection, and
+/// connection-churn knobs.
+///
+/// # Panics
+///
+/// As [`run_reactor`]; additionally if the chaos plan names a shard
+/// outside the fleet or a listener cannot be bound.
+#[must_use]
+pub fn run_reactor_with(config: &ReactorConfig) -> RuntimeResult {
+    let cfg = &config.tcp;
+    let rc = &cfg.runtime;
+    let shards = rc.protocol.shards;
+    if let Some(c) = cfg.chaos {
+        assert!(c.shard < shards, "chaos shard {} out of range", c.shard);
+    }
+    let clock = TickClock::new(rc.tick);
+    let mut recorder = TraceRecorder::new();
+    recorder.attach_monitor(rc.monitor_delta, rc.monitor_eps);
+    let shared = Shared {
+        recorder: Mutex::new(recorder),
+        metrics: Mutex::new(Metrics::new()),
+    };
+
+    // Bind every shard listener up front so clients know all addresses.
+    let mut listeners = Vec::with_capacity(shards);
+    let mut addrs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback listener");
+        listener
+            .set_nonblocking(true)
+            .expect("nonblocking listener");
+        addrs.push(listener.local_addr().expect("listener address"));
+        listeners.push(Some(listener));
+    }
+
+    let shutdown = AtomicBool::new(false);
+    let started = Instant::now();
+    let shared_ref = &shared;
+    let shutdown_ref = &shutdown;
+    let addrs_ref = &addrs[..];
+    let (latencies, shard_requests): (Vec<Duration>, Vec<u64>) =
+        crossbeam::thread::scope(|scope| {
+            let mut shard_workers = Vec::with_capacity(shards);
+            for (shard, slot) in listeners.iter_mut().enumerate() {
+                let listener = slot.take().expect("listener taken once");
+                let addr = addrs_ref[shard];
+                let chaos = cfg.chaos.filter(|c| c.shard == shard);
+                shard_workers.push(scope.spawn(move |_| {
+                    ShardReactor::new(shard, shards, cfg, clock, listener, addr, shared_ref).run(
+                        chaos,
+                        started,
+                        shutdown_ref,
+                    )
+                }));
+            }
+            let churn_worker = config.churn.map(|churn| {
+                scope.spawn(move |_| churn_loop(churn, addrs_ref, shutdown_ref, shared_ref))
+            });
+            // The client reactor runs on the scope's own thread: every
+            // ClientCore in one evented loop.
+            let latencies = ClientReactor::new(cfg, shards, addrs_ref, clock, shared_ref).run();
+            shutdown.store(true, Ordering::Relaxed);
+            let shard_requests: Vec<u64> = shard_workers
+                .into_iter()
+                .map(|w| w.join().expect("shard reactor panicked"))
+                .collect();
+            if let Some(w) = churn_worker {
+                w.join().expect("churn thread panicked");
+            }
+            (latencies, shard_requests)
+        })
+        .expect("a reactor thread panicked");
+    let wall = started.elapsed();
+    finish_run(shared, latencies, shard_requests, wall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_clocks::Delta;
+    use tc_lifetime::{ProtocolConfig, ProtocolKind};
+    use tc_sim::workload::Workload;
+
+    fn small(kind: ProtocolKind, seed: u64) -> RuntimeConfig {
+        RuntimeConfig::for_protocol(
+            ProtocolConfig::of(kind),
+            2,
+            Workload::new(4, 0.8, 0.7, (Delta::from_ticks(2), Delta::from_ticks(10))),
+            12,
+            seed,
+        )
+    }
+
+    #[test]
+    fn slab_generations_invalidate_stale_tokens() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.remove(a), Some("a"));
+        // The freed slot is reused, but under a fresh generation: the old
+        // token no longer resolves — the property that makes same-batch
+        // events for a just-closed fd harmless.
+        let c = slab.insert("c");
+        assert_ne!(a, c, "slot reuse must mint a distinct token");
+        assert_eq!(unpack(a).0, unpack(c).0, "the slot itself is recycled");
+        assert!(slab.get_mut(a).is_none(), "stale tokens must not resolve");
+        assert_eq!(slab.get_mut(c), Some(&mut "c"));
+        assert_eq!(slab.remove(a), None, "stale remove is a no-op");
+        assert_eq!(slab.len(), 2);
+        let live = slab.tokens();
+        assert!(live.contains(&b) && live.contains(&c));
+        assert_eq!(slab.remove(b), Some("b"));
+        assert_eq!(slab.remove(c), Some("c"));
+        assert_eq!(slab.len(), 0);
+    }
+
+    #[test]
+    fn reactor_sc_completes_and_holds() {
+        let r = run_reactor(&small(ProtocolKind::Sc, 31));
+        assert_eq!(r.ops_done, 2 * 12, "every op must be recorded");
+        assert!(r.on_time.holds(), "monitor must report zero violations");
+        assert!(r.counter(names::TCP_CONNECT) > 0, "links must handshake");
+        assert_eq!(r.counter(names::TCP_RECONNECT), 0, "no faults injected");
+        // fd hygiene even on the happy path: every accepted registration
+        // was drained by the time the run finished.
+        assert_eq!(
+            r.counter(names::REACTOR_CONN_OPENED),
+            r.counter(names::REACTOR_CONN_CLOSED),
+            "registrations must drain to zero"
+        );
+    }
+
+    #[test]
+    fn reactor_tsc_fleet_is_judged_by_the_monitor() {
+        let mut cfg = small(
+            ProtocolKind::Tsc {
+                delta: Delta::from_ticks(400),
+            },
+            32,
+        );
+        cfg.protocol = cfg.protocol.with_shards(2);
+        let r = run_reactor(&cfg);
+        assert_eq!(r.ops_done, 2 * 12);
+        assert!(
+            r.on_time.holds(),
+            "violations: {}",
+            r.on_time.violations().len()
+        );
+        assert_eq!(r.shard_requests.len(), 2);
+        assert!(r.shard_requests.iter().sum::<u64>() > 0);
+        // Each of 2 clients handshakes with each of 2 shards exactly once.
+        assert_eq!(r.counter(names::TCP_CONNECT), 4);
+    }
+
+    #[test]
+    fn reactor_sheds_churn_without_leaking_registrations() {
+        let mut config = ReactorConfig::new(small(ProtocolKind::Sc, 33));
+        config.churn = Some(ConnectionChurn {
+            connections: 40,
+            every: Duration::from_millis(1),
+        });
+        let r = run_reactor_with(&config);
+        assert_eq!(r.ops_done, 2 * 12, "churn must not disturb the workload");
+        assert!(r.on_time.holds());
+        assert!(
+            r.counter(names::REACTOR_CHURN_DIAL) > 0,
+            "the churn dialer must have landed connections"
+        );
+        assert_eq!(
+            r.counter(names::REACTOR_CONN_OPENED),
+            r.counter(names::REACTOR_CONN_CLOSED),
+            "every churn registration must be reaped"
+        );
+    }
+}

@@ -179,7 +179,7 @@ impl RuntimeResult {
 }
 
 /// A deadline-ordered timer wheel over real [`Instant`]s, shared by the
-/// in-process threaded driver and the TCP transport.
+/// in-process threaded driver, the TCP transport, and the evented reactor.
 ///
 /// Timers pop in deadline order; equal deadlines pop in arming order (a
 /// monotone sequence number breaks ties), so a driver that arms `A` then
@@ -187,12 +187,18 @@ impl RuntimeResult {
 /// effect-order contract leans on. The old implementation was a linear
 /// `Vec` scanned per pass; the heap makes `arm` O(log n) and a pop-due
 /// sweep O(k log n) for k due timers.
-pub(crate) struct TimerWheel {
-    heap: BinaryHeap<Reverse<(Instant, u64, u64)>>,
+///
+/// Generic over the token type: the per-thread drivers use bare engine
+/// tokens (`u64`), while the reactor — one thread multiplexing many
+/// engines and connections — arms composite tokens naming the owner. The
+/// `Ord` bound exists only to satisfy the heap; the unique sequence number
+/// means token order never decides a pop.
+pub(crate) struct TimerWheel<T = u64> {
+    heap: BinaryHeap<Reverse<(Instant, u64, T)>>,
     seq: u64,
 }
 
-impl TimerWheel {
+impl<T: Ord> TimerWheel<T> {
     pub(crate) fn new() -> Self {
         TimerWheel {
             heap: BinaryHeap::new(),
@@ -201,7 +207,7 @@ impl TimerWheel {
     }
 
     /// Arms a timer: `token` will pop once `deadline` has passed.
-    pub(crate) fn arm(&mut self, deadline: Instant, token: u64) {
+    pub(crate) fn arm(&mut self, deadline: Instant, token: T) {
         self.seq += 1;
         self.heap.push(Reverse((deadline, self.seq, token)));
     }
@@ -215,7 +221,7 @@ impl TimerWheel {
     /// timers are collected in one sweep *before* any fires: a firing
     /// timer may arm new ones, and those belong to the next pass even if
     /// already due.
-    pub(crate) fn pop_due(&mut self, now: Instant) -> Vec<u64> {
+    pub(crate) fn pop_due(&mut self, now: Instant) -> Vec<T> {
         let mut due = Vec::new();
         while let Some(Reverse((deadline, _, _))) = self.heap.peek() {
             if *deadline > now {
@@ -337,25 +343,47 @@ impl Outbound for ChannelOutbound {
     }
 }
 
-/// One client thread: engine + private sources + a local timer wheel over
-/// real deadlines. Generic over the [`Outbound`] transport so the
-/// in-process and TCP drivers share one event loop (and therefore one
-/// op-sequence / latency-measurement behaviour).
-pub(crate) struct ClientRt<'a, O: Outbound> {
+/// The driver-independent heart of one client: the engine, its private
+/// input sources, the shared tick clock, and per-operation latency
+/// bookkeeping. Every real-time driver — the in-process threaded runtime,
+/// the thread-per-connection TCP transport, and the evented reactor —
+/// steps clients through this one type, so "what a client does per event"
+/// (clock injection order, op-issue latency stamps, completion counting)
+/// is defined exactly once.
+pub(crate) struct ClientCore {
     pub(crate) engine: ClientEngine,
     pub(crate) sources: PrivateSources,
     pub(crate) clock: TickClock,
     pub(crate) me: NodeId,
-    pub(crate) outbound: O,
-    pub(crate) shared: &'a Shared,
-    pub(crate) timers: TimerWheel,
-    pub(crate) latencies: Vec<Duration>,
-    pub(crate) op_started: Option<Instant>,
-    pub(crate) completed: usize,
+    latencies: Vec<Duration>,
+    op_started: Option<Instant>,
+    completed: usize,
 }
 
-impl<O: Outbound> ClientRt<'_, O> {
-    fn feed(&mut self, event: Event) {
+impl ClientCore {
+    pub(crate) fn new(
+        engine: ClientEngine,
+        sources: PrivateSources,
+        clock: TickClock,
+        me: NodeId,
+    ) -> Self {
+        ClientCore {
+            engine,
+            sources,
+            clock,
+            me,
+            latencies: Vec::new(),
+            op_started: None,
+            completed: 0,
+        }
+    }
+
+    /// Feeds one event to the engine — preceded by a fresh clock sample,
+    /// as the engine contract requires — collecting the emitted effects
+    /// into `out` for the driver to execute. Latency bookkeeping rides
+    /// along: the op clock starts on the op-issue timer and stops when the
+    /// engine's completion count advances.
+    pub(crate) fn step(&mut self, event: Event, out: &mut Vec<Effect>) {
         if matches!(
             event,
             Event::Timer {
@@ -370,23 +398,8 @@ impl<O: Outbound> ClientRt<'_, O> {
             local: t,
             truth: t,
         };
-        let mut out = Vec::new();
-        self.engine
-            .handle(Event::Now(now), &mut self.sources, &mut out);
-        self.engine.handle(event, &mut self.sources, &mut out);
-        for effect in out {
-            match effect {
-                Effect::Send { to, msg } => self.outbound.send(self.me, to, msg),
-                Effect::SetTimer { after, token } => {
-                    // An infinite delta means "never" — arm nothing.
-                    if let Some(d) = self.clock.delta_to_duration(after) {
-                        self.timers.arm(Instant::now() + d, token);
-                    }
-                }
-                Effect::Metric { name, add } => self.shared.add_metric(name, add),
-                Effect::Record(op) => self.shared.record(op),
-            }
-        }
+        self.engine.handle(Event::Now(now), &mut self.sources, out);
+        self.engine.handle(event, &mut self.sources, out);
         if self.engine.ops_done() > self.completed {
             self.completed = self.engine.ops_done();
             if let Some(started) = self.op_started.take() {
@@ -395,10 +408,53 @@ impl<O: Outbound> ClientRt<'_, O> {
         }
     }
 
+    /// Whether the client has completed its workload with nothing in
+    /// flight — the exit condition every driver polls.
+    pub(crate) fn finished_idle(&self) -> bool {
+        self.engine.finished() && self.engine.is_idle()
+    }
+
+    /// Surrenders the recorded per-operation latencies.
+    pub(crate) fn into_latencies(self) -> Vec<Duration> {
+        self.latencies
+    }
+}
+
+/// One client thread: a [`ClientCore`] + a local timer wheel over real
+/// deadlines. Generic over the [`Outbound`] transport so the in-process
+/// and TCP drivers share one event loop (and therefore one op-sequence /
+/// latency-measurement behaviour). The reactor hosts [`ClientCore`]s
+/// directly — many per thread — and executes effects its own way.
+pub(crate) struct ClientRt<'a, O: Outbound> {
+    pub(crate) core: ClientCore,
+    pub(crate) outbound: O,
+    pub(crate) shared: &'a Shared,
+    pub(crate) timers: TimerWheel,
+}
+
+impl<O: Outbound> ClientRt<'_, O> {
+    fn feed(&mut self, event: Event) {
+        let mut out = Vec::new();
+        self.core.step(event, &mut out);
+        for effect in out {
+            match effect {
+                Effect::Send { to, msg } => self.outbound.send(self.core.me, to, msg),
+                Effect::SetTimer { after, token } => {
+                    // An infinite delta means "never" — arm nothing.
+                    if let Some(d) = self.core.clock.delta_to_duration(after) {
+                        self.timers.arm(Instant::now() + d, token);
+                    }
+                }
+                Effect::Metric { name, add } => self.shared.add_metric(name, add),
+                Effect::Record(op) => self.shared.record(op),
+            }
+        }
+    }
+
     pub(crate) fn run(mut self, inbox: &Receiver<(NodeId, Msg)>) -> Vec<Duration> {
         self.feed(Event::Start);
         loop {
-            if self.engine.finished() && self.engine.is_idle() {
+            if self.core.finished_idle() {
                 break;
             }
             // Fire every already-due timer (pop_due collects before any
@@ -439,8 +495,31 @@ impl<O: Outbound> ClientRt<'_, O> {
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        self.latencies
+        self.core.into_latencies()
     }
+}
+
+/// Feeds one event to a server engine, preceded by a fresh clock sample —
+/// the server-side stepping contract shared by the per-thread drivers
+/// ([`server_thread`]) and the shard reactor, which owns its engine inside
+/// the event loop instead of behind an inbox.
+pub(crate) fn step_server(
+    engine: &mut ServerEngine,
+    clock: &TickClock,
+    me: NodeId,
+    event: Event,
+    out: &mut Vec<Effect>,
+) {
+    let t = clock.now();
+    engine.handle(
+        Event::Now(Now {
+            me,
+            local: t,
+            truth: t,
+        }),
+        out,
+    );
+    engine.handle(event, out);
 }
 
 /// One shard thread: blocking on its inbox, with a timer wheel for the
@@ -491,17 +570,8 @@ pub(crate) fn server_thread(
             }
         }
         for event in events {
-            let t = clock.now();
             let mut out = Vec::new();
-            engine.handle(
-                Event::Now(Now {
-                    me,
-                    local: t,
-                    truth: t,
-                }),
-                &mut out,
-            );
-            engine.handle(event, &mut out);
+            step_server(&mut engine, &clock, me, event, &mut out);
             for effect in out {
                 match effect {
                     Effect::Send { to, msg } => send(to, msg),
@@ -586,16 +656,15 @@ pub fn run_threaded(config: &RuntimeConfig) -> RuntimeResult {
                     config.ops_per_client,
                 );
                 let rt = ClientRt {
-                    engine,
-                    sources: PrivateSources::new(config.seed, site, config.n_clients),
-                    clock,
-                    me: NodeId::new(shards + site),
+                    core: ClientCore::new(
+                        engine,
+                        PrivateSources::new(config.seed, site, config.n_clients),
+                        clock,
+                        NodeId::new(shards + site),
+                    ),
                     outbound: ChannelOutbound(server_txs.clone()),
                     shared: shared_ref,
                     timers: TimerWheel::new(),
-                    latencies: Vec::new(),
-                    op_started: None,
-                    completed: 0,
                 };
                 let inbox = rx_slot.take().expect("receiver taken once");
                 workers.push(scope.spawn(move |_| rt.run(&inbox)));

@@ -53,8 +53,8 @@ use tc_sim::{Metrics, NodeId, TraceRecorder};
 use tc_wire::{read_frame, write_frame, WireMsg};
 
 use crate::runtime::{
-    finish_run, server_thread, ClientRt, Outbound, RuntimeConfig, RuntimeResult, Shared, TickClock,
-    TimerWheel,
+    finish_run, server_thread, ClientCore, ClientRt, Outbound, RuntimeConfig, RuntimeResult,
+    Shared, TickClock, TimerWheel,
 };
 
 /// Capped exponential backoff with deterministic jitter for client
@@ -142,8 +142,8 @@ impl TcpRuntimeConfig {
 
 /// SplitMix64 — the jitter source (deterministic, seedable, no
 /// dependencies; same generator the simulator's RNG family bootstraps
-/// from).
-fn splitmix64(x: u64) -> u64 {
+/// from). Shared with the reactor driver's backoff path.
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -623,19 +623,18 @@ pub fn run_tcp_with(config: &TcpRuntimeConfig) -> RuntimeResult {
                     rc.ops_per_client,
                 );
                 let rt = ClientRt {
-                    engine,
-                    sources: PrivateSources::new(rc.seed, site, rc.n_clients),
-                    clock,
-                    me: NodeId::new(shards + site),
+                    core: ClientCore::new(
+                        engine,
+                        PrivateSources::new(rc.seed, site, rc.n_clients),
+                        clock,
+                        NodeId::new(shards + site),
+                    ),
                     outbound: TcpOutbound {
                         slots: &outboxes[site],
                         shared: shared_ref,
                     },
                     shared: shared_ref,
                     timers: TimerWheel::new(),
-                    latencies: Vec::new(),
-                    op_started: None,
-                    completed: 0,
                 };
                 let done = &done[site];
                 client_workers.push(scope.spawn(move |_| {

@@ -13,7 +13,10 @@
 //!   heartbeats, orderly goodbye);
 //! * [`frame`] — the versioned, length-prefixed frame (magic, protocol
 //!   version, shard id, payload length, CRC) and blocking
-//!   [`read_frame`]/[`write_frame`] helpers over `std::io`.
+//!   [`read_frame`]/[`write_frame`] helpers over `std::io`;
+//! * [`stream`] — [`FrameDecoder`], the incremental decoder an evented
+//!   transport feeds arbitrary byte chunks; chunk boundaries are provably
+//!   invisible (identity with the one-shot decoder is proptested).
 //!
 //! Following the workspace's vendored-dependency convention the codec is
 //! hand-rolled with **zero third-party crates** — no serde on the wire, no
@@ -35,6 +38,7 @@ pub mod codec;
 pub mod crc;
 pub mod frame;
 pub mod msg;
+pub mod stream;
 
 pub use codec::{Reader, WireError, Writer};
 pub use crc::crc32;
@@ -43,3 +47,4 @@ pub use frame::{
     FrameHeader, HEADER_LEN, MAGIC, MAX_PAYLOAD, WIRE_VERSION,
 };
 pub use msg::{get_msg, get_protocol, get_wire_msg, put_msg, put_protocol, put_wire_msg, WireMsg};
+pub use stream::FrameDecoder;

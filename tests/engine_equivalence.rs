@@ -1,6 +1,7 @@
 //! Engine equivalence: the sans-io §5 state machines must behave the same
-//! under all three drivers — the deterministic simulator, the threaded
-//! in-process runtime, and the framed loopback-TCP transport.
+//! under all four drivers — the deterministic simulator, the threaded
+//! in-process runtime, the framed loopback-TCP transport, and the evented
+//! epoll reactor.
 //!
 //! Every driver instantiates the *same* `ClientEngine`/`ServerEngine`
 //! types and draws each client's operation stream from the same private
@@ -17,9 +18,9 @@
 //!    violations at the configured Δ;
 //! 2. per-site (kind, object) sequences and written values are identical
 //!    across drivers — the jitter-free fingerprint of "same engine, same
-//!    inputs" (for TCP this additionally certifies that the `tc-wire`
-//!    frame codec, handshakes, and heartbeats are invisible to the
-//!    protocol);
+//!    inputs" (for TCP and the reactor this additionally certifies that
+//!    the `tc-wire` frame codec, handshakes, heartbeats, and — reactor
+//!    only — the incremental decode path are invisible to the protocol);
 //! 3. the real-runtime histories independently satisfy the level's checker
 //!    (SC search for the physical family, CCv for the causal family).
 
@@ -33,7 +34,7 @@ use timed_consistency::lifetime::{
 };
 use timed_consistency::sim::workload::Workload;
 use timed_consistency::sim::WorldConfig;
-use timed_consistency::store::{run_tcp, run_threaded, RuntimeConfig};
+use timed_consistency::store::{run_reactor, run_tcp, run_threaded, RuntimeConfig};
 
 const SEED: u64 = 42;
 const N_CLIENTS: usize = 3;
@@ -65,6 +66,7 @@ fn check_equivalence_of(protocol: ProtocolConfig) {
     threaded_cfg.tick = Duration::from_micros(20);
     let threaded = run_threaded(&threaded_cfg);
     let tcp = run_tcp(&threaded_cfg);
+    let reactor = run_reactor(&threaded_cfg);
 
     // 1. Every driver completes the workload, monitor-clean.
     assert_eq!(sim.history.len(), N_CLIENTS * OPS, "{kind:?}: sim ops");
@@ -73,7 +75,11 @@ fn check_equivalence_of(protocol: ProtocolConfig) {
         "{kind:?}: sim monitor violations: {}",
         sim.on_time.violations().len()
     );
-    for (driver, run) in [("threaded", &threaded), ("tcp", &tcp)] {
+    for (driver, run) in [
+        ("threaded", &threaded),
+        ("tcp", &tcp),
+        ("reactor", &reactor),
+    ] {
         assert_eq!(run.ops_done, N_CLIENTS * OPS, "{kind:?}: {driver} ops");
         assert!(
             run.on_time.holds(),
@@ -98,11 +104,17 @@ fn check_equivalence_of(protocol: ProtocolConfig) {
         }
     }
 
-    // 2. Identical per-site programs modulo read values, across all three
-    // drivers — for TCP this is what certifies the wire codec invisible.
+    // 2. Identical per-site programs modulo read values, across all four
+    // drivers — for TCP this is what certifies the wire codec invisible,
+    // and for the reactor additionally the incremental frame decoder and
+    // the evented effect execution.
     for site in 0..N_CLIENTS {
         let reference = site_fingerprint(&sim.history, site);
-        for (driver, history) in [("threaded", &threaded.history), ("tcp", &tcp.history)] {
+        for (driver, history) in [
+            ("threaded", &threaded.history),
+            ("tcp", &tcp.history),
+            ("reactor", &reactor.history),
+        ] {
             assert_eq!(
                 &site_fingerprint(history, site),
                 &reference,
@@ -113,7 +125,11 @@ fn check_equivalence_of(protocol: ProtocolConfig) {
 
     // 3. The real-runtime histories stand on their own under the level's
     // checker.
-    for (driver, history) in [("threaded", &threaded.history), ("tcp", &tcp.history)] {
+    for (driver, history) in [
+        ("threaded", &threaded.history),
+        ("tcp", &tcp.history),
+        ("reactor", &reactor.history),
+    ] {
         if kind.is_causal_family() {
             assert!(
                 satisfies_ccv(history).holds(),
@@ -146,8 +162,8 @@ fn causal_engines_are_driver_independent() {
 }
 
 /// Sharding must be invisible to engine equivalence: with the object space
-/// split over a fleet, both drivers still run identical per-site programs
-/// and stay monitor-clean at the configured Δ.
+/// split over a fleet, every driver still runs identical per-site programs
+/// and stays monitor-clean at the configured Δ.
 #[test]
 fn sharded_engines_are_driver_independent() {
     check_equivalence_of(

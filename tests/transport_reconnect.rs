@@ -1,5 +1,8 @@
 //! Transport fault injection: kill a shard's listener mid-run, hold the
 //! address down, rebind it — and demand that the protocol rides it out.
+//! Run twice: once over the thread-per-connection transport, once over
+//! the evented epoll reactor, which must absorb the same outage with the
+//! same counters and the same per-site programs.
 //!
 //! The reconnect path is where a transport earns its keep: the engines
 //! were designed for lossy delivery (per-request retry timers, causal
@@ -27,15 +30,19 @@ use timed_consistency::lifetime::{ProtocolConfig, ProtocolKind};
 use timed_consistency::sim::metrics::names;
 use timed_consistency::sim::workload::Workload;
 use timed_consistency::store::{
-    run_tcp_with, run_threaded, Backoff, ListenerChaos, RuntimeConfig, TcpRuntimeConfig,
+    run_reactor_with, run_tcp_with, run_threaded, Backoff, ListenerChaos, ReactorConfig,
+    RuntimeConfig, RuntimeResult, TcpRuntimeConfig,
 };
 
 const SEED: u64 = 77;
 const N_CLIENTS: usize = 2;
 const OPS: usize = 100;
 
-#[test]
-fn listener_death_and_rebirth_is_absorbed_by_the_protocol() {
+/// The shared chaos plan: shard 0's listener dies at 20 ms and stays down
+/// for ~100 ms — several protocol lifetimes (Δ = 400 ticks · 50 µs =
+/// 20 ms) — with fast failure detection so the outage, not the timeout,
+/// dominates.
+fn chaos_config() -> TcpRuntimeConfig {
     let protocol = ProtocolConfig::of(ProtocolKind::Tsc {
         delta: Delta::from_ticks(400),
     })
@@ -48,9 +55,8 @@ fn listener_death_and_rebirth_is_absorbed_by_the_protocol() {
         SEED,
     );
 
-    let mut cfg = TcpRuntimeConfig::new(runtime.clone());
-    // Fast failure detection so the outage, not the timeout, dominates:
-    // heartbeats every 5 ms, a link with 25 ms of inbound silence is dead,
+    let mut cfg = TcpRuntimeConfig::new(runtime);
+    // Heartbeats every 5 ms, a link with 25 ms of inbound silence is dead,
     // redials back off 2..=20 ms.
     cfg.heartbeat = Duration::from_millis(5);
     cfg.read_timeout = Duration::from_millis(25);
@@ -73,9 +79,11 @@ fn listener_death_and_rebirth_is_absorbed_by_the_protocol() {
     // 50 µs tick that is ~3 000 ticks; 10 000 gives slow CI room without
     // blunting the verdict — the monitor still judges every read.
     cfg.runtime.monitor_delta = Delta::from_ticks(cfg.runtime.monitor_delta.ticks() + 10_000);
+    cfg
+}
 
-    let faulted = run_tcp_with(&cfg);
-
+/// Everything a chaos run must exhibit, whichever driver ran it.
+fn assert_chaos_absorbed(faulted: &RuntimeResult) {
     // The workload survived the outage completely.
     assert_eq!(
         faulted.ops_done,
@@ -116,8 +124,10 @@ fn listener_death_and_rebirth_is_absorbed_by_the_protocol() {
     );
 
     // The fault changes timing, never programs: per-site fingerprints
-    // match a fault-free in-process run of the same seed.
-    let clean = run_threaded(&runtime);
+    // match a fault-free in-process run of the same seed. (The monitor Δ
+    // plays no role in what ops a site issues, so reusing the widened
+    // runtime config is immaterial here.)
+    let clean = run_threaded(&chaos_config().runtime);
     for site in 0..N_CLIENTS {
         assert_eq!(
             site_fingerprint(&faulted.history, site),
@@ -125,4 +135,28 @@ fn listener_death_and_rebirth_is_absorbed_by_the_protocol() {
             "site {site}: chaos must not alter the operation program"
         );
     }
+}
+
+#[test]
+fn listener_death_and_rebirth_is_absorbed_by_the_protocol() {
+    assert_chaos_absorbed(&run_tcp_with(&chaos_config()));
+}
+
+/// The reactor's redial path is a timer-wheel state machine, not a
+/// blocking link thread — but the observable outage story must be
+/// identical: same restart/reconnect counters, same completed workload,
+/// same per-site programs. Registrations must also drain to zero even
+/// though the outage hard-closed every connection to the dead shard.
+#[test]
+fn reactor_absorbs_the_same_listener_outage() {
+    let faulted = run_reactor_with(&ReactorConfig {
+        tcp: chaos_config(),
+        churn: None,
+    });
+    assert_chaos_absorbed(&faulted);
+    assert_eq!(
+        faulted.counter(names::REACTOR_CONN_OPENED),
+        faulted.counter(names::REACTOR_CONN_CLOSED),
+        "chaos-killed registrations must still drain to zero"
+    );
 }
