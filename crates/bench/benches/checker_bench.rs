@@ -118,7 +118,7 @@ fn bench_on_time(c: &mut Criterion) {
             1,
         );
         // The monitor's feed order, pre-sorted outside the measured loop.
-        let mut sorted: Vec<&Operation> = h.ops().iter().collect();
+        let mut sorted: Vec<Operation> = h.iter().collect();
         sorted.sort_by_key(|o| (o.time(), o.id()));
         group.bench_with_input(BenchmarkId::new("naive", size), &h, |b, h| {
             b.iter(|| black_box(check_on_time_naive(h, delta, eps)))

@@ -1,0 +1,42 @@
+//! tc-wire hot paths: CRC-32 throughput and frame encoding, including the
+//! buffer-reusing zero-copy path the socket drivers run per message.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tc_wire::{crc32, encode_frame, encode_frame_into, WireMsg};
+
+fn payload_msg() -> WireMsg {
+    WireMsg::HelloReject {
+        reason: "a moderately sized reason string to give the codec work".to_string(),
+    }
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_crc32");
+    for size in [64usize, 1024, 65536] {
+        let data: Vec<u8> = (0..size).map(|i| (i * 31 % 251) as u8).collect();
+        g.bench_function(format!("slice8_{size}B"), |b| {
+            b.iter(|| crc32(black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let msg = payload_msg();
+    let mut g = c.benchmark_group("wire_encode");
+    g.bench_function("encode_frame_alloc", |b| {
+        b.iter(|| encode_frame(black_box(7), black_box(&msg)))
+    });
+    g.bench_function("encode_frame_into_reused", |b| {
+        let mut buf = Vec::with_capacity(1024);
+        b.iter(|| {
+            buf.clear();
+            encode_frame_into(black_box(&mut buf), black_box(7), black_box(&msg));
+            black_box(buf.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_crc, bench_encode);
+criterion_main!(benches);

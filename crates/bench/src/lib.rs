@@ -6,6 +6,8 @@
 //! the simulation studies its conclusion promises; `EXPERIMENTS.md` maps
 //! binaries to figures and records measured outputs.
 
+pub mod alloc;
+
 use std::fmt::Display;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};

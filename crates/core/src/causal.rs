@@ -53,7 +53,7 @@ impl CausalOrder {
         // nodes in decreasing effective-time order converges in one pass
         // for acyclic histories (all edges then point "forward").
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(history.ops()[i].time()));
+        order.sort_by_key(|&i| std::cmp::Reverse(history.time_of(crate::OpId::new(i))));
         let mut reach = vec![0u64; n * words];
         let mut changed = true;
         while changed {

@@ -168,10 +168,23 @@ impl OnTimeMonitor {
     /// Ingests a whole history in `(time, id)` order — the natural
     /// streaming order, which never exercises the repair pass.
     pub fn ingest_history(&mut self, history: &crate::History) {
-        let mut ops: Vec<&Operation> = history.ops().iter().collect();
-        ops.sort_by_key(|o| (o.time(), o.id()));
-        for op in ops {
-            self.ingest_op(op);
+        let mut ids: Vec<OpId> = history.ids().collect();
+        ids.sort_unstable_by_key(|&id| (history.time_of(id), id));
+        for id in ids {
+            match history.kind_of(id) {
+                OpKind::Write => self.ingest_write(
+                    id,
+                    history.object_of(id),
+                    history.value_of(id),
+                    history.time_of(id),
+                ),
+                OpKind::Read => self.ingest_read(
+                    id,
+                    history.object_of(id),
+                    history.value_of(id),
+                    history.time_of(id),
+                ),
+            }
         }
     }
 
@@ -394,7 +407,8 @@ mod tests {
         assert_eq!(m.into_report(), check_on_time(h, delta, eps));
         // Reversed ingestion exercises pending reads and repair.
         let mut m = OnTimeMonitor::new(delta, eps);
-        for op in h.ops().iter().rev() {
+        let ops: Vec<_> = h.iter().collect();
+        for op in ops.iter().rev() {
             m.ingest_op(op);
         }
         assert_eq!(m.pending_reads(), 0);
@@ -416,10 +430,10 @@ mod tests {
     fn running_min_delta_is_online() {
         let h = fig1ish();
         let mut m = OnTimeMonitor::new(Delta::from_ticks(100), Epsilon::ZERO);
-        let mut ops: Vec<_> = h.ops().iter().collect();
+        let mut ops: Vec<_> = h.iter().collect();
         ops.sort_by_key(|o| (o.time(), o.id()));
         let mut last = Delta::ZERO;
-        for op in ops {
+        for op in &ops {
             m.ingest_op(op);
             assert!(m.min_delta() >= last, "running min_delta is monotone");
             last = m.min_delta();
@@ -440,13 +454,13 @@ mod tests {
         let h = b.build().unwrap();
         let delta = Delta::from_ticks(50);
         let mut m = OnTimeMonitor::new(delta, Epsilon::ZERO);
-        for op in h.ops() {
+        for op in h.iter() {
             if op.id() != w_new {
-                m.ingest_op(op);
+                m.ingest_op(&op);
             }
         }
         assert!(m.holds(), "without the newer write the read is on time");
-        m.ingest_op(h.op(w_new));
+        m.ingest_op(&h.op(w_new));
         assert_eq!(m.late_writes(), 1);
         assert!(!m.holds());
         assert_eq!(m.into_report(), check_on_time(&h, delta, Epsilon::ZERO));
@@ -459,9 +473,9 @@ mod tests {
         b.read(1, 'X', 7, 300);
         let h = b.build().unwrap();
         let mut m = OnTimeMonitor::new(Delta::ZERO, Epsilon::ZERO);
-        m.ingest_op(h.op(OpId::new(1)));
+        m.ingest_op(&h.op(OpId::new(1)));
         assert_eq!(m.pending_reads(), 1);
-        m.ingest_op(h.op(w));
+        m.ingest_op(&h.op(w));
         assert_eq!(m.pending_reads(), 0);
         assert_eq!(
             m.into_report(),

@@ -91,9 +91,8 @@ pub(crate) struct ObjectIndex {
 impl ObjectIndex {
     pub(crate) fn of(history: &History) -> ObjectIndex {
         let mut ids: Vec<crate::ObjectId> = history
-            .ops()
-            .iter()
-            .map(|o| o.object())
+            .ids()
+            .map(|id| history.object_of(id))
             .collect::<std::collections::BTreeSet<_>>()
             .into_iter()
             .collect();

@@ -115,8 +115,8 @@ fn write_window(
         return &[];
     }
     let writes = history.writes_to(object);
-    let start = writes.partition_point(|&w| history.op(w).time().ticks() < lo);
-    let end = start + writes[start..].partition_point(|&w| history.op(w).time().ticks() < hi);
+    let start = writes.partition_point(|&w| history.time_of(w).ticks() < lo);
+    let end = start + writes[start..].partition_point(|&w| history.time_of(w).ticks() < hi);
     &writes[start..end]
 }
 
@@ -137,18 +137,18 @@ fn write_window(
 #[must_use]
 pub fn check_on_time(history: &History, delta: Delta, eps: Epsilon) -> TimedReport {
     let mut violations = Vec::new();
-    for read in history.reads() {
+    for read in history.read_ids() {
         let source = history
-            .source_of(read.id())
+            .source_of(read)
             .expect("reads always have a resolved source");
-        let source_time = source.map(|w| history.op(w).time());
-        let deadline = read.time().saturating_sub_delta(delta);
-        let missed = write_window(history, read.object(), source_time, deadline, eps);
+        let source_time = source.map(|w| history.time_of(w));
+        let deadline = history.time_of(read).saturating_sub_delta(delta);
+        let missed = write_window(history, history.object_of(read), source_time, deadline, eps);
         if !missed.is_empty() {
-            let min_delta = read_min_delta(history, read.id(), source_time, eps)
+            let min_delta = read_min_delta(history, read, source_time, eps)
                 .expect("a violated read has a positive minimal delta");
             violations.push(OnTimeViolation {
-                read: read.id(),
+                read,
                 source,
                 missed: missed.to_vec(),
                 min_delta,
@@ -169,15 +169,15 @@ pub fn check_on_time(history: &History, delta: Delta, eps: Epsilon) -> TimedRepo
 #[must_use]
 pub fn check_on_time_naive(history: &History, delta: Delta, eps: Epsilon) -> TimedReport {
     let mut violations = Vec::new();
-    for read in history.reads() {
+    for read in history.read_ids() {
         let source = history
-            .source_of(read.id())
+            .source_of(read)
             .expect("reads always have a resolved source");
-        let source_time = source.map(|w| history.op(w).time());
-        let deadline = read.time().saturating_sub_delta(delta);
+        let source_time = source.map(|w| history.time_of(w));
+        let deadline = history.time_of(read).saturating_sub_delta(delta);
         let mut missed = Vec::new();
-        for &w_id in history.writes_to(read.object()) {
-            let tw = history.op(w_id).time();
+        for &w_id in history.writes_to(history.object_of(read)) {
+            let tw = history.time_of(w_id);
             let newer_than_source = match source_time {
                 Some(ts) => definitely_before(ts, tw, eps),
                 None => true,
@@ -187,10 +187,10 @@ pub fn check_on_time_naive(history: &History, delta: Delta, eps: Epsilon) -> Tim
             }
         }
         if !missed.is_empty() {
-            let min_delta = read_min_delta_naive(history, read.id(), source_time, eps)
+            let min_delta = read_min_delta_naive(history, read, source_time, eps)
                 .expect("a violated read has a positive minimal delta");
             violations.push(OnTimeViolation {
-                read: read.id(),
+                read,
                 source,
                 missed,
                 min_delta,
@@ -216,7 +216,7 @@ fn read_min_delta(
     source_time: Option<Time>,
     eps: Epsilon,
 ) -> Option<Delta> {
-    let r = history.op(read);
+    let read_time = history.time_of(read);
     let lo = match source_time {
         None => 0,
         Some(ts) => ts
@@ -224,14 +224,13 @@ fn read_min_delta(
             .checked_add(eps.ticks())
             .and_then(|t| t.checked_add(1))?,
     };
-    let writes = history.writes_to(r.object());
-    let first = writes.partition_point(|&w| history.op(w).time().ticks() < lo);
-    let tw = history.op(*writes.get(first)?).time();
-    if tw >= r.time() {
+    let writes = history.writes_to(history.object_of(read));
+    let first = writes.partition_point(|&w| history.time_of(w).ticks() < lo);
+    let tw = history.time_of(*writes.get(first)?);
+    if tw >= read_time {
         return None;
     }
-    let gap = r
-        .time()
+    let gap = read_time
         .ticks()
         .saturating_sub(tw.ticks())
         .saturating_sub(eps.ticks());
@@ -246,19 +245,18 @@ fn read_min_delta_naive(
     source_time: Option<Time>,
     eps: Epsilon,
 ) -> Option<Delta> {
-    let r = history.op(read);
+    let read_time = history.time_of(read);
     let mut needed: Option<u64> = None;
-    for &w_id in history.writes_to(r.object()) {
-        let tw = history.op(w_id).time();
+    for &w_id in history.writes_to(history.object_of(read)) {
+        let tw = history.time_of(w_id);
         let newer_than_source = match source_time {
             Some(ts) => definitely_before(ts, tw, eps),
             None => true,
         };
         // The read misses w' for any Δ with T(w') + ε < T(r) − Δ, i.e.
         // it is on time only once Δ ≥ T(r) − T(w') − ε.
-        if newer_than_source && tw < r.time() {
-            let gap = r
-                .time()
+        if newer_than_source && tw < read_time {
+            let gap = read_time
                 .ticks()
                 .saturating_sub(tw.ticks())
                 .saturating_sub(eps.ticks());
@@ -294,12 +292,12 @@ pub fn min_delta(history: &History) -> Delta {
 #[must_use]
 pub fn min_delta_eps(history: &History, eps: Epsilon) -> Delta {
     let mut worst = Delta::ZERO;
-    for read in history.reads() {
+    for read in history.read_ids() {
         let source = history
-            .source_of(read.id())
+            .source_of(read)
             .expect("reads always have a resolved source");
-        let source_time = source.map(|w| history.op(w).time());
-        if let Some(d) = read_min_delta(history, read.id(), source_time, eps) {
+        let source_time = source.map(|w| history.time_of(w));
+        if let Some(d) = read_min_delta(history, read, source_time, eps) {
             worst = worst.max(d);
         }
     }
@@ -311,12 +309,12 @@ pub fn min_delta_eps(history: &History, eps: Epsilon) -> Delta {
 #[must_use]
 pub fn min_delta_eps_naive(history: &History, eps: Epsilon) -> Delta {
     let mut worst = Delta::ZERO;
-    for read in history.reads() {
+    for read in history.read_ids() {
         let source = history
-            .source_of(read.id())
+            .source_of(read)
             .expect("reads always have a resolved source");
-        let source_time = source.map(|w| history.op(w).time());
-        if let Some(d) = read_min_delta_naive(history, read.id(), source_time, eps) {
+        let source_time = source.map(|w| history.time_of(w));
+        if let Some(d) = read_min_delta_naive(history, read, source_time, eps) {
             worst = worst.max(d);
         }
     }
@@ -356,14 +354,14 @@ pub fn min_delta_eps_naive(history: &History, eps: Epsilon) -> Delta {
 pub fn check_on_time_xi(history: &History, xi: &dyn XiMap, xi_delta: f64) -> XiTimedReport {
     let mut violations = Vec::new();
     let mut missing = 0usize;
-    let xi_of = |id: OpId| -> Option<f64> { history.op(id).logical().map(|l| xi.xi(l.entries())) };
-    for read in history.reads() {
-        let Some(xi_r) = xi_of(read.id()) else {
+    let xi_of = |id: OpId| -> Option<f64> { history.logical_of(id).map(|l| xi.xi(l.entries())) };
+    for read in history.read_ids() {
+        let Some(xi_r) = xi_of(read) else {
             missing += 1;
             continue;
         };
         let source = history
-            .source_of(read.id())
+            .source_of(read)
             .expect("reads have resolved sources");
         let xi_source = match source {
             Some(w) => match xi_of(w) {
@@ -376,7 +374,7 @@ pub fn check_on_time_xi(history: &History, xi: &dyn XiMap, xi_delta: f64) -> XiT
             None => None,
         };
         let mut missed = Vec::new();
-        for &w_id in history.writes_to(read.object()) {
+        for &w_id in history.writes_to(history.object_of(read)) {
             let Some(xi_w) = xi_of(w_id) else {
                 missing += 1;
                 continue;
@@ -391,7 +389,7 @@ pub fn check_on_time_xi(history: &History, xi: &dyn XiMap, xi_delta: f64) -> XiT
         }
         if !missed.is_empty() {
             violations.push(OnTimeViolation {
-                read: read.id(),
+                read,
                 source,
                 missed,
                 // The smallest Δξ for this read, re-expressed in ticks is

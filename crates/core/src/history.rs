@@ -186,205 +186,427 @@ impl IntoObject for u32 {
     }
 }
 
+/// Sentinel in the packed `sources` column: the op is not a read.
+const SRC_NOT_READ: u32 = u32::MAX;
+/// Sentinel in the packed `sources` column: the read returned the initial
+/// value (no source write).
+const SRC_INITIAL: u32 = u32::MAX - 1;
+
 /// The global history `H`: every operation of the execution, the per-site
 /// program orders, and the derived reads-from relation.
 ///
 /// A `History` is immutable once built, so derived structure (per-object
 /// write lists sorted by effective time, reads-from sources) is computed
 /// eagerly and shared by all checkers.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// **Layout.** Operations are stored struct-of-arrays: one dense column
+/// per field ([`site`], [`kind`], [`object`], [`value`], [`time`]) keyed
+/// by the `u32`-backed [`OpId`], with the rare logical stamps (§5.4) in a
+/// sparse side map. Program order and the per-object write lists are
+/// CSR-style indexes — one offsets array plus one flat id array each —
+/// instead of `Vec<Vec<OpId>>` / `HashMap<ObjectId, Vec<OpId>>`. A 10⁷-op
+/// history is therefore ~15 large allocations total, checkers sweep
+/// contiguous memory (`writes_to`, `site_ops` are plain slices), and the
+/// whole structure is about 33 bytes/op instead of ~100+ with per-op heap
+/// nodes. Checker verdicts are unchanged: columns are filled in id order
+/// and the per-object lists sort by `(time, id)`, exactly the order the
+/// previous representation's stable time sort produced.
+///
+/// [`site`]: History::site_of
+/// [`kind`]: History::kind_of
+/// [`object`]: History::object_of
+/// [`value`]: History::value_of
+/// [`time`]: History::time_of
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct History {
-    ops: Vec<Operation>,
-    /// Program order: op ids per site, in execution order.
-    sites: Vec<Vec<OpId>>,
+    /// Column: executing site of each op.
+    site: Vec<u32>,
+    /// Column: read/write.
+    kind: Vec<OpKind>,
+    /// Column: object operated on.
+    object: Vec<ObjectId>,
+    /// Column: value written / returned.
+    value: Vec<Value>,
+    /// Column: effective time `T(op)`.
+    time: Vec<Time>,
+    /// Sparse logical stamps `L(op)` (most histories carry none).
+    logical: HashMap<u32, VectorClock>,
+    /// CSR program order: site `s`'s ops are
+    /// `site_ops_flat[site_offsets[s] .. site_offsets[s+1]]`.
+    site_offsets: Vec<u32>,
+    site_ops_flat: Vec<OpId>,
     /// Position of each op within its site's sequence.
-    site_pos: Vec<usize>,
-    /// Writes per object, sorted by effective time.
-    writes_by_object: HashMap<ObjectId, Vec<OpId>>,
-    /// For each op: if it is a read, the write it reads from (`None` inside
-    /// the option = initial value).
-    sources: Vec<Option<Option<OpId>>>,
+    site_pos: Vec<u32>,
+    /// CSR writes-by-object: written objects, ascending; object
+    /// `obj_ids[k]`'s writes are `obj_writes[obj_offsets[k] ..
+    /// obj_offsets[k+1]]`, sorted by `(time, id)`.
+    obj_ids: Vec<ObjectId>,
+    obj_offsets: Vec<u32>,
+    obj_writes: Vec<OpId>,
+    /// Packed reads-from: [`SRC_NOT_READ`], [`SRC_INITIAL`], or the source
+    /// write's id.
+    sources: Vec<u32>,
 }
 
 impl History {
     /// An empty history.
     #[must_use]
     pub fn empty() -> Self {
-        History {
-            ops: Vec::new(),
-            sites: Vec::new(),
-            site_pos: Vec::new(),
-            writes_by_object: HashMap::new(),
-            sources: Vec::new(),
-        }
+        History::default()
     }
 
     fn from_ops(ops: Vec<Operation>) -> Result<History, HistoryError> {
-        // Program order per site + strict time monotonicity.
-        let n_sites = ops.iter().map(|o| o.site().index() + 1).max().unwrap_or(0);
-        let mut sites: Vec<Vec<OpId>> = vec![Vec::new(); n_sites];
-        let mut site_pos = vec![0usize; ops.len()];
-        for op in &ops {
-            let seq = &mut sites[op.site().index()];
-            if let Some(&prev) = seq.last() {
-                if ops[prev.index()].time() >= op.time() {
+        let n = ops.len();
+        assert!(
+            n < SRC_INITIAL as usize,
+            "history exceeds the u32 op id space"
+        );
+
+        // Move the operations into columns (no validation yet; every
+        // validation pass below reads the columns in id order, which keeps
+        // the error-reporting order of the previous representation).
+        let mut site: Vec<u32> = Vec::with_capacity(n);
+        let mut kind: Vec<OpKind> = Vec::with_capacity(n);
+        let mut object: Vec<ObjectId> = Vec::with_capacity(n);
+        let mut value: Vec<Value> = Vec::with_capacity(n);
+        let mut time: Vec<Time> = Vec::with_capacity(n);
+        let mut logical: HashMap<u32, VectorClock> = HashMap::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            site.push(op.site().index() as u32);
+            kind.push(op.kind());
+            object.push(op.object());
+            value.push(op.value());
+            time.push(op.time());
+            if let Some(l) = op.into_logical() {
+                logical.insert(i as u32, l);
+            }
+        }
+
+        // Program order per site + strict time monotonicity, while counting
+        // per-site sizes for the CSR.
+        let n_sites = site.iter().map(|&s| s as usize + 1).max().unwrap_or(0);
+        let mut site_counts = vec![0u32; n_sites];
+        let mut site_last: Vec<Option<Time>> = vec![None; n_sites];
+        let mut site_pos = vec![0u32; n];
+        for i in 0..n {
+            let s = site[i] as usize;
+            if let Some(prev) = site_last[s] {
+                if prev >= time[i] {
                     return Err(HistoryError::NonMonotoneSiteTime {
-                        site: op.site(),
-                        op: op.id(),
+                        site: SiteId::new(s),
+                        op: OpId::new(i),
                     });
                 }
             }
-            site_pos[op.id().index()] = seq.len();
-            seq.push(op.id());
+            site_last[s] = Some(time[i]);
+            site_pos[i] = site_counts[s];
+            site_counts[s] += 1;
         }
 
         // Unique written values per object.
-        let mut writers: HashMap<(ObjectId, Value), OpId> = HashMap::new();
-        for op in ops.iter().filter(|o| o.is_write()) {
-            if op.value().is_initial() {
-                return Err(HistoryError::WriteOfInitialValue { op: op.id() });
+        let n_writes = kind.iter().filter(|k| **k == OpKind::Write).count();
+        let mut writers: HashMap<(ObjectId, Value), OpId> = HashMap::with_capacity(n_writes);
+        for i in 0..n {
+            if kind[i] != OpKind::Write {
+                continue;
             }
-            if let Some(&first) = writers.get(&(op.object(), op.value())) {
+            if value[i].is_initial() {
+                return Err(HistoryError::WriteOfInitialValue { op: OpId::new(i) });
+            }
+            if let Some(&first) = writers.get(&(object[i], value[i])) {
                 return Err(HistoryError::DuplicateWrittenValue {
                     first,
-                    second: op.id(),
+                    second: OpId::new(i),
                 });
             }
-            writers.insert((op.object(), op.value()), op.id());
+            writers.insert((object[i], value[i]), OpId::new(i));
         }
 
-        // Reads-from resolution.
-        let mut sources = vec![None; ops.len()];
-        for op in ops.iter().filter(|o| o.is_read()) {
-            let src = if op.value().is_initial() {
-                None
+        // Reads-from resolution, packed.
+        let mut sources = vec![SRC_NOT_READ; n];
+        for i in 0..n {
+            if kind[i] != OpKind::Read {
+                continue;
+            }
+            sources[i] = if value[i].is_initial() {
+                SRC_INITIAL
             } else {
-                match writers.get(&(op.object(), op.value())) {
-                    Some(&w) => Some(w),
-                    None => return Err(HistoryError::ReadOfUnwrittenValue { op: op.id() }),
+                match writers.get(&(object[i], value[i])) {
+                    Some(&w) => w.raw(),
+                    None => return Err(HistoryError::ReadOfUnwrittenValue { op: OpId::new(i) }),
                 }
             };
-            sources[op.id().index()] = Some(src);
         }
 
-        // Per-object write lists, sorted by effective time.
-        let mut writes_by_object: HashMap<ObjectId, Vec<OpId>> = HashMap::new();
-        for op in ops.iter().filter(|o| o.is_write()) {
-            writes_by_object
-                .entry(op.object())
-                .or_default()
-                .push(op.id());
+        // Program-order CSR from the per-site counts.
+        let mut site_offsets = vec![0u32; n_sites + 1];
+        for s in 0..n_sites {
+            site_offsets[s + 1] = site_offsets[s] + site_counts[s];
         }
-        for list in writes_by_object.values_mut() {
-            list.sort_by_key(|id| ops[id.index()].time());
+        let mut site_ops_flat = vec![OpId::from_raw(0); n];
+        {
+            let mut cursors = site_offsets[..n_sites].to_vec();
+            for (i, &s) in site.iter().enumerate() {
+                let s = s as usize;
+                site_ops_flat[cursors[s] as usize] = OpId::new(i);
+                cursors[s] += 1;
+            }
+        }
+
+        // Writes-by-object CSR: written objects ascending, each segment
+        // filled in id order then sorted by (time, id) — identical to a
+        // stable time sort of an id-ordered list.
+        let mut obj_ids: Vec<ObjectId> = Vec::with_capacity(n_writes);
+        for i in 0..n {
+            if kind[i] == OpKind::Write {
+                obj_ids.push(object[i]);
+            }
+        }
+        obj_ids.sort_unstable();
+        obj_ids.dedup();
+        let slot = |o: ObjectId| {
+            obj_ids
+                .binary_search(&o)
+                .expect("written object is indexed")
+        };
+        let mut obj_offsets = vec![0u32; obj_ids.len() + 1];
+        for i in 0..n {
+            if kind[i] == OpKind::Write {
+                obj_offsets[slot(object[i]) + 1] += 1;
+            }
+        }
+        for k in 0..obj_ids.len() {
+            obj_offsets[k + 1] += obj_offsets[k];
+        }
+        let mut obj_writes = vec![OpId::from_raw(0); n_writes];
+        {
+            let mut cursors = obj_offsets[..obj_ids.len()].to_vec();
+            for i in 0..n {
+                if kind[i] == OpKind::Write {
+                    let k = slot(object[i]);
+                    obj_writes[cursors[k] as usize] = OpId::new(i);
+                    cursors[k] += 1;
+                }
+            }
+        }
+        for k in 0..obj_ids.len() {
+            let seg = &mut obj_writes[obj_offsets[k] as usize..obj_offsets[k + 1] as usize];
+            seg.sort_unstable_by_key(|&w| (time[w.index()], w));
         }
 
         Ok(History {
-            ops,
-            sites,
+            site,
+            kind,
+            object,
+            value,
+            time,
+            logical,
+            site_offsets,
+            site_ops_flat,
             site_pos,
-            writes_by_object,
+            obj_ids,
+            obj_offsets,
+            obj_writes,
             sources,
         })
     }
 
-    /// All operations, indexed by [`OpId`].
-    #[must_use]
-    pub fn ops(&self) -> &[Operation] {
-        &self.ops
-    }
-
-    /// Looks up one operation.
+    /// Looks up one operation, materialized from the columns.
     ///
     /// # Panics
     ///
     /// Panics if `id` does not belong to this history.
     #[must_use]
-    pub fn op(&self, id: OpId) -> &Operation {
-        &self.ops[id.index()]
+    pub fn op(&self, id: OpId) -> Operation {
+        let i = id.index();
+        let logical = if self.logical.is_empty() {
+            None
+        } else {
+            self.logical.get(&id.raw()).cloned()
+        };
+        Operation::new(
+            id,
+            SiteId::new(self.site[i] as usize),
+            self.kind[i],
+            self.object[i],
+            self.value[i],
+            self.time[i],
+            logical,
+        )
+    }
+
+    /// Iterator over all operations in id order (materialized; hot paths
+    /// should read the columns via [`Self::time_of`] and friends instead).
+    pub fn iter(&self) -> impl Iterator<Item = Operation> + '_ {
+        self.ids().map(|id| self.op(id))
+    }
+
+    /// Iterator over all operation ids, in id order.
+    pub fn ids(&self) -> impl Iterator<Item = OpId> {
+        (0..self.len()).map(OpId::new)
+    }
+
+    /// The effective time `T(op)` column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this history (likewise for every
+    /// column accessor below).
+    #[inline]
+    #[must_use]
+    pub fn time_of(&self, id: OpId) -> Time {
+        self.time[id.index()]
+    }
+
+    /// The executing site column.
+    #[inline]
+    #[must_use]
+    pub fn site_of(&self, id: OpId) -> SiteId {
+        SiteId::new(self.site[id.index()] as usize)
+    }
+
+    /// The object column.
+    #[inline]
+    #[must_use]
+    pub fn object_of(&self, id: OpId) -> ObjectId {
+        self.object[id.index()]
+    }
+
+    /// The value column.
+    #[inline]
+    #[must_use]
+    pub fn value_of(&self, id: OpId) -> Value {
+        self.value[id.index()]
+    }
+
+    /// The kind column.
+    #[inline]
+    #[must_use]
+    pub fn kind_of(&self, id: OpId) -> OpKind {
+        self.kind[id.index()]
+    }
+
+    /// Whether `id` is a write (kind column).
+    #[inline]
+    #[must_use]
+    pub fn is_write_op(&self, id: OpId) -> bool {
+        self.kind[id.index()] == OpKind::Write
+    }
+
+    /// Whether `id` is a read (kind column).
+    #[inline]
+    #[must_use]
+    pub fn is_read_op(&self, id: OpId) -> bool {
+        self.kind[id.index()] == OpKind::Read
+    }
+
+    /// The logical stamp `L(op)`, if the execution recorded one (§5.4).
+    #[must_use]
+    pub fn logical_of(&self, id: OpId) -> Option<&VectorClock> {
+        self.logical.get(&id.raw())
     }
 
     /// Number of operations.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.ops.len()
+        self.kind.len()
     }
 
     /// Whether the history contains no operations.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.ops.is_empty()
+        self.kind.is_empty()
     }
 
     /// Number of sites (highest site index + 1).
     #[must_use]
     pub fn n_sites(&self) -> usize {
-        self.sites.len()
+        self.site_offsets.len().saturating_sub(1)
     }
 
     /// The program order of `site`: its operations in execution order.
     #[must_use]
     pub fn site_ops(&self, site: SiteId) -> &[OpId] {
-        self.sites
-            .get(site.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        let s = site.index();
+        if s >= self.n_sites() {
+            return &[];
+        }
+        &self.site_ops_flat[self.site_offsets[s] as usize..self.site_offsets[s + 1] as usize]
     }
 
     /// Whether `a` precedes `b` in some site's program order.
     #[must_use]
     pub fn program_order(&self, a: OpId, b: OpId) -> bool {
-        let (oa, ob) = (self.op(a), self.op(b));
-        oa.site() == ob.site() && self.site_pos[a.index()] < self.site_pos[b.index()]
+        self.site[a.index()] == self.site[b.index()]
+            && self.site_pos[a.index()] < self.site_pos[b.index()]
     }
 
     /// Position of `op` within its site's program order.
     #[must_use]
     pub fn site_position(&self, op: OpId) -> usize {
-        self.site_pos[op.index()]
+        self.site_pos[op.index()] as usize
     }
 
-    /// The writes to `object`, sorted by effective time.
+    /// The writes to `object`, sorted by effective time (ties in id order).
     #[must_use]
     pub fn writes_to(&self, object: ObjectId) -> &[OpId] {
-        self.writes_by_object
-            .get(&object)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        match self.obj_ids.binary_search(&object) {
+            Ok(k) => {
+                &self.obj_writes[self.obj_offsets[k] as usize..self.obj_offsets[k + 1] as usize]
+            }
+            Err(_) => &[],
+        }
     }
 
-    /// The objects written in this history.
+    /// The objects written in this history, ascending. Borrows the index —
+    /// no per-call allocation.
     pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
-        let mut keys: Vec<ObjectId> = self.writes_by_object.keys().copied().collect();
-        keys.sort();
-        keys.into_iter()
+        self.obj_ids.iter().copied()
     }
 
     /// The write a read returns the value of: `Some(None)` means the read
     /// returned the initial value, `None` means `read` is not a read.
     #[must_use]
     pub fn source_of(&self, read: OpId) -> Option<Option<OpId>> {
-        self.sources[read.index()]
+        match self.sources[read.index()] {
+            SRC_NOT_READ => None,
+            SRC_INITIAL => Some(None),
+            w => Some(Some(OpId::from_raw(w))),
+        }
     }
 
-    /// Iterator over all read operations.
-    pub fn reads(&self) -> impl Iterator<Item = &Operation> {
-        self.ops.iter().filter(|o| o.is_read())
+    /// Iterator over all read ids, in id order.
+    pub fn read_ids(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.kind
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| **k == OpKind::Read)
+            .map(|(i, _)| OpId::new(i))
     }
 
-    /// Iterator over all write operations.
-    pub fn writes(&self) -> impl Iterator<Item = &Operation> {
-        self.ops.iter().filter(|o| o.is_write())
+    /// Iterator over all write ids, in id order.
+    pub fn write_ids(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.kind
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| **k == OpKind::Write)
+            .map(|(i, _)| OpId::new(i))
+    }
+
+    /// Iterator over all read operations (materialized), in id order.
+    pub fn reads(&self) -> impl Iterator<Item = Operation> + '_ {
+        self.read_ids().map(|id| self.op(id))
+    }
+
+    /// Iterator over all write operations (materialized), in id order.
+    pub fn writes(&self) -> impl Iterator<Item = Operation> + '_ {
+        self.write_ids().map(|id| self.op(id))
     }
 
     /// The largest effective time in the history, or zero when empty.
     #[must_use]
     pub fn max_time(&self) -> Time {
-        self.ops
-            .iter()
-            .map(Operation::time)
-            .max()
-            .unwrap_or(Time::ZERO)
+        self.time.iter().copied().max().unwrap_or(Time::ZERO)
     }
 
     /// Parses the paper's compact notation, e.g.
@@ -413,8 +635,8 @@ impl fmt::Display for History {
     /// One line per site, in the paper's notation. The output parses back
     /// via [`History::parse`] (each token embeds its site id).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for ops in &self.sites {
-            for (k, id) in ops.iter().enumerate() {
+        for s in 0..self.n_sites() {
+            for (k, id) in self.site_ops(SiteId::new(s)).iter().enumerate() {
                 if k > 0 {
                     write!(f, " ")?;
                 }

@@ -146,21 +146,43 @@ impl From<u64> for Value {
 
 /// Identifies an operation within one [`crate::History`] (its index in the
 /// history's operation table).
+///
+/// Backed by a `u32`: histories are bounded at ~4 billion operations, and
+/// the history's columnar indexes (per-site program order, per-object
+/// write lists, reads-from) store these ids densely — half the footprint
+/// of a `usize` id at 10⁷-op scale.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct OpId(usize);
+pub struct OpId(u32);
 
 impl OpId {
     /// Creates an operation id from an index. Primarily for tests; normal
     /// code receives ids from [`crate::HistoryBuilder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit the `u32` id space.
     #[must_use]
     pub const fn new(index: usize) -> Self {
-        OpId(index)
+        assert!(index <= u32::MAX as usize, "op index exceeds u32 id space");
+        OpId(index as u32)
     }
 
     /// The underlying index.
     #[must_use]
     pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` the id is stored as (columnar indexes).
+    #[must_use]
+    pub(crate) const fn raw(self) -> u32 {
         self.0
+    }
+
+    /// Rebuilds an id from its raw `u32` form.
+    #[must_use]
+    pub(crate) const fn from_raw(raw: u32) -> Self {
+        OpId(raw)
     }
 }
 
@@ -268,6 +290,12 @@ impl Operation {
 
     pub(crate) fn set_logical(&mut self, logical: VectorClock) {
         self.logical = Some(logical);
+    }
+
+    /// Consumes the operation, extracting its logical stamp without a
+    /// clone (used when moving operations into the history's columns).
+    pub(crate) fn into_logical(self) -> Option<VectorClock> {
+        self.logical
     }
 }
 

@@ -1,0 +1,178 @@
+//! Equivalence of construction paths into the columnar [`History`]: a
+//! history assembled op-by-op through [`HistoryBuilder`] and one rebuilt
+//! from the first's iterated operations must be indistinguishable — same
+//! structure through every accessor and byte-identical checker reports.
+//! A display→parse round trip is also checked, but only up to operation
+//! renaming (the display form groups by site, so re-parsing renumbers
+//! ids); its verdicts must still agree on everything id-independent.
+//!
+//! This is the safety net under the struct-of-arrays layout: the columns
+//! and CSR indexes are derived state, so no construction route may leak
+//! a different derivation into a verdict.
+
+use proptest::prelude::*;
+use tc_clocks::{Delta, Epsilon};
+use tc_core::checker::{
+    check_on_time, min_delta_eps, satisfies_tsc_eps, OnTimeMonitor, SearchOptions,
+};
+use tc_core::generator::{
+    random_history, replica_history, RandomHistoryConfig, ReplicaHistoryConfig,
+};
+use tc_core::{History, HistoryBuilder, SiteId};
+
+fn any_history(seed: u64) -> History {
+    if seed.is_multiple_of(2) {
+        random_history(
+            &RandomHistoryConfig {
+                n_sites: 4,
+                n_objects: 3,
+                ops_per_site: 6,
+                read_fraction: 0.55,
+                max_time_step: 40,
+            },
+            seed,
+        )
+    } else {
+        replica_history(
+            &ReplicaHistoryConfig {
+                n_sites: 3,
+                n_objects: 2,
+                ops_per_site: 7,
+                read_fraction: 0.6,
+                max_time_step: 30,
+                delay: (5, 60),
+            },
+            seed,
+        )
+    }
+}
+
+/// Re-pushes every operation of `h` through a fresh builder, in id order,
+/// so the rebuilt history names each operation identically.
+fn rebuild(h: &History) -> History {
+    let mut b = HistoryBuilder::new();
+    for op in h.iter() {
+        if op.is_write() {
+            b.write(
+                op.site().index(),
+                op.object(),
+                op.value(),
+                op.time().ticks(),
+            );
+        } else {
+            b.read(
+                op.site().index(),
+                op.object(),
+                op.value(),
+                op.time().ticks(),
+            );
+        }
+    }
+    b.build().expect("a valid history rebuilds")
+}
+
+/// Every derived-index accessor must agree between the two histories.
+fn assert_same_structure(a: &History, b: &History) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.n_sites(), b.n_sites());
+    assert_eq!(a.max_time(), b.max_time());
+    assert_eq!(
+        a.objects().collect::<Vec<_>>(),
+        b.objects().collect::<Vec<_>>()
+    );
+    for site in 0..a.n_sites() {
+        assert_eq!(a.site_ops(SiteId::new(site)), b.site_ops(SiteId::new(site)));
+    }
+    for obj in a.objects() {
+        assert_eq!(a.writes_to(obj), b.writes_to(obj));
+    }
+    for id in a.ids() {
+        assert_eq!(a.op(id), b.op(id));
+        assert_eq!(a.source_of(id), b.source_of(id));
+    }
+}
+
+/// Feeds the monitor in the recorder's order, returning its verdicts.
+fn monitor_of(h: &History, delta: Delta, eps: Epsilon) -> (Delta, tc_core::checker::TimedReport) {
+    let mut ops: Vec<_> = h.iter().collect();
+    ops.sort_by_key(|o| (o.time(), o.id()));
+    let mut m = OnTimeMonitor::new(delta, eps);
+    for op in &ops {
+        m.ingest_op(op);
+    }
+    (m.min_delta(), m.into_report())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The builder-rebuilt history is structurally identical to the
+    /// original and produces byte-identical verdicts from every timed
+    /// checker entry point.
+    #[test]
+    fn rebuilt_history_is_byte_identical(
+        seed in 0u64..10_000,
+        delta in 0u64..200,
+        eps in 0u64..60,
+    ) {
+        let h = any_history(seed);
+        let delta = Delta::from_ticks(delta);
+        let eps = Epsilon::from_ticks(eps);
+        let h2 = rebuild(&h);
+
+        assert_same_structure(&h, &h2);
+        prop_assert_eq!(h.to_string(), h2.to_string());
+
+        // Sweep-line batch report, byte for byte (violations carry ids).
+        prop_assert_eq!(
+            check_on_time(&h, delta, eps),
+            check_on_time(&h2, delta, eps),
+            "seed {}", seed
+        );
+        prop_assert_eq!(min_delta_eps(&h, eps), min_delta_eps(&h2, eps));
+
+        // TSC search verdict (SC witness search + timed windows).
+        let a = satisfies_tsc_eps(&h, delta, eps, SearchOptions::default());
+        let b = satisfies_tsc_eps(&h2, delta, eps, SearchOptions::default());
+        prop_assert_eq!(a.outcome(), b.outcome(), "seed {}", seed);
+
+        // Streaming monitor fed in the recorder's order.
+        prop_assert_eq!(monitor_of(&h, delta, eps), monitor_of(&h2, delta, eps));
+    }
+
+    /// A display→parse round trip renames operations (the display form
+    /// groups by site) but must agree on every id-independent verdict.
+    #[test]
+    fn reparsed_history_agrees_up_to_renaming(
+        seed in 0u64..10_000,
+        delta in 0u64..200,
+        eps in 0u64..60,
+    ) {
+        let h = any_history(seed);
+        let delta = Delta::from_ticks(delta);
+        let eps = Epsilon::from_ticks(eps);
+        let h2 = History::parse(&h.to_string()).expect("display parses");
+
+        prop_assert_eq!(h.len(), h2.len());
+        prop_assert_eq!(h.to_string(), h2.to_string());
+        prop_assert_eq!(
+            h.objects().collect::<Vec<_>>(),
+            h2.objects().collect::<Vec<_>>()
+        );
+
+        let (ra, rb) = (check_on_time(&h, delta, eps), check_on_time(&h2, delta, eps));
+        prop_assert_eq!(ra.holds(), rb.holds(), "seed {}", seed);
+        prop_assert_eq!(ra.violations().len(), rb.violations().len());
+        prop_assert_eq!(min_delta_eps(&h, eps), min_delta_eps(&h2, eps));
+
+        let a = satisfies_tsc_eps(&h, delta, eps, SearchOptions::default());
+        let b = satisfies_tsc_eps(&h2, delta, eps, SearchOptions::default());
+        prop_assert_eq!(a.outcome(), b.outcome(), "seed {}", seed);
+
+        let (ma, mra) = monitor_of(&h, delta, eps);
+        let (mb, mrb) = monitor_of(&h2, delta, eps);
+        prop_assert_eq!(ma, mb);
+        prop_assert_eq!(mra.holds(), mrb.holds());
+        prop_assert_eq!(mra.violations().len(), mrb.violations().len());
+    }
+}

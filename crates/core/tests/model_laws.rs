@@ -138,7 +138,7 @@ proptest! {
         prop_assume!(last_read.is_some());
         let drop = last_read.unwrap();
         let mut b = tc_core::HistoryBuilder::new();
-        for op in h.ops() {
+        for op in h.iter() {
             if op.id() == drop {
                 continue;
             }

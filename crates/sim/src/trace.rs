@@ -231,7 +231,7 @@ mod tests {
         let v = t.next_value();
         t.record_write(site(0), obj('X'), v, Time::ZERO);
         let h = t.finish().unwrap();
-        assert_eq!(h.ops()[0].time().ticks(), 1);
+        assert_eq!(h.op(tc_core::OpId::new(0)).time().ticks(), 1);
     }
 
     #[test]

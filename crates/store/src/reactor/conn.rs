@@ -23,7 +23,7 @@
 use std::io::{ErrorKind, Read, Write};
 use std::time::Instant;
 
-use tc_wire::{encode_frame, FrameDecoder, WireError, WireMsg};
+use tc_wire::{encode_frame_into, FrameDecoder, WireError, WireMsg};
 
 /// Scratch size per `read` call. Large enough to drain a loopback socket
 /// buffer in a few calls, small enough to live on the stack.
@@ -74,10 +74,11 @@ impl Conn {
         }
     }
 
-    /// Encodes `msg` into the outbox. The caller is responsible for
-    /// attempting a flush and arming write interest if it falls short.
+    /// Encodes `msg` directly onto the outbox tail (no intermediate
+    /// frame buffer). The caller is responsible for attempting a flush
+    /// and arming write interest if it falls short.
     pub(crate) fn queue(&mut self, shard: u16, msg: &WireMsg) {
-        self.outbox.extend_from_slice(&encode_frame(shard, msg));
+        encode_frame_into(&mut self.outbox, shard, msg);
     }
 
     /// Whether unsent bytes remain — the `EPOLLOUT` arming signal.
@@ -153,7 +154,7 @@ impl Conn {
 mod tests {
     use super::*;
     use std::collections::VecDeque;
-    use tc_wire::{HEADER_LEN, MAX_PAYLOAD};
+    use tc_wire::{encode_frame, HEADER_LEN, MAX_PAYLOAD};
 
     /// One scripted answer to a `read` call.
     #[derive(Clone)]

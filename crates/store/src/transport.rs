@@ -50,7 +50,7 @@ use tc_lifetime::engine::{ClientEngine, PrivateSources, ServerEngine};
 use tc_lifetime::Msg;
 use tc_sim::metrics::names;
 use tc_sim::{Metrics, NodeId, TraceRecorder};
-use tc_wire::{read_frame, write_frame, WireMsg};
+use tc_wire::{encode_frame_into, read_frame, write_frame, WireMsg};
 
 use crate::runtime::{
     finish_run, server_thread, ClientCore, ClientRt, Outbound, RuntimeConfig, RuntimeResult,
@@ -191,17 +191,26 @@ fn writer_loop(
     heartbeat: Duration,
     shared: &Shared,
 ) {
+    use std::io::Write;
+    // One frame buffer for the connection's lifetime: each send encodes
+    // into it in place, so steady-state writes allocate nothing.
+    let mut scratch: Vec<u8> = Vec::new();
+    let mut send = |stream: &mut TcpStream, msg: &WireMsg| {
+        scratch.clear();
+        encode_frame_into(&mut scratch, shard_tag, msg);
+        stream.write_all(&scratch).is_ok()
+    };
     loop {
         match rx.recv_timeout(heartbeat) {
             Ok(msg) => {
                 let bye = matches!(msg, WireMsg::Bye);
-                if write_frame(stream, shard_tag, &msg).is_err() || bye {
+                if !send(stream, &msg) || bye {
                     break;
                 }
             }
             Err(RecvTimeoutError::Timeout) => {
                 shared.add_metric(names::TCP_HEARTBEAT, 1);
-                if write_frame(stream, shard_tag, &WireMsg::Heartbeat).is_err() {
+                if !send(stream, &WireMsg::Heartbeat) {
                     break;
                 }
             }

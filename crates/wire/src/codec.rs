@@ -175,6 +175,28 @@ impl Writer {
         Writer::default()
     }
 
+    /// A writer that appends to `buf`, keeping its existing contents and
+    /// capacity. This is the zero-copy encode path: a caller that holds a
+    /// cleared-but-warm buffer hands it over, encodes, and takes it back
+    /// via [`Writer::into_bytes`] without a fresh allocation.
+    #[must_use]
+    pub fn over(buf: Vec<u8>) -> Self {
+        Writer { buf }
+    }
+
+    /// Bytes written so far (including any the writer was created
+    /// [`over`](Writer::over)).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
     /// The encoded bytes.
     #[must_use]
     pub fn into_bytes(self) -> Vec<u8> {

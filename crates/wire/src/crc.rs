@@ -1,18 +1,30 @@
 //! CRC-32 (IEEE 802.3, the zlib/Ethernet polynomial), hand-rolled.
 //!
 //! The frame header carries a CRC over the payload so a torn or corrupted
-//! TCP stream is *detected* rather than decoded into garbage. The
-//! byte-at-a-time table implementation below is the classic reflected
-//! algorithm (polynomial `0xEDB88320`, initial value and final XOR
-//! `0xFFFF_FFFF`); it matches `crc32fast`/zlib output exactly, so captured
+//! TCP stream is *detected* rather than decoded into garbage. Two
+//! implementations live here:
+//!
+//! * [`crc32`] — slice-by-8: eight 256-entry tables consume the input
+//!   eight bytes per step, roughly 4–6× the throughput of the classic
+//!   loop on long payloads (an invalidation batch is tens of KiB). This
+//!   is the one every frame encode/decode runs.
+//! * [`crc32_bytewise`] — the classic one-table reflected algorithm,
+//!   kept as the executable reference the fast path is property-tested
+//!   against.
+//!
+//! Both use polynomial `0xEDB88320` with initial value and final XOR
+//! `0xFFFF_FFFF`, matching `crc32fast`/zlib output exactly, so captured
 //! frames can be checked with standard tools.
 
 /// The reflected IEEE polynomial.
 const POLY: u32 = 0xEDB8_8320;
 
-/// The 256-entry lookup table, built at compile time.
-const TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
+/// Eight 256-entry lookup tables, built at compile time. `TABLES[0]` is
+/// the classic byte-at-a-time table; `TABLES[k][b]` is the CRC of byte
+/// `b` followed by `k` zero bytes, which is what lets one step absorb
+/// eight input bytes at once.
+const TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -25,18 +37,52 @@ const TABLE: [u32; 256] = {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
 };
 
-/// The CRC-32 of `bytes`.
+/// The CRC-32 of `bytes` (slice-by-8).
 #[must_use]
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// The CRC-32 of `bytes`, one byte per step — the reference
+/// implementation [`crc32`] must agree with on every input.
+#[must_use]
+pub fn crc32_bytewise(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
     for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
     }
     crc ^ 0xFFFF_FFFF
 }
@@ -44,6 +90,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn known_vectors() {
@@ -54,6 +101,12 @@ mod tests {
             crc32(b"The quick brown fox jumps over the lazy dog"),
             0x414F_A339
         );
+        assert_eq!(crc32_bytewise(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_bytewise(b""), 0);
+        assert_eq!(
+            crc32_bytewise(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -62,5 +115,27 @@ mod tests {
         let mut flipped = b"timed consistency".to_vec();
         flipped[3] ^= 0x01;
         assert_ne!(a, crc32(&flipped));
+    }
+
+    #[test]
+    fn all_lengths_through_several_words_agree() {
+        // Every remainder length 0..=7 and several full 8-byte steps.
+        let data: Vec<u8> = (0..64u32).map(|i| (i * 151 % 256) as u8).collect();
+        for cut in 0..data.len() {
+            assert_eq!(
+                crc32(&data[..cut]),
+                crc32_bytewise(&data[..cut]),
+                "length {cut}"
+            );
+        }
+    }
+
+    proptest! {
+        /// Slice-by-8 equals the byte-at-a-time reference on arbitrary
+        /// inputs (lengths straddle the 8-byte chunking every which way).
+        #[test]
+        fn slice8_matches_reference(bytes in proptest::collection::vec(0u8..=255, 0..4096)) {
+            prop_assert_eq!(crc32(&bytes), crc32_bytewise(&bytes));
+        }
     }
 }

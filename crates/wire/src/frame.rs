@@ -61,22 +61,38 @@ pub struct FrameHeader {
 /// Encodes `msg` into a complete frame addressed to/from `shard`.
 #[must_use]
 pub fn encode_frame(shard: u16, msg: &WireMsg) -> Vec<u8> {
-    let mut payload = Writer::new();
-    put_wire_msg(&mut payload, msg);
-    let payload = payload.into_bytes();
-    assert!(
-        payload.len() as u64 <= MAX_PAYLOAD as u64,
-        "payload exceeds MAX_PAYLOAD"
-    );
-    let mut w = Writer::new();
+    let mut bytes = Vec::new();
+    encode_frame_into(&mut bytes, shard, msg);
+    bytes
+}
+
+/// Appends a complete frame for `msg` to `buf` without allocating when
+/// `buf` has spare capacity — the hot path the socket drivers run per
+/// message, reusing one scratch buffer across sends.
+///
+/// The payload is encoded directly after a reserved header slot, then
+/// the length and CRC are patched into the slot in place; the bytes
+/// produced are identical to [`encode_frame`]'s. Anything already in
+/// `buf` is left untouched, so frames can be batched back to back.
+pub fn encode_frame_into(buf: &mut Vec<u8>, shard: u16, msg: &WireMsg) {
+    let start = buf.len();
+    let mut w = Writer::over(std::mem::take(buf));
     w.u32(MAGIC);
     w.u16(WIRE_VERSION);
     w.u16(shard);
-    w.u32(payload.len() as u32);
-    w.u32(crc32(&payload));
+    w.u32(0); // length, patched below
+    w.u32(0); // crc, patched below
+    put_wire_msg(&mut w, msg);
     let mut bytes = w.into_bytes();
-    bytes.extend_from_slice(&payload);
-    bytes
+    let payload_len = bytes.len() - start - HEADER_LEN;
+    assert!(
+        payload_len as u64 <= MAX_PAYLOAD as u64,
+        "payload exceeds MAX_PAYLOAD"
+    );
+    let crc = crc32(&bytes[start + HEADER_LEN..]);
+    bytes[start + 8..start + 12].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    bytes[start + 12..start + 16].copy_from_slice(&crc.to_le_bytes());
+    *buf = bytes;
 }
 
 /// Decodes a header from the first [`HEADER_LEN`] bytes of `bytes`,
@@ -235,6 +251,36 @@ mod tests {
                 len: MAX_PAYLOAD + 1
             })
         );
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_appends() {
+        let a = WireMsg::HelloReject {
+            reason: "shard index mismatch".to_string(),
+        };
+        let b = WireMsg::Heartbeat;
+        // Byte identity with the allocating encoder.
+        let mut buf = Vec::new();
+        encode_frame_into(&mut buf, 7, &a);
+        assert_eq!(buf, encode_frame(7, &a));
+        // Appends after existing contents; both frames decode back to back.
+        encode_frame_into(&mut buf, 3, &b);
+        let (s1, m1, used) = decode_frame(&buf).unwrap();
+        let (s2, m2, rest) = decode_frame(&buf[used..]).unwrap();
+        assert_eq!((s1, m1), (7, a));
+        assert_eq!((s2, m2), (3, b));
+        assert_eq!(used + rest, buf.len());
+    }
+
+    #[test]
+    fn encode_into_reuses_capacity_without_clobbering_prefix() {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(b"prefix");
+        let ptr = buf.as_ptr();
+        encode_frame_into(&mut buf, 1, &WireMsg::Heartbeat);
+        assert_eq!(&buf[..6], b"prefix");
+        assert_eq!(buf.as_ptr(), ptr, "warm buffer must not reallocate");
+        assert_eq!(&buf[6..], &encode_frame(1, &WireMsg::Heartbeat)[..]);
     }
 
     #[test]

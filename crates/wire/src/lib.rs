@@ -41,10 +41,10 @@ pub mod msg;
 pub mod stream;
 
 pub use codec::{Reader, WireError, Writer};
-pub use crc::crc32;
+pub use crc::{crc32, crc32_bytewise};
 pub use frame::{
-    decode_frame, decode_header, decode_payload, encode_frame, read_frame, write_frame,
-    FrameHeader, HEADER_LEN, MAGIC, MAX_PAYLOAD, WIRE_VERSION,
+    decode_frame, decode_header, decode_payload, encode_frame, encode_frame_into, read_frame,
+    write_frame, FrameHeader, HEADER_LEN, MAGIC, MAX_PAYLOAD, WIRE_VERSION,
 };
 pub use msg::{get_msg, get_protocol, get_wire_msg, put_msg, put_protocol, put_wire_msg, WireMsg};
 pub use stream::FrameDecoder;

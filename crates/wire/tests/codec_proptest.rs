@@ -228,6 +228,28 @@ proptest! {
         }
     }
 
+    /// The zero-copy appender produces the allocating encoder's bytes
+    /// exactly, regardless of what already sits in the buffer, and the
+    /// slice-by-8 CRC agrees with the byte-at-a-time reference on every
+    /// payload the codec can produce.
+    #[test]
+    fn encode_into_is_byte_identical(
+        shard in 0u16..=u16::MAX,
+        msg in ArbWireMsg,
+        prefix in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        let frame = encode_frame(shard, &msg);
+        prop_assert_eq!(
+            tc_wire::crc32(&frame),
+            tc_wire::crc32_bytewise(&frame),
+            "CRC implementations disagree"
+        );
+        let mut buf = prefix.clone();
+        tc_wire::encode_frame_into(&mut buf, shard, &msg);
+        prop_assert_eq!(&buf[..prefix.len()], &prefix[..], "prefix clobbered");
+        prop_assert_eq!(&buf[prefix.len()..], &frame[..]);
+    }
+
     /// Frames are self-delimiting: whatever follows one on the stream
     /// (the next frame, or garbage) is not touched by its decode.
     #[test]

@@ -47,7 +47,7 @@ fn replica(seed: u64) -> History {
 
 /// Feeds `h` to a fresh monitor in the given operation order and returns
 /// the (running min_delta, final report) pair.
-fn monitor_verdict(ops: &[&Operation], delta: Delta, eps: Epsilon) -> OnTimeMonitor {
+fn monitor_verdict(ops: &[Operation], delta: Delta, eps: Epsilon) -> OnTimeMonitor {
     let mut m = OnTimeMonitor::new(delta, eps);
     for op in ops {
         m.ingest_op(op);
@@ -56,8 +56,8 @@ fn monitor_verdict(ops: &[&Operation], delta: Delta, eps: Epsilon) -> OnTimeMoni
 }
 
 /// The recorder's natural feed: effective-time order, ids breaking ties.
-fn time_order(h: &History) -> Vec<&Operation> {
-    let mut ops: Vec<&Operation> = h.ops().iter().collect();
+fn time_order(h: &History) -> Vec<Operation> {
+    let mut ops: Vec<Operation> = h.iter().collect();
     ops.sort_by_key(|o| (o.time(), o.id()));
     ops
 }
@@ -98,7 +98,7 @@ proptest! {
         let h = small_random(seed);
         let delta = Delta::from_ticks(delta);
         let eps = Epsilon::from_ticks(eps);
-        let mut ops: Vec<&_> = h.ops().iter().collect();
+        let mut ops: Vec<_> = h.iter().collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(shuffle_seed);
         // Fisher–Yates; the vendored rand has no SliceRandom.
         for i in (1..ops.len()).rev() {
@@ -170,7 +170,7 @@ fn running_min_delta_ratchets_up() {
         let mut m = OnTimeMonitor::new(Delta::INFINITE, eps);
         let mut last = Delta::ZERO;
         for op in time_order(&h) {
-            m.ingest_op(op);
+            m.ingest_op(&op);
             assert!(m.min_delta() >= last, "seed {seed}: min_delta regressed");
             last = m.min_delta();
         }

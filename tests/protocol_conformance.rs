@@ -216,9 +216,8 @@ fn logical_tcc_traces_carry_stamps_and_definition6_is_monotone() {
         let r = run(&config(ProtocolKind::TccLogical { xi_delta: 2.0 }, seed));
         let stamped = r
             .history
-            .ops()
-            .iter()
-            .filter(|o| o.logical().is_some())
+            .ids()
+            .filter(|&id| r.history.logical_of(id).is_some())
             .count();
         assert_eq!(stamped, r.history.len(), "causal runs stamp every op");
         let v_small = check_on_time_xi(&r.history, &SumXi, 2.0).violations().len();
