@@ -155,6 +155,7 @@ fn ttl_study(json: bool) {
                         retry_after: tc_lifetime::DEFAULT_RETRY_AFTER,
                         shards: 1,
                         push_batch: tc_lifetime::PushBatch::IMMEDIATE,
+                        durability: tc_lifetime::DurabilityMode::Ephemeral,
                     },
                     n_clients: 6,
                     workload: Workload::web(),

@@ -143,6 +143,72 @@ impl PushBatch {
     }
 }
 
+/// When a durable shard store makes appended WAL records survive a crash
+/// ([`DurabilityMode::Durable`]).
+///
+/// A shard acknowledges a write only once the covering record is durable,
+/// so the policy trades write latency against fsync traffic exactly like
+/// [`PushBatch`] trades push latency against message count:
+///
+/// * `max_pending` — sync once this many records are pending
+///   (group commit). `1` syncs on every write.
+/// * `max_delay` — sync once the oldest pending record has waited this
+///   long, even if the group is not full (deadline batching).
+///
+/// The conformance oracle widens its staleness bound by `max_delay` (an
+/// acked write may have been held back that long before becoming visible
+/// to readers, which are served from the durable image only); an infinite
+/// `max_delay` therefore makes the timed bound unverifiable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FsyncPolicy {
+    /// Sync once this many records are pending. `1` = per-write fsync.
+    pub max_pending: usize,
+    /// Sync once the oldest pending record has waited this long.
+    pub max_delay: Delta,
+}
+
+impl FsyncPolicy {
+    /// Fsync every record before acking it (no added visibility delay —
+    /// the widening term is zero, as with [`DurabilityMode::Ephemeral`]).
+    pub const PER_WRITE: FsyncPolicy = FsyncPolicy {
+        max_pending: 1,
+        max_delay: Delta::ZERO,
+    };
+}
+
+/// Whether shard state survives a crash, and at what cost.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DurabilityMode {
+    /// The historical in-memory model: applied state is "durable" the
+    /// instant it applies (an infinitely fast disk). Crash–restart under
+    /// the default [`crate::MemStore`] retains everything.
+    Ephemeral,
+    /// A write-ahead-logged store: records become durable at fsync, acks
+    /// wait for durability, and crash–restart replays the log (losing at
+    /// most the unfsynced tail, whose writes were never acked).
+    Durable {
+        /// When pending records are fsynced.
+        fsync: FsyncPolicy,
+    },
+}
+
+impl DurabilityMode {
+    /// Whether writes are logged and acks deferred to durability.
+    #[must_use]
+    pub fn is_durable(self) -> bool {
+        matches!(self, DurabilityMode::Durable { .. })
+    }
+
+    /// The fsync policy, when durable.
+    #[must_use]
+    pub fn fsync(self) -> Option<FsyncPolicy> {
+        match self {
+            DurabilityMode::Ephemeral => None,
+            DurabilityMode::Durable { fsync } => Some(fsync),
+        }
+    }
+}
+
 /// Full protocol configuration for one run.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ProtocolConfig {
@@ -164,6 +230,10 @@ pub struct ProtocolConfig {
     /// Invalidation-push coalescing (only meaningful under
     /// [`Propagation::PushInvalidate`]).
     pub push_batch: PushBatch,
+    /// Whether shard writes are write-ahead logged and acks deferred to
+    /// durability. [`DurabilityMode::Ephemeral`] reproduces the historical
+    /// engine byte-for-byte.
+    pub durability: DurabilityMode,
 }
 
 impl ProtocolConfig {
@@ -178,6 +248,7 @@ impl ProtocolConfig {
             retry_after: DEFAULT_RETRY_AFTER,
             shards: 1,
             push_batch: PushBatch::IMMEDIATE,
+            durability: DurabilityMode::Ephemeral,
         }
     }
 
@@ -198,6 +269,19 @@ impl ProtocolConfig {
             "a push batch must hold at least one entry"
         );
         self.push_batch = push_batch;
+        self
+    }
+
+    /// The same configuration with the given durability mode.
+    #[must_use]
+    pub fn with_durability(mut self, durability: DurabilityMode) -> Self {
+        if let DurabilityMode::Durable { fsync } = durability {
+            assert!(
+                fsync.max_pending >= 1,
+                "a durable shard must sync at least every write"
+            );
+        }
+        self.durability = durability;
         self
     }
 }
@@ -259,6 +343,23 @@ mod tests {
         assert_eq!(c.shards, 1);
         assert_eq!(c.push_batch, PushBatch::IMMEDIATE);
         assert!(!c.push_batch.is_enabled());
+        assert_eq!(c.durability, DurabilityMode::Ephemeral);
+        assert!(!c.durability.is_durable());
+    }
+
+    #[test]
+    fn durability_builder_and_accessors() {
+        let fsync = FsyncPolicy {
+            max_pending: 8,
+            max_delay: Delta::from_ticks(25),
+        };
+        let c =
+            ProtocolConfig::of(ProtocolKind::Sc).with_durability(DurabilityMode::Durable { fsync });
+        assert!(c.durability.is_durable());
+        assert_eq!(c.durability.fsync(), Some(fsync));
+        assert_eq!(FsyncPolicy::PER_WRITE.max_pending, 1);
+        assert_eq!(FsyncPolicy::PER_WRITE.max_delay, Delta::ZERO);
+        assert_eq!(DurabilityMode::Ephemeral.fsync(), None);
     }
 
     #[test]

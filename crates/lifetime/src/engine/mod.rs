@@ -43,7 +43,7 @@ mod server;
 mod shard;
 
 pub use client::ClientEngine;
-pub use server::ServerEngine;
+pub use server::{ServerEngine, TIMER_WAL_FLUSH};
 pub use shard::ShardMap;
 
 /// Timer token for "issue the next planned operation". Exposed so drivers

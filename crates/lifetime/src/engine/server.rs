@@ -11,99 +11,73 @@
 //! shard this degenerates to the original single server. DESIGN.md §11
 //! records how cross-shard causality stays sound (per-shard write
 //! sequences plus the client-side write barrier).
+//!
+//! Durable state lives behind the [`ShardStore`] seam (see
+//! [`crate::store`]): the engine holds only session state (known clients,
+//! pending invalidation batches, deferred write acks) plus a boxed store.
+//! Under [`DurabilityMode::Durable`] every write is appended as a
+//! [`WalRecord`], reads are served from the store's *durable* image, and
+//! write acks are deferred until the covering fsync — so a crash can only
+//! lose writes whose clients are still retransmitting them.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
-use tc_clocks::{ClockOrdering, Time, Timestamp, VectorClock};
-use tc_core::{ObjectId, Value};
+use tc_clocks::Time;
+use tc_core::ObjectId;
 use tc_sim::metrics::names;
 use tc_sim::NodeId;
 
 use crate::engine::{Effect, Event, Now};
-use crate::msg::{InvalidateEntry, Msg, ValidateOutcome, WireVersion};
+use crate::msg::{InvalidateEntry, Msg, ValidateOutcome};
+use crate::store::{MemStore, ShardStore, StoredVersion, WalRecord};
 use crate::{Propagation, ProtocolConfig};
 
 /// The timer token a shard arms to flush `client`'s pending invalidation
-/// batch. Shards have no other timers, so the client's node index is the
-/// whole token space.
+/// batch. The client's node index is the token; [`TIMER_WAL_FLUSH`] is the
+/// one non-client token.
 #[must_use]
 pub(crate) fn flush_token(client: NodeId) -> u64 {
     client.index() as u64
 }
 
-/// A stored version.
-#[derive(Clone, Debug)]
-struct Stored {
-    value: Value,
-    alpha_t: Time,
-    alpha_v: Option<VectorClock>,
-    /// Tie-break key for concurrent causal writes: (issue time, writer).
-    tiebreak: (Time, usize),
-}
-
-impl Stored {
-    fn initial() -> Stored {
-        Stored {
-            value: Value::INITIAL,
-            alpha_t: Time::ZERO,
-            alpha_v: None,
-            tiebreak: (Time::ZERO, usize::MAX),
-        }
-    }
-
-    fn wire(&self) -> WireVersion {
-        WireVersion {
-            value: self.value,
-            alpha_t: self.alpha_t,
-            alpha_v: self.alpha_v.clone(),
-            tiebreak: self.tiebreak,
-        }
-    }
-}
+/// The timer token a shard arms for a deadline-batched WAL fsync
+/// ([`crate::FsyncPolicy::max_delay`]). Distinct from every
+/// [`flush_token`]: client node indexes never reach `u64::MAX`. (Client
+/// engines use the same numeric value for their own causal-flush timer,
+/// but client and server token spaces never meet.)
+pub const TIMER_WAL_FLUSH: u64 = u64::MAX;
 
 /// The server (shard) engine.
 ///
 /// # Crash durability
 ///
-/// Under crash–restart ([`Event::Restart`]) the store itself (`versions`,
-/// `last_alpha`, the write dedup map and the causal delivery cursors) is
-/// durable — it models disk. `known_clients` and the pending invalidation
-/// batches are volatile session state: after a restart, push invalidations
-/// flow only to clients that contact the shard again, and any coalesced
-/// but unflushed batch is simply lost. That is safe for the timed
-/// guarantees because pushes are an optimization; the Δ bound is enforced
-/// by the client-side lifetime rules alone.
+/// Under crash–restart ([`Event::Restart`]) the [`ShardStore`] recovers
+/// whatever its backend made durable: everything for the in-memory
+/// [`MemStore`] (which models an infinitely fast disk), everything up to
+/// the last fsync for a WAL-backed store (which replays its log and drops
+/// the unsynced tail — safe, because those writes were never acked).
+/// `known_clients`, the pending invalidation batches and the deferred acks
+/// are volatile session state: after a restart, push invalidations flow
+/// only to clients that contact the shard again, and any coalesced but
+/// unflushed batch is simply lost. That is safe for the timed guarantees
+/// because pushes are an optimization; the Δ bound is enforced by the
+/// client-side lifetime rules alone.
 pub struct ServerEngine {
     config: ProtocolConfig,
-    versions: HashMap<ObjectId, Stored>,
-    /// Strictly increasing physical-family write stamp.
-    last_alpha: Time,
+    /// The durable state backend (versions, α stamps, dedup map, causal
+    /// cursors).
+    store: Box<dyn ShardStore>,
     /// Clients that have contacted us (push-invalidation targets). A client
     /// cannot cache anything without contacting the owning shard first, so
     /// this set always covers every cache holding this shard's data.
     known_clients: BTreeSet<NodeId>,
-    /// Physical-family writes already applied, by (globally unique) value,
-    /// with the α each was assigned. A duplicated or retransmitted
-    /// `WriteReq` is answered with the *original* α instead of being
-    /// re-applied — re-applying would assign a fresh α and clobber newer
-    /// writes to the same object.
-    applied_physical: HashMap<Value, Time>,
-    /// Per-writer causal delivery cursor: the `shard_seq` of the last
-    /// causal write applied from each client node (durable — part of the
-    /// store). A causal write whose sequence skips past `cursor + 1`
-    /// depends on an earlier write of the same client *to this shard* that
-    /// is still in flight (lost or reordered away); applying it would
-    /// leave a causal gap in the store, so it is ignored (no ack) until
-    /// the client's retransmit loop re-delivers the writes in order. The
-    /// sequence is per-(writer, shard) — carried explicitly in
-    /// [`Msg::WriteReq`] rather than read off the vector clock, whose own
-    /// entry counts writes across *all* shards.
-    causal_applied: HashMap<usize, u64>,
     /// Per-client invalidation batches not yet flushed (volatile, BTreeMap
     /// for deterministic flush order).
     pending: BTreeMap<NodeId, Vec<InvalidateEntry>>,
-    /// Total writes applied (dropped LWW losers excluded).
-    writes_applied: u64,
+    /// Write acks awaiting durability of their records (volatile: a crash
+    /// drops them together with the unsynced records they cover, and the
+    /// clients retransmit). FIFO — drained in append order at each sync.
+    deferred_acks: Vec<(NodeId, Msg)>,
     /// Total client requests served (fetch + validate + write), the
     /// per-shard load statistic the threaded runtime reports.
     requests_served: u64,
@@ -112,18 +86,22 @@ pub struct ServerEngine {
 }
 
 impl ServerEngine {
-    /// Creates an empty server engine.
+    /// Creates an empty server engine over the default in-memory store.
     #[must_use]
     pub fn new(config: ProtocolConfig) -> Self {
+        ServerEngine::with_store(config, Box::new(MemStore::new()))
+    }
+
+    /// Creates a server engine over a caller-provided store backend
+    /// (e.g. `tc-durable`'s WAL store).
+    #[must_use]
+    pub fn with_store(config: ProtocolConfig, store: Box<dyn ShardStore>) -> Self {
         ServerEngine {
             config,
-            versions: HashMap::new(),
-            last_alpha: Time::ZERO,
+            store,
             known_clients: BTreeSet::new(),
-            applied_physical: HashMap::new(),
-            causal_applied: HashMap::new(),
             pending: BTreeMap::new(),
-            writes_applied: 0,
+            deferred_acks: Vec::new(),
             requests_served: 0,
             now: None,
         }
@@ -132,7 +110,7 @@ impl ServerEngine {
     /// Total writes applied (dropped LWW losers excluded).
     #[must_use]
     pub fn writes_applied(&self) -> u64 {
-        self.writes_applied
+        self.store.writes_applied()
     }
 
     /// Total client requests served (fetch + validate + write).
@@ -151,28 +129,108 @@ impl ServerEngine {
             Event::Now(now) => self.now = Some(now),
             Event::Start => {}
             Event::Timer { token } => {
-                // The only shard timers are batch-flush deadlines; a timer
-                // for an already-flushed (empty) batch is a no-op.
-                self.flush_batch(NodeId::new(token as usize), out);
+                if token == TIMER_WAL_FLUSH {
+                    // Deadline-batched fsync; a timer raced past a
+                    // fullness-triggered sync finds nothing pending.
+                    self.sync_store(out);
+                } else {
+                    // The other shard timers are batch-flush deadlines; a
+                    // timer for an already-flushed (empty) batch is a no-op.
+                    self.flush_batch(NodeId::new(token as usize), out);
+                }
             }
             Event::Restart => {
                 out.push(Effect::Metric {
                     name: names::SERVER_RESTART,
                     add: 1,
                 });
-                // The store is disk-backed; only session state is lost.
+                // The store recovers what its backend made durable; session
+                // state (and acks covering unsynced records) is lost.
+                let recovery = self.store.restart();
+                if self.config.durability.is_durable() {
+                    out.push(Effect::Metric {
+                        name: names::WAL_REPLAYED,
+                        add: recovery.replayed + recovery.from_snapshot,
+                    });
+                    out.push(Effect::Metric {
+                        name: names::WAL_LOST,
+                        add: recovery.lost,
+                    });
+                }
                 self.known_clients.clear();
                 self.pending.clear();
+                self.deferred_acks.clear();
             }
             Event::Message { from, msg } => self.on_message(from, msg, out),
         }
     }
 
-    fn current(&self, object: ObjectId) -> Stored {
-        self.versions
-            .get(&object)
-            .cloned()
-            .unwrap_or_else(Stored::initial)
+    /// The durable version served to readers. Never exposes unsynced
+    /// appends: a value a crash could un-happen must not be observable.
+    fn current(&self, object: ObjectId) -> StoredVersion {
+        self.store.durable_version(object)
+    }
+
+    /// Fsyncs the store and releases the acks the sync made safe. A no-op
+    /// when nothing is pending (stale deadline timer).
+    fn sync_store(&mut self, out: &mut Vec<Effect>) {
+        if self.store.pending() == 0 {
+            return;
+        }
+        self.store.sync();
+        out.push(Effect::Metric {
+            name: names::WAL_FSYNC,
+            add: 1,
+        });
+        for (to, msg) in std::mem::take(&mut self.deferred_acks) {
+            out.push(Effect::Send { to, msg });
+        }
+    }
+
+    /// Group-commit check: sync now if the pending tail reached the
+    /// policy's `max_pending`.
+    fn maybe_sync_after_append(&mut self, out: &mut Vec<Effect>) {
+        if let Some(policy) = self.config.durability.fsync() {
+            if self.store.pending() >= policy.max_pending {
+                self.sync_store(out);
+            }
+        }
+    }
+
+    /// Arms the deadline-batched fsync timer when an append left the
+    /// pending tail newly non-empty.
+    fn maybe_arm_wal_timer(&mut self, out: &mut Vec<Effect>) {
+        if let Some(policy) = self.config.durability.fsync() {
+            if self.store.pending() == 1 && !policy.max_delay.is_infinite() {
+                out.push(Effect::SetTimer {
+                    after: policy.max_delay,
+                    token: TIMER_WAL_FLUSH,
+                });
+            }
+        }
+    }
+
+    /// Sends a write ack now if its record is durable, else holds it until
+    /// the covering sync. (With the in-memory store `pending()` is always
+    /// zero, so acks always ship inline — the historical behaviour.)
+    fn ship_or_defer(&mut self, to: NodeId, msg: Msg, out: &mut Vec<Effect>) {
+        if self.store.pending() == 0 {
+            out.push(Effect::Send { to, msg });
+        } else {
+            self.deferred_acks.push((to, msg));
+        }
+    }
+
+    /// Appends one record to the store and emits the WAL telemetry.
+    fn append(&mut self, record: &WalRecord, out: &mut Vec<Effect>) -> bool {
+        let won = self.store.apply(record);
+        if self.config.durability.is_durable() {
+            out.push(Effect::Metric {
+                name: names::WAL_APPEND,
+                add: 1,
+            });
+        }
+        won
     }
 
     fn push_invalidations(
@@ -180,7 +238,7 @@ impl ServerEngine {
         out: &mut Vec<Effect>,
         object: ObjectId,
         except: NodeId,
-        stored: &Stored,
+        stored: &StoredVersion,
     ) {
         if self.config.propagation != Propagation::PushInvalidate {
             return;
@@ -259,26 +317,6 @@ impl ServerEngine {
         });
     }
 
-    /// Applies a causal-family write with last-writer-wins resolution.
-    /// Returns whether the write became the current version.
-    fn apply_causal(&mut self, object: ObjectId, incoming: Stored) -> bool {
-        let current = self.current(object);
-        let wins = match (&incoming.alpha_v, &current.alpha_v) {
-            (_, None) => true, // anything beats the initial version
-            (None, Some(_)) => false,
-            (Some(new), Some(cur)) => match new.compare(cur) {
-                ClockOrdering::After => true,
-                ClockOrdering::Before | ClockOrdering::Equal => false,
-                ClockOrdering::Concurrent => incoming.tiebreak > current.tiebreak,
-            },
-        };
-        if wins {
-            self.versions.insert(object, incoming);
-            self.writes_applied += 1;
-        }
-        wins
-    }
-
     fn on_message(&mut self, from: NodeId, msg: Msg, out: &mut Vec<Effect>) {
         self.known_clients.insert(from);
         self.requests_served += 1;
@@ -353,7 +391,7 @@ impl ServerEngine {
                     // LWW apply (which stays idempotent under duplicates:
                     // an Equal stamp never wins).
                     let seq = shard_seq;
-                    let cursor = self.causal_applied.get(&from.index()).copied().unwrap_or(0);
+                    let cursor = self.store.causal_cursor(from.index());
                     if seq > cursor + 1 {
                         // A causal gap: an earlier write of this client was
                         // lost or detoured. No ack — the client retransmits
@@ -365,15 +403,23 @@ impl ServerEngine {
                         return;
                     }
                     if seq == cursor + 1 {
-                        self.causal_applied.insert(from.index(), seq);
-                        let stored = Stored {
+                        let record = WalRecord::Causal {
+                            object,
+                            writer: from.index(),
+                            seq,
                             value,
                             alpha_t: issued_at,
-                            alpha_v: Some(alpha_v),
-                            tiebreak: (issued_at, from.index()),
+                            alpha_v: alpha_v.clone(),
                         };
-                        let snapshot = stored.clone();
-                        if self.apply_causal(object, stored) {
+                        let won = self.append(&record, out);
+                        self.maybe_sync_after_append(out);
+                        if won {
+                            let snapshot = StoredVersion {
+                                value,
+                                alpha_t: issued_at,
+                                alpha_v: Some(alpha_v),
+                                tiebreak: (issued_at, from.index()),
+                            };
                             self.push_invalidations(out, object, from, &snapshot);
                         }
                     } else {
@@ -382,51 +428,61 @@ impl ServerEngine {
                             add: 1,
                         });
                     }
-                    out.push(Effect::Send {
-                        to: from,
-                        msg: Msg::WriteAckCausal { object, value },
-                    });
+                    self.ship_or_defer(from, Msg::WriteAckCausal { object, value }, out);
+                    self.maybe_arm_wal_timer(out);
                 } else {
                     // Physical family: the server linearizes writes by
                     // assigning strictly increasing start times, then acks.
-                    // A replayed write keeps its original α.
-                    if let Some(&alpha) = self.applied_physical.get(&value) {
+                    // A replayed write keeps its original α (re-applying
+                    // would assign a fresh α and clobber newer writes to
+                    // the same object). The dup's ack still waits for
+                    // durability if anything is pending — cheap, and it
+                    // keeps "acked ⇒ durable" unconditional.
+                    if let Some(alpha) = self.store.physical_alpha(value) {
                         out.push(Effect::Metric {
                             name: names::SERVER_WRITE_DUP,
                             add: 1,
                         });
-                        out.push(Effect::Send {
-                            to: from,
-                            msg: Msg::WriteAck {
+                        self.ship_or_defer(
+                            from,
+                            Msg::WriteAck {
                                 object,
                                 alpha_t: alpha,
                                 epoch,
                             },
-                        });
+                            out,
+                        );
                         return;
                     }
-                    let alpha =
-                        Time::from_ticks(server_now.ticks().max(self.last_alpha.ticks() + 1));
-                    self.last_alpha = alpha;
-                    self.applied_physical.insert(value, alpha);
-                    let stored = Stored {
+                    let alpha = Time::from_ticks(
+                        server_now.ticks().max(self.store.last_alpha().ticks() + 1),
+                    );
+                    let record = WalRecord::Physical {
+                        object,
+                        value,
+                        alpha,
+                        issued_at,
+                        writer: from.index(),
+                    };
+                    self.append(&record, out);
+                    self.maybe_sync_after_append(out);
+                    self.ship_or_defer(
+                        from,
+                        Msg::WriteAck {
+                            object,
+                            alpha_t: alpha,
+                            epoch,
+                        },
+                        out,
+                    );
+                    let snapshot = StoredVersion {
                         value,
                         alpha_t: alpha,
                         alpha_v: None,
                         tiebreak: (issued_at, from.index()),
                     };
-                    let snapshot = stored.clone();
-                    self.versions.insert(object, stored);
-                    self.writes_applied += 1;
-                    out.push(Effect::Send {
-                        to: from,
-                        msg: Msg::WriteAck {
-                            object,
-                            alpha_t: alpha,
-                            epoch,
-                        },
-                    });
                     self.push_invalidations(out, object, from, &snapshot);
+                    self.maybe_arm_wal_timer(out);
                 }
             }
             // Server never receives replies or pushes.
@@ -445,11 +501,110 @@ impl ServerEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ProtocolKind, StalePolicy};
-    use tc_clocks::SiteClock;
+    use crate::store::{Recovery, ShardImage};
+    use crate::{DurabilityMode, FsyncPolicy, ProtocolKind, StalePolicy};
+    use tc_clocks::{Delta, SiteClock, VectorClock};
+    use tc_core::Value;
 
     fn cfg() -> ProtocolConfig {
         ProtocolConfig::of(ProtocolKind::Cc)
+    }
+
+    fn durable_cfg(kind: ProtocolKind, fsync: FsyncPolicy) -> ProtocolConfig {
+        ProtocolConfig::of(kind).with_durability(DurabilityMode::Durable { fsync })
+    }
+
+    /// A store with a real pending tail but no disk: applied records wait
+    /// in `pending` until `sync`, and `restart` drops the unsynced tail —
+    /// the smallest store that exercises deferred acks and replay loss.
+    #[derive(Default)]
+    struct TailStore {
+        durable: ShardImage,
+        applied: ShardImage,
+        tail: Vec<WalRecord>,
+    }
+
+    impl ShardStore for TailStore {
+        fn durable_version(&self, object: ObjectId) -> StoredVersion {
+            self.durable.current(object)
+        }
+        fn last_alpha(&self) -> Time {
+            self.applied.last_alpha()
+        }
+        fn physical_alpha(&self, value: Value) -> Option<Time> {
+            self.applied.physical_alpha(value)
+        }
+        fn causal_cursor(&self, writer: usize) -> u64 {
+            self.applied.causal_cursor(writer)
+        }
+        fn apply(&mut self, record: &WalRecord) -> bool {
+            self.tail.push(record.clone());
+            self.applied.apply(record)
+        }
+        fn pending(&self) -> usize {
+            self.tail.len()
+        }
+        fn sync(&mut self) {
+            for record in self.tail.drain(..) {
+                self.durable.apply(&record);
+            }
+        }
+        fn restart(&mut self) -> Recovery {
+            let lost = self.tail.len() as u64;
+            self.tail.clear();
+            self.applied = self.durable.clone();
+            Recovery {
+                replayed: self.durable.records(),
+                from_snapshot: 0,
+                lost,
+                corrupted_tail: false,
+                recovery_point: self.durable.records(),
+            }
+        }
+        fn writes_applied(&self) -> u64 {
+            self.applied.writes_applied()
+        }
+        fn records(&self) -> u64 {
+            self.applied.records()
+        }
+    }
+
+    fn drive(s: &mut ServerEngine, event: Event) -> Vec<Effect> {
+        let mut out = Vec::new();
+        s.handle(
+            Event::Now(Now {
+                me: NodeId::new(0),
+                local: Time::from_ticks(100),
+                truth: Time::from_ticks(100),
+            }),
+            &mut out,
+        );
+        s.handle(event, &mut out);
+        out
+    }
+
+    fn write_req(value: u64) -> Event {
+        Event::Message {
+            from: NodeId::new(1),
+            msg: Msg::WriteReq {
+                object: ObjectId::from_letter('X'),
+                value: Value::new(value),
+                alpha_v: None,
+                issued_at: Time::from_ticks(50),
+                epoch: value,
+                shard_seq: 0,
+            },
+        }
+    }
+
+    fn sent(effects: &[Effect]) -> Vec<&Msg> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send { msg, .. } => Some(msg),
+                _ => None,
+            })
+            .collect()
     }
 
     #[test]
@@ -461,67 +616,134 @@ mod tests {
     }
 
     #[test]
-    fn causal_lww_prefers_causally_newer() {
-        let mut s = ServerEngine::new(cfg());
-        let obj = ObjectId::from_letter('X');
-        let mut clock = VectorClock::new(0, 2);
-        let a1 = clock.tick();
-        let a2 = clock.tick();
-        assert!(s.apply_causal(
-            obj,
-            Stored {
-                value: Value::new(1),
-                alpha_t: Time::from_ticks(10),
-                alpha_v: Some(a2.clone()),
-                tiebreak: (Time::from_ticks(10), 0),
-            }
-        ));
-        // A causally older write arriving late loses.
-        assert!(!s.apply_causal(
-            obj,
-            Stored {
-                value: Value::new(2),
-                alpha_t: Time::from_ticks(5),
-                alpha_v: Some(a1),
-                tiebreak: (Time::from_ticks(5), 0),
-            }
-        ));
-        assert_eq!(s.current(obj).value, Value::new(1));
-        assert_eq!(s.writes_applied, 1);
-    }
-
-    #[test]
-    fn causal_lww_breaks_concurrent_ties_deterministically() {
-        let obj = ObjectId::from_letter('X');
-        let mk = |site: usize| {
-            let mut c = VectorClock::new(site, 2);
-            c.tick()
-        };
-        // Same issue time, higher writer index wins; order of arrival must
-        // not matter.
-        for (first, second) in [((0usize, 1u64), (1usize, 2u64)), ((1, 2), (0, 1))] {
-            let mut s = ServerEngine::new(cfg());
-            for (site, val) in [first, second] {
-                s.apply_causal(
-                    obj,
-                    Stored {
-                        value: Value::new(val),
-                        alpha_t: Time::from_ticks(10),
-                        alpha_v: Some(mk(site)),
-                        tiebreak: (Time::from_ticks(10), site),
-                    },
-                );
-            }
-            assert_eq!(s.current(obj).value, Value::new(2), "site 1 must win");
-        }
-    }
-
-    #[test]
     fn stale_policy_is_carried_in_config() {
         let mut c = cfg();
         c.stale = StalePolicy::Invalidate;
         let s = ServerEngine::new(c);
         assert_eq!(s.config.stale, StalePolicy::Invalidate);
+    }
+
+    #[test]
+    fn ephemeral_acks_ship_inline() {
+        let mut s = ServerEngine::new(ProtocolConfig::of(ProtocolKind::Sc));
+        let out = drive(&mut s, write_req(7));
+        assert_eq!(sent(&out).len(), 1, "ack ships with the write");
+        assert!(matches!(sent(&out)[0], Msg::WriteAck { .. }));
+    }
+
+    #[test]
+    fn group_commit_defers_acks_until_the_group_fills() {
+        let fsync = FsyncPolicy {
+            max_pending: 2,
+            max_delay: Delta::from_ticks(1_000),
+        };
+        let mut s = ServerEngine::with_store(
+            durable_cfg(ProtocolKind::Sc, fsync),
+            Box::new(TailStore::default()),
+        );
+        let out1 = drive(&mut s, write_req(7));
+        assert!(sent(&out1).is_empty(), "first ack waits for the group");
+        assert!(
+            out1.iter()
+                .any(|e| matches!(e, Effect::SetTimer { token, .. } if *token == TIMER_WAL_FLUSH)),
+            "deadline timer armed when the tail goes non-empty"
+        );
+        let out2 = drive(&mut s, write_req(8));
+        let acks = sent(&out2);
+        assert_eq!(acks.len(), 2, "the filling write releases both acks");
+        assert!(matches!(
+            acks[0],
+            Msg::WriteAck { epoch: 7, .. } // FIFO: oldest deferred ack first
+        ));
+        assert!(out2
+            .iter()
+            .any(|e| matches!(e, Effect::Metric { name, .. } if *name == names::WAL_FSYNC)));
+    }
+
+    #[test]
+    fn wal_deadline_timer_releases_deferred_acks() {
+        let fsync = FsyncPolicy {
+            max_pending: 8,
+            max_delay: Delta::from_ticks(25),
+        };
+        let mut s = ServerEngine::with_store(
+            durable_cfg(ProtocolKind::Sc, fsync),
+            Box::new(TailStore::default()),
+        );
+        let out = drive(&mut s, write_req(7));
+        assert!(sent(&out).is_empty());
+        let fired = drive(
+            &mut s,
+            Event::Timer {
+                token: TIMER_WAL_FLUSH,
+            },
+        );
+        assert_eq!(sent(&fired).len(), 1);
+        // A stale deadline firing with nothing pending is a no-op.
+        let stale = drive(
+            &mut s,
+            Event::Timer {
+                token: TIMER_WAL_FLUSH,
+            },
+        );
+        assert!(
+            stale.iter().all(|e| matches!(e, Effect::Metric { .. })) && sent(&stale).is_empty()
+        );
+    }
+
+    #[test]
+    fn reads_never_see_unsynced_writes() {
+        let fsync = FsyncPolicy {
+            max_pending: 8,
+            max_delay: Delta::from_ticks(1_000),
+        };
+        let mut s = ServerEngine::with_store(
+            durable_cfg(ProtocolKind::Sc, fsync),
+            Box::new(TailStore::default()),
+        );
+        drive(&mut s, write_req(7));
+        let out = drive(
+            &mut s,
+            Event::Message {
+                from: NodeId::new(2),
+                msg: Msg::FetchReq {
+                    object: ObjectId::from_letter('X'),
+                    epoch: 1,
+                },
+            },
+        );
+        match sent(&out)[0] {
+            Msg::FetchRep { version, .. } => {
+                assert_eq!(version.value, Value::INITIAL, "unsynced write invisible")
+            }
+            other => panic!("expected FetchRep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restart_drops_the_unsynced_tail_and_its_acks() {
+        let fsync = FsyncPolicy {
+            max_pending: 8,
+            max_delay: Delta::from_ticks(1_000),
+        };
+        let mut s = ServerEngine::with_store(
+            durable_cfg(ProtocolKind::Sc, fsync),
+            Box::new(TailStore::default()),
+        );
+        drive(&mut s, write_req(7));
+        let out = drive(&mut s, Event::Restart);
+        assert!(sent(&out).is_empty(), "deferred acks die with the tail");
+        assert!(out.iter().any(
+            |e| matches!(e, Effect::Metric { name, add } if *name == names::WAL_LOST && *add == 1)
+        ));
+        // The dropped write is re-appendable: its dedup entry was unsynced
+        // too, so the client's retransmit applies cleanly.
+        let retry = drive(&mut s, write_req(7));
+        assert!(
+            sent(&retry).is_empty(),
+            "retransmit re-appends and defers again"
+        );
+        assert_eq!(s.store.pending(), 1);
     }
 
     #[test]
@@ -541,5 +763,28 @@ mod tests {
             );
         });
         assert!(result.is_err(), "lifecycle before Now must panic");
+    }
+
+    #[test]
+    fn causal_dup_is_acked_without_reapply() {
+        let mut s = ServerEngine::new(cfg());
+        let mut clock = VectorClock::new(1, 2);
+        let stamp = clock.tick();
+        let req = |seq: u64| Event::Message {
+            from: NodeId::new(1),
+            msg: Msg::WriteReq {
+                object: ObjectId::from_letter('X'),
+                value: Value::new(9),
+                alpha_v: Some(stamp.clone()),
+                issued_at: Time::from_ticks(50),
+                epoch: 1,
+                shard_seq: seq,
+            },
+        };
+        drive(&mut s, req(1));
+        assert_eq!(s.writes_applied(), 1);
+        let out = drive(&mut s, req(1));
+        assert_eq!(s.writes_applied(), 1, "duplicate not re-applied");
+        assert!(matches!(sent(&out)[0], Msg::WriteAckCausal { .. }));
     }
 }

@@ -12,7 +12,12 @@ use tc_sim::workload::Workload;
 use tc_sim::{FaultPlan, MetricsSnapshot, TraceRecorder, World, WorldConfig};
 
 use crate::oracle::widened_bound;
+use crate::store::ShardStore;
 use crate::{ClientNode, Msg, ProtocolConfig, ServerNode};
+
+/// A per-shard store builder: called once per shard index to construct the
+/// [`ShardStore`] backend that shard's engine runs over.
+pub type StoreFactory<'a> = &'a dyn Fn(usize) -> Box<dyn ShardStore>;
 
 /// Configuration of one simulation run.
 #[derive(Clone, Debug)]
@@ -108,7 +113,24 @@ pub fn run(config: &RunConfig) -> RunResult {
 /// eventually let messages through.
 #[must_use]
 pub fn run_with_faults(config: &RunConfig, plan: FaultPlan) -> RunResult {
-    run_impl(config, plan, None)
+    run_impl(config, plan, None, None)
+}
+
+/// Runs one simulation to quiescence under an injected [`FaultPlan`], with
+/// every shard's engine built over a caller-provided [`ShardStore`] backend
+/// (e.g. `tc-durable`'s WAL store). `factory(shard)` is called once per
+/// shard, in shard order. Pass-through of [`run_with_faults`] otherwise.
+///
+/// # Panics
+///
+/// As [`run_with_faults`].
+#[must_use]
+pub fn run_with_stores(
+    config: &RunConfig,
+    plan: FaultPlan,
+    factory: StoreFactory<'_>,
+) -> RunResult {
+    run_impl(config, plan, None, Some(factory))
 }
 
 /// Runs one fault-free simulation whose clients draw their workload and
@@ -125,10 +147,15 @@ pub fn run_with_faults(config: &RunConfig, plan: FaultPlan) -> RunResult {
 /// byte-identical.
 #[must_use]
 pub fn run_with_private_sources(config: &RunConfig, base_seed: u64) -> RunResult {
-    run_impl(config, FaultPlan::none(), Some(base_seed))
+    run_impl(config, FaultPlan::none(), Some(base_seed), None)
 }
 
-fn run_impl(config: &RunConfig, plan: FaultPlan, private_seed: Option<u64>) -> RunResult {
+fn run_impl(
+    config: &RunConfig,
+    plan: FaultPlan,
+    private_seed: Option<u64>,
+    stores: Option<StoreFactory<'_>>,
+) -> RunResult {
     let mut world: World<Msg> = World::new(config.world.clone());
     // The effective ε and the fault-widened bound are both fixed before
     // the run (the world's ε comes from its clock config, the widening
@@ -141,7 +168,12 @@ fn run_impl(config: &RunConfig, plan: FaultPlan, private_seed: Option<u64>) -> R
     // The fleet first (nodes 0..shards; with one shard this is exactly the
     // historical "node 0 is the server" layout), then the clients.
     let servers: Vec<_> = (0..config.protocol.shards)
-        .map(|_| world.add_node(ServerNode::new(config.protocol)))
+        .map(|shard| match stores {
+            None => world.add_node(ServerNode::new(config.protocol)),
+            Some(factory) => {
+                world.add_node(ServerNode::with_store(config.protocol, factory(shard)))
+            }
+        })
         .collect();
     for site in 0..config.n_clients {
         let node = ClientNode::new(

@@ -70,13 +70,19 @@ mod harness;
 mod msg;
 pub mod oracle;
 mod server;
+pub mod store;
 
 pub use client::ClientNode;
 pub use config::{
-    Propagation, ProtocolConfig, ProtocolKind, PushBatch, StalePolicy, DEFAULT_RETRY_AFTER,
+    DurabilityMode, FsyncPolicy, Propagation, ProtocolConfig, ProtocolKind, PushBatch, StalePolicy,
+    DEFAULT_RETRY_AFTER,
 };
 pub use engine::{ClientEngine, ServerEngine, ShardMap};
-pub use harness::{run, run_with_faults, run_with_private_sources, RunConfig, RunResult};
+pub use harness::{
+    run, run_with_faults, run_with_private_sources, run_with_stores, RunConfig, RunResult,
+    StoreFactory,
+};
 pub use msg::{InvalidateEntry, Msg, ValidateOutcome, WireVersion};
 pub use oracle::{conformance, Conformance, OracleVerdict};
 pub use server::ServerNode;
+pub use store::{MemStore, Recovery, ShardImage, ShardStore, StoredVersion, WalRecord};

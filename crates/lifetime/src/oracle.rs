@@ -12,7 +12,7 @@
 //! The widened bound for a run with threshold Δ is
 //!
 //! ```text
-//! Δ + k·lat + 2·ε_eff + disruption + batch_delay + slack
+//! Δ + k·lat + 2·ε_eff + disruption + batch_delay + fsync_delay + slack
 //! ```
 //!
 //! where `k` is the protocol's round-trip factor (2 for TSC, 4 for TCC —
@@ -25,8 +25,25 @@
 //! [`crate::PushBatch::max_delay`] when deadline-batched push
 //! invalidations are enabled (an invalidation may sit in a shard's pending
 //! batch that long before it ships — conservatively charged even though
-//! the client-side pull rules enforce Δ on their own), and `slack` absorbs
-//! the ±1 rounding of event scheduling and trace recording.
+//! the client-side pull rules enforce Δ on their own), `fsync_delay` is the
+//! [`crate::FsyncPolicy::max_delay`] when the shard store is
+//! [`crate::DurabilityMode::Durable`] (readers are served from the durable
+//! image only, so a write may stay invisible for up to one fsync deadline
+//! after the shard applied it — zero for the per-write policy, and zero
+//! for [`crate::DurabilityMode::Ephemeral`], whose store is durable
+//! instantly), and `slack` absorbs the ±1 rounding of event scheduling and
+//! trace recording.
+//!
+//! Note what crash–restart does **not** add under the durable backend: a
+//! killed shard's recovery widens the bound only through `disruption` (the
+//! outage window, as for any crash) plus the `fsync_delay` already charged
+//! — the replay gap is exactly the unfsynced tail, whose writes were never
+//! acked and are retransmitted like any lost message. Under the ephemeral
+//! backend a crash loses the whole store and the same disruption term
+//! applies, but recovery then *forgets* — the oracle still judges such
+//! runs because unacked writes are indistinguishable from dropped
+//! messages; what durability buys is acked writes surviving, which the
+//! recovery experiments assert directly.
 //!
 //! An unbounded-latency network (exponential model) admits no finite
 //! bound, and so does a plan whose disruption is unbounded — an outage
@@ -123,6 +140,19 @@ pub fn widened_bound(config: &RunConfig, plan: &FaultPlan, eps: Epsilon) -> Opti
     } else {
         0
     };
+    // A durable store serves readers from its fsynced image only, so an
+    // applied write may stay invisible for up to one fsync deadline. An
+    // infinite deadline (group-fullness-only syncing) can delay visibility
+    // arbitrarily — no finite bound exists.
+    let fsync_delay = match config.protocol.durability.fsync() {
+        None => 0,
+        Some(policy) => {
+            if policy.max_delay.is_infinite() {
+                return None;
+            }
+            policy.max_delay.ticks()
+        }
+    };
     Some(Delta::from_ticks(
         delta.ticks()
             + round_trips * lat.ticks()
@@ -130,6 +160,7 @@ pub fn widened_bound(config: &RunConfig, plan: &FaultPlan, eps: Epsilon) -> Opti
             + disruption.ticks()
             + retry
             + batch_delay
+            + fsync_delay
             + 4,
     ))
 }
@@ -321,6 +352,52 @@ mod tests {
         assert_eq!(
             widened_bound(&config, &FaultPlan::none(), Epsilon::ZERO).unwrap(),
             quiet
+        );
+    }
+
+    #[test]
+    fn widened_bound_charges_the_fsync_deadline() {
+        use crate::{DurabilityMode, FsyncPolicy};
+        let mut config = cfg(
+            ProtocolKind::Tsc {
+                delta: Delta::from_ticks(60),
+            },
+            0,
+        );
+        let quiet = widened_bound(&config, &FaultPlan::none(), Epsilon::ZERO).unwrap();
+        // Per-write fsync: acks wait for durability but visibility is
+        // never deferred past the write — no charge.
+        config.protocol = config.protocol.with_durability(DurabilityMode::Durable {
+            fsync: FsyncPolicy::PER_WRITE,
+        });
+        assert_eq!(
+            widened_bound(&config, &FaultPlan::none(), Epsilon::ZERO).unwrap(),
+            quiet
+        );
+        // Deadline-batched fsync: charged in full.
+        config.protocol = config.protocol.with_durability(DurabilityMode::Durable {
+            fsync: FsyncPolicy {
+                max_pending: 8,
+                max_delay: Delta::from_ticks(25),
+            },
+        });
+        assert_eq!(
+            widened_bound(&config, &FaultPlan::none(), Epsilon::ZERO)
+                .unwrap()
+                .ticks(),
+            quiet.ticks() + 25
+        );
+        // Fullness-only syncing (infinite deadline) defers visibility
+        // unboundedly: no finite bound.
+        config.protocol = config.protocol.with_durability(DurabilityMode::Durable {
+            fsync: FsyncPolicy {
+                max_pending: 8,
+                max_delay: Delta::INFINITE,
+            },
+        });
+        assert_eq!(
+            widened_bound(&config, &FaultPlan::none(), Epsilon::ZERO),
+            None
         );
     }
 

@@ -7,6 +7,7 @@ use tc_sim::{Context, NodeId, Process};
 use crate::client::replay_effects;
 use crate::engine::{Event, Now, ServerEngine};
 use crate::msg::Msg;
+use crate::store::ShardStore;
 use crate::ProtocolConfig;
 
 /// The simulated server node (one shard of the fleet).
@@ -20,6 +21,14 @@ impl ServerNode {
     pub fn new(config: ProtocolConfig) -> Self {
         ServerNode {
             engine: ServerEngine::new(config),
+        }
+    }
+
+    /// Creates a server over a caller-provided store backend.
+    #[must_use]
+    pub fn with_store(config: ProtocolConfig, store: Box<dyn ShardStore>) -> Self {
+        ServerNode {
+            engine: ServerEngine::with_store(config, store),
         }
     }
 

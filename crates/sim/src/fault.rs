@@ -142,12 +142,34 @@ pub enum FaultKind {
         /// Offset in ticks (may be negative).
         offset: i64,
     },
-    /// Crash `node` at the window start (volatile state is lost, pending
-    /// timers die, deliveries while down are dropped) and restart it at the
-    /// window end via [`crate::Process::on_restart`].
+    /// Crash `node` at the window start and restart it at the window end
+    /// via [`crate::Process::on_restart`]. While down, pending timers die
+    /// and deliveries are dropped. What the crash *destroys* depends on
+    /// the node's storage backend, not on this rule: volatile state is
+    /// always lost, and durable state drives recovery — everything for a
+    /// node over an in-memory "infinitely fast disk" backend (e.g.
+    /// `tc-lifetime`'s `MemStore`), everything up to the last fsync for a
+    /// write-ahead-logged backend (`tc-durable`), which replays its log on
+    /// restart and loses only the unsynced tail. A conformance oracle
+    /// widening a timed bound must therefore read which backend was in
+    /// force: the outage window is charged either way, but only a durable
+    /// backend's fsync deadline adds a visibility term (see
+    /// `tc_lifetime::oracle`).
     Crash {
         /// The crashed node.
         node: usize,
+    },
+    /// Kill server shard `shard` at the window start and restart it at the
+    /// window end — the shard-targeted form of [`FaultKind::Crash`], named
+    /// so plans read as storage experiments ("kill shard 0 mid-run, does
+    /// recovery replay?"). The node index *is* the shard index under the
+    /// harness layout (nodes `0..shards` are the server shards, in every
+    /// driver). Drivers honour it like a crash: the simulator through the
+    /// crash schedule, the threaded and reactor runtimes through
+    /// [`FaultPlan::shard_outages`].
+    KillShard {
+        /// The killed shard (= node index).
+        shard: usize,
     },
 }
 
@@ -210,6 +232,14 @@ impl FaultPlan {
     #[must_use]
     pub fn crash(self, window: Window, node: usize) -> Self {
         self.with(window, Scope::All, FaultKind::Crash { node })
+    }
+
+    /// Shorthand: kill server shard `shard` at `window.from`, restart it at
+    /// `window.until` (the `KillShard`/`RestartShard` pair as one windowed
+    /// rule, mirroring [`FaultPlan::crash`]).
+    #[must_use]
+    pub fn kill_shard(self, window: Window, shard: usize) -> Self {
+        self.with(window, Scope::All, FaultKind::KillShard { shard })
     }
 
     /// Whether a `src → dst` message sent at `now` is killed by a drop or
@@ -303,7 +333,25 @@ impl FaultPlan {
         self.rules
             .iter()
             .filter_map(|r| match r.kind {
-                FaultKind::Crash { node } => Some((node, r.window.from, r.window.until)),
+                FaultKind::Crash { node } | FaultKind::KillShard { shard: node } => {
+                    Some((node, r.window.from, r.window.until))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Shard kill/restart windows, per [`FaultKind::KillShard`] rule:
+    /// `(shard, killed_at, restarted_at)`. The real-time drivers (threaded
+    /// runtime, reactor) consult this to take a shard down and feed it a
+    /// restart event; the simulator honours the same rules through
+    /// [`FaultPlan::crash_schedule`].
+    #[must_use]
+    pub fn shard_outages(&self) -> Vec<(usize, Time, Time)> {
+        self.rules
+            .iter()
+            .filter_map(|r| match r.kind {
+                FaultKind::KillShard { shard } => Some((shard, r.window.from, r.window.until)),
                 _ => None,
             })
             .collect()
@@ -333,7 +381,9 @@ impl FaultPlan {
                     }
                     outage = outage.max(rule.window.len().ticks());
                 }
-                FaultKind::Partition { .. } | FaultKind::Crash { .. } => {
+                FaultKind::Partition { .. }
+                | FaultKind::Crash { .. }
+                | FaultKind::KillShard { .. } => {
                     if rule.window.until == Time::MAX {
                         return None;
                     }
@@ -502,6 +552,31 @@ mod tests {
             plan.crash_schedule(),
             vec![(3, Time::from_ticks(10), Time::from_ticks(50))]
         );
+    }
+
+    #[test]
+    fn kill_shard_joins_the_crash_schedule_and_reports_outages() {
+        let plan = FaultPlan::none()
+            .crash(Window::ticks(10, 50), 3)
+            .kill_shard(Window::ticks(100, 250), 0);
+        // The simulator sees both through the crash schedule.
+        assert_eq!(
+            plan.crash_schedule(),
+            vec![
+                (3, Time::from_ticks(10), Time::from_ticks(50)),
+                (0, Time::from_ticks(100), Time::from_ticks(250)),
+            ]
+        );
+        // The real-time drivers see only the shard outages.
+        assert_eq!(
+            plan.shard_outages(),
+            vec![(0, Time::from_ticks(100), Time::from_ticks(250))]
+        );
+        // The outage window is charged like any crash.
+        assert_eq!(plan.max_disruption(), Some(Delta::from_ticks(150)));
+        // A never-restarting shard admits no finite disruption bound.
+        let endless = FaultPlan::none().kill_shard(Window::always(), 0);
+        assert_eq!(endless.max_disruption(), None);
     }
 
     #[test]

@@ -74,6 +74,18 @@ pub mod names {
     /// Server crash-restart recovery.
     pub const SERVER_RESTART: &str = "server_restart";
 
+    /// Durable shard store: record appended to the write-ahead log.
+    pub const WAL_APPEND: &str = "wal_append";
+    /// Durable shard store: pending WAL tail fsynced (per-write, group
+    /// fullness, or deadline — the fsync policy decides which).
+    pub const WAL_FSYNC: &str = "wal_fsync";
+    /// Durable shard store: records restored at restart (snapshot +
+    /// segment replay).
+    pub const WAL_REPLAYED: &str = "wal_replayed";
+    /// Durable shard store: appended-but-unsynced records dropped by a
+    /// crash (the replay gap; the covered writes were never acked).
+    pub const WAL_LOST: &str = "wal_lost";
+
     /// TCP transport: handshake completed on a fresh connection.
     pub const TCP_CONNECT: &str = "tcp_connect";
     /// TCP transport: link re-established after a drop (backoff path).

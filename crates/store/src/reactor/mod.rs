@@ -64,8 +64,8 @@ use tc_sim::{Metrics, NodeId, TraceRecorder};
 use tc_wire::{write_frame, WireMsg};
 
 use crate::runtime::{
-    finish_run, step_server, ClientCore, RuntimeConfig, RuntimeResult, Shared, TickClock,
-    TimerWheel,
+    finish_run, step_server, ClientCore, OutageEdge, OutageGate, RuntimeConfig, RuntimeResult,
+    Shared, TickClock, TimerWheel,
 };
 use crate::transport::{splitmix64, ListenerChaos, TcpRuntimeConfig};
 
@@ -297,6 +297,10 @@ struct ShardReactor<'a> {
     /// superseded connection's close leaves the new route alone.
     routes: HashMap<usize, u64>,
     timers: TimerWheel<ShardTimer>,
+    /// Kill/restart windows for this shard. While down, protocol messages
+    /// dead-letter and engine timers fire into the void — but the wheel is
+    /// never cleared ([`ShardTimer::Rebind`] must survive an outage).
+    outages: OutageGate,
     shared: &'a Shared,
 }
 
@@ -314,7 +318,11 @@ impl<'a> ShardReactor<'a> {
             shard,
             shards,
             cfg,
-            engine: ServerEngine::new(cfg.runtime.protocol),
+            engine: crate::runtime::build_shard_engine(
+                cfg.runtime.protocol,
+                cfg.runtime.wal_dir.as_deref(),
+                shard,
+            ),
             clock,
             me: NodeId::new(shard),
             epoll: Epoll::new().expect("epoll create"),
@@ -323,6 +331,7 @@ impl<'a> ShardReactor<'a> {
             conns: Slab::new(),
             routes: HashMap::new(),
             timers: TimerWheel::new(),
+            outages: OutageGate::new(shard, &cfg.runtime.shard_outages),
             shared,
         }
     }
@@ -361,8 +370,16 @@ impl<'a> ShardReactor<'a> {
         true
     }
 
-    /// Feeds one event to the shard engine and executes the effects.
+    /// Feeds one event to the shard engine and executes the effects. A
+    /// down shard serves nothing: inbound protocol messages dead-letter
+    /// here (the simulator's down-node path).
     fn step_engine(&mut self, event: Event) {
+        if self.outages.is_down() {
+            if matches!(event, Event::Message { .. }) {
+                self.shared.add_metric(names::FAULT_DROPPED_DOWN, 1);
+            }
+            return;
+        }
         let mut out = Vec::new();
         step_server(&mut self.engine, &self.clock, self.me, event, &mut out);
         for effect in out {
@@ -610,8 +627,23 @@ impl<'a> ShardReactor<'a> {
                     self.chaos_kill(c.down_for);
                 }
             }
+            // Outage edges come before anything else this pass: on the up
+            // edge the engine restarts (replaying the WAL under a durable
+            // store) before any queued traffic reaches it.
+            match self.outages.poll(self.clock.now()) {
+                Some(OutageEdge::WentDown) => self.shared.add_metric(names::CRASH, 1),
+                Some(OutageEdge::CameUp) => {
+                    self.shared.add_metric(names::RESTART, 1);
+                    self.step_engine(Event::Restart);
+                }
+                None => {}
+            }
             for timer in self.timers.pop_due(now) {
                 match timer {
+                    // A due engine timer on a down shard dies with the
+                    // volatile state it would have flushed; the rebind
+                    // alarm is the reactor's own and always fires.
+                    ShardTimer::Engine(_) if self.outages.is_down() => {}
                     ShardTimer::Engine(token) => self.step_engine(Event::Timer { token }),
                     ShardTimer::Rebind => self.rebind(),
                 }
@@ -622,6 +654,11 @@ impl<'a> ShardReactor<'a> {
             if let Some(c) = chaos_pending {
                 let kill_at = started + c.kill_after;
                 timeout = timeout.min(kill_at.saturating_duration_since(now));
+            }
+            if self.outages.is_armed() {
+                // Kill/restart edges are clock-driven, not fd-driven: cap
+                // the wait so they are noticed promptly.
+                timeout = timeout.min(Duration::from_millis(5));
             }
             let n = self.epoll.wait(&mut events, timeout).expect("epoll wait");
             for ev in &events[..n] {

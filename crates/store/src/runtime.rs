@@ -31,6 +31,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -38,10 +39,12 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use tc_clocks::{Delta, Epsilon, Time};
 use tc_core::checker::TimedReport;
 use tc_core::History;
+use tc_durable::WalStore;
 use tc_lifetime::engine::{
     ClientEngine, Effect, Event, Now, PrivateSources, RecordOp, ServerEngine, TIMER_NEXT_OP,
 };
 use tc_lifetime::{Msg, ProtocolConfig};
+use tc_sim::metrics::names;
 use tc_sim::workload::Workload;
 use tc_sim::{Metrics, MetricsSnapshot, NodeId, TraceRecorder};
 
@@ -68,6 +71,16 @@ pub struct RuntimeConfig {
     pub monitor_delta: Delta,
     /// ε handed to the on-time monitor (absorbs tick rounding).
     pub monitor_eps: Epsilon,
+    /// When set, every shard engine runs over a `tc-durable` WAL store
+    /// rooted at `<wal_dir>/shard-<i>` instead of the in-memory store —
+    /// crash/restart then *recovers* durable state by replay instead of
+    /// forgetting it. `None` keeps the default in-memory backend.
+    pub wal_dir: Option<PathBuf>,
+    /// Shard kill/restart windows in protocol ticks (shard down during
+    /// `[from, until)`, restarted at `until`) — the real-time drivers'
+    /// rendering of [`tc_sim::FaultPlan::shard_outages`]. Empty by
+    /// default.
+    pub shard_outages: Vec<(usize, Time, Time)>,
 }
 
 /// Extra Δ given to the monitor on top of the protocol's own threshold:
@@ -102,6 +115,110 @@ impl RuntimeConfig {
             tick: Duration::from_micros(50),
             monitor_delta,
             monitor_eps: Epsilon::from_ticks(2),
+            wal_dir: None,
+            shard_outages: Vec::new(),
+        }
+    }
+}
+
+/// Builds one shard's engine over the configured storage backend: the
+/// in-memory store by default, or a [`WalStore`] under
+/// `<wal_dir>/shard-<i>` when a WAL directory is set. Opening a dirty
+/// directory recovers the previous incarnation's durable state — this is
+/// the single point where every real-time driver (threaded, TCP,
+/// reactor) decides what a shard remembers.
+pub(crate) fn build_shard_engine(
+    protocol: ProtocolConfig,
+    wal_dir: Option<&Path>,
+    shard: usize,
+) -> ServerEngine {
+    match wal_dir {
+        None => ServerEngine::new(protocol),
+        Some(dir) => {
+            // An ephemeral config never syncs, so a WAL store under it
+            // would defer write acks forever — reject the combination
+            // loudly instead of hanging the run.
+            assert!(
+                protocol.durability.is_durable(),
+                "wal_dir is set but the protocol durability mode is Ephemeral; \
+                 configure DurabilityMode::Durable with an fsync policy"
+            );
+            ServerEngine::with_store(
+                protocol,
+                Box::new(WalStore::open(
+                    dir.join(format!("shard-{shard}")),
+                    shard as u16,
+                    tc_durable::DEFAULT_SNAPSHOT_EVERY,
+                )),
+            )
+        }
+    }
+}
+
+/// An edge reported by [`OutageGate::poll`]: the shard just crossed into
+/// or out of a kill window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum OutageEdge {
+    /// The shard just entered a kill window: volatile state dies here.
+    WentDown,
+    /// The shard just left a kill window: feed [`Event::Restart`].
+    CameUp,
+}
+
+/// Tracks one shard's kill/restart windows against the tick clock — the
+/// real-time counterpart of the simulator's scheduled crash/restart
+/// events. The driver polls the gate each pass; while down it drops
+/// inbound messages and discards due engine timers (mirroring the
+/// simulator's down-node dead-letter path), and on the up edge it feeds
+/// `Event::Restart` before anything else.
+pub(crate) struct OutageGate {
+    windows: Vec<(Time, Time)>,
+    down: bool,
+}
+
+impl OutageGate {
+    /// The gate for `shard`, filtering `outages` (a
+    /// [`tc_sim::FaultPlan::shard_outages`] rendering) down to its rows.
+    pub(crate) fn new(shard: usize, outages: &[(usize, Time, Time)]) -> Self {
+        OutageGate {
+            windows: outages
+                .iter()
+                .filter(|(s, _, _)| *s == shard)
+                .map(|(_, from, until)| (*from, *until))
+                .collect(),
+            down: false,
+        }
+    }
+
+    /// Whether any window is configured — an armed gate makes the driver
+    /// cap its blocking waits so edges are noticed promptly.
+    pub(crate) fn is_armed(&self) -> bool {
+        !self.windows.is_empty()
+    }
+
+    /// Whether the shard is currently inside a kill window.
+    pub(crate) fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Advances the gate to `now`, reporting a crossed edge if any. The
+    /// shard is down during `[from, until)` of each window, matching the
+    /// simulator's crash-at-`from`, restart-at-`until` schedule.
+    pub(crate) fn poll(&mut self, now: Time) -> Option<OutageEdge> {
+        let in_window = self
+            .windows
+            .iter()
+            .any(|(from, until)| *from <= now && now < *until);
+        match (self.down, in_window) {
+            (false, true) => {
+                self.down = true;
+                Some(OutageEdge::WentDown)
+            }
+            (true, false) => {
+                self.down = false;
+                Some(OutageEdge::CameUp)
+            }
+            _ => None,
         }
     }
 }
@@ -537,6 +654,7 @@ pub(crate) fn server_thread(
     inbox: &Receiver<(NodeId, Msg)>,
     send: &mut dyn FnMut(NodeId, Msg),
     shared: &Shared,
+    mut outages: OutageGate,
 ) -> u64 {
     // Cap on how many already-queued messages one pass drains beyond the
     // blocking receive. Bounded so a request flood cannot postpone a due
@@ -549,10 +667,24 @@ pub(crate) fn server_thread(
     let mut events: Vec<Event> = Vec::new();
     let mut out: Vec<Effect> = Vec::new();
     loop {
+        // Cross any due outage edge first: a kill discards what the shard
+        // would otherwise do this pass, a restart is fed to the engine
+        // before any queued traffic (replaying the WAL under a durable
+        // store, forgetting everything under the in-memory one).
+        events.clear();
+        match outages.poll(clock.now()) {
+            Some(OutageEdge::WentDown) => shared.add_metric(names::CRASH, 1),
+            Some(OutageEdge::CameUp) => {
+                shared.add_metric(names::RESTART, 1);
+                events.push(Event::Restart);
+            }
+            None => {}
+        }
         // Fire every already-due flush timer (pop_due collects before any
         // fires: handling one may arm new ones, which belong to the next
-        // pass).
-        events.clear();
+        // pass). While down the due timers are popped and discarded below
+        // — the volatile state they would flush is dying anyway — but the
+        // wheel itself is never cleared.
         events.extend(
             timers
                 .pop_due(Instant::now())
@@ -561,15 +693,25 @@ pub(crate) fn server_thread(
         );
         if events.is_empty() {
             // Block towards the next flush deadline (or indefinitely with
-            // none armed). Exits when every client dropped its sender.
-            let received = match timers.next_deadline() {
-                Some(deadline) => {
-                    match inbox.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
-                        Ok(m) => Some(m),
-                        Err(RecvTimeoutError::Timeout) => None,
-                        Err(RecvTimeoutError::Disconnected) => break,
-                    }
-                }
+            // none armed). An armed outage gate caps the wait so kill and
+            // restart edges are noticed promptly. Exits when every client
+            // dropped its sender.
+            let deadline_wait = timers
+                .next_deadline()
+                .map(|d| d.saturating_duration_since(Instant::now()));
+            let cap = outages.is_armed().then(|| Duration::from_millis(5));
+            let wait = match (deadline_wait, cap) {
+                (Some(d), Some(c)) => Some(d.min(c)),
+                (Some(d), None) => Some(d),
+                (None, cap) => cap,
+            };
+            let received = match wait {
+                Some(wait) if !wait.is_zero() => match inbox.recv_timeout(wait) {
+                    Ok(m) => Some(m),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                },
+                Some(_) => None, // a deadline passed while draining
                 None => match inbox.recv() {
                     Ok(m) => Some(m),
                     Err(_) => break,
@@ -577,7 +719,7 @@ pub(crate) fn server_thread(
             };
             match received {
                 Some((from, msg)) => events.push(Event::Message { from, msg }),
-                None => continue, // a deadline passed; fire it next pass
+                None => continue, // a deadline or outage edge is due
             }
         }
         // Opportunistically drain whatever else is already queued so a
@@ -591,6 +733,15 @@ pub(crate) fn server_thread(
             }
         }
         for event in events.drain(..) {
+            // A down shard serves nothing: inbound messages dead-letter
+            // (the simulator's down-node path) and due timers fire into
+            // the void.
+            if outages.is_down() {
+                if matches!(event, Event::Message { .. }) {
+                    shared.add_metric(names::FAULT_DROPPED_DOWN, 1);
+                }
+                continue;
+            }
             out.clear();
             step_server(&mut engine, &clock, me, event, &mut out);
             for effect in out.drain(..) {
@@ -653,7 +804,9 @@ pub fn run_threaded(config: &RuntimeConfig) -> RuntimeResult {
         crossbeam::thread::scope(|scope| {
             let mut shard_workers = Vec::with_capacity(shards);
             for (shard, rx_slot) in server_rxs.iter_mut().enumerate() {
-                let server_engine = ServerEngine::new(config.protocol);
+                let server_engine =
+                    build_shard_engine(config.protocol, config.wal_dir.as_deref(), shard);
+                let gate = OutageGate::new(shard, &config.shard_outages);
                 let inbox = rx_slot.take().expect("receiver taken once");
                 shard_workers.push(scope.spawn(move |_| {
                     let me = NodeId::new(shard);
@@ -663,7 +816,15 @@ pub fn run_threaded(config: &RuntimeConfig) -> RuntimeResult {
                     let mut send = |to: NodeId, msg: Msg| {
                         let _ = client_txs_ref[to.index() - shards].send((me, msg));
                     };
-                    server_thread(server_engine, clock, me, &inbox, &mut send, shared_ref)
+                    server_thread(
+                        server_engine,
+                        clock,
+                        me,
+                        &inbox,
+                        &mut send,
+                        shared_ref,
+                        gate,
+                    )
                 }));
             }
             let mut workers = Vec::with_capacity(config.n_clients);
@@ -758,6 +919,107 @@ mod tests {
         )
     }
 
+    fn temp_wal_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "tc-store-test-{}-{}-{}",
+            std::process::id(),
+            tag,
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn outage_gate_reports_edges_once_per_window() {
+        let outages = vec![
+            (0, Time::from_ticks(10), Time::from_ticks(20)),
+            (1, Time::from_ticks(0), Time::from_ticks(5)), // another shard
+        ];
+        let mut gate = OutageGate::new(0, &outages);
+        assert!(gate.is_armed());
+        assert_eq!(gate.poll(Time::from_ticks(0)), None);
+        assert_eq!(
+            gate.poll(Time::from_ticks(10)),
+            Some(OutageEdge::WentDown),
+            "the window is inclusive at its start"
+        );
+        assert!(gate.is_down());
+        assert_eq!(gate.poll(Time::from_ticks(15)), None, "edges fire once");
+        assert_eq!(
+            gate.poll(Time::from_ticks(20)),
+            Some(OutageEdge::CameUp),
+            "the shard restarts at the window's end"
+        );
+        assert!(!gate.is_down());
+        assert_eq!(gate.poll(Time::from_ticks(25)), None);
+
+        let mut unarmed = OutageGate::new(2, &outages);
+        assert!(!unarmed.is_armed());
+        assert_eq!(unarmed.poll(Time::from_ticks(10)), None);
+    }
+
+    #[test]
+    fn threaded_kill_shard_over_wal_recovers_by_replay() {
+        use tc_lifetime::{DurabilityMode, FsyncPolicy};
+        let wal = temp_wal_dir("killshard");
+        let mut cfg = small(
+            ProtocolKind::Tsc {
+                delta: Delta::from_ticks(400),
+            },
+            23,
+        );
+        cfg.ops_per_client = 200;
+        cfg.protocol = cfg.protocol.with_durability(DurabilityMode::Durable {
+            fsync: FsyncPolicy::PER_WRITE,
+        });
+        cfg.wal_dir = Some(wal.clone());
+        // Down during [300, 1300) ticks: 200 ops × ≥2 ticks think time
+        // cannot finish before tick 300, so the kill always lands mid-run;
+        // MONITOR_SLACK (20 000 ticks) dwarfs the 1 000-tick outage.
+        cfg.shard_outages = vec![(0, Time::from_ticks(300), Time::from_ticks(1_300))];
+        let r = run_threaded(&cfg);
+        assert_eq!(r.ops_done, 2 * 200, "every op must complete post-restart");
+        assert!(
+            r.on_time.holds(),
+            "violations: {}",
+            r.on_time.violations().len()
+        );
+        assert!(r.counter(names::CRASH) >= 1, "the kill window must land");
+        assert!(r.counter(names::RESTART) >= 1);
+        assert!(r.counter(names::SERVER_RESTART) >= 1);
+        assert!(
+            r.counter(names::WAL_REPLAYED) > 0,
+            "restart must recover state by replaying the log"
+        );
+        assert_eq!(
+            r.counter(names::WAL_LOST),
+            0,
+            "per-write fsync leaves no unsynced tail to lose"
+        );
+        assert!(r.counter(names::WAL_FSYNC) > 0);
+        let _ = std::fs::remove_dir_all(&wal);
+    }
+
+    #[test]
+    fn threaded_wal_backend_matches_memory_semantics_fault_free() {
+        use tc_lifetime::{DurabilityMode, FsyncPolicy};
+        let wal = temp_wal_dir("faultfree");
+        let mut cfg = small(ProtocolKind::Sc, 29);
+        cfg.protocol = cfg.protocol.with_durability(DurabilityMode::Durable {
+            fsync: FsyncPolicy::PER_WRITE,
+        });
+        cfg.wal_dir = Some(wal.clone());
+        let r = run_threaded(&cfg);
+        assert_eq!(r.ops_done, 2 * 15);
+        assert!(r.on_time.holds());
+        assert!(
+            r.counter(names::WAL_APPEND) > 0 && r.counter(names::WAL_FSYNC) > 0,
+            "writes must go through the log"
+        );
+        let _ = std::fs::remove_dir_all(&wal);
+    }
+
     #[test]
     fn threaded_sc_completes_and_holds() {
         let r = run_threaded(&small(ProtocolKind::Sc, 11));
@@ -831,7 +1093,15 @@ mod tests {
         };
         let mut replies: Vec<(NodeId, Msg)> = Vec::new();
         let mut send = |to: NodeId, msg: Msg| replies.push((to, msg));
-        let served = server_thread(engine, clock, me, &rx, &mut send, &shared);
+        let served = server_thread(
+            engine,
+            clock,
+            me,
+            &rx,
+            &mut send,
+            &shared,
+            OutageGate::new(0, &[]),
+        );
         assert_eq!(served, n, "every queued request must be served");
         let epochs: Vec<u64> = replies
             .iter()

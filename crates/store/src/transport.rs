@@ -46,7 +46,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use tc_lifetime::engine::{ClientEngine, PrivateSources, ServerEngine};
+use tc_lifetime::engine::{ClientEngine, PrivateSources};
 use tc_lifetime::Msg;
 use tc_sim::metrics::names;
 use tc_sim::{Metrics, NodeId, TraceRecorder};
@@ -337,7 +337,9 @@ pub fn run_tcp_with(config: &TcpRuntimeConfig) -> RuntimeResult {
             let mut shard_workers = Vec::with_capacity(shards);
             for (shard, rx_slot) in engine_rxs.iter_mut().enumerate() {
                 let inbox = rx_slot.take().expect("receiver taken once");
-                let engine = ServerEngine::new(rc.protocol);
+                let engine =
+                    crate::runtime::build_shard_engine(rc.protocol, rc.wal_dir.as_deref(), shard);
+                let gate = crate::runtime::OutageGate::new(shard, &rc.shard_outages);
                 let registry = &registries[shard];
                 shard_workers.push(scope.spawn(move |_| {
                     let me = NodeId::new(shard);
@@ -354,7 +356,7 @@ pub fn run_tcp_with(config: &TcpRuntimeConfig) -> RuntimeResult {
                             shared_ref.add_metric(names::TCP_SEND_DROPPED, 1);
                         }
                     };
-                    server_thread(engine, clock, me, &inbox, &mut send, shared_ref)
+                    server_thread(engine, clock, me, &inbox, &mut send, shared_ref, gate)
                 }));
             }
 

@@ -75,6 +75,17 @@ pub fn encode_frame(shard: u16, msg: &WireMsg) -> Vec<u8> {
 /// produced are identical to [`encode_frame`]'s. Anything already in
 /// `buf` is left untouched, so frames can be batched back to back.
 pub fn encode_frame_into(buf: &mut Vec<u8>, shard: u16, msg: &WireMsg) {
+    encode_frame_body_into(buf, shard, |w| put_wire_msg(w, msg));
+}
+
+/// Appends a complete frame whose payload is written by `body` — the
+/// generic form of [`encode_frame_into`] for payloads that are not
+/// [`WireMsg`]s (e.g. `tc-durable`'s WAL records ride the same
+/// magic/version/length/CRC header, so log corruption is detected by the
+/// very codec the transport already trusts). Same zero-alloc warm-buffer
+/// behaviour; `shard` carries the frame's routing tag (for a WAL segment,
+/// the owning shard).
+pub fn encode_frame_body_into(buf: &mut Vec<u8>, shard: u16, body: impl FnOnce(&mut Writer)) {
     let start = buf.len();
     let mut w = Writer::over(std::mem::take(buf));
     w.u32(MAGIC);
@@ -82,7 +93,7 @@ pub fn encode_frame_into(buf: &mut Vec<u8>, shard: u16, msg: &WireMsg) {
     w.u16(shard);
     w.u32(0); // length, patched below
     w.u32(0); // crc, patched below
-    put_wire_msg(&mut w, msg);
+    body(&mut w);
     let mut bytes = w.into_bytes();
     let payload_len = bytes.len() - start - HEADER_LEN;
     assert!(
@@ -160,6 +171,40 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(u16, WireMsg, usize), WireError> {
     }
     let msg = decode_payload(&header, &bytes[HEADER_LEN..total])?;
     Ok((header.shard, msg, total))
+}
+
+/// Decodes one complete frame from the front of `bytes` *without*
+/// interpreting the payload: header and CRC are fully validated, the raw
+/// payload slice is returned together with the shard tag and the bytes
+/// consumed. The counterpart of [`encode_frame_body_into`] — callers that
+/// framed something other than a [`WireMsg`] (WAL records, snapshots)
+/// decode the payload with their own `Reader`. Every corruption a
+/// [`decode_frame`] would catch short of message decoding — bad magic,
+/// alien version, oversized or truncated length, CRC mismatch — is caught
+/// here too, which is exactly the "stop at the first invalid record"
+/// contract WAL replay needs.
+pub fn decode_frame_body(bytes: &[u8]) -> Result<(u16, &[u8], usize), WireError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            what: "frame header",
+        });
+    }
+    let header = decode_header(&bytes[..HEADER_LEN])?;
+    let total = HEADER_LEN + header.len as usize;
+    if bytes.len() < total {
+        return Err(WireError::Truncated {
+            what: "frame payload",
+        });
+    }
+    let payload = &bytes[HEADER_LEN..total];
+    let found = crc32(payload);
+    if found != header.crc {
+        return Err(WireError::BadCrc {
+            expected: header.crc,
+            found,
+        });
+    }
+    Ok((header.shard, payload, total))
 }
 
 /// Writes one frame to `w` (a single `write_all`; the frame is already
@@ -281,6 +326,34 @@ mod tests {
         assert_eq!(&buf[..6], b"prefix");
         assert_eq!(buf.as_ptr(), ptr, "warm buffer must not reallocate");
         assert_eq!(&buf[6..], &encode_frame(1, &WireMsg::Heartbeat)[..]);
+    }
+
+    #[test]
+    fn body_frames_round_trip_and_catch_corruption() {
+        let mut buf = Vec::new();
+        encode_frame_body_into(&mut buf, 5, |w| {
+            w.u64(0xDEAD_BEEF);
+            w.u32(7);
+        });
+        let (shard, payload, used) = decode_frame_body(&buf).unwrap();
+        assert_eq!(shard, 5);
+        assert_eq!(used, buf.len());
+        let mut r = Reader::new(payload);
+        assert_eq!(r.u64("a").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u32("b").unwrap(), 7);
+        r.finish().unwrap();
+        // A flipped payload bit fails the CRC before any payload parsing.
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        assert!(matches!(
+            decode_frame_body(&buf),
+            Err(WireError::BadCrc { .. })
+        ));
+        // Truncation anywhere reports Truncated, never panics.
+        buf[last] ^= 0x01;
+        for cut in 0..buf.len() {
+            assert!(decode_frame_body(&buf[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -43,8 +43,13 @@ pub mod stream;
 pub use codec::{Reader, WireError, Writer};
 pub use crc::{crc32, crc32_bytewise};
 pub use frame::{
-    decode_frame, decode_header, decode_payload, encode_frame, encode_frame_into, read_frame,
-    write_frame, FrameHeader, HEADER_LEN, MAGIC, MAX_PAYLOAD, WIRE_VERSION,
+    decode_frame, decode_frame_body, decode_header, decode_payload, encode_frame,
+    encode_frame_body_into, encode_frame_into, read_frame, write_frame, FrameHeader, HEADER_LEN,
+    MAGIC, MAX_PAYLOAD, WIRE_VERSION,
 };
-pub use msg::{get_msg, get_protocol, get_wire_msg, put_msg, put_protocol, put_wire_msg, WireMsg};
+pub use msg::{
+    get_delta, get_msg, get_object, get_opt_vclock, get_protocol, get_time, get_value, get_vclock,
+    get_wire_msg, put_delta, put_msg, put_object, put_opt_vclock, put_protocol, put_time,
+    put_value, put_vclock, put_wire_msg, WireMsg,
+};
 pub use stream::FrameDecoder;

@@ -11,8 +11,8 @@
 use tc_clocks::{Delta, Time, VectorClock};
 use tc_core::{ObjectId, Value};
 use tc_lifetime::{
-    InvalidateEntry, Msg, Propagation, ProtocolConfig, ProtocolKind, PushBatch, StalePolicy,
-    ValidateOutcome, WireVersion,
+    DurabilityMode, FsyncPolicy, InvalidateEntry, Msg, Propagation, ProtocolConfig, ProtocolKind,
+    PushBatch, StalePolicy, ValidateOutcome, WireVersion,
 };
 
 use crate::codec::{Reader, WireError, Writer};
@@ -74,39 +74,48 @@ const TAG_WRITE_ACK_CAUSAL: u8 = 6;
 const TAG_INVALIDATE_PUSH: u8 = 7;
 const TAG_INVALIDATE_BATCH: u8 = 8;
 
-fn put_time(w: &mut Writer, t: Time) {
+/// Encodes a [`Time`] (u64 ticks, LE).
+pub fn put_time(w: &mut Writer, t: Time) {
     w.u64(t.ticks());
 }
 
-fn get_time(r: &mut Reader<'_>, what: &'static str) -> Result<Time, WireError> {
+/// Decodes a [`Time`].
+pub fn get_time(r: &mut Reader<'_>, what: &'static str) -> Result<Time, WireError> {
     Ok(Time::from_ticks(r.u64(what)?))
 }
 
-fn put_delta(w: &mut Writer, d: Delta) {
+/// Encodes a [`Delta`] (u64 ticks, LE).
+pub fn put_delta(w: &mut Writer, d: Delta) {
     w.u64(d.ticks());
 }
 
-fn get_delta(r: &mut Reader<'_>, what: &'static str) -> Result<Delta, WireError> {
+/// Decodes a [`Delta`].
+pub fn get_delta(r: &mut Reader<'_>, what: &'static str) -> Result<Delta, WireError> {
     Ok(Delta::from_ticks(r.u64(what)?))
 }
 
-fn put_object(w: &mut Writer, o: ObjectId) {
+/// Encodes an [`ObjectId`] (u32 index, LE).
+pub fn put_object(w: &mut Writer, o: ObjectId) {
     w.u32(o.index());
 }
 
-fn get_object(r: &mut Reader<'_>) -> Result<ObjectId, WireError> {
+/// Decodes an [`ObjectId`].
+pub fn get_object(r: &mut Reader<'_>) -> Result<ObjectId, WireError> {
     Ok(ObjectId::new(r.u32("object")?))
 }
 
-fn put_value(w: &mut Writer, v: Value) {
+/// Encodes a [`Value`] (u64 raw, LE).
+pub fn put_value(w: &mut Writer, v: Value) {
     w.u64(v.raw());
 }
 
-fn get_value(r: &mut Reader<'_>) -> Result<Value, WireError> {
+/// Decodes a [`Value`].
+pub fn get_value(r: &mut Reader<'_>) -> Result<Value, WireError> {
     Ok(Value::new(r.u64("value")?))
 }
 
-fn put_vclock(w: &mut Writer, vc: &VectorClock) {
+/// Encodes a [`VectorClock`] (site, width, entries).
+pub fn put_vclock(w: &mut Writer, vc: &VectorClock) {
     w.u32(vc.site() as u32);
     w.u32(vc.n_sites() as u32);
     for &e in vc.entries() {
@@ -114,7 +123,8 @@ fn put_vclock(w: &mut Writer, vc: &VectorClock) {
     }
 }
 
-fn get_vclock(r: &mut Reader<'_>) -> Result<VectorClock, WireError> {
+/// Decodes a [`VectorClock`], validating site/width sanity.
+pub fn get_vclock(r: &mut Reader<'_>) -> Result<VectorClock, WireError> {
     let site = r.u32("vclock site")? as usize;
     let n = r.u32("vclock width")? as usize;
     if n == 0 || site >= n || n > u16::MAX as usize {
@@ -127,7 +137,8 @@ fn get_vclock(r: &mut Reader<'_>) -> Result<VectorClock, WireError> {
     Ok(VectorClock::from_entries(site, entries))
 }
 
-fn put_opt_vclock(w: &mut Writer, vc: Option<&VectorClock>) {
+/// Encodes an optional [`VectorClock`] behind a presence byte.
+pub fn put_opt_vclock(w: &mut Writer, vc: Option<&VectorClock>) {
     match vc {
         None => w.u8(0),
         Some(vc) => {
@@ -137,7 +148,8 @@ fn put_opt_vclock(w: &mut Writer, vc: Option<&VectorClock>) {
     }
 }
 
-fn get_opt_vclock(r: &mut Reader<'_>) -> Result<Option<VectorClock>, WireError> {
+/// Decodes an optional [`VectorClock`].
+pub fn get_opt_vclock(r: &mut Reader<'_>) -> Result<Option<VectorClock>, WireError> {
     match r.u8("vclock presence")? {
         0 => Ok(None),
         1 => Ok(Some(get_vclock(r)?)),
@@ -213,6 +225,14 @@ pub fn put_protocol(w: &mut Writer, c: &ProtocolConfig) {
     w.u32(c.shards as u32);
     w.u32(c.push_batch.max_entries as u32);
     put_delta(w, c.push_batch.max_delay);
+    match c.durability {
+        DurabilityMode::Ephemeral => w.u8(0),
+        DurabilityMode::Durable { fsync } => {
+            w.u8(1);
+            w.u32(fsync.max_pending as u32);
+            put_delta(w, fsync.max_delay);
+        }
+    }
 }
 
 /// Decodes a [`ProtocolConfig`].
@@ -263,6 +283,21 @@ pub fn get_protocol(r: &mut Reader<'_>) -> Result<ProtocolConfig, WireError> {
         max_entries: r.u32("push batch entries")? as usize,
         max_delay: get_delta(r, "push batch delay")?,
     };
+    let durability = match r.u8("durability mode")? {
+        0 => DurabilityMode::Ephemeral,
+        1 => DurabilityMode::Durable {
+            fsync: FsyncPolicy {
+                max_pending: r.u32("fsync max pending")? as usize,
+                max_delay: get_delta(r, "fsync max delay")?,
+            },
+        },
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "durability mode",
+                tag,
+            })
+        }
+    };
     Ok(ProtocolConfig {
         kind,
         stale,
@@ -270,6 +305,7 @@ pub fn get_protocol(r: &mut Reader<'_>) -> Result<ProtocolConfig, WireError> {
         retry_after,
         shards,
         push_batch,
+        durability,
     })
 }
 
@@ -552,19 +588,34 @@ mod tests {
             ProtocolKind::TccLogical { xi_delta: 2.5 },
             ProtocolKind::NoCache,
         ] {
-            let mut config = ProtocolConfig::of(kind).with_shards(7);
-            config.stale = StalePolicy::Invalidate;
-            config.propagation = Propagation::PushInvalidate;
-            config.push_batch = PushBatch {
-                max_entries: 8,
-                max_delay: Delta::from_ticks(40),
-            };
-            let mut w = Writer::new();
-            put_protocol(&mut w, &config);
-            let bytes = w.into_bytes();
-            let mut r = Reader::new(&bytes);
-            assert_eq!(get_protocol(&mut r).unwrap(), config);
-            r.finish().unwrap();
+            for durability in [
+                DurabilityMode::Ephemeral,
+                DurabilityMode::Durable {
+                    fsync: FsyncPolicy::PER_WRITE,
+                },
+                DurabilityMode::Durable {
+                    fsync: FsyncPolicy {
+                        max_pending: 32,
+                        max_delay: Delta::from_ticks(250),
+                    },
+                },
+            ] {
+                let mut config = ProtocolConfig::of(kind)
+                    .with_shards(7)
+                    .with_durability(durability);
+                config.stale = StalePolicy::Invalidate;
+                config.propagation = Propagation::PushInvalidate;
+                config.push_batch = PushBatch {
+                    max_entries: 8,
+                    max_delay: Delta::from_ticks(40),
+                };
+                let mut w = Writer::new();
+                put_protocol(&mut w, &config);
+                let bytes = w.into_bytes();
+                let mut r = Reader::new(&bytes);
+                assert_eq!(get_protocol(&mut r).unwrap(), config);
+                r.finish().unwrap();
+            }
         }
     }
 

@@ -15,8 +15,8 @@ use rand::Rng;
 use tc_clocks::{Delta, Time, VectorClock};
 use tc_core::{ObjectId, Value};
 use tc_lifetime::{
-    InvalidateEntry, Msg, Propagation, ProtocolConfig, ProtocolKind, PushBatch, StalePolicy,
-    ValidateOutcome, WireVersion,
+    DurabilityMode, FsyncPolicy, InvalidateEntry, Msg, Propagation, ProtocolConfig, ProtocolKind,
+    PushBatch, StalePolicy, ValidateOutcome, WireVersion,
 };
 use tc_wire::{
     crc32, decode_frame, encode_frame, read_frame, write_frame, WireError, WireMsg, Writer,
@@ -105,6 +105,18 @@ fn arb_protocol(rng: &mut StdRng) -> ProtocolConfig {
         push_batch: PushBatch {
             max_entries: rng.gen_range(0..=1024usize),
             max_delay: arb_delta(rng),
+        },
+        durability: match rng.gen_range(0..3u8) {
+            0 => DurabilityMode::Ephemeral,
+            1 => DurabilityMode::Durable {
+                fsync: FsyncPolicy::PER_WRITE,
+            },
+            _ => DurabilityMode::Durable {
+                fsync: FsyncPolicy {
+                    max_pending: rng.gen_range(1..=1024usize),
+                    max_delay: arb_delta(rng),
+                },
+            },
         },
     }
 }

@@ -14,6 +14,8 @@
 //!   CC, TCC, and the logical-clock TCC approximation).
 //! * [`store`] — a multi-threaded replicated object store with selectable
 //!   timed consistency levels.
+//! * [`durable`] — a WAL+snapshot shard storage backend: crash–restart
+//!   recovers durable state by replay instead of forgetting it.
 //!
 //! ## Quickstart
 //!
@@ -32,6 +34,7 @@
 
 pub use tc_clocks as clocks;
 pub use tc_core as core;
+pub use tc_durable as durable;
 pub use tc_lifetime as lifetime;
 pub use tc_sim as sim;
 pub use tc_store as store;

@@ -181,6 +181,83 @@ fn sharded_causal_engines_are_driver_independent() {
     check_equivalence_of(ProtocolConfig::of(ProtocolKind::Cc).with_shards(2));
 }
 
+/// Storage must be invisible to the protocol: under a durable per-write
+/// config, a simulated run over the default in-memory store and one over
+/// the `tc-durable` WAL backend produce **byte-identical** histories,
+/// per-site fingerprints, and verdicts. (Metrics legitimately differ —
+/// only the WAL run counts appends and fsyncs — so they are exactly what
+/// this test does *not* compare.)
+#[test]
+fn wal_backend_is_byte_identical_to_memory_fault_free() {
+    use timed_consistency::durable::WalStore;
+    use timed_consistency::lifetime::store::ShardStore;
+    use timed_consistency::lifetime::{run, run_with_stores, DurabilityMode, FsyncPolicy};
+    use timed_consistency::sim::FaultPlan;
+
+    for kind in [
+        ProtocolKind::Tsc {
+            delta: Delta::from_ticks(400),
+        },
+        ProtocolKind::Tcc {
+            delta: Delta::from_ticks(400),
+        },
+    ] {
+        let protocol =
+            ProtocolConfig::of(kind)
+                .with_shards(2)
+                .with_durability(DurabilityMode::Durable {
+                    fsync: FsyncPolicy::PER_WRITE,
+                });
+        let config = RunConfig {
+            protocol,
+            n_clients: N_CLIENTS,
+            workload: workload(),
+            ops_per_client: OPS,
+            world: WorldConfig::deterministic(Delta::from_ticks(3), SEED),
+        };
+        let mem = run(&config);
+        let wal_root =
+            std::env::temp_dir().join(format!("tc-equivalence-{}-{kind:?}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&wal_root);
+        let factory = |shard: usize| -> Box<dyn ShardStore> {
+            Box::new(WalStore::open(
+                wal_root.join(format!("shard-{shard}")),
+                shard as u16,
+                64,
+            ))
+        };
+        let wal = run_with_stores(&config, FaultPlan::none(), &factory);
+
+        // Operation-by-operation identity, reads and timestamps included.
+        // (Comparing the whole `History` Debug output would be wrong: its
+        // logical-stamp map is a `HashMap`, whose iteration order is
+        // instance-random even for equal contents.)
+        assert_eq!(mem.history.len(), wal.history.len(), "{kind:?}: op count");
+        for (a, b) in mem.history.iter().zip(wal.history.iter()) {
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "{kind:?}: the WAL backend must be invisible to the recorded history"
+            );
+        }
+        for site in 0..N_CLIENTS {
+            assert_eq!(
+                site_fingerprint(&mem.history, site),
+                site_fingerprint(&wal.history, site),
+                "{kind:?}: site {site} diverged between storage backends"
+            );
+        }
+        assert_eq!(mem.on_time.holds(), wal.on_time.holds());
+        assert_eq!(mem.on_time.delta(), wal.on_time.delta());
+        assert_eq!(mem.finished_at, wal.finished_at, "{kind:?}: same schedule");
+        assert_eq!(mem.events, wal.events, "{kind:?}: same event count");
+        // Sanity: the WAL run really did go through the log.
+        let fsyncs = wal.metrics.counters.get("wal_fsync").copied().unwrap_or(0);
+        assert!(fsyncs > 0, "{kind:?}: the WAL run must have fsynced");
+        let _ = std::fs::remove_dir_all(&wal_root);
+    }
+}
+
 /// The fingerprint really is seed-determined: two threaded runs of the
 /// same configuration execute the same per-site programs even though
 /// their interleavings differ.

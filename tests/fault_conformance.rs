@@ -369,6 +369,88 @@ fn sharded_fleet_survives_drop_and_reorder_faults() {
     });
 }
 
+/// `KillShard` over the WAL backend: a seeded kill/restart of a durable
+/// shard must recover its version store and causal cursors *by replay* —
+/// the oracle stays green, the restart demonstrably replays log records,
+/// and under per-write fsync nothing is ever lost (the unsynced tail, the
+/// only thing a crash may take, is empty between events).
+#[test]
+fn kill_shard_over_wal_recovers_by_replay() {
+    use timed_consistency::durable::WalStore;
+    use timed_consistency::lifetime::store::ShardStore;
+    use timed_consistency::lifetime::{run_with_stores, DurabilityMode, FsyncPolicy};
+
+    let mut cells = Vec::new();
+    for kind in timed_kinds() {
+        for seed in [7u64, 21, 1999] {
+            cells.push((kind, seed));
+        }
+    }
+    let conformed: usize = tc_bench::parallel_map(&cells, |(kind, seed)| {
+        let mut cfg = config(*kind, *seed);
+        cfg.protocol = cfg
+            .protocol
+            .with_shards(2)
+            .with_durability(DurabilityMode::Durable {
+                fsync: FsyncPolicy::PER_WRITE,
+            });
+        let plan = FaultPlan::none().kill_shard(Window::ticks(250, 650), 0);
+        let root = std::env::temp_dir().join(format!(
+            "tc-conformance-{}-{}-{seed}",
+            std::process::id(),
+            kind.label(),
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let factory = |shard: usize| -> Box<dyn ShardStore> {
+            Box::new(WalStore::open(
+                root.join(format!("shard-{shard}")),
+                shard as u16,
+                64,
+            ))
+        };
+        let result = run_with_stores(&cfg, plan.clone(), &factory);
+        let c = conformance(&cfg, &plan, &result);
+        assert!(
+            c.acceptable(),
+            "{} / kill-shard over WAL / seed {seed}: {:?}\n\
+             observed staleness {} vs bound {:?}, {} ops recorded of {}",
+            kind.label(),
+            c.verdict,
+            c.observed_staleness.ticks(),
+            c.bound.map(|b| b.ticks()),
+            c.ops_recorded,
+            c.ops_expected,
+        );
+        let counter = |name: &str| result.metrics.counters.get(name).copied().unwrap_or(0);
+        assert!(
+            counter("server_restart") >= 1,
+            "{} seed {seed}: the killed shard must have restarted",
+            kind.label()
+        );
+        assert!(
+            counter("wal_replayed") > 0,
+            "{} seed {seed}: restart must replay the log, not forget",
+            kind.label()
+        );
+        assert_eq!(
+            counter("wal_lost"),
+            0,
+            "{} seed {seed}: per-write fsync leaves nothing to lose",
+            kind.label()
+        );
+        let _ = std::fs::remove_dir_all(&root);
+        usize::from(c.verdict == OracleVerdict::Conforms)
+    })
+    .into_iter()
+    .sum();
+    assert!(
+        conformed * 2 > cells.len(),
+        "only {conformed}/{} kill-shard runs conformed — the outage is \
+         stalling nearly everything",
+        cells.len()
+    );
+}
+
 /// Untimed levels ride through the matrix too: the oracle then checks
 /// only the untimed guarantee (SC / CCv) and reports no bound.
 #[test]

@@ -97,7 +97,10 @@ pub mod thread {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .sum::<usize>()
             })
             .unwrap();
             assert_eq!(counter.load(Ordering::Relaxed), 4);

@@ -388,7 +388,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             __l != __r,
             "assertion failed: `{} != {}`\n  both: {:?}",
-            stringify!($left), stringify!($right), __l
+            stringify!($left),
+            stringify!($right),
+            __l
         );
     }};
 }
@@ -398,9 +400,9 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !$cond {
-            return ::std::result::Result::Err(
-                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
-            );
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
         }
     };
 }
@@ -453,10 +455,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "failed at case")]
     fn failures_panic_with_seed() {
-        crate::runner::run(
-            "always_fails",
-            &ProptestConfig::with_cases(1),
-            |_rng| Err(TestCaseError::fail("nope")),
-        );
+        crate::runner::run("always_fails", &ProptestConfig::with_cases(1), |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
     }
 }

@@ -61,9 +61,11 @@ impl Value {
             Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Value::Number(n) => out.push_str(&n.to_string()),
             Value::String(s) => write_escaped(out, s),
-            Value::Array(items) => write_seq(out, indent, level, '[', ']', items.len(), |out, i| {
-                items[i].write(out, indent, level + 1);
-            }),
+            Value::Array(items) => {
+                write_seq(out, indent, level, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, level + 1);
+                })
+            }
             Value::Object(map) => {
                 let entries: Vec<_> = map.iter().collect();
                 write_seq(out, indent, level, '{', '}', entries.len(), |out, i| {
