@@ -35,10 +35,23 @@ use crate::checker::timed::{OnTimeViolation, TimedReport};
 use crate::{ObjectId, OpId, OpKind, Operation, Value};
 
 /// Incremental Definition 1/2 checker for a fixed Δ and ε.
+///
+/// # Δ-schedules
+///
+/// The judged threshold need not be a scalar: [`OnTimeMonitor::schedule_change`]
+/// registers piecewise-constant revisions of Δ, each taking effect for
+/// reads at or after its effective time. Reads are judged against the Δ
+/// *in force at their own time* — the schedule an adaptive controller
+/// actually commanded, not the initial value. With no registered changes
+/// the monitor is byte-identical to the scalar checker.
 #[derive(Clone, Debug)]
 pub struct OnTimeMonitor {
     delta: Delta,
     eps: Epsilon,
+    /// Piecewise-constant Δ revisions, sorted by effective time; empty for
+    /// scalar-Δ monitoring. A read at time `t` is judged against the last
+    /// entry at or before `t` (or `delta` if none).
+    schedule: Vec<(Time, Delta)>,
     objects: HashMap<ObjectId, ObjectState>,
     /// `(object, value)` → the write of that value, for source resolution
     /// (written values are unique, which pins the reads-from relation).
@@ -95,6 +108,7 @@ impl OnTimeMonitor {
         OnTimeMonitor {
             delta,
             eps,
+            schedule: Vec::new(),
             objects: HashMap::new(),
             writers: HashMap::new(),
             pending: HashMap::new(),
@@ -106,10 +120,45 @@ impl OnTimeMonitor {
         }
     }
 
-    /// The Δ reads are judged against.
+    /// The initial Δ reads are judged against (before any
+    /// [`Self::schedule_change`]).
     #[must_use]
     pub fn delta(&self) -> Delta {
         self.delta
+    }
+
+    /// Registers a Δ revision: reads at or after `at` are judged against
+    /// `delta` (until a later revision). Revisions must be registered
+    /// *before* any read at or after `at` is ingested — already-judged
+    /// reads are not re-judged. Effective times are clamped monotone:
+    /// a revision dated before the previous one snaps to it (last writer
+    /// wins at equal times).
+    pub fn schedule_change(&mut self, at: Time, delta: Delta) {
+        let at = match self.schedule.last() {
+            Some(&(prev, _)) => at.max(prev),
+            None => at,
+        };
+        match self.schedule.last_mut() {
+            Some(entry) if entry.0 == at => entry.1 = delta,
+            _ => self.schedule.push((at, delta)),
+        }
+    }
+
+    /// The registered Δ revisions, in effective-time order.
+    #[must_use]
+    pub fn schedule(&self) -> &[(Time, Delta)] {
+        &self.schedule
+    }
+
+    /// The Δ in force at `t` under the registered schedule.
+    #[must_use]
+    pub fn delta_at(&self, t: Time) -> Delta {
+        let idx = self.schedule.partition_point(|&(at, _)| at <= t);
+        if idx == 0 {
+            self.delta
+        } else {
+            self.schedule[idx - 1].1
+        }
     }
 
     /// The clock-synchronization bound ε.
@@ -261,7 +310,7 @@ impl OnTimeMonitor {
                 .checked_add(eps.ticks())
                 .and_then(|t| t.checked_add(1)),
         };
-        let deadline = time.saturating_sub_delta(self.delta);
+        let deadline = time.saturating_sub_delta(self.delta_at(time));
         let hi = deadline.ticks().saturating_sub(eps.ticks());
         let source_id = source.map(|(w, _)| w);
         let state = self.objects.entry(object).or_default();
@@ -481,6 +530,102 @@ mod tests {
             m.into_report(),
             check_on_time(&h, Delta::ZERO, Epsilon::ZERO)
         );
+    }
+
+    #[test]
+    fn empty_schedule_matches_scalar_monitor() {
+        // Registering no revisions must leave the verdict byte-identical
+        // to the scalar checker (the schedule path is pure overhead-free
+        // fallthrough).
+        let h = fig1ish();
+        let delta = Delta::from_ticks(120);
+        let mut m = OnTimeMonitor::new(delta, Epsilon::ZERO);
+        m.ingest_history(&h);
+        assert_eq!(m.delta_at(Time::from_ticks(0)), delta);
+        assert_eq!(m.delta_at(Time::from_ticks(u64::MAX)), delta);
+        assert_eq!(m.into_report(), check_on_time(&h, delta, Epsilon::ZERO));
+    }
+
+    #[test]
+    fn schedule_judges_reads_against_the_delta_in_force() {
+        // fig1ish: write X=7 at 100, write X=1 at 80; reads of the *old*
+        // value at 140, 220, 300 → staleness 40/120/200 against the newer
+        // write. A schedule that relaxes Δ from 50 to 250 at t=200 must
+        // forgive exactly the reads at or after 200.
+        let h = fig1ish();
+        let mut m = OnTimeMonitor::new(Delta::from_ticks(50), Epsilon::ZERO);
+        m.schedule_change(Time::from_ticks(200), Delta::from_ticks(250));
+        m.ingest_history(&h);
+        assert_eq!(m.delta_at(Time::from_ticks(199)), Delta::from_ticks(50));
+        assert_eq!(m.delta_at(Time::from_ticks(200)), Delta::from_ticks(250));
+        let report = m.into_report();
+        let late: Vec<u64> = report
+            .violations()
+            .iter()
+            .map(|v| h.time_of(v.read).ticks())
+            .collect();
+        // The read at 140 needs Δ 40 < 50 (on time under the initial Δ);
+        // the reads at 220 and 300 need 120 and 200 — violations under a
+        // scalar Δ=50, but both fall under the relaxed 250 in force there.
+        assert_eq!(late, Vec::<u64>::new(), "relaxation forgives late reads");
+        // Tightening instead: Δ 250 → 50 at t=200 flags exactly the
+        // post-200 reads.
+        let mut m = OnTimeMonitor::new(Delta::from_ticks(250), Epsilon::ZERO);
+        m.schedule_change(Time::from_ticks(200), Delta::from_ticks(50));
+        m.ingest_history(&h);
+        assert!(!m.holds());
+        let report = m.into_report();
+        let late: Vec<u64> = report
+            .violations()
+            .iter()
+            .map(|v| h.time_of(v.read).ticks())
+            .collect();
+        assert_eq!(late, vec![220, 300]);
+    }
+
+    #[test]
+    fn schedule_is_read_time_not_ingestion_time() {
+        // A pending read parked before its writer arrives is judged at
+        // finalize time, but against the Δ in force at its *own* time.
+        let mut b = HistoryBuilder::new();
+        b.write(0, 'X', 7, 100);
+        b.write(1, 'X', 1, 90);
+        b.read(1, 'X', 1, 400);
+        let h = b.build().unwrap();
+        let mut m = OnTimeMonitor::new(Delta::from_ticks(5), Epsilon::ZERO);
+        // Relaxed to 1000 from t=350 — covers the read at 400 (staleness
+        // 300 against the write at 100).
+        m.schedule_change(Time::from_ticks(350), Delta::from_ticks(1_000));
+        // Feed the read first: it parks until its source write arrives,
+        // and the late write at 100 then exercises the repair pass — both
+        // must judge against the Δ in force at the read's own time.
+        let ops: Vec<_> = h.iter().collect();
+        for op in ops.iter().rev() {
+            m.ingest_op(op);
+            assert!(m.holds(), "read judged against the Δ in force at t=400");
+        }
+        assert_eq!(
+            m.min_delta(),
+            Delta::from_ticks(300),
+            "min_delta stays Δ-independent"
+        );
+    }
+
+    #[test]
+    fn schedule_changes_are_clamped_monotone() {
+        let mut m = OnTimeMonitor::new(Delta::from_ticks(10), Epsilon::ZERO);
+        m.schedule_change(Time::from_ticks(100), Delta::from_ticks(20));
+        // Backdated revision snaps forward to the previous effective time
+        // and overwrites it (last writer wins).
+        m.schedule_change(Time::from_ticks(50), Delta::from_ticks(30));
+        assert_eq!(
+            m.schedule(),
+            &[(Time::from_ticks(100), Delta::from_ticks(30))]
+        );
+        m.schedule_change(Time::from_ticks(200), Delta::from_ticks(40));
+        assert_eq!(m.delta_at(Time::from_ticks(99)), Delta::from_ticks(10));
+        assert_eq!(m.delta_at(Time::from_ticks(150)), Delta::from_ticks(30));
+        assert_eq!(m.delta_at(Time::from_ticks(200)), Delta::from_ticks(40));
     }
 
     #[test]

@@ -246,9 +246,42 @@ struct Recovered {
     from_snapshot: u64,
     replayed: u64,
     corrupted_tail: bool,
+    /// Record frames destroyed past the corruption point — whole frames
+    /// that still decode but can no longer be replayed (the index chain is
+    /// broken) plus one per torn byte-gap. Zero on a clean log.
+    lost_truncated: u64,
     /// The segment appends continue into, and the byte length of its valid
     /// prefix (everything after is truncated away).
     live_segment: (u64, u64),
+}
+
+/// Counts record frames lost in `bytes[start..]`, the region past a
+/// corruption point: every complete frame that still decodes as a record
+/// (found by resynchronising on the wire magic byte-by-byte) counts one,
+/// and every contiguous undecodable gap — a torn partial frame, a
+/// bit-flipped header, truncated trailing bytes — counts one more. A gap
+/// may hide several destroyed frames, so this is a lower bound; what it
+/// fixes is the old accounting, which counted the region as *zero*.
+fn count_torn_records(bytes: &[u8], start: usize) -> u64 {
+    let mut lost = 0u64;
+    let mut offset = start;
+    let mut in_gap = false;
+    while offset < bytes.len() {
+        if let Ok((_, payload, used)) = decode_frame_body(&bytes[offset..]) {
+            if decode_record(payload).is_ok() {
+                lost += 1;
+                offset += used;
+                in_gap = false;
+                continue;
+            }
+        }
+        if !in_gap {
+            lost += 1;
+            in_gap = true;
+        }
+        offset += 1;
+    }
+    lost
 }
 
 /// Rebuilds the durable image from `dir`: newest decodable snapshot, then
@@ -297,8 +330,14 @@ fn recover(dir: &Path) -> Recovered {
 
     let mut replayed = 0u64;
     let mut corrupted_tail = false;
+    let mut lost_truncated = 0u64;
     let mut live_segment = (from_snapshot, 0u64);
-    for &seq in seg_seqs.iter().filter(|&&s| s >= from_snapshot) {
+    let live_seqs: Vec<u64> = seg_seqs
+        .iter()
+        .copied()
+        .filter(|&s| s >= from_snapshot)
+        .collect();
+    for (i, &seq) in live_seqs.iter().enumerate() {
         let path = seg_path(dir, seq);
         let bytes = fs::read(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
         let mut offset = 0usize;
@@ -325,6 +364,17 @@ fn recover(dir: &Path) -> Recovered {
         }
         live_segment = (seq, offset as u64);
         if corrupted_tail {
+            // Account for everything replay abandoned: the rest of this
+            // segment past the corruption point, plus every whole later
+            // segment (their index chains hang off records that no longer
+            // exist, so none of their frames can ever be replayed).
+            lost_truncated = count_torn_records(&bytes, offset);
+            for &later in &live_seqs[i + 1..] {
+                let later_path = seg_path(dir, later);
+                let later_bytes =
+                    fs::read(&later_path).unwrap_or_else(|e| panic!("read {later_path:?}: {e}"));
+                lost_truncated += count_torn_records(&later_bytes, 0);
+            }
             break;
         }
     }
@@ -333,6 +383,7 @@ fn recover(dir: &Path) -> Recovered {
         from_snapshot,
         replayed,
         corrupted_tail,
+        lost_truncated,
         live_segment,
     }
 }
@@ -395,7 +446,9 @@ impl WalStore {
         let last_recovery = Recovery {
             replayed: recovered.replayed,
             from_snapshot: recovered.from_snapshot,
-            lost: 0,
+            // Frames the corruption destroyed on disk; `restart` adds the
+            // crash-discarded in-memory tail on top.
+            lost: recovered.lost_truncated,
             corrupted_tail: recovered.corrupted_tail,
             recovery_point: recovered.image.records(),
         };
@@ -517,12 +570,14 @@ impl ShardStore for WalStore {
     fn restart(&mut self) -> Recovery {
         // Crash: the unsynced tail is gone. Rebuild from disk exactly as a
         // fresh process would.
-        let lost = self.tail.len() as u64;
+        let tail_lost = self.tail.len() as u64;
         let reopened = WalStore::open(self.dir.clone(), self.shard, self.snapshot_every);
         let syncs = self.syncs;
         *self = reopened;
         self.syncs = syncs;
-        self.last_recovery.lost = lost;
+        // `open` counted what corruption destroyed on disk; both loss
+        // channels flow into one figure.
+        self.last_recovery.lost += tail_lost;
         self.last_recovery
     }
 
@@ -679,6 +734,11 @@ mod tests {
         assert_eq!(store.records(), 4);
         assert!(store.last_recovery().corrupted_tail);
         assert_eq!(store.last_recovery().recovery_point, 4);
+        assert_eq!(
+            store.last_recovery().lost,
+            1,
+            "the torn fifth frame must count as lost, not vanish"
+        );
         assert_eq!(
             store.durable_version(ObjectId::new(1)).value,
             Value::new(103)

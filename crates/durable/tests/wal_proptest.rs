@@ -94,7 +94,15 @@ fn assert_clean_prefix(dir: &PathBuf, records: &[WalRecord]) {
         "recovered more records than were written"
     );
     assert_eq!(store.last_recovery().recovery_point, k as u64);
-    assert_eq!(store.last_recovery().lost, 0);
+    // Loss accounting is consistent with the corruption verdict: a clean
+    // log lost nothing, a corrupted one lost at least the frame replay
+    // stopped at. (This helper may run against an already-truncated log —
+    // the first open trims the bad suffix — so it can't demand more.)
+    if store.last_recovery().corrupted_tail {
+        assert!(store.last_recovery().lost >= 1);
+    } else {
+        assert_eq!(store.last_recovery().lost, 0);
+    }
 
     let mut expected = ShardImage::new();
     for record in &records[..k] {
@@ -158,6 +166,14 @@ proptest! {
         prop_assert!((store.records() as usize) < records.len()
             || store.last_recovery().corrupted_tail
             || records.is_empty());
+        // A torn frame must show up in the loss accounting (truncation
+        // destroys the bytes outright, so the trailing partial frame is
+        // all that is countable — `lost` is a lower bound here).
+        if store.last_recovery().corrupted_tail {
+            prop_assert!(store.last_recovery().lost >= 1);
+        } else {
+            prop_assert_eq!(store.last_recovery().lost, 0);
+        }
         drop(store);
         assert_clean_prefix(&dir, &records);
         let _ = fs::remove_dir_all(&dir);
@@ -178,6 +194,21 @@ proptest! {
         let at = pos % bytes.len();
         bytes[at] ^= 1 << bit;
         fs::write(&seg, &bytes).unwrap();
+
+        // Exact loss accounting on the first open: a mid-log flip kills
+        // exactly one frame, and every intact frame after it is
+        // unreplayable (the index chain is broken) — so the store must
+        // report precisely `written − recovered` records lost.
+        let store = WalStore::open(&dir, 0, u64::MAX);
+        let k = store.records() as usize;
+        if store.last_recovery().corrupted_tail {
+            prop_assert_eq!(store.last_recovery().lost as usize, records.len() - k);
+        } else {
+            // The flip landed in an ignored header field: nothing lost.
+            prop_assert_eq!(store.last_recovery().lost, 0);
+            prop_assert_eq!(k, records.len());
+        }
+        drop(store);
 
         assert_clean_prefix(&dir, &records);
         let _ = fs::remove_dir_all(&dir);
@@ -204,6 +235,9 @@ proptest! {
         let store = WalStore::open(&dir, 0, u64::MAX);
         prop_assert!(store.last_recovery().corrupted_tail);
         prop_assert_eq!(store.records() as usize, records.len());
+        // The torn partial frame is one countable casualty — no synced
+        // record is lost, but the tear itself must not read as zero loss.
+        prop_assert_eq!(store.last_recovery().lost, 1);
         drop(store);
         assert_clean_prefix(&dir, &records);
         let _ = fs::remove_dir_all(&dir);

@@ -14,7 +14,7 @@ use std::rc::Rc;
 use rand::rngs::StdRng;
 use tc_core::Value;
 use tc_sim::workload::Workload;
-use tc_sim::{Context, NodeId, Process, TraceRecorder};
+use tc_sim::{Context, NetEvent, NodeId, Process, TraceRecorder};
 
 use crate::engine::{ClientEngine, Effect, Event, Inputs, Now, PrivateSources, RecordOp};
 use crate::msg::Msg;
@@ -30,7 +30,20 @@ pub(crate) fn replay_effects(
 ) {
     for effect in effects {
         match effect {
-            Effect::Send { to, msg } => ctx.send(to, msg),
+            Effect::Send { to, msg } => {
+                if let Some(rec) = recorder {
+                    let mut rec = rec.borrow_mut();
+                    if rec.net_enabled() {
+                        rec.log_net(NetEvent::Send {
+                            at: ctx.true_now(),
+                            from: ctx.me().index(),
+                            to: to.index(),
+                            tag: msg.tag(),
+                        });
+                    }
+                }
+                ctx.send(to, msg);
+            }
             Effect::SetTimer { after, token } => ctx.set_timer(after, token),
             // Zero-increments still materialize the counter — experiment
             // tables rely on swept-but-empty counters being present.
@@ -71,6 +84,33 @@ pub(crate) fn replay_effects(
                 }
             }
         }
+    }
+}
+
+/// Captures a delivery/timer event for timeline export (no-op unless the
+/// recorder's net log is enabled).
+pub(crate) fn log_delivery(
+    recorder: &Rc<RefCell<TraceRecorder>>,
+    ctx: &Context<'_, Msg>,
+    event: &Event,
+) {
+    let mut rec = recorder.borrow_mut();
+    if !rec.net_enabled() {
+        return;
+    }
+    match event {
+        Event::Message { from, msg } => rec.log_net(NetEvent::Recv {
+            at: ctx.true_now(),
+            from: from.index(),
+            to: ctx.me().index(),
+            tag: msg.tag(),
+        }),
+        Event::Timer { token } => rec.log_net(NetEvent::Timer {
+            at: ctx.true_now(),
+            node: ctx.me().index(),
+            token: *token,
+        }),
+        _ => {}
     }
 }
 
@@ -156,6 +196,7 @@ impl ClientNode {
     }
 
     fn drive(&mut self, ctx: &mut Context<'_, Msg>, event: Event) {
+        log_delivery(&self.recorder, ctx, &event);
         let now = Now {
             me: ctx.me(),
             local: ctx.local_now(),

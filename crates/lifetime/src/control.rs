@@ -1,0 +1,554 @@
+//! Adaptive Δ control plane: retune the freshness threshold online.
+//!
+//! The paper fixes Δ per run, but its guarantee is really a contract the
+//! system can *manage* (cf. "Algorithms for Timed Consistency Models"):
+//! when the fleet keeps up — the streaming [`OnTimeMonitor`]'s running
+//! `min_delta` sits far below the commanded Δ — the threshold can be
+//! tightened, buying clients fresher reads for the same traffic; under
+//! backpressure (retries, violations against the widened bound) it must be
+//! relaxed before the guarantee is broken rather than after.
+//!
+//! [`DeltaController`] is the pure decision kernel: integer-only
+//! arithmetic over `(now, observed min_delta, pressure)` samples, so every
+//! driver — simulated or real — reaches identical decisions from identical
+//! inputs. Each decision yields a [`DeltaCommand`]: the Δ to broadcast to
+//! clients ([`crate::Msg::DeltaUpdate`]) and the instant from which the
+//! *judge* holds the fleet to it.
+//!
+//! # Δ-schedule soundness
+//!
+//! Clients enforce whatever Δ they last heard; the monitor judges against
+//! the piecewise-constant [`DeltaSchedule`] the controller committed to.
+//! The two are reconciled by an asymmetric effective-time rule:
+//!
+//! * a **relaxation** enters the judged schedule immediately — clients
+//!   still enforcing the old, tighter Δ trivially satisfy the looser
+//!   bound while the update propagates;
+//! * a **tightening** enters the judged schedule only at
+//!   `now + apply_lag` — clients that have not yet heard the update keep
+//!   enforcing the old Δ, and judging them against the tighter one before
+//!   it could possibly reach them would manufacture violations. (A client
+//!   that applies the tighter Δ *early* is always safe: enforcing tighter
+//!   than judged can only reduce staleness.)
+//!
+//! Commands are re-broadcast every controller tick (idempotent per
+//! sequence number), so a client that misses one hears the next; the lag
+//! must cover a couple of controller intervals plus delivery.
+
+use serde::Serialize;
+use tc_clocks::{Delta, Time};
+use tc_core::checker::OnTimeMonitor;
+
+/// A piecewise-constant Δ timetable: the thresholds a run's controller
+/// committed to, in effective-time order. This is what the oracle judges
+/// against — the schedule *actually in force* at each instant, not a
+/// scalar.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct DeltaSchedule {
+    /// Δ in force from the start of the run.
+    pub initial: Delta,
+    /// Revisions `(effective_from, delta)`, sorted by effective time.
+    pub changes: Vec<(Time, Delta)>,
+}
+
+impl DeltaSchedule {
+    /// A schedule that never changes: `delta` for the whole run.
+    #[must_use]
+    pub fn fixed(delta: Delta) -> Self {
+        DeltaSchedule {
+            initial: delta,
+            changes: Vec::new(),
+        }
+    }
+
+    /// Appends a revision. Effective times are clamped monotone — a
+    /// revision dated before the last one snaps to it (last writer wins at
+    /// equal times), mirroring [`OnTimeMonitor::schedule_change`].
+    pub fn push(&mut self, at: Time, delta: Delta) {
+        let at = match self.changes.last() {
+            Some(&(prev, _)) => at.max(prev),
+            None => at,
+        };
+        match self.changes.last_mut() {
+            Some(entry) if entry.0 == at => entry.1 = delta,
+            _ => self.changes.push((at, delta)),
+        }
+    }
+
+    /// The Δ in force at `t`.
+    #[must_use]
+    pub fn delta_at(&self, t: Time) -> Delta {
+        let idx = self.changes.partition_point(|&(at, _)| at <= t);
+        if idx == 0 {
+            self.initial
+        } else {
+            self.changes[idx - 1].1
+        }
+    }
+
+    /// Number of revisions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Whether the schedule is the fixed initial Δ with no revisions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Time-averaged Δ over `[0, end)` — the "Δ budget" a schedule spends.
+    /// A static run spends exactly its scalar Δ; an adaptive run that
+    /// tightens in quiet phases spends less.
+    #[must_use]
+    pub fn time_averaged(&self, end: Time) -> f64 {
+        if end == Time::ZERO {
+            return self.initial.ticks() as f64;
+        }
+        let mut acc = 0.0;
+        let mut cursor = Time::ZERO;
+        let mut current = self.initial;
+        for &(at, delta) in &self.changes {
+            let at = at.min(end);
+            acc += current.ticks() as f64 * (at.ticks() - cursor.ticks()) as f64;
+            cursor = at;
+            current = delta;
+            if cursor == end {
+                break;
+            }
+        }
+        acc += current.ticks() as f64 * (end.ticks().saturating_sub(cursor.ticks())) as f64;
+        acc / end.ticks() as f64
+    }
+
+    /// Replays the schedule into a monitor (all entries at once) so a
+    /// finished history can be judged post-hoc against the in-force Δ.
+    /// `widening` is added to every threshold — the same fault/latency
+    /// margin the scalar oracle adds to a static Δ.
+    pub fn apply_to(&self, monitor: &mut OnTimeMonitor, widening: Delta) {
+        for &(at, delta) in &self.changes {
+            monitor.schedule_change(at, widen(delta, widening));
+        }
+    }
+}
+
+/// Adds a widening margin to a threshold, saturating at infinite.
+#[must_use]
+pub fn widen(delta: Delta, widening: Delta) -> Delta {
+    if delta.is_infinite() || widening.is_infinite() {
+        Delta::INFINITE
+    } else {
+        Delta::from_ticks(delta.ticks().saturating_add(widening.ticks()))
+    }
+}
+
+/// Tuning knobs of the [`DeltaController`]. All arithmetic is integer so
+/// decisions replay identically across drivers.
+#[derive(Clone, Copy, Debug)]
+pub struct ControllerConfig {
+    /// Tightest Δ the controller may command.
+    pub delta_min: Delta,
+    /// Loosest Δ the controller may command (also the relaxation ceiling).
+    pub delta_max: Delta,
+    /// Controller tick period. Decisions (and re-broadcasts) happen at
+    /// this cadence.
+    pub interval: Delta,
+    /// How far in the future a *tightening* takes judged effect — must
+    /// cover command delivery (a couple of intervals plus a round trip).
+    pub apply_lag: Delta,
+    /// Headroom ratio `num/den`: the commanded Δ targets
+    /// `observed_min_delta × num / den`, clamped to `[delta_min, delta_max]`.
+    pub headroom_num: u64,
+    /// See [`ControllerConfig::headroom_num`].
+    pub headroom_den: u64,
+}
+
+impl ControllerConfig {
+    /// A reasonable default law: 1.5× headroom over the observed
+    /// staleness, ticking every `interval`, tightenings honored after
+    /// `2×interval`.
+    #[must_use]
+    pub fn new(delta_min: Delta, delta_max: Delta, interval: Delta) -> Self {
+        ControllerConfig {
+            delta_min,
+            delta_max,
+            interval,
+            apply_lag: Delta::from_ticks(interval.ticks().saturating_mul(2)),
+            headroom_num: 3,
+            headroom_den: 2,
+        }
+    }
+
+    /// The Δ the law steers toward for a given observed staleness.
+    #[must_use]
+    pub fn target(&self, observed: Delta) -> Delta {
+        let scaled = observed
+            .ticks()
+            .saturating_mul(self.headroom_num)
+            .checked_div(self.headroom_den)
+            .unwrap_or(u64::MAX);
+        Delta::from_ticks(scaled.clamp(self.delta_min.ticks(), self.delta_max.ticks()))
+    }
+}
+
+/// One controller decision: what to tell the clients, and from when the
+/// judge holds the fleet to it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaCommand {
+    /// Monotone command sequence number (clients ignore stale ones).
+    pub seq: u64,
+    /// The Δ clients must enforce from receipt.
+    pub delta: Delta,
+    /// The instant the judged [`DeltaSchedule`] switches to `delta`:
+    /// `now` for relaxations, `now + apply_lag` for tightenings.
+    pub judge_from: Time,
+}
+
+/// Controller ticks after the last backpressure during which a new
+/// staleness maximum is still attributed to the fault: jittered and
+/// retried deliveries complete well after the drops that signalled the
+/// episode, so the trailing spikes belong to it too.
+const FAULT_TRAIL_TICKS: u64 = 8;
+
+/// Per-quiet-tick decay divisor of the transient staleness component:
+/// a quarter of the fault-episode memory is forgotten each tick, so the
+/// controller re-tightens within a few intervals of the network healing.
+const TRANSIENT_DECAY_DIV: u64 = 4;
+
+/// The adaptive-Δ decision kernel: tighten geometrically while the fleet
+/// keeps up, relax multiplicatively (at least back to the safe target)
+/// under pressure. Pure and deterministic — drivers feed it samples and
+/// carry out its commands.
+///
+/// The monitor's `min_delta` input is a lifetime high-water mark, so the
+/// controller splits each *increase* of it into two estimates by
+/// provenance: spikes that land during (or trailing) a backpressure
+/// episode are a **transient** fault component that decays once the
+/// episode ends, while spikes in quiet air raise a permanent **anchor**
+/// — the staleness the workload naturally exhibits. Steering off
+/// `max(anchor, transient)` instead of the raw high-water mark is what
+/// lets the controller re-tighten after a fault burst rather than
+/// staying pinned at the worst staleness ever seen.
+#[derive(Clone, Debug)]
+pub struct DeltaController {
+    cfg: ControllerConfig,
+    current: Delta,
+    seq: u64,
+    schedule: DeltaSchedule,
+    /// Raw high-water of the monotone `observed` input, to detect rises.
+    high_water: Delta,
+    /// Staleness demonstrated in quiet air — never forgotten.
+    anchor: Delta,
+    /// Staleness coincident with backpressure — decays when quiet.
+    transient: Delta,
+    /// A quiet-air rise awaiting confirmation: it only hardens into the
+    /// anchor after [`FAULT_TRAIL_TICKS`] further quiet ticks. If
+    /// backpressure arrives first, the rise was the leading edge of a
+    /// fault episode (spikes outrun the retries that explain them) and
+    /// it reclassifies as transient. The pending value counts toward the
+    /// steering estimate either way, so hysteresis never delays a relax.
+    pending: Option<(Delta, u64)>,
+    /// Controller ticks since backpressure last fired (`u64::MAX` =
+    /// never).
+    since_pressure: u64,
+}
+
+impl DeltaController {
+    /// A controller starting from `initial` (typically the static Δ the
+    /// run was configured with).
+    #[must_use]
+    pub fn new(cfg: ControllerConfig, initial: Delta) -> Self {
+        let initial = Delta::from_ticks(
+            initial
+                .ticks()
+                .clamp(cfg.delta_min.ticks(), cfg.delta_max.ticks()),
+        );
+        DeltaController {
+            cfg,
+            current: initial,
+            seq: 0,
+            schedule: DeltaSchedule::fixed(initial),
+            high_water: Delta::ZERO,
+            anchor: Delta::ZERO,
+            transient: Delta::ZERO,
+            pending: None,
+            since_pressure: u64::MAX,
+        }
+    }
+
+    /// The Δ currently commanded.
+    #[must_use]
+    pub fn current(&self) -> Delta {
+        self.current
+    }
+
+    /// The tuning knobs.
+    #[must_use]
+    pub fn config(&self) -> &ControllerConfig {
+        &self.cfg
+    }
+
+    /// The judged schedule committed so far.
+    #[must_use]
+    pub fn schedule(&self) -> &DeltaSchedule {
+        &self.schedule
+    }
+
+    /// Consumes the controller, yielding the judged schedule.
+    #[must_use]
+    pub fn into_schedule(self) -> DeltaSchedule {
+        self.schedule
+    }
+
+    /// The last command's sequence number (0 before any change) — used by
+    /// hosts to re-broadcast the current Δ idempotently.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// One control tick at true time `now`, fed the monitor's running
+    /// `observed` min-Δ and a boolean backpressure signal (retries or
+    /// violations since the last tick). Returns a command when Δ changes.
+    pub fn tick(&mut self, now: Time, observed: Delta, pressure: bool) -> Option<DeltaCommand> {
+        self.since_pressure = if pressure {
+            0
+        } else {
+            self.since_pressure.saturating_add(1)
+        };
+        let faulty = self.since_pressure <= FAULT_TRAIL_TICKS;
+        if observed > self.high_water {
+            self.high_water = observed;
+            if faulty {
+                self.transient = self.transient.max(observed);
+            } else {
+                let held = self.pending.map_or(Delta::ZERO, |(v, _)| v);
+                self.pending = Some((held.max(observed), 0));
+            }
+        }
+        if let Some((held, age)) = self.pending {
+            if faulty {
+                // Backpressure caught up with the rise: it belongs to
+                // the fault episode, not the workload.
+                self.transient = self.transient.max(held);
+                self.pending = None;
+            } else if age >= FAULT_TRAIL_TICKS {
+                self.anchor = self.anchor.max(held);
+                self.pending = None;
+            } else {
+                self.pending = Some((held, age + 1));
+            }
+        }
+        if !faulty && self.transient > Delta::ZERO {
+            let t = self.transient.ticks();
+            self.transient = Delta::from_ticks(t.saturating_sub((t / TRANSIENT_DECAY_DIV).max(1)));
+        }
+        let held = self.pending.map_or(Delta::ZERO, |(v, _)| v);
+        let target = self.cfg.target(self.anchor.max(self.transient).max(held));
+        let cur = self.current.ticks();
+        let next = if pressure {
+            // Relax fast: double, at least up to the safe target, capped.
+            cur.saturating_mul(2)
+                .max(target.ticks())
+                .min(self.cfg.delta_max.ticks())
+        } else if cur > target.ticks() {
+            // Tighten slowly: close half the gap per tick (at least one
+            // tick of progress), converging geometrically onto the target.
+            cur - ((cur - target.ticks()) / 2).max(1)
+        } else if cur < target.ticks() {
+            // Observed staleness rose above the commanded band without
+            // tripping the pressure signal: step straight to safety.
+            target.ticks()
+        } else {
+            cur
+        };
+        let next = Delta::from_ticks(next);
+        if next == self.current {
+            return None;
+        }
+        let tightening = next < self.current;
+        self.current = next;
+        self.seq += 1;
+        let judge_from = if tightening {
+            now.saturating_add_delta(self.cfg.apply_lag)
+        } else {
+            now
+        };
+        self.schedule.push(judge_from, next);
+        Some(DeltaCommand {
+            seq: self.seq,
+            delta: next,
+            judge_from,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ControllerConfig {
+        ControllerConfig::new(
+            Delta::from_ticks(20),
+            Delta::from_ticks(10_000),
+            Delta::from_ticks(100),
+        )
+    }
+
+    #[test]
+    fn schedule_lookup_and_average() {
+        let mut s = DeltaSchedule::fixed(Delta::from_ticks(100));
+        s.push(Time::from_ticks(50), Delta::from_ticks(200));
+        s.push(Time::from_ticks(75), Delta::from_ticks(40));
+        assert_eq!(s.delta_at(Time::from_ticks(0)), Delta::from_ticks(100));
+        assert_eq!(s.delta_at(Time::from_ticks(50)), Delta::from_ticks(200));
+        assert_eq!(s.delta_at(Time::from_ticks(74)), Delta::from_ticks(200));
+        assert_eq!(s.delta_at(Time::from_ticks(80)), Delta::from_ticks(40));
+        // [0,50)@100 + [50,75)@200 + [75,100)@40 over 100 ticks.
+        let avg = s.time_averaged(Time::from_ticks(100));
+        assert!((avg - (100.0 * 50.0 + 200.0 * 25.0 + 40.0 * 25.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedule_push_clamps_monotone() {
+        let mut s = DeltaSchedule::fixed(Delta::from_ticks(10));
+        s.push(Time::from_ticks(100), Delta::from_ticks(20));
+        s.push(Time::from_ticks(40), Delta::from_ticks(30));
+        assert_eq!(
+            s.changes,
+            vec![(Time::from_ticks(100), Delta::from_ticks(30))]
+        );
+    }
+
+    #[test]
+    fn tightens_geometrically_toward_the_target_band() {
+        let mut c = DeltaController::new(cfg(), Delta::from_ticks(8_000));
+        let observed = Delta::from_ticks(200); // target = 300
+        let mut now = Time::from_ticks(0);
+        let mut changes = 0;
+        for _ in 0..64 {
+            now = now.saturating_add_delta(Delta::from_ticks(100));
+            if c.tick(now, observed, false).is_some() {
+                changes += 1;
+            }
+        }
+        assert_eq!(c.current(), Delta::from_ticks(300), "settles on the target");
+        assert!(changes <= 16, "geometric convergence, not a step per tick");
+        // Settled: further quiet ticks are silent.
+        assert_eq!(c.tick(now, observed, false), None);
+    }
+
+    #[test]
+    fn pressure_relaxes_fast_and_is_capped() {
+        let mut c = DeltaController::new(cfg(), Delta::from_ticks(40));
+        let cmd = c
+            .tick(Time::from_ticks(100), Delta::from_ticks(30), true)
+            .expect("pressure must relax");
+        assert_eq!(cmd.delta, Delta::from_ticks(80));
+        assert_eq!(cmd.judge_from, Time::from_ticks(100), "relax judges now");
+        for i in 0..20 {
+            c.tick(Time::from_ticks(200 + i), Delta::from_ticks(30), true);
+        }
+        assert_eq!(
+            c.current(),
+            Delta::from_ticks(10_000),
+            "capped at delta_max"
+        );
+    }
+
+    #[test]
+    fn fault_spikes_decay_and_the_controller_retightens() {
+        let mut c = DeltaController::new(cfg(), Delta::from_ticks(1_000));
+        let mut now = Time::ZERO;
+        let mut step = |c: &mut DeltaController, observed: u64, pressure: bool| {
+            now = now.saturating_add_delta(Delta::from_ticks(100));
+            c.tick(now, Delta::from_ticks(observed), pressure)
+        };
+        // Quiet air: natural staleness 40 anchors, Δ settles on target 60.
+        for _ in 0..32 {
+            step(&mut c, 40, false);
+        }
+        assert_eq!(c.current(), Delta::from_ticks(60));
+        // Fault burst: the high-water mark spikes to 2000 under
+        // backpressure — relax past it.
+        for _ in 0..4 {
+            step(&mut c, 2_000, true);
+        }
+        assert!(
+            c.current() >= Delta::from_ticks(3_000),
+            "pressure must relax past the spike"
+        );
+        // Healed: the spike was pressure-coincident, so it decays after
+        // the trailing window and the controller re-tightens all the way
+        // back to the quiet-air band — even though the monotone observed
+        // input still reports the burst's high-water mark.
+        for _ in 0..64 {
+            step(&mut c, 2_000, false);
+        }
+        assert_eq!(
+            c.current(),
+            Delta::from_ticks(60),
+            "the burst must be forgotten, not pinned into Δ forever"
+        );
+    }
+
+    #[test]
+    fn tightening_is_judged_with_lag() {
+        let mut c = DeltaController::new(cfg(), Delta::from_ticks(1_000));
+        let cmd = c
+            .tick(Time::from_ticks(500), Delta::from_ticks(20), false)
+            .expect("gap to close");
+        assert!(cmd.delta < Delta::from_ticks(1_000));
+        assert_eq!(
+            cmd.judge_from,
+            Time::from_ticks(500 + 200),
+            "tighten judges only after apply_lag"
+        );
+        assert_eq!(
+            c.schedule().delta_at(Time::from_ticks(699)),
+            Delta::from_ticks(1_000)
+        );
+        assert_eq!(c.schedule().delta_at(Time::from_ticks(700)), cmd.delta);
+    }
+
+    #[test]
+    fn observed_above_band_steps_to_target_without_pressure() {
+        let mut c = DeltaController::new(cfg(), Delta::from_ticks(50));
+        let cmd = c
+            .tick(Time::from_ticks(10), Delta::from_ticks(2_000), false)
+            .expect("must step up");
+        assert_eq!(cmd.delta, Delta::from_ticks(3_000), "1.5× headroom");
+        assert_eq!(cmd.judge_from, Time::from_ticks(10), "relax judges now");
+    }
+
+    #[test]
+    fn commands_carry_monotone_seqs() {
+        let mut c = DeltaController::new(cfg(), Delta::from_ticks(5_000));
+        let mut last = 0;
+        let mut now = Time::ZERO;
+        for _ in 0..32 {
+            now = now.saturating_add_delta(Delta::from_ticks(100));
+            if let Some(cmd) = c.tick(now, Delta::from_ticks(100), false) {
+                assert!(cmd.seq > last);
+                last = cmd.seq;
+            }
+        }
+        assert_eq!(c.seq(), last);
+    }
+
+    #[test]
+    fn schedule_records_every_command() {
+        let mut c = DeltaController::new(cfg(), Delta::from_ticks(4_000));
+        let mut now = Time::ZERO;
+        let mut n = 0;
+        for _ in 0..32 {
+            now = now.saturating_add_delta(Delta::from_ticks(100));
+            if c.tick(now, Delta::from_ticks(64), false).is_some() {
+                n += 1;
+            }
+        }
+        assert_eq!(c.schedule().len(), n);
+        assert_eq!(c.schedule().initial, Delta::from_ticks(4_000));
+    }
+}

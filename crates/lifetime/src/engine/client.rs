@@ -6,7 +6,7 @@
 
 use std::collections::VecDeque;
 
-use tc_clocks::{ClockOrdering, SiteClock, SumXi, Time, Timestamp, VectorClock, XiMap};
+use tc_clocks::{ClockOrdering, Delta, SiteClock, SumXi, Time, Timestamp, VectorClock, XiMap};
 use tc_core::{ObjectId, SiteId, Value};
 use tc_sim::metrics::names;
 use tc_sim::workload::{OpChoice, Workload};
@@ -115,6 +115,13 @@ pub struct ClientEngine {
     own_writes: std::collections::HashMap<ObjectId, (Value, VectorClock, Time)>,
     /// The latest driver-injected clock sample.
     now: Option<Now>,
+    /// Adaptive control plane: the Δ commanded by the last applied
+    /// [`Msg::DeltaUpdate`], overriding the configured threshold in the
+    /// timed freshness rules. `None` until a command arrives (the static
+    /// configuration stays byte-identical without a controller).
+    delta_override: Option<Delta>,
+    /// Sequence number of the last applied Δ command (reorder guard).
+    delta_seq: u64,
 }
 
 impl ClientEngine {
@@ -160,7 +167,23 @@ impl ClientEngine {
             unacked: Vec::new(),
             own_writes: std::collections::HashMap::new(),
             now: None,
+            delta_override: None,
+            delta_seq: 0,
         }
+    }
+
+    /// The Δ the timed freshness rules currently enforce: the adaptive
+    /// override when a [`Msg::DeltaUpdate`] has been applied, else the
+    /// configured `configured`.
+    #[must_use]
+    pub fn effective_delta(&self, configured: Delta) -> Delta {
+        self.delta_override.unwrap_or(configured)
+    }
+
+    /// The adaptive Δ override currently applied, if any.
+    #[must_use]
+    pub fn delta_override(&self) -> Option<Delta> {
+        self.delta_override
     }
 
     /// Operations completed so far.
@@ -303,7 +326,9 @@ impl ClientEngine {
                 Self::count_sweep(out, sweep);
             }
             ProtocolKind::Tsc { delta } => {
-                // Rule 3: Context_i := max(t_i − Δ, Context_i).
+                // Rule 3: Context_i := max(t_i − Δ, Context_i), with Δ the
+                // threshold currently in force (adaptive override aware).
+                let delta = self.effective_delta(delta);
                 self.context_t = self.context_t.max(t_loc.saturating_sub_delta(delta));
                 let sweep = self.cache.sweep_physical(self.context_t, policy);
                 Self::count_sweep(out, sweep);
@@ -313,6 +338,7 @@ impl ClientEngine {
                 Self::count_sweep(out, sweep);
             }
             ProtocolKind::Tcc { delta } => {
+                let delta = self.effective_delta(delta);
                 let sweep = self.cache.sweep_causal(&self.context_v, self.site, policy);
                 Self::count_sweep(out, sweep);
                 let sweep = self
@@ -831,6 +857,19 @@ impl ClientEngine {
                         out,
                     );
                 }
+            }
+            Msg::DeltaUpdate { seq, delta } => {
+                // Controller commands are re-broadcast each tick; the
+                // sequence number makes application idempotent and keeps a
+                // reordered stale command from overriding a newer one.
+                if seq < self.delta_seq {
+                    return;
+                }
+                if seq > self.delta_seq {
+                    out.push(Effect::metric(names::DELTA_APPLIED));
+                }
+                self.delta_seq = seq;
+                self.delta_override = Some(delta);
             }
             Msg::FetchReq { .. } | Msg::ValidateReq { .. } | Msg::WriteReq { .. } => {
                 unreachable!("client received a server-bound message")

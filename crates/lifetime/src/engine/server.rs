@@ -485,13 +485,14 @@ impl ServerEngine {
                     self.maybe_arm_wal_timer(out);
                 }
             }
-            // Server never receives replies or pushes.
+            // Server never receives replies, pushes, or Δ commands.
             Msg::FetchRep { .. }
             | Msg::ValidateRep { .. }
             | Msg::WriteAck { .. }
             | Msg::WriteAckCausal { .. }
             | Msg::InvalidatePush { .. }
-            | Msg::InvalidateBatch { .. } => {
+            | Msg::InvalidateBatch { .. }
+            | Msg::DeltaUpdate { .. } => {
                 unreachable!("server received a client-bound message")
             }
         }

@@ -9,8 +9,12 @@ use tc_core::checker::TimedReport;
 use tc_core::History;
 use tc_sim::metrics::names;
 use tc_sim::workload::Workload;
-use tc_sim::{FaultPlan, MetricsSnapshot, TraceRecorder, World, WorldConfig};
+use tc_sim::{
+    Context, FaultPlan, MetricsSnapshot, NetEvent, NodeId, Process, TraceRecorder, World,
+    WorldConfig,
+};
 
+use crate::control::{widen, ControllerConfig, DeltaController, DeltaSchedule};
 use crate::oracle::widened_bound;
 use crate::store::ShardStore;
 use crate::{ClientNode, Msg, ProtocolConfig, ServerNode};
@@ -59,6 +63,14 @@ pub struct RunResult {
     /// The monitor's running `min_delta`: the smallest Δ for which the
     /// recorded history is timed under the run's effective ε.
     pub observed_staleness: Delta,
+    /// The Δ-schedule the adaptive controller committed to (`None` for
+    /// static-Δ runs). When present, [`RunResult::on_time`] was judged
+    /// against this schedule (each threshold widened by the same margin as
+    /// the static bound), not against a scalar.
+    pub delta_schedule: Option<DeltaSchedule>,
+    /// Wire-level events captured for timeline export (`None` unless the
+    /// run was traced, e.g. via [`run_adaptive_traced`]).
+    pub net_events: Option<Vec<NetEvent>>,
 }
 
 impl RunResult {
@@ -113,7 +125,52 @@ pub fn run(config: &RunConfig) -> RunResult {
 /// eventually let messages through.
 #[must_use]
 pub fn run_with_faults(config: &RunConfig, plan: FaultPlan) -> RunResult {
-    run_impl(config, plan, None, None)
+    run_impl(config, plan, None, None, None, false)
+}
+
+/// Runs one simulation with the adaptive Δ control plane enabled: a
+/// [`DeltaController`] node ticks every `ctrl.interval`, retuning Δ from
+/// the streaming monitor's running `min_delta` and the run's backpressure
+/// signals, and broadcasting [`Msg::DeltaUpdate`] commands to every
+/// client. The returned [`RunResult::delta_schedule`] is the judged
+/// schedule; [`RunResult::on_time`] holds iff every read was on time
+/// against the Δ *in force at its own instant* (widened by the same
+/// fault/latency margin as a static run's bound).
+///
+/// # Panics
+///
+/// As [`run_with_faults`]; additionally if the protocol kind carries no Δ
+/// (adaptive control needs a timed level: `Tsc` or `Tcc`).
+#[must_use]
+pub fn run_adaptive(config: &RunConfig, plan: FaultPlan, ctrl: ControllerConfig) -> RunResult {
+    run_impl(config, plan, None, None, Some(ctrl), false)
+}
+
+/// [`run_adaptive`] with wire-event capture for timeline export:
+/// [`RunResult::net_events`] carries every send, delivery, and timer fire
+/// of the run, ready for `tc-trace`.
+///
+/// # Panics
+///
+/// As [`run_adaptive`].
+#[must_use]
+pub fn run_adaptive_traced(
+    config: &RunConfig,
+    plan: FaultPlan,
+    ctrl: ControllerConfig,
+) -> RunResult {
+    run_impl(config, plan, None, None, Some(ctrl), true)
+}
+
+/// Runs one (static-Δ) simulation with wire-event capture for timeline
+/// export (see [`RunResult::net_events`]).
+///
+/// # Panics
+///
+/// As [`run_with_faults`].
+#[must_use]
+pub fn run_traced(config: &RunConfig, plan: FaultPlan) -> RunResult {
+    run_impl(config, plan, None, None, None, true)
 }
 
 /// Runs one simulation to quiescence under an injected [`FaultPlan`], with
@@ -130,7 +187,7 @@ pub fn run_with_stores(
     plan: FaultPlan,
     factory: StoreFactory<'_>,
 ) -> RunResult {
-    run_impl(config, plan, None, Some(factory))
+    run_impl(config, plan, None, Some(factory), None, false)
 }
 
 /// Runs one fault-free simulation whose clients draw their workload and
@@ -147,7 +204,98 @@ pub fn run_with_stores(
 /// byte-identical.
 #[must_use]
 pub fn run_with_private_sources(config: &RunConfig, base_seed: u64) -> RunResult {
-    run_impl(config, FaultPlan::none(), Some(base_seed), None)
+    run_impl(
+        config,
+        FaultPlan::none(),
+        Some(base_seed),
+        None,
+        None,
+        false,
+    )
+}
+
+/// The controller's timer token — distinct from every engine token (the
+/// controller node owns its own timer namespace anyway).
+const TIMER_CONTROLLER: u64 = 0xAD_AF;
+
+/// The simulated control-plane node: hosts a [`DeltaController`], reads
+/// the run's streaming monitor and metrics each tick, broadcasts
+/// [`Msg::DeltaUpdate`] commands, and forwards the judged schedule into
+/// the monitor.
+struct ControllerNode {
+    controller: DeltaController,
+    clients: Vec<NodeId>,
+    recorder: Rc<RefCell<TraceRecorder>>,
+    /// Widening margin added to every judged threshold — the same
+    /// fault/latency margin the static monitor bound carries over the
+    /// configured Δ.
+    widening: Delta,
+    /// Ops the workload will record in total; the controller stops
+    /// re-arming once the monitor has ingested them all (so the world can
+    /// quiesce).
+    expected_ops: usize,
+    last_violations: usize,
+    last_retries: u64,
+    /// The judged schedule, shared with the harness (the world owns the
+    /// node, so results are passed out by cell).
+    schedule_out: Rc<RefCell<DeltaSchedule>>,
+}
+
+impl Process for ControllerNode {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        ctx.set_timer(self.controller.config().interval, TIMER_CONTROLLER);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, _msg: Msg) {
+        // Nothing addresses the controller.
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _token: u64) {
+        let (observed, violations, ingested) = {
+            let rec = self.recorder.borrow();
+            let m = rec.monitor().expect("harness always attaches a monitor");
+            (m.min_delta(), m.violations().len(), m.ingested())
+        };
+        // Backpressure: new Δ violations against the widened schedule, or
+        // new client retries (lost/slow messages) since the last tick.
+        let retries = ctx.metrics().get(names::RETRY);
+        let pressure = violations > self.last_violations || retries > self.last_retries;
+        self.last_violations = violations;
+        self.last_retries = retries;
+        let prev = self.controller.current();
+        if let Some(cmd) = self.controller.tick(ctx.true_now(), observed, pressure) {
+            ctx.metrics().incr(names::DELTA_UPDATE);
+            ctx.metrics().incr(if cmd.delta < prev {
+                names::DELTA_TIGHTEN
+            } else {
+                names::DELTA_RELAX
+            });
+            self.recorder
+                .borrow_mut()
+                .monitor_schedule_change(cmd.judge_from, widen(cmd.delta, self.widening));
+            self.schedule_out
+                .borrow_mut()
+                .clone_from(self.controller.schedule());
+        }
+        // (Re-)broadcast the current command every tick — idempotent per
+        // seq, so a client that missed one (drop, outage) hears the next.
+        if self.controller.seq() > 0 {
+            for &c in &self.clients {
+                ctx.send(
+                    c,
+                    Msg::DeltaUpdate {
+                        seq: self.controller.seq(),
+                        delta: self.controller.current(),
+                    },
+                );
+            }
+        }
+        if ingested < self.expected_ops {
+            ctx.set_timer(self.controller.config().interval, TIMER_CONTROLLER);
+        }
+    }
 }
 
 fn run_impl(
@@ -155,6 +303,8 @@ fn run_impl(
     plan: FaultPlan,
     private_seed: Option<u64>,
     stores: Option<StoreFactory<'_>>,
+    adaptive: Option<ControllerConfig>,
+    traced: bool,
 ) -> RunResult {
     let mut world: World<Msg> = World::new(config.world.clone());
     // The effective ε and the fault-widened bound are both fixed before
@@ -164,17 +314,27 @@ fn run_impl(
     let monitor_delta = widened_bound(config, &plan, epsilon).unwrap_or(Delta::INFINITE);
     let mut initial_recorder = TraceRecorder::new();
     initial_recorder.attach_monitor(monitor_delta, epsilon);
+    if traced {
+        initial_recorder.enable_net_log();
+    }
     let recorder = Rc::new(RefCell::new(initial_recorder));
     // The fleet first (nodes 0..shards; with one shard this is exactly the
     // historical "node 0 is the server" layout), then the clients.
     let servers: Vec<_> = (0..config.protocol.shards)
-        .map(|shard| match stores {
-            None => world.add_node(ServerNode::new(config.protocol)),
-            Some(factory) => {
-                world.add_node(ServerNode::with_store(config.protocol, factory(shard)))
-            }
+        .map(|shard| {
+            let node = match stores {
+                None => ServerNode::new(config.protocol),
+                Some(factory) => ServerNode::with_store(config.protocol, factory(shard)),
+            };
+            let node = if traced {
+                node.with_recorder(recorder.clone())
+            } else {
+                node
+            };
+            world.add_node(node)
         })
         .collect();
+    let mut clients = Vec::with_capacity(config.n_clients);
     for site in 0..config.n_clients {
         let node = ClientNode::new(
             config.protocol,
@@ -189,23 +349,55 @@ fn run_impl(
             None => node,
             Some(base_seed) => node.with_private_sources(base_seed, site, config.n_clients),
         };
-        world.add_node(node);
+        clients.push(world.add_node(node));
     }
+    let expected_ops = config.n_clients * config.ops_per_client;
+    let schedule_out = adaptive.map(|ctrl| {
+        let base = config
+            .protocol
+            .kind
+            .delta()
+            .expect("adaptive Δ control needs a timed protocol kind (Tsc/Tcc)");
+        // The judged schedule widens each commanded Δ by the same margin
+        // the static monitor bound carries over the configured Δ.
+        let widening = if monitor_delta.is_infinite() {
+            Delta::INFINITE
+        } else {
+            Delta::from_ticks(monitor_delta.ticks() - base.ticks())
+        };
+        let out = Rc::new(RefCell::new(DeltaSchedule::fixed(base)));
+        world.add_node(ControllerNode {
+            controller: DeltaController::new(ctrl, base),
+            clients,
+            recorder: recorder.clone(),
+            widening,
+            expected_ops,
+            last_violations: 0,
+            last_retries: 0,
+            schedule_out: out.clone(),
+        });
+        out
+    });
     let faulted = !plan.is_empty();
     world.set_fault_plan(plan);
     // Every op costs at most a handful of events even with retries; faulted
     // runs retry more and ride out outage windows, so give them headroom.
+    // Controller ticks and command broadcasts ride on top for adaptive
+    // runs.
     let base_budget = config.n_clients * config.ops_per_client * 200 + 10_000;
-    let budget = if faulted {
+    let mut budget = if faulted {
         base_budget * 4
     } else {
         base_budget
     };
+    if schedule_out.is_some() {
+        budget *= 4;
+    }
     let events = world.run_to_quiescence(budget);
     let finished_at = world.now();
     let mut metrics = world.metrics().snapshot();
     drop(world);
-    let recorder = Rc::try_unwrap(recorder)
+    let mut recorder = Rc::try_unwrap(recorder)
         .expect("all clients dropped with the world")
         .into_inner();
     let monitor = recorder
@@ -213,6 +405,7 @@ fn run_impl(
         .expect("harness always attaches a monitor");
     let observed_staleness = monitor.min_delta();
     let late_writes = monitor.late_writes();
+    let net_events = recorder.take_net_log();
     let (history, report) = recorder
         .finish_with_report()
         .expect("protocol produced an invalid trace");
@@ -224,6 +417,11 @@ fn run_impl(
     metrics
         .counters
         .insert(names::MONITOR_LATE_WRITES.to_string(), late_writes);
+    let delta_schedule = schedule_out.map(|s| {
+        Rc::try_unwrap(s)
+            .expect("controller dropped with the world")
+            .into_inner()
+    });
     RunResult {
         history,
         metrics,
@@ -232,6 +430,8 @@ fn run_impl(
         finished_at,
         on_time,
         observed_staleness,
+        delta_schedule,
+        net_events,
     }
 }
 

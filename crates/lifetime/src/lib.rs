@@ -65,6 +65,7 @@
 pub mod cache;
 mod client;
 mod config;
+pub mod control;
 pub mod engine;
 mod harness;
 mod msg;
@@ -77,10 +78,11 @@ pub use config::{
     DurabilityMode, FsyncPolicy, Propagation, ProtocolConfig, ProtocolKind, PushBatch, StalePolicy,
     DEFAULT_RETRY_AFTER,
 };
+pub use control::{ControllerConfig, DeltaCommand, DeltaController, DeltaSchedule};
 pub use engine::{ClientEngine, ServerEngine, ShardMap};
 pub use harness::{
-    run, run_with_faults, run_with_private_sources, run_with_stores, RunConfig, RunResult,
-    StoreFactory,
+    run, run_adaptive, run_adaptive_traced, run_traced, run_with_faults, run_with_private_sources,
+    run_with_stores, RunConfig, RunResult, StoreFactory,
 };
 pub use msg::{InvalidateEntry, Msg, ValidateOutcome, WireVersion};
 pub use oracle::{conformance, Conformance, OracleVerdict};

@@ -149,6 +149,37 @@ pub enum Msg {
         /// The coalesced invalidations, oldest first.
         entries: Vec<InvalidateEntry>,
     },
+    /// Control plane → client: a Δ revision from the adaptive controller
+    /// (see [`crate::control::DeltaController`]). The client enforces
+    /// `delta` from receipt; commands are re-broadcast each controller
+    /// tick, and `seq` makes application idempotent and reorder-safe (a
+    /// stale command never overrides a newer one).
+    DeltaUpdate {
+        /// Monotone command sequence number.
+        seq: u64,
+        /// The Δ to enforce from receipt.
+        delta: tc_clocks::Delta,
+    },
+}
+
+impl Msg {
+    /// Short stable label of the message kind, for metrics and timeline
+    /// export.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Msg::FetchReq { .. } => "fetch_req",
+            Msg::FetchRep { .. } => "fetch_rep",
+            Msg::ValidateReq { .. } => "validate_req",
+            Msg::ValidateRep { .. } => "validate_rep",
+            Msg::WriteReq { .. } => "write_req",
+            Msg::WriteAck { .. } => "write_ack",
+            Msg::WriteAckCausal { .. } => "write_ack_causal",
+            Msg::InvalidatePush { .. } => "invalidate_push",
+            Msg::InvalidateBatch { .. } => "invalidate_batch",
+            Msg::DeltaUpdate { .. } => "delta_update",
+        }
+    }
 }
 
 /// One entry of a [`Msg::InvalidateBatch`].

@@ -95,6 +95,14 @@ pub struct Conformance {
     pub ops_recorded: usize,
     /// Operations the workload was configured to perform.
     pub ops_expected: usize,
+    /// Cross-check of the streaming monitor against the batch checkers:
+    /// `None` when they agree, otherwise a description of the divergence.
+    /// A divergence means the run's online judgement cannot be trusted —
+    /// a checker bug, not a protocol bug — and the verdict is
+    /// [`OracleVerdict::Violated`]. Release builds perform this check too
+    /// (it used to be debug-only, which let a silently wrong monitor
+    /// vouch for release-mode experiment runs).
+    pub monitor_mismatch: Option<String>,
 }
 
 impl Conformance {
@@ -178,24 +186,53 @@ pub fn conformance(config: &RunConfig, plan: &FaultPlan, result: &RunResult) -> 
     // recorded (one incremental pass over the run), so the oracle reads
     // its outputs instead of re-scanning the history per read — the old
     // path recomputed every read's source window twice, once for
-    // `min_delta_eps` and once for the widened-bound check. Debug builds
-    // cross-check the monitor against the batch sweep-line checker.
+    // `min_delta_eps` and once for the widened-bound check. The monitor is
+    // cross-checked against the batch sweep-line checker in every build:
+    // a divergence is reported structurally (and judged Violated) instead
+    // of tripping a debug-only assertion that release experiment runs
+    // would sail past.
     let observed = result.observed_staleness;
     let bound = widened_bound(config, plan, eps);
-    debug_assert_eq!(
-        observed,
-        min_delta_eps(&result.history, eps),
-        "monitor min_delta must match the batch checker"
-    );
-    debug_assert_eq!(
-        result.on_time,
-        check_on_time(
+    let mut monitor_mismatch: Option<String> = None;
+    // `min_delta` is Δ-independent, so this holds for adaptive runs too.
+    let batch_observed = min_delta_eps(&result.history, eps);
+    if observed != batch_observed {
+        monitor_mismatch = Some(format!(
+            "monitor min_delta {} != batch checker {}",
+            observed.ticks(),
+            batch_observed.ticks()
+        ));
+    } else if result.delta_schedule.is_none() {
+        // The batch checker judges one scalar Δ; when a Δ-schedule was in
+        // force it has no equivalent sweep, so the full-report comparison
+        // only applies to fixed-Δ runs.
+        let batch = check_on_time(
             &result.history,
             result.on_time.delta(),
-            result.on_time.eps()
-        ),
-        "monitor report must match the batch checker"
-    );
+            result.on_time.eps(),
+        );
+        if result.on_time != batch {
+            monitor_mismatch = Some(format!(
+                "monitor report diverges from the batch checker: \
+                 monitor found {} violation(s), batch found {}",
+                result.on_time.violations().len(),
+                batch.violations().len()
+            ));
+        }
+    }
+    // The harness configures the monitor with exactly the widened bound
+    // for its config and plan; a different Δ means the caller judged a
+    // result against the wrong configuration.
+    if let Some(bound) = bound {
+        if result.on_time.delta() != bound && monitor_mismatch.is_none() {
+            monitor_mismatch = Some(format!(
+                "monitor judged Δ={} but the widened bound for this config \
+                 and plan is {} — result does not match config/plan",
+                result.on_time.delta().ticks(),
+                bound.ticks()
+            ));
+        }
+    }
 
     let mut violation: Option<String> = None;
     let mut note = |broken: String| {
@@ -203,6 +240,12 @@ pub fn conformance(config: &RunConfig, plan: &FaultPlan, result: &RunResult) -> 
             violation = Some(broken);
         }
     };
+
+    // A checker that disagrees with itself cannot vouch for the run, so
+    // the cross-check outranks the judgements it underpins.
+    if let Some(m) = &monitor_mismatch {
+        note(format!("monitor/batch cross-check diverged: {m}"));
+    }
 
     // Untimed safety holds unconditionally, on whatever prefix completed.
     if config.protocol.kind.is_causal_family() {
@@ -218,13 +261,10 @@ pub fn conformance(config: &RunConfig, plan: &FaultPlan, result: &RunResult) -> 
 
     // Timed safety holds within the widened bound. The monitor was
     // configured with exactly this bound by the harness (same config and
-    // plan), so its verdict is the widened-bound verdict.
+    // plan), so its verdict is the widened-bound verdict — unless the
+    // caller handed us a result from a different config/plan, which the
+    // cross-check above already flagged.
     if let Some(bound) = bound {
-        debug_assert_eq!(
-            result.on_time.delta(),
-            bound,
-            "result must come from run_with_faults with the same config and plan"
-        );
         if !result.on_time.holds() {
             note(format!(
                 "timed bound broken: observed staleness {} exceeds widened bound {} \
@@ -246,6 +286,7 @@ pub fn conformance(config: &RunConfig, plan: &FaultPlan, result: &RunResult) -> 
         bound,
         ops_recorded,
         ops_expected,
+        monitor_mismatch,
     }
 }
 
@@ -399,6 +440,55 @@ mod tests {
             widened_bound(&config, &FaultPlan::none(), Epsilon::ZERO),
             None
         );
+    }
+
+    #[test]
+    fn seeded_monitor_divergence_is_flagged_in_every_build() {
+        let config = cfg(
+            ProtocolKind::Tsc {
+                delta: Delta::from_ticks(60),
+            },
+            3,
+        );
+        let mut result = run(&config);
+        // Sanity: the untampered run agrees with itself.
+        let clean = conformance(&config, &FaultPlan::none(), &result);
+        assert_eq!(clean.monitor_mismatch, None);
+
+        // Seed a divergence: pretend the streaming monitor reported a
+        // staleness the batch checker cannot reproduce.
+        result.observed_staleness = Delta::from_ticks(result.observed_staleness.ticks() + 1234);
+        let c = conformance(&config, &FaultPlan::none(), &result);
+        let mismatch = c.monitor_mismatch.expect("divergence must be reported");
+        assert!(mismatch.contains("min_delta"), "{mismatch}");
+        assert!(
+            matches!(&c.verdict, OracleVerdict::Violated(v) if v.contains("cross-check")),
+            "verdict: {:?}",
+            c.verdict
+        );
+    }
+
+    #[test]
+    fn result_from_mismatched_config_is_flagged() {
+        use tc_core::checker::check_on_time;
+        let config = cfg(
+            ProtocolKind::Tsc {
+                delta: Delta::from_ticks(60),
+            },
+            9,
+        );
+        let mut result = run(&config);
+        // Re-judge the history at a Δ that is not this config's widened
+        // bound — as if the result came from a different run.
+        result.on_time = check_on_time(
+            &result.history,
+            Delta::from_ticks(9999),
+            result.on_time.eps(),
+        );
+        let c = conformance(&config, &FaultPlan::none(), &result);
+        assert!(!c.acceptable());
+        let mismatch = c.monitor_mismatch.expect("bound mismatch must be reported");
+        assert!(mismatch.contains("widened bound"), "{mismatch}");
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //! replays the engine's effects. All server protocol logic lives in
 //! [`crate::engine`].
 
-use tc_sim::{Context, NodeId, Process};
+use std::cell::RefCell;
+use std::rc::Rc;
 
-use crate::client::replay_effects;
+use tc_sim::{Context, NodeId, Process, TraceRecorder};
+
+use crate::client::{log_delivery, replay_effects};
 use crate::engine::{Event, Now, ServerEngine};
 use crate::msg::Msg;
 use crate::store::ShardStore;
@@ -13,6 +16,9 @@ use crate::ProtocolConfig;
 /// The simulated server node (one shard of the fleet).
 pub struct ServerNode {
     engine: ServerEngine,
+    /// Present only on traced runs, for wire-event capture — servers never
+    /// record history operations.
+    recorder: Option<Rc<RefCell<TraceRecorder>>>,
 }
 
 impl ServerNode {
@@ -21,6 +27,7 @@ impl ServerNode {
     pub fn new(config: ProtocolConfig) -> Self {
         ServerNode {
             engine: ServerEngine::new(config),
+            recorder: None,
         }
     }
 
@@ -29,7 +36,16 @@ impl ServerNode {
     pub fn with_store(config: ProtocolConfig, store: Box<dyn ShardStore>) -> Self {
         ServerNode {
             engine: ServerEngine::with_store(config, store),
+            recorder: None,
         }
+    }
+
+    /// Attaches the run's recorder so the shard's sends and deliveries show
+    /// up in the timeline capture (traced runs only).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Rc<RefCell<TraceRecorder>>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Total writes applied (dropped LWW losers excluded).
@@ -45,6 +61,9 @@ impl ServerNode {
     }
 
     fn drive(&mut self, ctx: &mut Context<'_, Msg>, event: Event) {
+        if let Some(rec) = &self.recorder {
+            log_delivery(rec, ctx, &event);
+        }
         let now = Now {
             me: ctx.me(),
             local: ctx.local_now(),
@@ -53,7 +72,7 @@ impl ServerNode {
         let mut out = Vec::new();
         self.engine.handle(Event::Now(now), &mut out);
         self.engine.handle(event, &mut out);
-        replay_effects(ctx, None, out);
+        replay_effects(ctx, self.recorder.as_ref(), out);
     }
 }
 

@@ -120,13 +120,14 @@ pub struct Recovery {
     /// Records whose effects were restored from a snapshot instead of
     /// being replayed individually.
     pub from_snapshot: u64,
-    /// Appended-but-unsynced records the crash destroyed — the "unfsynced
-    /// tail". The affected writes were never acked, so their clients are
-    /// still retransmitting them.
+    /// Records the crash destroyed, through either loss channel: the
+    /// appended-but-unsynced in-memory tail (those writes were never
+    /// acked, so their clients are still retransmitting them) plus record
+    /// frames on disk past a corruption point that replay had to abandon
+    /// (a lower bound — a torn byte-gap may hide several frames).
     pub lost: u64,
-    /// Whether replay stopped early at a torn or corrupted record (the
-    /// tail past the corruption counts toward nothing: it was never
-    /// acknowledged as durable).
+    /// Whether replay stopped early at a torn or corrupted record; the
+    /// abandoned frames past the corruption are counted into `lost`.
     pub corrupted_tail: bool,
     /// Total records durable after recovery — the store's recovery point.
     pub recovery_point: u64,

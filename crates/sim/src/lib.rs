@@ -36,5 +36,5 @@ mod world;
 pub use fault::{FaultKind, FaultPlan, FaultRule, Scope, Window};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use net::{LatencyModel, NetworkModel};
-pub use trace::TraceRecorder;
+pub use trace::{NetEvent, TraceRecorder};
 pub use world::{ClockConfig, Context, NodeId, Process, World, WorldConfig};

@@ -114,6 +114,15 @@ pub mod names {
     pub const ON_TIME_VIOLATIONS: &str = "on_time_violations";
     /// Writes the streaming monitor ingested behind a judged read.
     pub const MONITOR_LATE_WRITES: &str = "monitor_late_writes";
+
+    /// Adaptive control plane: Δ revisions broadcast by the controller.
+    pub const DELTA_UPDATE: &str = "delta_update";
+    /// Adaptive control plane: revisions that tightened Δ (fleet keeping up).
+    pub const DELTA_TIGHTEN: &str = "delta_tighten";
+    /// Adaptive control plane: revisions that relaxed Δ (backpressure).
+    pub const DELTA_RELAX: &str = "delta_relax";
+    /// Adaptive control plane: Δ revisions a client engine applied.
+    pub const DELTA_APPLIED: &str = "delta_applied";
 }
 
 /// A bag of named counters plus power-of-two latency histograms.

@@ -26,6 +26,46 @@ pub struct TraceRecorder {
     next_value: u64,
     recorded: usize,
     monitor: Option<OnTimeMonitor>,
+    net_log: Option<Vec<NetEvent>>,
+}
+
+/// One wire-level event captured for timeline export. Disabled by default;
+/// [`TraceRecorder::enable_net_log`] turns capture on so a driver can log
+/// sends, deliveries, and timer fires alongside the recorded history.
+/// Node indices follow the driver's layout (shards first, then clients).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetEvent {
+    /// A message was handed to the transport.
+    Send {
+        /// True time of the send.
+        at: Time,
+        /// Sending node.
+        from: usize,
+        /// Destination node.
+        to: usize,
+        /// Message kind label (e.g. `"fetch_req"`).
+        tag: &'static str,
+    },
+    /// A message was delivered to its destination node.
+    Recv {
+        /// True time of the delivery.
+        at: Time,
+        /// Originating node.
+        from: usize,
+        /// Receiving node.
+        to: usize,
+        /// Message kind label.
+        tag: &'static str,
+    },
+    /// An engine timer fired.
+    Timer {
+        /// True time of the fire.
+        at: Time,
+        /// Node whose timer fired.
+        node: usize,
+        /// The timer token.
+        token: u64,
+    },
 }
 
 impl TraceRecorder {
@@ -38,6 +78,7 @@ impl TraceRecorder {
             next_value: 1,
             recorded: 0,
             monitor: None,
+            net_log: None,
         }
     }
 
@@ -60,6 +101,42 @@ impl TraceRecorder {
     #[must_use]
     pub fn monitor(&self) -> Option<&OnTimeMonitor> {
         self.monitor.as_ref()
+    }
+
+    /// Forwards a Δ revision to the attached monitor's schedule (see
+    /// [`OnTimeMonitor::schedule_change`]): recorded reads at or after `at`
+    /// are judged against `delta`. No-op without a monitor.
+    pub fn monitor_schedule_change(&mut self, at: Time, delta: Delta) {
+        if let Some(m) = &mut self.monitor {
+            m.schedule_change(at, delta);
+        }
+    }
+
+    /// Turns on wire-event capture: subsequent [`TraceRecorder::log_net`]
+    /// calls are retained for timeline export. Off by default (capture
+    /// costs memory proportional to message count).
+    pub fn enable_net_log(&mut self) {
+        self.net_log.get_or_insert_with(Vec::new);
+    }
+
+    /// Whether wire-event capture is enabled (drivers check this before
+    /// constructing events on hot paths).
+    #[must_use]
+    pub fn net_enabled(&self) -> bool {
+        self.net_log.is_some()
+    }
+
+    /// Captures one wire-level event; dropped silently when capture is off.
+    pub fn log_net(&mut self, ev: NetEvent) {
+        if let Some(log) = &mut self.net_log {
+            log.push(ev);
+        }
+    }
+
+    /// Takes the captured wire events (`None` when capture was never
+    /// enabled), leaving capture enabled but empty.
+    pub fn take_net_log(&mut self) -> Option<Vec<NetEvent>> {
+        self.net_log.as_mut().map(std::mem::take)
     }
 
     /// A fresh value, unique across the whole trace.

@@ -58,14 +58,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use tc_lifetime::control::{widen, DeltaController, DeltaSchedule};
 use tc_lifetime::engine::{ClientEngine, Effect, Event, PrivateSources, ServerEngine};
+use tc_lifetime::Msg;
 use tc_sim::metrics::names;
-use tc_sim::{Metrics, NodeId, TraceRecorder};
+use tc_sim::{Metrics, NetEvent, NodeId, TraceRecorder};
 use tc_wire::{write_frame, WireMsg};
 
 use crate::runtime::{
-    finish_run, step_server, ClientCore, OutageEdge, OutageGate, RuntimeConfig, RuntimeResult,
-    Shared, TickClock, TimerWheel,
+    adaptive_widening, finish_run, step_server, ClientCore, OutageEdge, OutageGate, RuntimeConfig,
+    RuntimeResult, Shared, TickClock, TimerWheel,
 };
 use crate::transport::{splitmix64, ListenerChaos, TcpRuntimeConfig};
 
@@ -302,6 +304,8 @@ struct ShardReactor<'a> {
     /// never cleared ([`ShardTimer::Rebind`] must survive an outage).
     outages: OutageGate,
     shared: &'a Shared,
+    /// Wire-event capture for timeline export; checked before any lock.
+    net: bool,
 }
 
 impl<'a> ShardReactor<'a> {
@@ -333,6 +337,7 @@ impl<'a> ShardReactor<'a> {
             timers: TimerWheel::new(),
             outages: OutageGate::new(shard, &cfg.runtime.shard_outages),
             shared,
+            net: cfg.runtime.capture_net,
         }
     }
 
@@ -386,6 +391,14 @@ impl<'a> ShardReactor<'a> {
             match effect {
                 Effect::Send { to, msg } => {
                     let site = to.index() - self.shards;
+                    if self.net {
+                        self.shared.log_net(NetEvent::Send {
+                            at: self.clock.now(),
+                            from: self.shard,
+                            to: to.index(),
+                            tag: msg.tag(),
+                        });
+                    }
                     let delivered = match self.routes.get(&site).copied() {
                         Some(token) => self.queue_and_flush(token, &WireMsg::Proto(msg)),
                         None => false,
@@ -492,6 +505,14 @@ impl<'a> ShardReactor<'a> {
                     self.close(token);
                 }
                 (Some(site), WireMsg::Proto(msg)) => {
+                    if self.net {
+                        self.shared.log_net(NetEvent::Recv {
+                            at: self.clock.now(),
+                            from: self.shards + site,
+                            to: self.shard,
+                            tag: msg.tag(),
+                        });
+                    }
                     let from = NodeId::new(self.shards + site);
                     self.step_engine(Event::Message { from, msg });
                 }
@@ -644,7 +665,16 @@ impl<'a> ShardReactor<'a> {
                     // volatile state it would have flushed; the rebind
                     // alarm is the reactor's own and always fires.
                     ShardTimer::Engine(_) if self.outages.is_down() => {}
-                    ShardTimer::Engine(token) => self.step_engine(Event::Timer { token }),
+                    ShardTimer::Engine(token) => {
+                        if self.net {
+                            self.shared.log_net(NetEvent::Timer {
+                                at: self.clock.now(),
+                                node: self.shard,
+                                token,
+                            });
+                        }
+                        self.step_engine(Event::Timer { token });
+                    }
                     ShardTimer::Rebind => self.rebind(),
                 }
             }
@@ -713,11 +743,26 @@ struct ClientConn {
 }
 
 /// Timer tokens of the client reactor's wheel: engine timers tagged with
-/// their owning client, plus per-link redial alarms.
+/// their owning client, per-link redial alarms, and the adaptive Δ
+/// controller's sampling tick.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum ClientTimer {
     Engine { client: usize, token: u64 },
     Redial { client: usize, shard: usize },
+    Controller,
+}
+
+/// The adaptive control plane hosted inside the client reactor: the
+/// controller itself plus the sampling state its pressure signal needs.
+/// The reactor's single thread owns every client, so commands are fed to
+/// the hosted engines directly — the in-loop equivalent of the channel
+/// broadcast the threaded drivers use.
+struct ControllerState {
+    controller: DeltaController,
+    widening: tc_clocks::Delta,
+    expected_ops: usize,
+    last_violations: usize,
+    last_retries: u64,
 }
 
 struct ClientReactor<'a> {
@@ -732,6 +777,11 @@ struct ClientReactor<'a> {
     shared: &'a Shared,
     /// Clients not yet `finished`; the loop exits at zero.
     remaining: usize,
+    /// The adaptive Δ control plane, when the run is adaptive.
+    controller: Option<ControllerState>,
+    /// Wire-event capture for timeline export (mirrors
+    /// [`RuntimeConfig::capture_net`]); checked before taking any lock.
+    net: bool,
 }
 
 impl<'a> ClientReactor<'a> {
@@ -770,6 +820,20 @@ impl<'a> ClientReactor<'a> {
             })
             .collect();
         let remaining = clients.len();
+        let controller = rc.adaptive.map(|ctrl| {
+            let base = rc
+                .protocol
+                .kind
+                .delta()
+                .expect("adaptive Δ control needs a timed protocol kind (Tsc/Tcc)");
+            ControllerState {
+                controller: DeltaController::new(ctrl, base),
+                widening: adaptive_widening(rc.monitor_delta, &rc.protocol),
+                expected_ops: rc.n_clients * rc.ops_per_client,
+                last_violations: 0,
+                last_retries: 0,
+            }
+        });
         ClientReactor {
             cfg,
             shards,
@@ -781,6 +845,84 @@ impl<'a> ClientReactor<'a> {
             timers: TimerWheel::new(),
             shared,
             remaining,
+            controller,
+            net: rc.capture_net,
+        }
+    }
+
+    /// The controller's real-time duration between samples.
+    fn controller_interval(&self) -> Duration {
+        self.controller
+            .as_ref()
+            .and_then(|cs| {
+                self.clock
+                    .delta_to_duration(cs.controller.config().interval)
+            })
+            .unwrap_or(Duration::from_millis(5))
+    }
+
+    /// One adaptive control tick: sample the live monitor and the retry
+    /// counter, tick the controller, shift the monitor's judged schedule,
+    /// and feed the current command to every hosted client — the in-loop
+    /// equivalent of the threaded drivers' channel broadcast. Re-arms
+    /// itself until every expected operation has been ingested.
+    fn controller_tick(&mut self) {
+        let Some(mut cs) = self.controller.take() else {
+            return;
+        };
+        let (observed, violations, ingested) = {
+            let rec = self.shared.recorder.lock().expect("recorder lock");
+            let m = rec.monitor().expect("monitor attached by the driver");
+            (m.min_delta(), m.violations().len(), m.ingested())
+        };
+        let retries = {
+            let metrics = self.shared.metrics.lock().expect("metrics lock");
+            metrics.get(names::RETRY)
+        };
+        let pressure = violations > cs.last_violations || retries > cs.last_retries;
+        cs.last_violations = violations;
+        cs.last_retries = retries;
+        let prev = cs.controller.current();
+        if let Some(cmd) = cs.controller.tick(self.clock.now(), observed, pressure) {
+            self.shared.add_metric(names::DELTA_UPDATE, 1);
+            self.shared.add_metric(
+                if cmd.delta < prev {
+                    names::DELTA_TIGHTEN
+                } else {
+                    names::DELTA_RELAX
+                },
+                1,
+            );
+            self.shared
+                .recorder
+                .lock()
+                .expect("recorder lock")
+                .monitor_schedule_change(cmd.judge_from, widen(cmd.delta, cs.widening));
+        }
+        if cs.controller.seq() > 0 {
+            let from = NodeId::new(self.shards + self.clients.len());
+            let msg = Msg::DeltaUpdate {
+                seq: cs.controller.seq(),
+                delta: cs.controller.current(),
+            };
+            for client in 0..self.clients.len() {
+                if !self.clients[client].finished {
+                    self.feed(
+                        client,
+                        Event::Message {
+                            from,
+                            msg: msg.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        let rearm = ingested < cs.expected_ops;
+        self.controller = Some(cs);
+        if rearm {
+            let interval = self.controller_interval();
+            self.timers
+                .arm(Instant::now() + interval, ClientTimer::Controller);
         }
     }
 
@@ -837,6 +979,14 @@ impl<'a> ClientReactor<'a> {
             match effect {
                 Effect::Send { to, msg } => {
                     let shard = to.index();
+                    if self.net {
+                        self.shared.log_net(NetEvent::Send {
+                            at: self.clock.now(),
+                            from: self.shards + client,
+                            to: shard,
+                            tag: msg.tag(),
+                        });
+                    }
                     let delivered = match self.clients[client].links[shard] {
                         LinkState::Up { token } => {
                             self.queue_and_flush(token, &WireMsg::Proto(msg))
@@ -1010,6 +1160,14 @@ impl<'a> ClientReactor<'a> {
                     // A superseded connection's stragglers are dropped —
                     // the engines' retry timers own recovery.
                     if current {
+                        if self.net {
+                            self.shared.log_net(NetEvent::Recv {
+                                at: self.clock.now(),
+                                from: shard,
+                                to: self.shards + client,
+                                tag: msg.tag(),
+                            });
+                        }
                         let from = NodeId::new(shard);
                         self.feed(client, Event::Message { from, msg });
                     }
@@ -1042,8 +1200,9 @@ impl<'a> ClientReactor<'a> {
 
     /// The event loop: initial dials staggered in waves, then timers +
     /// readiness until every client finishes, then an orderly goodbye on
-    /// every live link. Returns all per-operation latencies.
-    fn run(mut self) -> Vec<Duration> {
+    /// every live link. Returns all per-operation latencies plus the
+    /// commanded Δ-schedule when the run was adaptive.
+    fn run(mut self) -> (Vec<Duration>, Option<DeltaSchedule>) {
         let base = Instant::now();
         for client in 0..self.clients.len() {
             for shard in 0..self.shards {
@@ -1054,6 +1213,10 @@ impl<'a> ClientReactor<'a> {
                 );
             }
         }
+        if self.controller.is_some() {
+            let interval = self.controller_interval();
+            self.timers.arm(base + interval, ClientTimer::Controller);
+        }
         let mut events = [EpollEvent { events: 0, data: 0 }; 256];
         while self.remaining > 0 {
             let now = Instant::now();
@@ -1061,10 +1224,18 @@ impl<'a> ClientReactor<'a> {
                 match timer {
                     ClientTimer::Engine { client, token } => {
                         if !self.clients[client].finished {
+                            if self.net {
+                                self.shared.log_net(NetEvent::Timer {
+                                    at: self.clock.now(),
+                                    node: self.shards + client,
+                                    token,
+                                });
+                            }
                             self.feed(client, Event::Timer { token });
                         }
                     }
                     ClientTimer::Redial { client, shard } => self.dial(client, shard),
+                    ClientTimer::Controller => self.controller_tick(),
                 }
             }
             self.sweep(Instant::now());
@@ -1087,10 +1258,16 @@ impl<'a> ClientReactor<'a> {
             self.queue_and_flush(token, &WireMsg::Bye);
             self.close_link(token);
         }
-        self.clients
+        let schedule = self
+            .controller
+            .take()
+            .map(|cs| cs.controller.into_schedule());
+        let latencies = self
+            .clients
             .into_iter()
             .flat_map(|c| c.core.into_latencies())
-            .collect()
+            .collect();
+        (latencies, schedule)
     }
 }
 
@@ -1157,6 +1334,9 @@ pub fn run_reactor_with(config: &ReactorConfig) -> RuntimeResult {
     let clock = TickClock::new(rc.tick);
     let mut recorder = TraceRecorder::new();
     recorder.attach_monitor(rc.monitor_delta, rc.monitor_eps);
+    if rc.capture_net {
+        recorder.enable_net_log();
+    }
     let shared = Shared {
         recorder: Mutex::new(recorder),
         metrics: Mutex::new(Metrics::new()),
@@ -1179,40 +1359,44 @@ pub fn run_reactor_with(config: &ReactorConfig) -> RuntimeResult {
     let shared_ref = &shared;
     let shutdown_ref = &shutdown;
     let addrs_ref = &addrs[..];
-    let (latencies, shard_requests): (Vec<Duration>, Vec<u64>) =
-        crossbeam::thread::scope(|scope| {
-            let mut shard_workers = Vec::with_capacity(shards);
-            for (shard, slot) in listeners.iter_mut().enumerate() {
-                let listener = slot.take().expect("listener taken once");
-                let addr = addrs_ref[shard];
-                let chaos = cfg.chaos.filter(|c| c.shard == shard);
-                shard_workers.push(scope.spawn(move |_| {
-                    ShardReactor::new(shard, shards, cfg, clock, listener, addr, shared_ref).run(
-                        chaos,
-                        started,
-                        shutdown_ref,
-                    )
-                }));
-            }
-            let churn_worker = config.churn.map(|churn| {
-                scope.spawn(move |_| churn_loop(churn, addrs_ref, shutdown_ref, shared_ref))
-            });
-            // The client reactor runs on the scope's own thread: every
-            // ClientCore in one evented loop.
-            let latencies = ClientReactor::new(cfg, shards, addrs_ref, clock, shared_ref).run();
-            shutdown.store(true, Ordering::Relaxed);
-            let shard_requests: Vec<u64> = shard_workers
-                .into_iter()
-                .map(|w| w.join().expect("shard reactor panicked"))
-                .collect();
-            if let Some(w) = churn_worker {
-                w.join().expect("churn thread panicked");
-            }
-            (latencies, shard_requests)
-        })
-        .expect("a reactor thread panicked");
+    let (latencies, shard_requests, delta_schedule): (
+        Vec<Duration>,
+        Vec<u64>,
+        Option<DeltaSchedule>,
+    ) = crossbeam::thread::scope(|scope| {
+        let mut shard_workers = Vec::with_capacity(shards);
+        for (shard, slot) in listeners.iter_mut().enumerate() {
+            let listener = slot.take().expect("listener taken once");
+            let addr = addrs_ref[shard];
+            let chaos = cfg.chaos.filter(|c| c.shard == shard);
+            shard_workers.push(scope.spawn(move |_| {
+                ShardReactor::new(shard, shards, cfg, clock, listener, addr, shared_ref).run(
+                    chaos,
+                    started,
+                    shutdown_ref,
+                )
+            }));
+        }
+        let churn_worker = config.churn.map(|churn| {
+            scope.spawn(move |_| churn_loop(churn, addrs_ref, shutdown_ref, shared_ref))
+        });
+        // The client reactor runs on the scope's own thread: every
+        // ClientCore in one evented loop.
+        let (latencies, delta_schedule) =
+            ClientReactor::new(cfg, shards, addrs_ref, clock, shared_ref).run();
+        shutdown.store(true, Ordering::Relaxed);
+        let shard_requests: Vec<u64> = shard_workers
+            .into_iter()
+            .map(|w| w.join().expect("shard reactor panicked"))
+            .collect();
+        if let Some(w) = churn_worker {
+            w.join().expect("churn thread panicked");
+        }
+        (latencies, shard_requests, delta_schedule)
+    })
+    .expect("a reactor thread panicked");
     let wall = started.elapsed();
-    finish_run(shared, latencies, shard_requests, wall)
+    finish_run(shared, latencies, shard_requests, wall, delta_schedule)
 }
 
 #[cfg(test)]
@@ -1292,6 +1476,57 @@ mod tests {
         assert!(r.shard_requests.iter().sum::<u64>() > 0);
         // Each of 2 clients handshakes with each of 2 shards exactly once.
         assert_eq!(r.counter(names::TCP_CONNECT), 4);
+    }
+
+    #[test]
+    fn reactor_adaptive_run_commands_schedule_and_captures_net() {
+        use tc_lifetime::control::ControllerConfig;
+        let mut cfg = small(
+            ProtocolKind::Tsc {
+                delta: Delta::from_ticks(4_000),
+            },
+            37,
+        );
+        cfg.ops_per_client = 100;
+        cfg.adaptive = Some(ControllerConfig::new(
+            Delta::from_ticks(50),
+            Delta::from_ticks(8_000),
+            Delta::from_ticks(20),
+        ));
+        cfg.capture_net = true;
+        let r = run_reactor(&cfg);
+        assert_eq!(r.ops_done, 2 * 100);
+        let schedule = r
+            .delta_schedule
+            .as_ref()
+            .expect("adaptive runs report their commanded schedule");
+        assert!(
+            !schedule.is_empty(),
+            "the loose base leaves tightening room"
+        );
+        let (_, last) = *schedule.changes.last().unwrap();
+        assert!(
+            last.ticks() < 4_000,
+            "in-loop controller must tighten below the loose base, got {last}"
+        );
+        assert!(
+            r.counter(names::DELTA_APPLIED) > 0,
+            "clients must apply at least one in-loop command"
+        );
+        assert!(
+            r.on_time.holds(),
+            "violations against the in-force schedule: {}",
+            r.on_time.violations().len()
+        );
+        // The wire-level log feeds the timeline exporter: sends, matching
+        // deliveries, and timer fires must all appear.
+        let net = r
+            .net_events
+            .as_ref()
+            .expect("capture_net must surface the event log");
+        assert!(net.iter().any(|e| matches!(e, NetEvent::Send { .. })));
+        assert!(net.iter().any(|e| matches!(e, NetEvent::Recv { .. })));
+        assert!(net.iter().any(|e| matches!(e, NetEvent::Timer { .. })));
     }
 
     #[test]

@@ -21,8 +21,9 @@
 #![allow(unsafe_code)]
 
 use std::io;
-use std::os::raw::c_int;
+use std::os::raw::{c_int, c_long};
 use std::os::unix::io::RawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 /// Readable readiness (or a pending accept on a listener).
@@ -54,11 +55,44 @@ pub(crate) struct EpollEvent {
     pub(crate) data: u64,
 }
 
+/// `epoll_pwait2` (Linux ≥ 5.11): epoll waiting with a *nanosecond*
+/// timespec instead of `epoll_wait`'s millisecond int. Same number on
+/// every architecture — it postdates the unified syscall table.
+const SYS_EPOLL_PWAIT2: c_long = 441;
+
+/// `errno` values that mean "this kernel (or its seccomp policy) has no
+/// `epoll_pwait2`" — anything else from the probe is a real error.
+const EPERM: i32 = 1;
+const ENOSYS: i32 = 38;
+
+/// `struct __kernel_timespec`: 64-bit seconds and nanoseconds on every
+/// architecture, including 32-bit ones (this is the y2038-safe layout
+/// all `*_time64`-era syscalls take).
+#[repr(C)]
+struct KernelTimespec {
+    tv_sec: i64,
+    tv_nsec: i64,
+}
+
+/// Latched once `epoll_pwait2` comes back `ENOSYS` (pre-5.11 kernel) or
+/// `EPERM` (a seccomp policy predating the syscall): every later wait
+/// goes straight to the millisecond `epoll_wait` fallback instead of
+/// re-probing.
+static PWAIT2_MISSING: AtomicBool = AtomicBool::new(false);
+
+/// Whether waits are currently using the nanosecond path. Meaningful
+/// after at least one [`Epoll::wait`] has run the probe.
+#[cfg(test)]
+pub(crate) fn pwait2_engaged() -> bool {
+    !PWAIT2_MISSING.load(Ordering::Relaxed)
+}
+
 extern "C" {
     fn epoll_create1(flags: c_int) -> c_int;
     fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
     fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
     fn close(fd: c_int) -> c_int;
+    fn syscall(num: c_long, ...) -> c_long;
 }
 
 /// An owned epoll instance. Closed on drop.
@@ -109,10 +143,66 @@ impl Epoll {
     }
 
     /// Waits for events, filling `buf` and returning how many arrived.
-    /// `timeout` rounds *up* to the next millisecond (epoll's granularity)
-    /// so a sub-millisecond timer wait never busy-spins at timeout 0;
-    /// `EINTR` retries internally.
+    ///
+    /// The timeout is honoured at *nanosecond* granularity via
+    /// `epoll_pwait2` where the kernel provides it. The old path rounded
+    /// the timeout up to `epoll_wait`'s whole milliseconds, which turned
+    /// every sub-millisecond timer deadline into ≥ 1 ms of skew — enough
+    /// to smear the reactor's Δ-retransmit and controller timers at the
+    /// default 50 µs tick. On kernels without the syscall (`ENOSYS`, or
+    /// `EPERM` from an old seccomp allowlist) waits fall back to the
+    /// round-up-to-ms path, which at least never fires early and never
+    /// busy-spins at timeout 0. `EINTR` retries internally on both paths.
     pub(crate) fn wait(&self, buf: &mut [EpollEvent], timeout: Duration) -> io::Result<usize> {
+        if !PWAIT2_MISSING.load(Ordering::Relaxed) {
+            match self.wait_ns(buf, timeout) {
+                Err(e) if matches!(e.raw_os_error(), Some(libc_err) if libc_err == ENOSYS || libc_err == EPERM) =>
+                {
+                    PWAIT2_MISSING.store(true, Ordering::Relaxed);
+                }
+                other => return other,
+            }
+        }
+        self.wait_ms(buf, timeout)
+    }
+
+    /// Nanosecond-resolution wait through raw `epoll_pwait2`.
+    fn wait_ns(&self, buf: &mut [EpollEvent], timeout: Duration) -> io::Result<usize> {
+        let ts = KernelTimespec {
+            tv_sec: timeout.as_secs().min(i64::MAX as u64) as i64,
+            tv_nsec: i64::from(timeout.subsec_nanos()),
+        };
+        loop {
+            // SAFETY: `buf` is valid for `buf.len()` events, `ts` outlives
+            // the call, the sigmask is null (mask untouched, its size
+            // ignored), and the return is checked. All variadic arguments
+            // are passed pointer- or long-sized, matching what glibc's
+            // `syscall` forwards to the kernel.
+            let rc = unsafe {
+                syscall(
+                    SYS_EPOLL_PWAIT2,
+                    c_long::from(self.fd),
+                    buf.as_mut_ptr(),
+                    buf.len().min(c_int::MAX as usize) as c_long,
+                    &raw const ts,
+                    std::ptr::null::<u8>(),
+                    0_usize,
+                )
+            };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+
+    /// Millisecond fallback: `timeout` rounds *up* to the next millisecond
+    /// (classic `epoll_wait` granularity) so a sub-millisecond timer wait
+    /// never busy-spins at timeout 0.
+    fn wait_ms(&self, buf: &mut [EpollEvent], timeout: Duration) -> io::Result<usize> {
         let ms: c_int = timeout
             .as_millis()
             .saturating_add(u128::from(
@@ -182,6 +272,43 @@ mod tests {
         ep.del(rx.as_raw_fd()).unwrap();
         ep.add(rx.as_raw_fd(), EPOLLIN, 7).unwrap();
         assert_eq!(ep.wait(&mut buf, Duration::from_millis(100)).unwrap(), 1);
+    }
+
+    #[test]
+    fn sub_millisecond_waits_do_not_round_up_to_whole_ms() {
+        use std::time::Instant;
+        let ep = Epoll::new().unwrap();
+        let mut buf = [EpollEvent { events: 0, data: 0 }; 4];
+        // Warm-up wait settles the one-shot ENOSYS/EPERM probe.
+        ep.wait(&mut buf, Duration::from_micros(100)).unwrap();
+
+        let rounds: u32 = 16;
+        let per = Duration::from_micros(300);
+        let start = Instant::now();
+        for _ in 0..rounds {
+            assert_eq!(
+                ep.wait(&mut buf, per).unwrap(),
+                0,
+                "an idle epoll must time out, not report events"
+            );
+        }
+        let elapsed = start.elapsed();
+        // Both paths: a timed wait never returns early, so the regression
+        // of busy-spinning at timeout 0 stays dead.
+        assert!(
+            elapsed >= per * rounds,
+            "waits returned early: {elapsed:?} < {:?}",
+            per * rounds
+        );
+        // Nanosecond path only: the old round-up-to-ms behaviour stretched
+        // 16 × 300 µs to ≥ 16 ms; with `epoll_pwait2` the skew budget is
+        // a fraction of that even under scheduler noise.
+        if pwait2_engaged() {
+            assert!(
+                elapsed < Duration::from_millis(12),
+                "timer skew too coarse for the nanosecond path: {elapsed:?}"
+            );
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@ use tc_clocks::{Delta, Epsilon, Time};
 use tc_core::checker::TimedReport;
 use tc_core::History;
 use tc_durable::WalStore;
+use tc_lifetime::control::{widen, ControllerConfig, DeltaController, DeltaSchedule};
 use tc_lifetime::engine::{
     ClientEngine, Effect, Event, Now, PrivateSources, RecordOp, ServerEngine, TIMER_NEXT_OP,
 };
@@ -81,6 +82,18 @@ pub struct RuntimeConfig {
     /// rendering of [`tc_sim::FaultPlan::shard_outages`]. Empty by
     /// default.
     pub shard_outages: Vec<(usize, Time, Time)>,
+    /// When set, a [`DeltaController`] retunes Δ online: a control thread
+    /// samples the live monitor every `interval`, broadcasts
+    /// [`Msg::DeltaUpdate`] commands to every client, and shifts the
+    /// monitor's judged schedule (widened by the same slack as the static
+    /// bound) from each command's `judge_from`. `None` (the default) keeps
+    /// the static Δ — and byte-identical behaviour with earlier drivers.
+    pub adaptive: Option<ControllerConfig>,
+    /// Capture wire-level events (sends, deliveries, timer fires) into the
+    /// run's [`NetEvent`](tc_sim::NetEvent) log for timeline export.
+    /// Honoured by the evented reactor driver ([`crate::run_reactor`]);
+    /// off by default — capture costs a recorder lock per event.
+    pub capture_net: bool,
 }
 
 /// Extra Δ given to the monitor on top of the protocol's own threshold:
@@ -117,6 +130,8 @@ impl RuntimeConfig {
             monitor_eps: Epsilon::from_ticks(2),
             wal_dir: None,
             shard_outages: Vec::new(),
+            adaptive: None,
+            capture_net: false,
         }
     }
 }
@@ -275,6 +290,12 @@ pub struct RuntimeResult {
     /// Requests served by each shard (fetch + validate + write), indexed by
     /// shard — the fleet's load-balance statistic.
     pub shard_requests: Vec<u64>,
+    /// The Δ-schedule the controller commanded, when the run was adaptive
+    /// ([`RuntimeConfig::adaptive`]); `None` for static-Δ runs.
+    pub delta_schedule: Option<DeltaSchedule>,
+    /// Wire-level event log for timeline export, when the driver captured
+    /// one ([`RuntimeConfig::capture_net`]); `None` otherwise.
+    pub net_events: Option<Vec<tc_sim::NetEvent>>,
 }
 
 impl RuntimeResult {
@@ -433,6 +454,16 @@ impl Shared {
         // Unconditional like the sim adapter: zero-increments materialize
         // the counter so snapshots carry it.
         self.metrics.lock().expect("metrics lock").add(name, add);
+    }
+
+    /// Appends a wire-level event to the recorder's net log (a no-op
+    /// unless the driver enabled capture). Callers gate on their own
+    /// capture flag first so disabled runs never take this lock.
+    pub(crate) fn log_net(&self, ev: tc_sim::NetEvent) {
+        let mut rec = self.recorder.lock().expect("recorder lock");
+        if rec.net_enabled() {
+            rec.log_net(ev);
+        }
     }
 }
 
@@ -764,6 +795,92 @@ pub(crate) fn server_thread(
     engine.requests_served()
 }
 
+/// The adaptive control loop shared by the real-time drivers: every
+/// controller interval it samples the live monitor (running `min_delta`,
+/// violation count, ops ingested) and the retry counter, ticks the
+/// [`DeltaController`], applies each command's widened threshold to the
+/// monitor's judged schedule from `judge_from`, and (re-)broadcasts the
+/// current command through `broadcast` — idempotent per sequence number,
+/// so a client that missed one hears the next. Exits once every expected
+/// operation has been ingested or `done` is raised (whichever first), and
+/// returns the commanded schedule.
+pub(crate) fn control_loop(
+    mut controller: DeltaController,
+    clock: TickClock,
+    shared: &Shared,
+    widening: Delta,
+    expected_ops: usize,
+    done: &std::sync::atomic::AtomicBool,
+    broadcast: &mut dyn FnMut(Msg),
+) -> DeltaSchedule {
+    use std::sync::atomic::Ordering;
+    let interval = clock
+        .delta_to_duration(controller.config().interval)
+        .unwrap_or(Duration::from_millis(5));
+    let mut last_violations = 0usize;
+    let mut last_retries = 0u64;
+    loop {
+        std::thread::sleep(interval);
+        if done.load(Ordering::Acquire) {
+            break;
+        }
+        let (observed, violations, ingested) = {
+            let rec = shared.recorder.lock().expect("recorder lock");
+            let m = rec.monitor().expect("monitor attached by the driver");
+            (m.min_delta(), m.violations().len(), m.ingested())
+        };
+        let retries = {
+            let metrics = shared.metrics.lock().expect("metrics lock");
+            metrics.get(names::RETRY)
+        };
+        let pressure = violations > last_violations || retries > last_retries;
+        last_violations = violations;
+        last_retries = retries;
+        let prev = controller.current();
+        if let Some(cmd) = controller.tick(clock.now(), observed, pressure) {
+            shared.add_metric(names::DELTA_UPDATE, 1);
+            shared.add_metric(
+                if cmd.delta < prev {
+                    names::DELTA_TIGHTEN
+                } else {
+                    names::DELTA_RELAX
+                },
+                1,
+            );
+            shared
+                .recorder
+                .lock()
+                .expect("recorder lock")
+                .monitor_schedule_change(cmd.judge_from, widen(cmd.delta, widening));
+        }
+        if controller.seq() > 0 {
+            broadcast(Msg::DeltaUpdate {
+                seq: controller.seq(),
+                delta: controller.current(),
+            });
+        }
+        if ingested >= expected_ops {
+            break;
+        }
+    }
+    controller.into_schedule()
+}
+
+/// The widening margin the adaptive monitor schedule carries over each
+/// commanded Δ: exactly what the static monitor bound carries over the
+/// protocol's configured Δ.
+pub(crate) fn adaptive_widening(monitor_delta: Delta, protocol: &ProtocolConfig) -> Delta {
+    let base = protocol
+        .kind
+        .delta()
+        .expect("adaptive Δ control needs a timed protocol kind (Tsc/Tcc)");
+    if monitor_delta.is_infinite() {
+        Delta::INFINITE
+    } else {
+        Delta::from_ticks(monitor_delta.ticks() - base.ticks())
+    }
+}
+
 /// Runs one threaded execution to completion and judges it.
 ///
 /// # Panics
@@ -800,73 +917,112 @@ pub fn run_threaded(config: &RuntimeConfig) -> RuntimeResult {
     let started = Instant::now();
     let shared_ref = &shared;
     let client_txs_ref = &client_txs[..];
-    let (latencies, shard_requests): (Vec<Duration>, Vec<u64>) =
-        crossbeam::thread::scope(|scope| {
-            let mut shard_workers = Vec::with_capacity(shards);
-            for (shard, rx_slot) in server_rxs.iter_mut().enumerate() {
-                let server_engine =
-                    build_shard_engine(config.protocol, config.wal_dir.as_deref(), shard);
-                let gate = OutageGate::new(shard, &config.shard_outages);
-                let inbox = rx_slot.take().expect("receiver taken once");
-                shard_workers.push(scope.spawn(move |_| {
-                    let me = NodeId::new(shard);
-                    // A client that finished and hung up may still be
-                    // pushed invalidations; dropping them mirrors the
-                    // simulator's dead-letter path.
-                    let mut send = |to: NodeId, msg: Msg| {
-                        let _ = client_txs_ref[to.index() - shards].send((me, msg));
-                    };
-                    server_thread(
-                        server_engine,
-                        clock,
-                        me,
-                        &inbox,
-                        &mut send,
-                        shared_ref,
-                        gate,
-                    )
-                }));
-            }
-            let mut workers = Vec::with_capacity(config.n_clients);
-            for (site, rx_slot) in client_rxs.iter_mut().enumerate() {
-                let engine = ClientEngine::new(
-                    config.protocol,
-                    (0..shards).map(NodeId::new).collect(),
-                    site,
-                    config.n_clients,
-                    config.workload.clone(),
-                    config.ops_per_client,
-                );
-                let rt = ClientRt {
-                    core: ClientCore::new(
-                        engine,
-                        PrivateSources::new(config.seed, site, config.n_clients),
-                        clock,
-                        NodeId::new(shards + site),
-                    ),
-                    outbound: ChannelOutbound(server_txs.clone()),
-                    shared: shared_ref,
-                    timers: TimerWheel::new(),
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let done_ref = &done;
+    let (latencies, shard_requests, delta_schedule): (
+        Vec<Duration>,
+        Vec<u64>,
+        Option<DeltaSchedule>,
+    ) = crossbeam::thread::scope(|scope| {
+        let mut shard_workers = Vec::with_capacity(shards);
+        for (shard, rx_slot) in server_rxs.iter_mut().enumerate() {
+            let server_engine =
+                build_shard_engine(config.protocol, config.wal_dir.as_deref(), shard);
+            let gate = OutageGate::new(shard, &config.shard_outages);
+            let inbox = rx_slot.take().expect("receiver taken once");
+            shard_workers.push(scope.spawn(move |_| {
+                let me = NodeId::new(shard);
+                // A client that finished and hung up may still be
+                // pushed invalidations; dropping them mirrors the
+                // simulator's dead-letter path.
+                let mut send = |to: NodeId, msg: Msg| {
+                    let _ = client_txs_ref[to.index() - shards].send((me, msg));
                 };
-                let inbox = rx_slot.take().expect("receiver taken once");
-                workers.push(scope.spawn(move |_| rt.run(&inbox)));
-            }
-            // Drop the original senders so each shard's recv disconnects
-            // once the last client hangs up.
-            drop(server_txs);
-            let latencies = workers
-                .into_iter()
-                .flat_map(|w| w.join().expect("client thread panicked"))
-                .collect();
-            let shard_requests = shard_workers
-                .into_iter()
-                .map(|w| w.join().expect("shard thread panicked"))
-                .collect();
-            (latencies, shard_requests)
-        })
-        .expect("a runtime thread panicked");
+                server_thread(
+                    server_engine,
+                    clock,
+                    me,
+                    &inbox,
+                    &mut send,
+                    shared_ref,
+                    gate,
+                )
+            }));
+        }
+        let mut workers = Vec::with_capacity(config.n_clients);
+        for (site, rx_slot) in client_rxs.iter_mut().enumerate() {
+            let engine = ClientEngine::new(
+                config.protocol,
+                (0..shards).map(NodeId::new).collect(),
+                site,
+                config.n_clients,
+                config.workload.clone(),
+                config.ops_per_client,
+            );
+            let rt = ClientRt {
+                core: ClientCore::new(
+                    engine,
+                    PrivateSources::new(config.seed, site, config.n_clients),
+                    clock,
+                    NodeId::new(shards + site),
+                ),
+                outbound: ChannelOutbound(server_txs.clone()),
+                shared: shared_ref,
+                timers: TimerWheel::new(),
+            };
+            let inbox = rx_slot.take().expect("receiver taken once");
+            workers.push(scope.spawn(move |_| rt.run(&inbox)));
+        }
+        let controller_worker = config.adaptive.map(|ctrl| {
+            let base = config
+                .protocol
+                .kind
+                .delta()
+                .expect("adaptive Δ control needs a timed protocol kind (Tsc/Tcc)");
+            let widening = adaptive_widening(config.monitor_delta, &config.protocol);
+            let expected_ops = config.n_clients * config.ops_per_client;
+            let n_clients = config.n_clients;
+            scope.spawn(move |_| {
+                // A synthetic node id past every real node: clients
+                // ignore the sender of a DeltaUpdate.
+                let from = NodeId::new(shards + n_clients);
+                let mut broadcast = |msg: Msg| {
+                    for tx in client_txs_ref {
+                        let _ = tx.send((from, msg.clone()));
+                    }
+                };
+                control_loop(
+                    DeltaController::new(ctrl, base),
+                    clock,
+                    shared_ref,
+                    widening,
+                    expected_ops,
+                    done_ref,
+                    &mut broadcast,
+                )
+            })
+        });
+        // Drop the original senders so each shard's recv disconnects
+        // once the last client hangs up.
+        drop(server_txs);
+        let latencies = workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("client thread panicked"))
+            .collect();
+        // Clients are done: release the controller (its ingested-ops
+        // stop rule normally beats this flag; the flag covers stalls).
+        done.store(true, std::sync::atomic::Ordering::Release);
+        let delta_schedule =
+            controller_worker.map(|w| w.join().expect("controller thread panicked"));
+        let shard_requests = shard_workers
+            .into_iter()
+            .map(|w| w.join().expect("shard thread panicked"))
+            .collect();
+        (latencies, shard_requests, delta_schedule)
+    })
+    .expect("a runtime thread panicked");
     let wall = started.elapsed();
-    finish_run(shared, latencies, shard_requests, wall)
+    finish_run(shared, latencies, shard_requests, wall, delta_schedule)
 }
 
 /// Assembles a [`RuntimeResult`] out of a finished run's shared state —
@@ -878,14 +1034,16 @@ pub(crate) fn finish_run(
     latencies: Vec<Duration>,
     shard_requests: Vec<u64>,
     wall: Duration,
+    delta_schedule: Option<DeltaSchedule>,
 ) -> RuntimeResult {
     let Shared { recorder, metrics } = shared;
-    let recorder = recorder.into_inner().expect("recorder lock");
+    let mut recorder = recorder.into_inner().expect("recorder lock");
     let metrics = metrics.into_inner().expect("metrics lock").snapshot();
     let observed_staleness = recorder
         .monitor()
         .expect("monitor attached by the driver")
         .min_delta();
+    let net_events = recorder.take_net_log();
     let (history, report) = recorder
         .finish_with_report()
         .expect("protocol produced an invalid trace");
@@ -900,6 +1058,8 @@ pub(crate) fn finish_run(
         wall,
         latency: LatencySummary::from_durations(latencies),
         shard_requests,
+        delta_schedule,
+        net_events,
     }
 }
 
@@ -1062,6 +1222,56 @@ mod tests {
             r.observed_staleness,
             cfg.monitor_delta
         );
+    }
+
+    #[test]
+    fn threaded_adaptive_controller_retunes_delta_online() {
+        // A deliberately loose base Δ (4 000 ticks = 200 ms at the 50 µs
+        // tick) gives the controller real distance to close even under CI
+        // scheduling jitter.
+        let mut cfg = small(
+            ProtocolKind::Tsc {
+                delta: Delta::from_ticks(4_000),
+            },
+            41,
+        );
+        cfg.ops_per_client = 150;
+        let band = (Delta::from_ticks(50), Delta::from_ticks(8_000));
+        cfg.adaptive = Some(ControllerConfig::new(band.0, band.1, Delta::from_ticks(20)));
+        let r = run_threaded(&cfg);
+        assert_eq!(r.ops_done, 2 * 150, "adaptive control must not drop ops");
+        let schedule = r
+            .delta_schedule
+            .as_ref()
+            .expect("adaptive runs report their commanded schedule");
+        assert!(
+            !schedule.is_empty(),
+            "the loose base must leave tightening room"
+        );
+        for &(_, d) in &schedule.changes {
+            assert!(
+                d >= band.0 && d <= band.1,
+                "commanded Δ {d} outside the configured band"
+            );
+        }
+        let (_, last) = *schedule.changes.last().unwrap();
+        assert!(
+            last.ticks() < 4_000,
+            "controller must tighten below the loose base, got {last}"
+        );
+        assert!(r.counter(names::DELTA_UPDATE) > 0);
+        assert!(
+            r.counter(names::DELTA_APPLIED) > 0,
+            "clients must hear and apply at least one command"
+        );
+        // The verdict is judged against the schedule actually in force
+        // (each command widened by the same slack as the static bound).
+        assert!(
+            r.on_time.holds(),
+            "violations against the in-force schedule: {}",
+            r.on_time.violations().len()
+        );
+        assert!(r.net_events.is_none(), "capture was off");
     }
 
     #[test]

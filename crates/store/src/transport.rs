@@ -46,6 +46,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use tc_lifetime::control::{DeltaController, DeltaSchedule};
 use tc_lifetime::engine::{ClientEngine, PrivateSources};
 use tc_lifetime::Msg;
 use tc_sim::metrics::names;
@@ -53,8 +54,8 @@ use tc_sim::{Metrics, NodeId, TraceRecorder};
 use tc_wire::{encode_frame_into, read_frame, write_frame, WireMsg};
 
 use crate::runtime::{
-    finish_run, server_thread, ClientCore, ClientRt, Outbound, RuntimeConfig, RuntimeResult,
-    Shared, TickClock, TimerWheel,
+    adaptive_widening, control_loop, finish_run, server_thread, ClientCore, ClientRt, Outbound,
+    RuntimeConfig, RuntimeResult, Shared, TickClock, TimerWheel,
 };
 
 /// Capped exponential backoff with deterministic jitter for client
@@ -326,373 +327,404 @@ pub fn run_tcp_with(config: &TcpRuntimeConfig) -> RuntimeResult {
         .map(|_| (0..shards).map(|_| Mutex::new(None)).collect())
         .collect();
     let shutdown = AtomicBool::new(false);
+    let ctl_done = AtomicBool::new(false);
+    let ctl_done_ref = &ctl_done;
 
     let started = Instant::now();
     let shared_ref = &shared;
     let shutdown_ref = &shutdown;
-    let (latencies, shard_requests): (Vec<Duration>, Vec<u64>) =
-        crossbeam::thread::scope(|scope| {
-            // Shard engine threads: the same loop as the in-process driver,
-            // sending through the connection registry.
-            let mut shard_workers = Vec::with_capacity(shards);
-            for (shard, rx_slot) in engine_rxs.iter_mut().enumerate() {
-                let inbox = rx_slot.take().expect("receiver taken once");
-                let engine =
-                    crate::runtime::build_shard_engine(rc.protocol, rc.wal_dir.as_deref(), shard);
-                let gate = crate::runtime::OutageGate::new(shard, &rc.shard_outages);
-                let registry = &registries[shard];
-                shard_workers.push(scope.spawn(move |_| {
-                    let me = NodeId::new(shard);
-                    let mut send = |to: NodeId, msg: Msg| {
-                        let delivered = match registry
-                            .lock()
-                            .expect("registry lock")
-                            .get(&(to.index() - shards))
-                        {
-                            Some((_, tx)) => tx.send(WireMsg::Proto(msg)).is_ok(),
-                            None => false,
-                        };
-                        if !delivered {
-                            shared_ref.add_metric(names::TCP_SEND_DROPPED, 1);
+    let (latencies, shard_requests, delta_schedule): (
+        Vec<Duration>,
+        Vec<u64>,
+        Option<DeltaSchedule>,
+    ) = crossbeam::thread::scope(|scope| {
+        // Shard engine threads: the same loop as the in-process driver,
+        // sending through the connection registry.
+        let mut shard_workers = Vec::with_capacity(shards);
+        for (shard, rx_slot) in engine_rxs.iter_mut().enumerate() {
+            let inbox = rx_slot.take().expect("receiver taken once");
+            let engine =
+                crate::runtime::build_shard_engine(rc.protocol, rc.wal_dir.as_deref(), shard);
+            let gate = crate::runtime::OutageGate::new(shard, &rc.shard_outages);
+            let registry = &registries[shard];
+            shard_workers.push(scope.spawn(move |_| {
+                let me = NodeId::new(shard);
+                let mut send = |to: NodeId, msg: Msg| {
+                    let delivered = match registry
+                        .lock()
+                        .expect("registry lock")
+                        .get(&(to.index() - shards))
+                    {
+                        Some((_, tx)) => tx.send(WireMsg::Proto(msg)).is_ok(),
+                        None => false,
+                    };
+                    if !delivered {
+                        shared_ref.add_metric(names::TCP_SEND_DROPPED, 1);
+                    }
+                };
+                server_thread(engine, clock, me, &inbox, &mut send, shared_ref, gate)
+            }));
+        }
+
+        // Accept threads: nonblocking poll loop (so shutdown and the
+        // chaos schedule are honoured), synchronous handshake, then a
+        // reader/writer thread pair per connection.
+        for (shard, listener_slot) in listeners.iter_mut().enumerate() {
+            let mut listener = listener_slot.take();
+            let registry = &registries[shard];
+            let engine_tx = engine_txs[shard].clone();
+            let mut chaos_pending = config.chaos.filter(|c| c.shard == shard);
+            let addr = addrs[shard];
+            scope.spawn(move |conn_scope| {
+                let mut generation: u64 = 0;
+                let mut conn_streams: Vec<TcpStream> = Vec::new();
+                loop {
+                    if shutdown_ref.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Some(c) = chaos_pending {
+                        if started.elapsed() >= c.kill_after {
+                            chaos_pending = None;
+                            drop(listener.take());
+                            for s in conn_streams.drain(..) {
+                                let _ = s.shutdown(Shutdown::Both);
+                            }
+                            registry.lock().expect("registry lock").clear();
+                            let down_until = Instant::now() + c.down_for;
+                            while Instant::now() < down_until
+                                && !shutdown_ref.load(Ordering::Relaxed)
+                            {
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            // Rebind the same address (std sets
+                            // SO_REUSEADDR on Unix listeners, so the
+                            // killed connections' TIME_WAIT entries
+                            // don't block it) — with a grace loop in
+                            // case the OS lags.
+                            let deadline = Instant::now() + Duration::from_secs(5);
+                            let reborn = loop {
+                                match TcpListener::bind(addr) {
+                                    Ok(l) => break l,
+                                    Err(e) => {
+                                        assert!(
+                                            Instant::now() < deadline,
+                                            "shard {shard} listener rebind failed: {e}"
+                                        );
+                                        std::thread::sleep(Duration::from_millis(5));
+                                    }
+                                }
+                            };
+                            reborn.set_nonblocking(true).expect("nonblocking listener");
+                            shared_ref.add_metric(names::TCP_LISTENER_RESTART, 1);
+                            listener = Some(reborn);
+                            continue;
+                        }
+                    }
+                    let accepted = listener
+                        .as_ref()
+                        .expect("listener live outside downtime")
+                        .accept();
+                    let mut stream = match accepted {
+                        Ok((stream, _peer)) => stream,
+                        Err(_) => {
+                            // WouldBlock (or a transient accept error):
+                            // nap and poll again.
+                            std::thread::sleep(Duration::from_millis(1));
+                            continue;
                         }
                     };
-                    server_thread(engine, clock, me, &inbox, &mut send, shared_ref, gate)
-                }));
-            }
-
-            // Accept threads: nonblocking poll loop (so shutdown and the
-            // chaos schedule are honoured), synchronous handshake, then a
-            // reader/writer thread pair per connection.
-            for (shard, listener_slot) in listeners.iter_mut().enumerate() {
-                let mut listener = listener_slot.take();
-                let registry = &registries[shard];
-                let engine_tx = engine_txs[shard].clone();
-                let mut chaos_pending = config.chaos.filter(|c| c.shard == shard);
-                let addr = addrs[shard];
-                scope.spawn(move |conn_scope| {
-                    let mut generation: u64 = 0;
-                    let mut conn_streams: Vec<TcpStream> = Vec::new();
-                    loop {
-                        if shutdown_ref.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        if let Some(c) = chaos_pending {
-                            if started.elapsed() >= c.kill_after {
-                                chaos_pending = None;
-                                drop(listener.take());
-                                for s in conn_streams.drain(..) {
-                                    let _ = s.shutdown(Shutdown::Both);
-                                }
-                                registry.lock().expect("registry lock").clear();
-                                let down_until = Instant::now() + c.down_for;
-                                while Instant::now() < down_until
-                                    && !shutdown_ref.load(Ordering::Relaxed)
-                                {
-                                    std::thread::sleep(Duration::from_millis(2));
-                                }
-                                // Rebind the same address (std sets
-                                // SO_REUSEADDR on Unix listeners, so the
-                                // killed connections' TIME_WAIT entries
-                                // don't block it) — with a grace loop in
-                                // case the OS lags.
-                                let deadline = Instant::now() + Duration::from_secs(5);
-                                let reborn = loop {
-                                    match TcpListener::bind(addr) {
-                                        Ok(l) => break l,
-                                        Err(e) => {
-                                            assert!(
-                                                Instant::now() < deadline,
-                                                "shard {shard} listener rebind failed: {e}"
-                                            );
-                                            std::thread::sleep(Duration::from_millis(5));
-                                        }
-                                    }
-                                };
-                                reborn.set_nonblocking(true).expect("nonblocking listener");
-                                shared_ref.add_metric(names::TCP_LISTENER_RESTART, 1);
-                                listener = Some(reborn);
-                                continue;
-                            }
-                        }
-                        let accepted = listener
-                            .as_ref()
-                            .expect("listener live outside downtime")
-                            .accept();
-                        let mut stream = match accepted {
-                            Ok((stream, _peer)) => stream,
-                            Err(_) => {
-                                // WouldBlock (or a transient accept error):
-                                // nap and poll again.
-                                std::thread::sleep(Duration::from_millis(1));
-                                continue;
-                            }
-                        };
-                        let _ = stream.set_nonblocking(false);
-                        let _ = stream.set_nodelay(true);
-                        let _ = stream.set_read_timeout(Some(config.read_timeout));
-                        // Synchronous handshake: the first frame must be a
-                        // Hello whose config matches ours exactly.
-                        let site = match read_frame(&mut stream) {
-                            Ok((
-                                _,
-                                WireMsg::Hello {
-                                    site,
-                                    n_clients,
-                                    shard: dialled,
-                                    protocol,
-                                },
-                            )) => {
-                                let reason = if protocol != rc.protocol {
-                                    Some("protocol config mismatch".to_string())
-                                } else if dialled as usize != shard {
-                                    Some(format!("dialled shard {dialled}, reached {shard}"))
-                                } else if n_clients as usize != rc.n_clients || site >= n_clients {
-                                    Some(format!("bad id space: site {site} of {n_clients}"))
-                                } else {
-                                    None
-                                };
-                                if let Some(reason) = reason {
-                                    let _ = write_frame(
-                                        &mut stream,
-                                        shard as u16,
-                                        &WireMsg::HelloReject { reason },
-                                    );
-                                    continue;
-                                }
-                                site as usize
-                            }
-                            // Not a Hello (or a dead socket): drop it.
-                            _ => continue,
-                        };
-                        if write_frame(
-                            &mut stream,
-                            shard as u16,
-                            &WireMsg::HelloAck {
-                                shard: shard as u32,
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(Some(config.read_timeout));
+                    // Synchronous handshake: the first frame must be a
+                    // Hello whose config matches ours exactly.
+                    let site = match read_frame(&mut stream) {
+                        Ok((
+                            _,
+                            WireMsg::Hello {
+                                site,
+                                n_clients,
+                                shard: dialled,
+                                protocol,
                             },
-                        )
-                        .is_err()
-                        {
-                            continue;
-                        }
-                        generation += 1;
-                        let my_generation = generation;
-                        let (wtx, wrx) = unbounded::<WireMsg>();
-                        registry
-                            .lock()
-                            .expect("registry lock")
-                            .insert(site, (my_generation, wtx));
-                        let Ok(mut wstream) = stream.try_clone() else {
-                            continue;
-                        };
-                        if let Ok(s) = stream.try_clone() {
-                            conn_streams.push(s); // chaos kill handle
-                        }
-                        let heartbeat = config.heartbeat;
-                        conn_scope.spawn(move |_| {
-                            writer_loop(&wrx, &mut wstream, shard as u16, heartbeat, shared_ref);
-                        });
-                        let tx = engine_tx.clone();
-                        conn_scope.spawn(move |_| {
-                            let from = NodeId::new(shards + site);
-                            loop {
-                                match read_frame(&mut stream) {
-                                    Ok((_, WireMsg::Proto(msg))) => {
-                                        if tx.send((from, msg)).is_err() {
-                                            break;
-                                        }
-                                    }
-                                    Ok((_, WireMsg::Heartbeat)) => {}
-                                    // Bye, protocol rot, EOF, or heartbeat
-                                    // silence past the read timeout.
-                                    Ok(_) | Err(_) => break,
-                                }
-                            }
-                            // Deregister only our own generation — a
-                            // reconnect may already have replaced us.
-                            let mut reg = registry.lock().expect("registry lock");
-                            if matches!(reg.get(&site), Some((g, _)) if *g == my_generation) {
-                                reg.remove(&site);
-                            }
-                        });
-                    }
-                    // Tear down routing so lingering writers drain and exit.
-                    registry.lock().expect("registry lock").clear();
-                });
-            }
-
-            // Link threads: one per (site, shard), owning the connection
-            // lifecycle — dial, handshake, read, redial on failure.
-            for (site, site_outboxes) in outboxes.iter().enumerate() {
-                for (shard, outbox) in site_outboxes.iter().enumerate() {
-                    let addr = addrs[shard];
-                    let done = &done[site];
-                    let inbox_tx = client_in_txs[site].clone();
-                    scope.spawn(move |link_scope| {
-                        let hello = WireMsg::Hello {
-                            site: site as u32,
-                            n_clients: rc.n_clients as u32,
-                            shard: shard as u32,
-                            protocol: rc.protocol,
-                        };
-                        let jitter_seed =
-                            splitmix64(rc.seed ^ ((site as u64) << 32) ^ shard as u64);
-                        let mut connects: u64 = 0;
-                        'link: while !done.load(Ordering::Relaxed) {
-                            let mut attempt: u32 = 0;
-                            let mut stream = loop {
-                                if done.load(Ordering::Relaxed) {
-                                    break 'link;
-                                }
-                                match client_connect(addr, &hello, shard, config.read_timeout) {
-                                    Connect::Up(s) => break s,
-                                    Connect::Rejected(reason) => {
-                                        panic!("shard {shard} rejected site {site}: {reason}")
-                                    }
-                                    Connect::Retry => {
-                                        shared_ref.add_metric(names::TCP_CONNECT_FAILED, 1);
-                                        assert!(
-                                            attempt < config.backoff.max_attempts,
-                                            "shard {shard} unreachable after {attempt} attempts"
-                                        );
-                                        std::thread::sleep(
-                                            config.backoff.delay(attempt, jitter_seed),
-                                        );
-                                        attempt += 1;
-                                    }
-                                }
+                        )) => {
+                            let reason = if protocol != rc.protocol {
+                                Some("protocol config mismatch".to_string())
+                            } else if dialled as usize != shard {
+                                Some(format!("dialled shard {dialled}, reached {shard}"))
+                            } else if n_clients as usize != rc.n_clients || site >= n_clients {
+                                Some(format!("bad id space: site {site} of {n_clients}"))
+                            } else {
+                                None
                             };
-                            shared_ref.add_metric(
-                                if connects == 0 {
-                                    names::TCP_CONNECT
-                                } else {
-                                    names::TCP_RECONNECT
-                                },
-                                1,
-                            );
-                            connects += 1;
-                            // Route the link and start its writer.
-                            let (wtx, wrx) = unbounded::<WireMsg>();
-                            *outbox.lock().expect("outbox lock") = Some(wtx);
-                            let Ok(mut wstream) = stream.try_clone() else {
-                                continue;
-                            };
-                            let heartbeat = config.heartbeat;
-                            link_scope.spawn(move |_| {
-                                writer_loop(
-                                    &wrx,
-                                    &mut wstream,
+                            if let Some(reason) = reason {
+                                let _ = write_frame(
+                                    &mut stream,
                                     shard as u16,
-                                    heartbeat,
-                                    shared_ref,
+                                    &WireMsg::HelloReject { reason },
                                 );
-                            });
-                            // Read until goodbye time or the link dies. The
-                            // shard's idle heartbeats keep frames flowing, so
-                            // `done` is noticed within a heartbeat period.
-                            let from = NodeId::new(shard);
-                            loop {
-                                if done.load(Ordering::Relaxed) {
-                                    // Orderly goodbye: the writer flushes
-                                    // queued frames, writes Bye, half-closes.
-                                    if let Some(tx) = outbox.lock().expect("outbox lock").take() {
-                                        let _ = tx.send(WireMsg::Bye);
-                                    }
-                                    break 'link;
-                                }
-                                match read_frame(&mut stream) {
-                                    Ok((_, WireMsg::Proto(msg))) => {
-                                        let _ = inbox_tx.send((from, msg));
-                                    }
-                                    Ok(_) => {} // heartbeat / stray session frame
-                                    Err(_) => {
-                                        // Dead link: unroute it (sends now
-                                        // dead-letter) and redial.
-                                        drop(outbox.lock().expect("outbox lock").take());
+                                continue;
+                            }
+                            site as usize
+                        }
+                        // Not a Hello (or a dead socket): drop it.
+                        _ => continue,
+                    };
+                    if write_frame(
+                        &mut stream,
+                        shard as u16,
+                        &WireMsg::HelloAck {
+                            shard: shard as u32,
+                        },
+                    )
+                    .is_err()
+                    {
+                        continue;
+                    }
+                    generation += 1;
+                    let my_generation = generation;
+                    let (wtx, wrx) = unbounded::<WireMsg>();
+                    registry
+                        .lock()
+                        .expect("registry lock")
+                        .insert(site, (my_generation, wtx));
+                    let Ok(mut wstream) = stream.try_clone() else {
+                        continue;
+                    };
+                    if let Ok(s) = stream.try_clone() {
+                        conn_streams.push(s); // chaos kill handle
+                    }
+                    let heartbeat = config.heartbeat;
+                    conn_scope.spawn(move |_| {
+                        writer_loop(&wrx, &mut wstream, shard as u16, heartbeat, shared_ref);
+                    });
+                    let tx = engine_tx.clone();
+                    conn_scope.spawn(move |_| {
+                        let from = NodeId::new(shards + site);
+                        loop {
+                            match read_frame(&mut stream) {
+                                Ok((_, WireMsg::Proto(msg))) => {
+                                    if tx.send((from, msg)).is_err() {
                                         break;
                                     }
                                 }
+                                Ok((_, WireMsg::Heartbeat)) => {}
+                                // Bye, protocol rot, EOF, or heartbeat
+                                // silence past the read timeout.
+                                Ok(_) | Err(_) => break,
                             }
                         }
-                        // Never leave a stale route behind.
-                        drop(outbox.lock().expect("outbox lock").take());
+                        // Deregister only our own generation — a
+                        // reconnect may already have replaced us.
+                        let mut reg = registry.lock().expect("registry lock");
+                        if matches!(reg.get(&site), Some((g, _)) if *g == my_generation) {
+                            reg.remove(&site);
+                        }
                     });
                 }
-            }
+                // Tear down routing so lingering writers drain and exit.
+                registry.lock().expect("registry lock").clear();
+            });
+        }
 
-            // Client engine threads: the exact loop run_threaded uses,
-            // with sends routed through the link slots.
-            let mut client_workers = Vec::with_capacity(rc.n_clients);
-            for (site, rx_slot) in client_in_rxs.iter_mut().enumerate() {
-                let inbox = rx_slot.take().expect("receiver taken once");
-                let engine = ClientEngine::new(
-                    rc.protocol,
-                    (0..shards).map(NodeId::new).collect(),
-                    site,
-                    rc.n_clients,
-                    rc.workload.clone(),
-                    rc.ops_per_client,
-                );
-                let rt = ClientRt {
-                    core: ClientCore::new(
-                        engine,
-                        PrivateSources::new(rc.seed, site, rc.n_clients),
-                        clock,
-                        NodeId::new(shards + site),
-                    ),
-                    outbound: TcpOutbound {
-                        slots: &outboxes[site],
-                        shared: shared_ref,
-                    },
-                    shared: shared_ref,
-                    timers: TimerWheel::new(),
-                };
+        // Link threads: one per (site, shard), owning the connection
+        // lifecycle — dial, handshake, read, redial on failure.
+        for (site, site_outboxes) in outboxes.iter().enumerate() {
+            for (shard, outbox) in site_outboxes.iter().enumerate() {
+                let addr = addrs[shard];
                 let done = &done[site];
-                client_workers.push(scope.spawn(move |_| {
-                    // Wait for every link's first handshake so the opening
-                    // op isn't taxed a retry round-trip (keeps latency
-                    // stats comparable with the in-process driver).
-                    let deadline = Instant::now() + Duration::from_secs(10);
-                    while rt
-                        .outbound
-                        .slots
-                        .iter()
-                        .any(|slot| slot.lock().expect("outbox lock").is_none())
-                    {
-                        assert!(
-                            Instant::now() < deadline,
-                            "site {site}: links failed to come up"
+                let inbox_tx = client_in_txs[site].clone();
+                scope.spawn(move |link_scope| {
+                    let hello = WireMsg::Hello {
+                        site: site as u32,
+                        n_clients: rc.n_clients as u32,
+                        shard: shard as u32,
+                        protocol: rc.protocol,
+                    };
+                    let jitter_seed = splitmix64(rc.seed ^ ((site as u64) << 32) ^ shard as u64);
+                    let mut connects: u64 = 0;
+                    'link: while !done.load(Ordering::Relaxed) {
+                        let mut attempt: u32 = 0;
+                        let mut stream = loop {
+                            if done.load(Ordering::Relaxed) {
+                                break 'link;
+                            }
+                            match client_connect(addr, &hello, shard, config.read_timeout) {
+                                Connect::Up(s) => break s,
+                                Connect::Rejected(reason) => {
+                                    panic!("shard {shard} rejected site {site}: {reason}")
+                                }
+                                Connect::Retry => {
+                                    shared_ref.add_metric(names::TCP_CONNECT_FAILED, 1);
+                                    assert!(
+                                        attempt < config.backoff.max_attempts,
+                                        "shard {shard} unreachable after {attempt} attempts"
+                                    );
+                                    std::thread::sleep(config.backoff.delay(attempt, jitter_seed));
+                                    attempt += 1;
+                                }
+                            }
+                        };
+                        shared_ref.add_metric(
+                            if connects == 0 {
+                                names::TCP_CONNECT
+                            } else {
+                                names::TCP_RECONNECT
+                            },
+                            1,
                         );
-                        std::thread::sleep(Duration::from_millis(1));
+                        connects += 1;
+                        // Route the link and start its writer.
+                        let (wtx, wrx) = unbounded::<WireMsg>();
+                        *outbox.lock().expect("outbox lock") = Some(wtx);
+                        let Ok(mut wstream) = stream.try_clone() else {
+                            continue;
+                        };
+                        let heartbeat = config.heartbeat;
+                        link_scope.spawn(move |_| {
+                            writer_loop(&wrx, &mut wstream, shard as u16, heartbeat, shared_ref);
+                        });
+                        // Read until goodbye time or the link dies. The
+                        // shard's idle heartbeats keep frames flowing, so
+                        // `done` is noticed within a heartbeat period.
+                        let from = NodeId::new(shard);
+                        loop {
+                            if done.load(Ordering::Relaxed) {
+                                // Orderly goodbye: the writer flushes
+                                // queued frames, writes Bye, half-closes.
+                                if let Some(tx) = outbox.lock().expect("outbox lock").take() {
+                                    let _ = tx.send(WireMsg::Bye);
+                                }
+                                break 'link;
+                            }
+                            match read_frame(&mut stream) {
+                                Ok((_, WireMsg::Proto(msg))) => {
+                                    let _ = inbox_tx.send((from, msg));
+                                }
+                                Ok(_) => {} // heartbeat / stray session frame
+                                Err(_) => {
+                                    // Dead link: unroute it (sends now
+                                    // dead-letter) and redial.
+                                    drop(outbox.lock().expect("outbox lock").take());
+                                    break;
+                                }
+                            }
+                        }
                     }
-                    let latencies = rt.run(&inbox);
-                    done.store(true, Ordering::Relaxed);
-                    latencies
-                }));
+                    // Never leave a stale route behind.
+                    drop(outbox.lock().expect("outbox lock").take());
+                });
             }
+        }
 
-            // The spawn loops cloned per-thread senders; drop the originals
-            // so the shard inboxes disconnect once the last reader exits.
-            drop(engine_txs);
-            drop(client_in_txs);
+        // Client engine threads: the exact loop run_threaded uses,
+        // with sends routed through the link slots.
+        let mut client_workers = Vec::with_capacity(rc.n_clients);
+        for (site, rx_slot) in client_in_rxs.iter_mut().enumerate() {
+            let inbox = rx_slot.take().expect("receiver taken once");
+            let engine = ClientEngine::new(
+                rc.protocol,
+                (0..shards).map(NodeId::new).collect(),
+                site,
+                rc.n_clients,
+                rc.workload.clone(),
+                rc.ops_per_client,
+            );
+            let rt = ClientRt {
+                core: ClientCore::new(
+                    engine,
+                    PrivateSources::new(rc.seed, site, rc.n_clients),
+                    clock,
+                    NodeId::new(shards + site),
+                ),
+                outbound: TcpOutbound {
+                    slots: &outboxes[site],
+                    shared: shared_ref,
+                },
+                shared: shared_ref,
+                timers: TimerWheel::new(),
+            };
+            let done = &done[site];
+            client_workers.push(scope.spawn(move |_| {
+                // Wait for every link's first handshake so the opening
+                // op isn't taxed a retry round-trip (keeps latency
+                // stats comparable with the in-process driver).
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while rt
+                    .outbound
+                    .slots
+                    .iter()
+                    .any(|slot| slot.lock().expect("outbox lock").is_none())
+                {
+                    assert!(
+                        Instant::now() < deadline,
+                        "site {site}: links failed to come up"
+                    );
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let latencies = rt.run(&inbox);
+                done.store(true, Ordering::Relaxed);
+                latencies
+            }));
+        }
 
-            let latencies: Vec<Duration> = client_workers
-                .into_iter()
-                .flat_map(|w| w.join().expect("client thread panicked"))
-                .collect();
-            // All clients are done and said their goodbyes: stop accepting
-            // (which also drops the accept threads' inbox senders) and let
-            // the shard engines drain to disconnection.
-            shutdown.store(true, Ordering::Relaxed);
-            let shard_requests: Vec<u64> = shard_workers
-                .into_iter()
-                .map(|w| w.join().expect("shard thread panicked"))
-                .collect();
-            (latencies, shard_requests)
-        })
-        .expect("a transport thread panicked");
+        // Adaptive control: the loop samples the shared monitor and
+        // injects DeltaUpdate commands into each client's inbox — the
+        // same seam shard frames arrive through, so commands interleave
+        // with protocol traffic exactly as channel messages do.
+        let controller_worker = rc.adaptive.map(|ctrl| {
+            let base = rc
+                .protocol
+                .kind
+                .delta()
+                .expect("adaptive Δ control needs a timed protocol kind (Tsc/Tcc)");
+            let widening = adaptive_widening(rc.monitor_delta, &rc.protocol);
+            let expected_ops = rc.n_clients * rc.ops_per_client;
+            let inboxes: Vec<_> = client_in_txs.to_vec();
+            let from = NodeId::new(shards + rc.n_clients);
+            scope.spawn(move |_| {
+                let mut broadcast = |msg: Msg| {
+                    for tx in &inboxes {
+                        let _ = tx.send((from, msg.clone()));
+                    }
+                };
+                control_loop(
+                    DeltaController::new(ctrl, base),
+                    clock,
+                    shared_ref,
+                    widening,
+                    expected_ops,
+                    ctl_done_ref,
+                    &mut broadcast,
+                )
+            })
+        });
+
+        // The spawn loops cloned per-thread senders; drop the originals
+        // so the shard inboxes disconnect once the last reader exits.
+        drop(engine_txs);
+        drop(client_in_txs);
+
+        let latencies: Vec<Duration> = client_workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("client thread panicked"))
+            .collect();
+        // Clients are done: release the controller, then stop accepting
+        // (which also drops the accept threads' inbox senders) and let
+        // the shard engines drain to disconnection.
+        ctl_done.store(true, Ordering::Release);
+        let delta_schedule =
+            controller_worker.map(|w| w.join().expect("controller thread panicked"));
+        shutdown.store(true, Ordering::Relaxed);
+        let shard_requests: Vec<u64> = shard_workers
+            .into_iter()
+            .map(|w| w.join().expect("shard thread panicked"))
+            .collect();
+        (latencies, shard_requests, delta_schedule)
+    })
+    .expect("a transport thread panicked");
     let wall = started.elapsed();
-    finish_run(shared, latencies, shard_requests, wall)
+    finish_run(shared, latencies, shard_requests, wall, delta_schedule)
 }
 
 #[cfg(test)]
@@ -741,6 +773,47 @@ mod tests {
         assert!(r.shard_requests.iter().sum::<u64>() > 0);
         // Each of 2 clients handshakes with each of 2 shards exactly once.
         assert_eq!(r.counter(names::TCP_CONNECT), 4);
+    }
+
+    #[test]
+    fn tcp_adaptive_controller_retunes_delta_over_client_inboxes() {
+        use tc_lifetime::control::ControllerConfig;
+        let mut cfg = small(
+            ProtocolKind::Tsc {
+                delta: Delta::from_ticks(4_000),
+            },
+            27,
+        );
+        cfg.ops_per_client = 100;
+        cfg.adaptive = Some(ControllerConfig::new(
+            Delta::from_ticks(50),
+            Delta::from_ticks(8_000),
+            Delta::from_ticks(20),
+        ));
+        let r = run_tcp(&cfg);
+        assert_eq!(r.ops_done, 2 * 100, "adaptive control must not drop ops");
+        let schedule = r
+            .delta_schedule
+            .as_ref()
+            .expect("adaptive runs report their commanded schedule");
+        assert!(
+            !schedule.is_empty(),
+            "the loose base leaves tightening room"
+        );
+        let (_, last) = *schedule.changes.last().unwrap();
+        assert!(
+            last.ticks() < 4_000,
+            "controller must tighten below the loose base, got {last}"
+        );
+        assert!(
+            r.counter(names::DELTA_APPLIED) > 0,
+            "clients must apply commands delivered through their inboxes"
+        );
+        assert!(
+            r.on_time.holds(),
+            "violations against the in-force schedule: {}",
+            r.on_time.violations().len()
+        );
     }
 
     #[test]

@@ -73,6 +73,7 @@ const TAG_WRITE_ACK: u8 = 5;
 const TAG_WRITE_ACK_CAUSAL: u8 = 6;
 const TAG_INVALIDATE_PUSH: u8 = 7;
 const TAG_INVALIDATE_BATCH: u8 = 8;
+const TAG_DELTA_UPDATE: u8 = 9;
 
 /// Encodes a [`Time`] (u64 ticks, LE).
 pub fn put_time(w: &mut Writer, t: Time) {
@@ -405,6 +406,11 @@ pub fn put_msg(w: &mut Writer, msg: &Msg) {
                 put_entry(w, e);
             }
         }
+        Msg::DeltaUpdate { seq, delta } => {
+            w.u8(TAG_DELTA_UPDATE);
+            w.u64(*seq);
+            put_delta(w, *delta);
+        }
     }
 }
 
@@ -478,6 +484,10 @@ pub fn get_msg(r: &mut Reader<'_>) -> Result<Msg, WireError> {
             }
             Msg::InvalidateBatch { entries }
         }
+        TAG_DELTA_UPDATE => Msg::DeltaUpdate {
+            seq: r.u64("seq")?,
+            delta: get_delta(r, "delta")?,
+        },
         tag => return Err(WireError::UnknownTag { what: "msg", tag }),
     })
 }
@@ -572,6 +582,13 @@ mod tests {
             })
             .with_shards(2),
         });
+    }
+
+    #[test]
+    fn delta_update_round_trips() {
+        for delta in [Delta::ZERO, Delta::from_ticks(1_234), Delta::INFINITE] {
+            round_trip(&WireMsg::Proto(Msg::DeltaUpdate { seq: 7, delta }));
+        }
     }
 
     #[test]

@@ -122,7 +122,7 @@ fn arb_protocol(rng: &mut StdRng) -> ProtocolConfig {
 }
 
 fn arb_proto_msg(rng: &mut StdRng) -> Msg {
-    match rng.gen_range(0..9u8) {
+    match rng.gen_range(0..10u8) {
         0 => Msg::FetchReq {
             object: arb_object(rng),
             epoch: rng.gen_range(0..=u64::MAX),
@@ -170,12 +170,16 @@ fn arb_proto_msg(rng: &mut StdRng) -> Msg {
             alpha_t: arb_time(rng),
             alpha_v: arb_opt_vclock(rng),
         },
-        _ => {
+        8 => {
             let n = rng.gen_range(0..10usize);
             Msg::InvalidateBatch {
                 entries: (0..n).map(|_| arb_entry(rng)).collect(),
             }
         }
+        _ => Msg::DeltaUpdate {
+            seq: rng.gen_range(0..=u64::MAX),
+            delta: arb_delta(rng),
+        },
     }
 }
 

@@ -38,4 +38,5 @@ pub use tc_durable as durable;
 pub use tc_lifetime as lifetime;
 pub use tc_sim as sim;
 pub use tc_store as store;
+pub use tc_trace as trace;
 pub use tc_wire as wire;

@@ -33,7 +33,10 @@ use timed_consistency::store::{
 
 const SEED: u64 = 91;
 const N_CLIENTS: usize = 4;
-const OPS: usize = 60;
+// Long enough that the churn dialer lands its soak quota while ops are
+// still in flight: the nanosecond epoll_pwait2 waits (DESIGN.md §16)
+// finish a 60-op run too quickly for 300 full-blast dials to land.
+const OPS: usize = 120;
 /// Junk dials attempted; full blast (no pause), so they all land while
 /// the workload is still in flight.
 const CHURN_DIALS: usize = 500;
