@@ -17,6 +17,7 @@ use tc_sim::workload::Workload;
 use tc_sim::{Context, NetEvent, NodeId, Process, TraceRecorder};
 
 use crate::engine::{ClientEngine, Effect, Event, Inputs, Now, PrivateSources, RecordOp};
+use crate::geo::GeoMigrationPlan;
 use crate::msg::Msg;
 use crate::ProtocolConfig;
 
@@ -181,6 +182,25 @@ impl ClientNode {
     pub fn with_private_sources(mut self, base_seed: u64, site: usize, n_clients: usize) -> Self {
         self.private = Some(PrivateSources::new(base_seed, site, n_clients));
         self
+    }
+
+    /// Schedules a scripted region migration (see [`crate::geo`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol kind is not in the causal family or the
+    /// destination fleet size differs from the configured shard count.
+    #[must_use]
+    pub fn with_migration(mut self, plan: GeoMigrationPlan) -> Self {
+        self.engine = self.engine.with_migration(plan);
+        self
+    }
+
+    /// Whether a scheduled migration has completed (vacuously true when
+    /// none was scheduled).
+    #[must_use]
+    pub fn migrated(&self) -> bool {
+        self.engine.migrated()
     }
 
     /// Operations completed so far.

@@ -14,8 +14,10 @@ use tc_sim::NodeId;
 
 use crate::cache::{Cache, CacheEntry, SweepOutcome};
 use crate::engine::{
-    Effect, Event, Inputs, Now, RecordOp, ShardMap, TIMER_FLUSH_CAUSAL, TIMER_NEXT_OP,
+    Effect, Event, Inputs, Now, RecordOp, ShardMap, TIMER_FLUSH_CAUSAL, TIMER_GEO_ATTACH,
+    TIMER_NEXT_OP,
 };
+use crate::geo::GeoMigrationPlan;
 use crate::msg::{Msg, ValidateOutcome, WireVersion};
 use crate::{ProtocolConfig, ProtocolKind, StalePolicy};
 
@@ -122,6 +124,14 @@ pub struct ClientEngine {
     delta_override: Option<Delta>,
     /// Sequence number of the last applied Δ command (reorder guard).
     delta_seq: u64,
+    /// A scripted region migration ([`ClientEngine::with_migration`]):
+    /// once due, the client drains its in-flight writes, attaches to the
+    /// destination relay with its `Context_i`, and swaps `servers` on
+    /// confirmation. `None` after the move completes.
+    migration: Option<GeoMigrationPlan>,
+    /// Whether a [`Msg::GeoAttach`] is outstanding (volatile: a restart
+    /// re-sends it — the relay treats duplicates idempotently).
+    attaching: bool,
 }
 
 impl ClientEngine {
@@ -169,7 +179,67 @@ impl ClientEngine {
             now: None,
             delta_override: None,
             delta_seq: 0,
+            migration: None,
+            attaching: false,
         }
+    }
+
+    /// The same engine with a scripted region migration: after
+    /// `plan.at_op` completed operations the client stops issuing, drains
+    /// every in-flight write, sends [`Msg::GeoAttach`] carrying its
+    /// `Context_i` to `plan.relay`, and — once the destination region
+    /// confirms it has applied everything the context covers — continues
+    /// its workload against `plan.servers`, cache and context intact.
+    /// Causal family only (migration is a geo feature, see [`crate::geo`]).
+    #[must_use]
+    pub fn with_migration(mut self, plan: GeoMigrationPlan) -> Self {
+        assert!(
+            self.config.kind.is_causal_family(),
+            "region migration carries Context_i, a causal-family notion"
+        );
+        assert_eq!(
+            plan.servers.len(),
+            self.config.shards,
+            "destination fleet must match the configured shard count"
+        );
+        self.migration = Some(plan);
+        self
+    }
+
+    /// Whether the client has completed its scripted migration (i.e. a
+    /// plan was installed and has since been consumed).
+    #[must_use]
+    pub fn migrated(&self) -> bool {
+        self.migration.is_none() && !self.attaching
+    }
+
+    fn migration_due(&self) -> bool {
+        self.migration
+            .as_ref()
+            .is_some_and(|m| self.ops_done >= m.at_op)
+    }
+
+    /// Advances the migration once due: wait for the drain (the barrier
+    /// and retransmit machinery empties `unacked`/`deferred` on its own),
+    /// then send the attach. Idempotent — callable from every point where
+    /// in-flight work may have completed.
+    fn maybe_attach(&mut self, out: &mut Vec<Effect>) {
+        if self.attaching || !self.migration_due() || !self.is_idle() {
+            return;
+        }
+        self.attaching = true;
+        let plan = self.migration.as_ref().expect("due implies a plan");
+        out.push(Effect::Send {
+            to: plan.relay,
+            msg: Msg::GeoAttach {
+                site: self.site as u32,
+                context_v: self.context_v.clone(),
+            },
+        });
+        out.push(Effect::SetTimer {
+            after: self.config.retry_after,
+            token: TIMER_GEO_ATTACH,
+        });
     }
 
     /// The Δ the timed freshness rules currently enforce: the adaptive
@@ -242,6 +312,12 @@ impl ClientEngine {
 
     fn plan_next(&mut self, io: &mut impl Inputs, out: &mut Vec<Effect>) {
         if self.finished() {
+            return;
+        }
+        if self.migration_due() {
+            // Drain instead of issuing: the workload resumes (from the
+            // same position) once the attach confirms.
+            self.maybe_attach(out);
             return;
         }
         let (kind, obj_idx, think) = self.workload.next_op(io.rng());
@@ -633,6 +709,10 @@ impl ClientEngine {
         self.cache = Cache::new();
         self.context_t = Time::ZERO;
         self.planned = None;
+        // An in-flight attach is volatile; the drain-then-attach path
+        // re-runs it (plan_next below funnels into maybe_attach when the
+        // migration is due).
+        self.attaching = false;
         // Durable state drives recovery: finish the in-flight request if
         // one was logged, flush unacked causal writes (then let the
         // barrier ship anything it can), and resume the workload. The
@@ -663,6 +743,24 @@ impl ClientEngine {
             }
         } else if token == TIMER_FLUSH_CAUSAL {
             self.flush_unacked(out);
+        } else if token == TIMER_GEO_ATTACH {
+            // Retransmit an unanswered attach (the relay handles
+            // duplicates idempotently).
+            if self.attaching {
+                let plan = self.migration.as_ref().expect("attaching implies a plan");
+                out.push(Effect::metric(names::RETRY));
+                out.push(Effect::Send {
+                    to: plan.relay,
+                    msg: Msg::GeoAttach {
+                        site: self.site as u32,
+                        context_v: self.context_v.clone(),
+                    },
+                });
+                out.push(Effect::SetTimer {
+                    after: self.config.retry_after,
+                    token: TIMER_GEO_ATTACH,
+                });
+            }
         } else if token == self.req_epoch {
             // Retry an unanswered request (lost message).
             if let Some(msg) = self.outstanding.clone() {
@@ -838,6 +936,8 @@ impl ClientEngine {
                 // An ack may clear the cross-shard barrier for queued
                 // writes.
                 self.ship_deferred(out);
+                // …or complete a migration drain.
+                self.maybe_attach(out);
             }
             Msg::InvalidatePush {
                 object,
@@ -871,7 +971,31 @@ impl ClientEngine {
                 self.delta_seq = seq;
                 self.delta_override = Some(delta);
             }
-            Msg::FetchReq { .. } | Msg::ValidateReq { .. } | Msg::WriteReq { .. } => {
+            Msg::GeoAttachOk { .. } => {
+                if !self.attaching {
+                    // A duplicate confirmation (relay re-answered a
+                    // retransmitted attach we already acted on).
+                    return;
+                }
+                self.attaching = false;
+                let plan = self.migration.take().expect("attach implies a plan");
+                self.servers = plan.servers;
+                out.push(Effect::metric(names::GEO_MIGRATED));
+                // Same cache, same Context_i, new region: the relay's
+                // gate guarantees the destination fleet has applied
+                // everything the context covers, so both carry over
+                // unchanged. Resume the workload.
+                self.plan_next(io, out);
+            }
+            Msg::FetchReq { .. }
+            | Msg::ValidateReq { .. }
+            | Msg::WriteReq { .. }
+            | Msg::GeoBatch { .. }
+            | Msg::GeoBatchAck { .. }
+            | Msg::GeoApply { .. }
+            | Msg::GeoApplyAck { .. }
+            | Msg::GeoLocalApply { .. }
+            | Msg::GeoAttach { .. } => {
                 unreachable!("client received a server-bound message")
             }
         }

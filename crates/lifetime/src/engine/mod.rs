@@ -56,6 +56,21 @@ pub const TIMER_NEXT_OP: u64 = 0;
 /// can never collide.
 pub const TIMER_FLUSH_CAUSAL: u64 = u64::MAX;
 
+/// Client timer token for "retransmit the pending [`Msg::GeoAttach`]"
+/// during a region migration. Like [`TIMER_FLUSH_CAUSAL`], far above any
+/// request epoch a run can reach.
+pub const TIMER_GEO_ATTACH: u64 = u64::MAX - 1;
+
+/// Server timer token for "retransmit unacked cross-region batches".
+/// Distinct from [`TIMER_WAL_FLUSH`] (`u64::MAX`) and far above every
+/// per-client flush token (client node indexes).
+pub const TIMER_GEO_RETX: u64 = u64::MAX - 2;
+
+/// Base of the server's per-peer-region geo flush tokens: peer channel `i`
+/// flushes on token `TIMER_GEO_FLUSH_BASE + i`. The range sits far above
+/// client node indexes and below the `u64::MAX`-family singleton tokens.
+pub const TIMER_GEO_FLUSH_BASE: u64 = 1 << 60;
+
 /// A clock sample injected by the driver via [`Event::Now`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Now {

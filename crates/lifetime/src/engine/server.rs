@@ -20,15 +20,16 @@
 //! write acks are deferred until the covering fsync — so a crash can only
 //! lose writes whose clients are still retransmitting them.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use tc_clocks::Time;
 use tc_core::ObjectId;
 use tc_sim::metrics::names;
 use tc_sim::NodeId;
 
-use crate::engine::{Effect, Event, Now};
-use crate::msg::{InvalidateEntry, Msg, ValidateOutcome};
+use crate::engine::{Effect, Event, Now, TIMER_GEO_FLUSH_BASE, TIMER_GEO_RETX};
+use crate::geo::GeoShardConfig;
+use crate::msg::{GeoWrite, InvalidateEntry, Msg, ValidateOutcome};
 use crate::store::{MemStore, ShardStore, StoredVersion, WalRecord};
 use crate::{Propagation, ProtocolConfig};
 
@@ -81,8 +82,168 @@ pub struct ServerEngine {
     /// Total client requests served (fetch + validate + write), the
     /// per-shard load statistic the threaded runtime reports.
     requests_served: u64,
+    /// Cross-region replication state, when this shard is part of a geo
+    /// deployment ([`ServerEngine::with_geo`]); `None` keeps the
+    /// single-region protocol byte-identical.
+    geo: Option<GeoState>,
+    /// Geo egress held back until the covering fsync: a write must not
+    /// leave for other regions before it is durable here, or a remote
+    /// reader could observe a value a local crash then un-happens —
+    /// the same ack-after-durability argument as `deferred_acks`.
+    deferred_geo: Vec<GeoWrite>,
     /// The latest driver-injected clock sample.
     now: Option<Now>,
+}
+
+/// One outgoing cross-region channel: an open batch plus the unacked
+/// window, sequenced from 1 with cumulative acks (the relay discards
+/// out-of-order batches, so retransmitting the whole window in order
+/// always closes a gap).
+struct GeoChannel {
+    peer: NodeId,
+    next_seq: u64,
+    buf: Vec<GeoWrite>,
+    unacked: VecDeque<(u64, Vec<GeoWrite>)>,
+}
+
+/// Engine-resident geo replication state. Deliberately *not* behind the
+/// [`ShardStore`] seam: losing it on a crash only delays propagation
+/// (clients retransmit unacked writes, channels retransmit unacked
+/// batches), never forges it — see DESIGN.md §17 for the recovery story.
+struct GeoState {
+    config: GeoShardConfig,
+    channels: Vec<GeoChannel>,
+    retx_armed: bool,
+}
+
+impl GeoState {
+    fn new(config: GeoShardConfig) -> Self {
+        let channels = config
+            .peer_relays
+            .iter()
+            .map(|&peer| GeoChannel {
+                peer,
+                next_seq: 1,
+                buf: Vec::new(),
+                unacked: VecDeque::new(),
+            })
+            .collect();
+        GeoState {
+            config,
+            channels,
+            retx_armed: false,
+        }
+    }
+
+    /// Queues one freshly applied local write on every peer channel and
+    /// notifies the local relay (its dependency watermarks must cover
+    /// local writes, or remote writes depending on them would stall).
+    fn egress(&mut self, w: &GeoWrite, out: &mut Vec<Effect>) {
+        out.push(Effect::Metric {
+            name: names::GEO_LOCAL_NOTIFY,
+            add: 1,
+        });
+        out.push(Effect::Send {
+            to: self.config.local_relay,
+            msg: Msg::GeoLocalApply {
+                writer: w.writer() as u32,
+                k: w.k(),
+            },
+        });
+        let max_entries = self.config.batch.max_entries;
+        let max_delay = self.config.batch.max_delay;
+        for i in 0..self.channels.len() {
+            let ch = &mut self.channels[i];
+            ch.buf.push(w.clone());
+            let len = ch.buf.len();
+            if len >= max_entries {
+                self.flush(i, out);
+            } else if len == 1 {
+                out.push(Effect::SetTimer {
+                    after: max_delay,
+                    token: TIMER_GEO_FLUSH_BASE + i as u64,
+                });
+            }
+        }
+    }
+
+    /// Seals and transmits channel `i`'s open batch (fullness or
+    /// deadline — whichever came first; a stale deadline finds an empty
+    /// buffer and is a no-op).
+    fn flush(&mut self, i: usize, out: &mut Vec<Effect>) {
+        let origin = self.config.region;
+        let retx_after = self.config.retx_after;
+        let Some(ch) = self.channels.get_mut(i) else {
+            return;
+        };
+        if ch.buf.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut ch.buf);
+        let seq = ch.next_seq;
+        ch.next_seq += 1;
+        out.push(Effect::Metric {
+            name: names::GEO_BATCH,
+            add: 1,
+        });
+        out.push(Effect::Send {
+            to: ch.peer,
+            msg: Msg::GeoBatch {
+                origin,
+                seq,
+                entries: entries.clone(),
+            },
+        });
+        ch.unacked.push_back((seq, entries));
+        if !self.retx_armed {
+            self.retx_armed = true;
+            out.push(Effect::SetTimer {
+                after: retx_after,
+                token: TIMER_GEO_RETX,
+            });
+        }
+    }
+
+    /// Retransmits every unacked batch on every channel, in order.
+    fn retransmit(&mut self, out: &mut Vec<Effect>) {
+        let origin = self.config.region;
+        let mut any = false;
+        for ch in &mut self.channels {
+            for (seq, entries) in &ch.unacked {
+                any = true;
+                out.push(Effect::Metric {
+                    name: names::GEO_BATCH_RETRANSMIT,
+                    add: 1,
+                });
+                out.push(Effect::Send {
+                    to: ch.peer,
+                    msg: Msg::GeoBatch {
+                        origin,
+                        seq: *seq,
+                        entries: entries.clone(),
+                    },
+                });
+            }
+        }
+        if any {
+            out.push(Effect::SetTimer {
+                after: self.config.retx_after,
+                token: TIMER_GEO_RETX,
+            });
+        } else {
+            self.retx_armed = false;
+        }
+    }
+
+    /// Prunes the unacked window of the channel to `from` up to the
+    /// relay's cumulative ack.
+    fn on_batch_ack(&mut self, from: NodeId, upto: u64) {
+        if let Some(ch) = self.channels.iter_mut().find(|c| c.peer == from) {
+            while matches!(ch.unacked.front(), Some((seq, _)) if *seq <= upto) {
+                ch.unacked.pop_front();
+            }
+        }
+    }
 }
 
 impl ServerEngine {
@@ -103,8 +264,25 @@ impl ServerEngine {
             pending: BTreeMap::new(),
             deferred_acks: Vec::new(),
             requests_served: 0,
+            geo: None,
+            deferred_geo: Vec::new(),
             now: None,
         }
+    }
+
+    /// The same engine as a member of a geo deployment: fresh causal
+    /// applies egress to `geo.peer_relays` and remote writes arrive via
+    /// the local relay's [`Msg::GeoApply`]. Geo replication is causal-
+    /// family only (see [`crate::geo`]).
+    #[must_use]
+    pub fn with_geo(mut self, geo: GeoShardConfig) -> Self {
+        assert!(
+            self.config.kind.is_causal_family(),
+            "geo replication composes regions causally; physical-family \
+             levels would need a cross-region total order"
+        );
+        self.geo = Some(GeoState::new(geo));
+        self
     }
 
     /// Total writes applied (dropped LWW losers excluded).
@@ -133,6 +311,15 @@ impl ServerEngine {
                     // Deadline-batched fsync; a timer raced past a
                     // fullness-triggered sync finds nothing pending.
                     self.sync_store(out);
+                } else if token == TIMER_GEO_RETX {
+                    if let Some(geo) = &mut self.geo {
+                        geo.retransmit(out);
+                    }
+                } else if token >= TIMER_GEO_FLUSH_BASE {
+                    let i = (token - TIMER_GEO_FLUSH_BASE) as usize;
+                    if let Some(geo) = &mut self.geo {
+                        geo.flush(i, out);
+                    }
                 } else {
                     // The other shard timers are batch-flush deadlines; a
                     // timer for an already-flushed (empty) batch is a no-op.
@@ -160,6 +347,12 @@ impl ServerEngine {
                 self.known_clients.clear();
                 self.pending.clear();
                 self.deferred_acks.clear();
+                // Egress covering unsynced records dies with them: the
+                // writes were never acked, so their writers retransmit
+                // and the re-apply re-queues the egress. The channels'
+                // unacked windows survive (engine-resident, see
+                // `GeoState`).
+                self.deferred_geo.clear();
             }
             Event::Message { from, msg } => self.on_message(from, msg, out),
         }
@@ -184,6 +377,25 @@ impl ServerEngine {
         });
         for (to, msg) in std::mem::take(&mut self.deferred_acks) {
             out.push(Effect::Send { to, msg });
+        }
+        // The sync also made the held-back geo egress safe to ship.
+        for w in std::mem::take(&mut self.deferred_geo) {
+            if let Some(geo) = &mut self.geo {
+                geo.egress(&w, out);
+            }
+        }
+    }
+
+    /// Routes one freshly applied local write into geo egress: inline if
+    /// already durable, held until the covering fsync otherwise.
+    fn geo_after_apply(&mut self, w: GeoWrite, out: &mut Vec<Effect>) {
+        if self.geo.is_none() {
+            return;
+        }
+        if self.store.pending() == 0 {
+            self.geo.as_mut().expect("checked above").egress(&w, out);
+        } else {
+            self.deferred_geo.push(w);
         }
     }
 
@@ -318,6 +530,12 @@ impl ServerEngine {
     }
 
     fn on_message(&mut self, from: NodeId, msg: Msg, out: &mut Vec<Effect>) {
+        // Geo traffic is server-to-server: relays must not become push-
+        // invalidation targets or count as served client requests.
+        if msg.is_geo() {
+            self.on_geo_message(from, msg, out);
+            return;
+        }
         self.known_clients.insert(from);
         self.requests_served += 1;
         let server_now = self
@@ -412,6 +630,20 @@ impl ServerEngine {
                             alpha_v: alpha_v.clone(),
                         };
                         let won = self.append(&record, out);
+                        // Geo egress regardless of the LWW outcome: remote
+                        // cursors count this writer's per-shard stream, so
+                        // skipping a losing write would open a permanent
+                        // gap there (the remote LWW drops it identically).
+                        self.geo_after_apply(
+                            GeoWrite {
+                                object,
+                                value,
+                                alpha_v: alpha_v.clone(),
+                                issued_at,
+                                shard_seq: seq,
+                            },
+                            out,
+                        );
                         self.maybe_sync_after_append(out);
                         if won {
                             let snapshot = StoredVersion {
@@ -485,17 +717,107 @@ impl ServerEngine {
                     self.maybe_arm_wal_timer(out);
                 }
             }
-            // Server never receives replies, pushes, or Δ commands.
+            // Server never receives replies, pushes, or Δ commands; geo
+            // frames were routed to `on_geo_message` above.
             Msg::FetchRep { .. }
             | Msg::ValidateRep { .. }
             | Msg::WriteAck { .. }
             | Msg::WriteAckCausal { .. }
             | Msg::InvalidatePush { .. }
             | Msg::InvalidateBatch { .. }
-            | Msg::DeltaUpdate { .. } => {
+            | Msg::DeltaUpdate { .. }
+            | Msg::GeoBatch { .. }
+            | Msg::GeoBatchAck { .. }
+            | Msg::GeoApply { .. }
+            | Msg::GeoApplyAck { .. }
+            | Msg::GeoLocalApply { .. }
+            | Msg::GeoAttach { .. }
+            | Msg::GeoAttachOk { .. } => {
                 unreachable!("server received a client-bound message")
             }
         }
+    }
+
+    fn on_geo_message(&mut self, from: NodeId, msg: Msg, out: &mut Vec<Effect>) {
+        match msg {
+            Msg::GeoBatchAck { upto } => {
+                if let Some(geo) = &mut self.geo {
+                    geo.on_batch_ack(from, upto);
+                }
+            }
+            Msg::GeoApply { entry } => self.on_geo_apply(from, entry, out),
+            other => unreachable!(
+                "shard received a relay-bound geo message: {:?}",
+                other.tag()
+            ),
+        }
+    }
+
+    /// Applies one remote write forwarded by the local relay. Mirrors the
+    /// causal [`Msg::WriteReq`] path — same cursor discipline, same WAL
+    /// record, same LWW arbitration — keyed by the writer's *node* index
+    /// so a migrated client's direct writes continue the same stream.
+    fn on_geo_apply(&mut self, relay: NodeId, entry: GeoWrite, out: &mut Vec<Effect>) {
+        let Some(geo) = &self.geo else {
+            unreachable!("geo apply on a non-geo shard");
+        };
+        let writer_node = geo.config.client_base + entry.writer();
+        let seq = entry.shard_seq;
+        let cursor = self.store.causal_cursor(writer_node);
+        if seq > cursor + 1 {
+            // Cannot happen while the relay forwards one apply at a time
+            // in dependency order, but a gap must never apply: no ack,
+            // the relay's retransmit redelivers in order.
+            out.push(Effect::Metric {
+                name: names::SERVER_WRITE_GAP,
+                add: 1,
+            });
+            return;
+        }
+        if seq == cursor + 1 {
+            let record = WalRecord::Causal {
+                object: entry.object,
+                writer: writer_node,
+                seq,
+                value: entry.value,
+                alpha_t: entry.issued_at,
+                alpha_v: entry.alpha_v.clone(),
+            };
+            let won = self.append(&record, out);
+            // No re-egress: every origin region sends to every peer
+            // directly, so forwarding geo applies onward would loop.
+            self.maybe_sync_after_append(out);
+            out.push(Effect::Metric {
+                name: names::GEO_APPLIED,
+                add: 1,
+            });
+            if won {
+                let snapshot = StoredVersion {
+                    value: entry.value,
+                    alpha_t: entry.issued_at,
+                    alpha_v: Some(entry.alpha_v.clone()),
+                    tiebreak: (entry.issued_at, writer_node),
+                };
+                self.push_invalidations(out, entry.object, NodeId::new(writer_node), &snapshot);
+            }
+        } else {
+            out.push(Effect::Metric {
+                name: names::GEO_APPLY_DUP,
+                add: 1,
+            });
+        }
+        // The ack rides the durability gate exactly like a client write
+        // ack: the relay may release the next dependent apply only once
+        // this one can no longer be un-happened by a crash.
+        self.ship_or_defer(
+            relay,
+            Msg::GeoApplyAck {
+                writer: entry.writer() as u32,
+                k: entry.k(),
+            },
+            out,
+        );
+        self.maybe_arm_wal_timer(out);
     }
 }
 

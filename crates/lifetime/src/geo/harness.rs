@@ -1,0 +1,698 @@
+//! One-call geo-simulation harness: build an `R`-region world, wire the
+//! WAN link models, run every client's workload to quiescence, and judge
+//! the result with a region-aware widened oracle.
+//!
+//! The node layout follows [`RegionMap`]: `R·S` shards (region-major),
+//! then `R` relays, then the clients (region-major,
+//! `clients_per_region` each). WAN latency applies to exactly the links
+//! the geo protocol crosses — shard→peer-relay batches and the acks
+//! coming back; intra-region traffic keeps the world's base (LAN) model.
+//! Client mobility is abstracted: a migrating client's attach handshake
+//! travels at LAN latency (the client is "already there" when it
+//! attaches), a simplification recorded in DESIGN.md §17.
+//!
+//! # The geo-widened bound
+//!
+//! A remote write's staleness at a reading region is bounded by the full
+//! propagation path, so [`widened_bound_geo`] extends the single-region
+//! [`widened_bound`] with exactly that path's worst case (derivation in
+//! DESIGN.md §17):
+//!
+//! ```text
+//! base  +  fsync_delay      (egress waits for origin durability)
+//!       +  geo batch delay  (the egress channel's flush deadline)
+//!       +  wan_max          (slowest region pair, one batch hop)
+//!       +  W·(2·lat + fsync_delay + 4)   (relay ingress serialization:
+//!                                         every earlier write may drain
+//!                                         first, one local round-trip +
+//!                                         destination fsync each)
+//!       +  disruption + 2·retx           (iff the plan can black-hole a
+//!                                         geo frame: the outage plus one
+//!                                         batch and one apply retransmit
+//!                                         interval)
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tc_clocks::{Delta, Epsilon, Time};
+use tc_core::checker::{check_on_time, min_delta_eps, satisfies_ccv, Outcome, TimedReport};
+use tc_core::History;
+use tc_sim::metrics::names;
+use tc_sim::workload::Workload;
+use tc_sim::{
+    Context, FaultKind, FaultPlan, MetricsSnapshot, NodeId, Process, Scope, TraceRecorder, Window,
+    World, WorldConfig,
+};
+
+use super::relay::GeoRelayEngine;
+use super::{GeoMigrationPlan, GeoShardConfig, RegionMap, WanProfile};
+use crate::client::replay_effects;
+use crate::engine::Event;
+use crate::oracle::{widened_bound, Conformance, OracleVerdict};
+use crate::{ClientNode, Msg, ProtocolConfig, PushBatch, RunConfig, ServerNode};
+
+/// A scripted client migration: global client `client` moves to
+/// `to_region` after completing `at_op` operations (drain → attach →
+/// resume, carrying cache and `Context_i`).
+#[derive(Clone, Copy, Debug)]
+pub struct Migration {
+    /// Global client index (`0 ≤ client < regions · clients_per_region`).
+    pub client: usize,
+    /// Operations to complete at the home region before moving.
+    pub at_op: usize,
+    /// Destination region.
+    pub to_region: usize,
+}
+
+/// Configuration of one geo run.
+#[derive(Clone, Debug)]
+pub struct GeoRunConfig {
+    /// The protocol under test — must be causal-family, with
+    /// `protocol.shards == regions.shards_per_region`.
+    pub protocol: ProtocolConfig,
+    /// Region/shard layout.
+    pub regions: RegionMap,
+    /// Cross-region latency and skew profile.
+    pub wan: WanProfile,
+    /// Clients attached to each region (sites are region-major: client
+    /// `c` of region `r` is site `r · clients_per_region + c`).
+    pub clients_per_region: usize,
+    /// The workload every client runs.
+    pub workload: Workload,
+    /// Operations each client performs.
+    pub ops_per_client: usize,
+    /// Base world: the *intra-region* network model, clocks, and seed.
+    pub world: WorldConfig,
+    /// Egress channel batching (the Δ-aware urgency knob: its `max_delay`
+    /// bounds how long a write may wait before leaving for peer regions).
+    pub geo_batch: PushBatch,
+    /// Retransmit interval for unacked geo frames. Keep it above one WAN
+    /// round-trip ([`WanProfile::max_latency`] × 2) or retransmissions
+    /// race their own acks.
+    pub geo_retx_after: Delta,
+    /// Scripted client migrations (at most one per client).
+    pub migrations: Vec<Migration>,
+}
+
+impl GeoRunConfig {
+    /// Total clients across all regions.
+    #[must_use]
+    pub fn n_clients(&self) -> usize {
+        self.regions.regions * self.clients_per_region
+    }
+
+    /// The home region of a client site.
+    #[must_use]
+    pub fn home_region(&self, site: usize) -> usize {
+        site / self.clients_per_region
+    }
+
+    /// The single-region [`RunConfig`] view of this configuration — what
+    /// the base oracle terms (Δ, round trips, LAN latency, retry, push
+    /// batch, fsync) are computed from.
+    #[must_use]
+    pub fn base_run_config(&self) -> RunConfig {
+        RunConfig {
+            protocol: self.protocol,
+            n_clients: self.n_clients(),
+            workload: self.workload.clone(),
+            ops_per_client: self.ops_per_client,
+            world: self.world.clone(),
+        }
+    }
+
+    /// Merges this profile's per-region clock skews into `plan` as
+    /// whole-run [`FaultKind::ClockSkew`] rules over every node of each
+    /// region (shards, relay, and home clients). Run and oracle both see
+    /// the skew through the plan, so the effective ε they agree on
+    /// (`world ε + 2·max_abs_skew`) is inflated by exactly the injected
+    /// divergence.
+    #[must_use]
+    pub fn plan_with_region_skew(&self, mut plan: FaultPlan) -> FaultPlan {
+        if self.wan.skew_step == 0 {
+            return plan;
+        }
+        let map = self.regions;
+        for region in 0..map.regions {
+            let offset = self.wan.region_skew(region);
+            if offset == 0 {
+                continue;
+            }
+            let mut nodes = map.region_shards(region);
+            nodes.push(map.relay_node(region));
+            for c in 0..self.clients_per_region {
+                nodes.push(map.client_base() + region * self.clients_per_region + c);
+            }
+            for node in nodes {
+                plan = plan.with(
+                    Window::always(),
+                    Scope::All,
+                    FaultKind::ClockSkew { node, offset },
+                );
+            }
+        }
+        plan
+    }
+}
+
+/// Everything a geo run produces (the multi-region analogue of
+/// [`crate::RunResult`]).
+#[derive(Clone, Debug)]
+pub struct GeoRunResult {
+    /// The recorded execution across all regions; sites are global client
+    /// indices.
+    pub history: History,
+    /// Cost counters, including the `geo_*` family.
+    pub metrics: MetricsSnapshot,
+    /// Effective clock bound: world ε plus twice the plan's largest skew
+    /// (region skews included).
+    pub epsilon: Epsilon,
+    /// Events the simulator dispatched.
+    pub events: usize,
+    /// True time when the run went quiescent.
+    pub finished_at: Time,
+    /// Streaming on-time verdict, judged against the geo-widened bound
+    /// ([`widened_bound_geo`]) of this configuration and plan.
+    pub on_time: TimedReport,
+    /// The monitor's running `min_delta`: the smallest Δ for which the
+    /// recorded history is timed under the run's effective ε — the
+    /// *measured* cross-region staleness.
+    pub observed_staleness: Delta,
+    /// The geo-widened bound the monitor judged against (`None` for
+    /// untimed levels; the monitor then held trivially).
+    pub bound: Option<Delta>,
+}
+
+impl GeoRunResult {
+    /// Convenience: a named counter from the metrics.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.metrics.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// The simulated relay node: a [`GeoRelayEngine`] behind the same
+/// effect-replay plumbing as the other adapters.
+struct GeoRelayNode {
+    engine: GeoRelayEngine,
+}
+
+impl GeoRelayNode {
+    fn drive(&mut self, ctx: &mut Context<'_, Msg>, event: Event) {
+        let mut out = Vec::new();
+        self.engine.handle(event, &mut out);
+        replay_effects(ctx, None, out);
+    }
+}
+
+impl Process for GeoRelayNode {
+    type Msg = Msg;
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.drive(ctx, Event::Restart);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: u64) {
+        self.drive(ctx, Event::Timer { token });
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        self.drive(ctx, Event::Message { from, msg });
+    }
+}
+
+/// The geo-widened staleness bound for `config` under `plan` (see the
+/// module docs for the term-by-term derivation), or `None` when the
+/// level is untimed, a latency/outage/deadline term is unbounded, or the
+/// geo egress batches on fullness only (infinite `geo_batch.max_delay`
+/// defers propagation unboundedly).
+///
+/// `plan` is the *caller's* plan — region skew rules affect the bound
+/// only through `eps`, which the caller (or [`run_geo`]) already
+/// inflated.
+#[must_use]
+pub fn widened_bound_geo(config: &GeoRunConfig, plan: &FaultPlan, eps: Epsilon) -> Option<Delta> {
+    let base = widened_bound(&config.base_run_config(), plan, eps)?;
+    let egress = if config.geo_batch.is_enabled() {
+        if config.geo_batch.max_delay.is_infinite() {
+            return None;
+        }
+        config.geo_batch.max_delay.ticks()
+    } else {
+        0
+    };
+    let wan = config.wan.max_latency(config.regions.regions);
+    let lat = config.world.net.latency.upper_bound()?.ticks();
+    // Finite whenever `base` is (an infinite fsync deadline already
+    // returned `None` above); zero for ephemeral stores and per-write
+    // syncing.
+    let fsync = match config.protocol.durability.fsync() {
+        None => 0,
+        Some(policy) => {
+            if policy.max_delay.is_infinite() {
+                return None;
+            }
+            policy.max_delay.ticks()
+        }
+    };
+    // Relay ingress serialization: one apply in flight at a time, so in
+    // the worst case every other write of the run drains ahead of this
+    // one, each costing a local round-trip, a destination fsync window,
+    // and scheduling slack.
+    let per_apply = 2 * lat + fsync + 4;
+    let queue = (config.n_clients() * config.ops_per_client) as u64 * per_apply;
+    let disruption = plan.max_disruption()?;
+    let geo_retx = if disruption.ticks() > 0 {
+        // The geo path loses its own frames to the same outage: charge the
+        // window again plus one batch and one apply retransmit interval.
+        disruption.ticks() + 2 * config.geo_retx_after.ticks()
+    } else {
+        0
+    };
+    Some(Delta::from_ticks(
+        base.ticks() + fsync + egress + wan + queue + geo_retx,
+    ))
+}
+
+/// Judges one geo run the way [`crate::oracle::conformance`] judges a
+/// single-region run, with [`widened_bound_geo`] as the timed bound.
+/// `plan` must be the same plan passed to [`run_geo`] (pre-skew-merge:
+/// skew enters through `result.epsilon`).
+#[must_use]
+pub fn conformance_geo(
+    config: &GeoRunConfig,
+    plan: &FaultPlan,
+    result: &GeoRunResult,
+) -> Conformance {
+    let eps = result.epsilon;
+    let ops_expected = config.n_clients() * config.ops_per_client;
+    let ops_recorded = result.history.len();
+    let observed = result.observed_staleness;
+    let bound = widened_bound_geo(config, plan, eps);
+    // Monitor/batch cross-checks, mirroring the single-region oracle: a
+    // checker that disagrees with itself cannot vouch for the run.
+    let mut monitor_mismatch: Option<String> = None;
+    let batch_observed = min_delta_eps(&result.history, eps);
+    if observed != batch_observed {
+        monitor_mismatch = Some(format!(
+            "monitor min_delta {} != batch checker {}",
+            observed.ticks(),
+            batch_observed.ticks()
+        ));
+    } else {
+        let batch = check_on_time(
+            &result.history,
+            result.on_time.delta(),
+            result.on_time.eps(),
+        );
+        if result.on_time != batch {
+            monitor_mismatch = Some(format!(
+                "monitor report diverges from the batch checker: \
+                 monitor found {} violation(s), batch found {}",
+                result.on_time.violations().len(),
+                batch.violations().len()
+            ));
+        }
+    }
+    if let Some(bound) = bound {
+        if result.on_time.delta() != bound && monitor_mismatch.is_none() {
+            monitor_mismatch = Some(format!(
+                "monitor judged Δ={} but the geo-widened bound for this \
+                 config and plan is {} — result does not match config/plan",
+                result.on_time.delta().ticks(),
+                bound.ticks()
+            ));
+        }
+    }
+
+    let mut violation: Option<String> = None;
+    let mut note = |broken: String| {
+        if violation.is_none() {
+            violation = Some(broken);
+        }
+    };
+    if let Some(m) = &monitor_mismatch {
+        note(format!("monitor/batch cross-check diverged: {m}"));
+    }
+    // Geo replication is causal-family only; the unconditional guarantee
+    // is causal convergence across every region's clients.
+    if satisfies_ccv(&result.history) != Outcome::Satisfied {
+        note("causal convergence (CCv) violated across regions".to_string());
+    }
+    if let Some(b) = bound {
+        if !result.on_time.holds() {
+            note(format!(
+                "timed bound broken: observed staleness {} exceeds geo-widened bound {} \
+                 (Δ-violating reads survived WAN propagation and the fault plan)",
+                observed.ticks(),
+                b.ticks()
+            ));
+        }
+    }
+
+    let verdict = match violation {
+        Some(v) => OracleVerdict::Violated(v),
+        None if ops_recorded < ops_expected => OracleVerdict::Stalled,
+        None => OracleVerdict::Conforms,
+    };
+    Conformance {
+        verdict,
+        observed_staleness: observed,
+        bound,
+        ops_recorded,
+        ops_expected,
+        monitor_mismatch,
+    }
+}
+
+/// Runs one geo deployment to quiescence under an injected [`FaultPlan`]
+/// (node indices follow [`RegionMap`]; [`WanProfile`] skews are merged in
+/// automatically).
+///
+/// # Panics
+///
+/// Panics if the protocol is not causal-family, the shard counts
+/// disagree, a migration is out of range or scheduled at/after the
+/// workload's end, the run fails to quiesce within its event budget, or
+/// the protocol produced an invalid trace.
+#[must_use]
+pub fn run_geo(config: &GeoRunConfig, plan: FaultPlan) -> GeoRunResult {
+    let map = config.regions;
+    assert!(
+        config.protocol.kind.is_causal_family(),
+        "geo replication composes causally; physical-family levels cannot span regions"
+    );
+    assert_eq!(
+        config.protocol.shards, map.shards_per_region,
+        "protocol shard count must match the per-region fleet size"
+    );
+    assert!(config.clients_per_region >= 1, "regions need clients");
+    for m in &config.migrations {
+        assert!(m.client < config.n_clients(), "migration client in range");
+        assert!(m.to_region < map.regions, "migration region in range");
+        assert!(
+            m.at_op < config.ops_per_client,
+            "a migration must fire before the client's workload ends"
+        );
+    }
+    let plan = config.plan_with_region_skew(plan);
+    let faulted = plan.max_disruption().is_none_or(|d| d.ticks() > 0);
+
+    let mut world: World<Msg> = World::new(config.world.clone());
+    let epsilon = Epsilon::from_ticks(world.epsilon().ticks() + 2 * plan.max_abs_skew());
+    let bound = widened_bound_geo(config, &plan, epsilon);
+    let monitor_delta = bound.unwrap_or(Delta::INFINITE);
+    let mut initial_recorder = TraceRecorder::new();
+    initial_recorder.attach_monitor(monitor_delta, epsilon);
+    let recorder = Rc::new(RefCell::new(initial_recorder));
+
+    // Shards, region-major (the layout asserts keep RegionMap honest).
+    for region in 0..map.regions {
+        for shard in 0..map.shards_per_region {
+            let geo = GeoShardConfig {
+                region: region as u32,
+                local_relay: NodeId::new(map.relay_node(region)),
+                peer_relays: (0..map.regions)
+                    .filter(|&r| r != region)
+                    .map(|r| NodeId::new(map.relay_node(r)))
+                    .collect(),
+                client_base: map.client_base(),
+                batch: config.geo_batch,
+                retx_after: config.geo_retx_after,
+            };
+            let id = world.add_node(ServerNode::new(config.protocol).with_geo(geo));
+            assert_eq!(id.index(), map.shard_node(region, shard));
+        }
+    }
+    // Relays.
+    for region in 0..map.regions {
+        let fleet = map
+            .region_shards(region)
+            .into_iter()
+            .map(NodeId::new)
+            .collect();
+        let id = world.add_node(GeoRelayNode {
+            engine: GeoRelayEngine::new(fleet, config.n_clients(), config.geo_retx_after),
+        });
+        assert_eq!(id.index(), map.relay_node(region));
+    }
+    // Clients, attached to their home region's fleet.
+    let n_clients = config.n_clients();
+    for site in 0..n_clients {
+        let home = config.home_region(site);
+        let servers: Vec<NodeId> = map
+            .region_shards(home)
+            .into_iter()
+            .map(NodeId::new)
+            .collect();
+        let mut node = ClientNode::new(
+            config.protocol,
+            servers,
+            site,
+            n_clients,
+            config.workload.clone(),
+            config.ops_per_client,
+            recorder.clone(),
+        );
+        if let Some(m) = config.migrations.iter().find(|m| m.client == site) {
+            node = node.with_migration(GeoMigrationPlan {
+                at_op: m.at_op,
+                relay: NodeId::new(map.relay_node(m.to_region)),
+                servers: map
+                    .region_shards(m.to_region)
+                    .into_iter()
+                    .map(NodeId::new)
+                    .collect(),
+            });
+        }
+        let id = world.add_node(node);
+        assert_eq!(id.index(), map.client_base() + site);
+    }
+    // WAN latency on every link the geo protocol crosses: shard → peer
+    // relay (batches) and peer relay → shard (acks).
+    for a in 0..map.regions {
+        for b in 0..map.regions {
+            if a == b {
+                continue;
+            }
+            for s in 0..map.shards_per_region {
+                let shard = map.shard_node(a, s);
+                let relay = map.relay_node(b);
+                world.set_link_model(shard, relay, config.wan.link(a, b));
+                world.set_link_model(relay, shard, config.wan.link(b, a));
+            }
+        }
+    }
+    world.set_fault_plan(plan);
+    // Geo runs fan every write out to R−1 regions (batch, ack, apply,
+    // ack, relay notify), so the per-op event budget scales with the
+    // region count on top of the single-region harness's allowance.
+    let base_budget = n_clients * config.ops_per_client * 400 * map.regions + 20_000;
+    let budget = if faulted {
+        base_budget * 4
+    } else {
+        base_budget
+    };
+    let events = world.run_to_quiescence(budget);
+    let finished_at = world.now();
+    let mut metrics = world.metrics().snapshot();
+    drop(world);
+    let recorder = Rc::try_unwrap(recorder)
+        .expect("all clients dropped with the world")
+        .into_inner();
+    let monitor = recorder.monitor().expect("geo harness attaches a monitor");
+    let observed_staleness = monitor.min_delta();
+    let late_writes = monitor.late_writes();
+    let (history, report) = recorder
+        .finish_with_report()
+        .expect("protocol produced an invalid trace");
+    let on_time = report.expect("geo harness attaches a monitor");
+    metrics.counters.insert(
+        names::ON_TIME_VIOLATIONS.to_string(),
+        on_time.violations().len() as u64,
+    );
+    metrics
+        .counters
+        .insert(names::MONITOR_LATE_WRITES.to_string(), late_writes);
+    GeoRunResult {
+        history,
+        metrics,
+        epsilon,
+        events,
+        finished_at,
+        on_time,
+        observed_staleness,
+        bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProtocolKind;
+    use tc_core::checker::satisfies_ccv;
+
+    fn geo_config(kind: ProtocolKind, seed: u64) -> GeoRunConfig {
+        GeoRunConfig {
+            protocol: ProtocolConfig::of(kind).with_shards(2),
+            regions: RegionMap::new(3, 2),
+            wan: WanProfile {
+                lat_lo: 40,
+                lat_hi: 60,
+                skew_step: 3,
+            },
+            clients_per_region: 2,
+            workload: Workload::new(4, 0.8, 0.7, (Delta::from_ticks(5), Delta::from_ticks(40))),
+            ops_per_client: 20,
+            world: WorldConfig::deterministic(Delta::from_ticks(2), seed),
+            geo_batch: PushBatch {
+                max_entries: 4,
+                max_delay: Delta::from_ticks(20),
+            },
+            geo_retx_after: Delta::from_ticks(300),
+            migrations: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn three_region_tcc_run_conforms() {
+        let config = geo_config(
+            ProtocolKind::Tcc {
+                delta: Delta::from_ticks(200),
+            },
+            7,
+        );
+        let result = run_geo(&config, FaultPlan::none());
+        assert_eq!(result.history.len(), 6 * 20, "every op recorded");
+        assert!(result.counter(names::GEO_BATCH) > 0, "batches flowed");
+        assert!(
+            result.counter(names::GEO_APPLIED) > 0,
+            "remote writes landed: {:?}",
+            result.metrics.counters
+        );
+        let c = conformance_geo(&config, &FaultPlan::none(), &result);
+        assert_eq!(c.verdict, OracleVerdict::Conforms, "{:?}", c.verdict);
+        assert!(c.observed_staleness <= c.bound.unwrap());
+    }
+
+    #[test]
+    fn untimed_cc_geo_run_converges() {
+        let config = geo_config(ProtocolKind::Cc, 11);
+        let result = run_geo(&config, FaultPlan::none());
+        assert_eq!(result.bound, None, "Cc carries no timed bound");
+        assert_eq!(satisfies_ccv(&result.history), Outcome::Satisfied);
+        let c = conformance_geo(&config, &FaultPlan::none(), &result);
+        assert_eq!(c.verdict, OracleVerdict::Conforms);
+    }
+
+    #[test]
+    fn geo_runs_are_deterministic() {
+        let config = geo_config(ProtocolKind::Cc, 5);
+        let a = run_geo(&config, FaultPlan::none());
+        let b = run_geo(&config, FaultPlan::none());
+        assert_eq!(a.history.to_string(), b.history.to_string());
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn region_partition_heals_and_conforms() {
+        let config = geo_config(
+            ProtocolKind::Tcc {
+                delta: Delta::from_ticks(200),
+            },
+            13,
+        );
+        // Cut region 2 (shards 4–5, relay 8, clients 13–14) off from the
+        // world for 600 ticks. Its clients keep writing locally
+        // (availability); the backlog drains after the heal.
+        let map = config.regions;
+        let mut isolated = map.region_shards(2);
+        isolated.push(map.relay_node(2));
+        isolated.push(map.client_base() + 4);
+        isolated.push(map.client_base() + 5);
+        let plan = FaultPlan::none().partition(Window::ticks(200, 800), isolated);
+        let result = run_geo(&config, plan.clone());
+        assert_eq!(result.history.len(), 6 * 20, "no op lost to the outage");
+        assert!(
+            result.counter(names::GEO_BATCH_RETRANSMIT) > 0,
+            "the outage must have forced retransmissions: {:?}",
+            result.metrics.counters
+        );
+        let c = conformance_geo(&config, &plan, &result);
+        assert_eq!(c.verdict, OracleVerdict::Conforms, "{:?}", c.verdict);
+    }
+
+    #[test]
+    fn client_migration_carries_context_and_conforms() {
+        let mut config = geo_config(
+            ProtocolKind::Tcc {
+                delta: Delta::from_ticks(200),
+            },
+            17,
+        );
+        // Client 0 moves region 0 → 2 mid-workload; client 5 moves 2 → 1.
+        config.migrations = vec![
+            Migration {
+                client: 0,
+                at_op: 8,
+                to_region: 2,
+            },
+            Migration {
+                client: 5,
+                at_op: 12,
+                to_region: 1,
+            },
+        ];
+        let result = run_geo(&config, FaultPlan::none());
+        assert_eq!(result.history.len(), 6 * 20, "migrants finish elsewhere");
+        assert_eq!(
+            result.counter(names::GEO_MIGRATED),
+            2,
+            "both migrations completed: {:?}",
+            result.metrics.counters
+        );
+        let c = conformance_geo(&config, &FaultPlan::none(), &result);
+        assert_eq!(c.verdict, OracleVerdict::Conforms, "{:?}", c.verdict);
+    }
+
+    #[test]
+    fn widened_bound_geo_extends_the_base_bound() {
+        let config = geo_config(
+            ProtocolKind::Tcc {
+                delta: Delta::from_ticks(200),
+            },
+            0,
+        );
+        let base =
+            widened_bound(&config.base_run_config(), &FaultPlan::none(), Epsilon::ZERO).unwrap();
+        let geo = widened_bound_geo(&config, &FaultPlan::none(), Epsilon::ZERO).unwrap();
+        // egress 20 + wan 120 + queue 120·(2·2+4) = 960.
+        assert_eq!(geo.ticks(), base.ticks() + 20 + 120 + 960);
+        // A disruptive plan charges its window once in the base bound and
+        // once more (plus two retransmit intervals) for the geo path.
+        let plan = FaultPlan::none().partition(Window::ticks(0, 100), vec![0]);
+        let noisy = widened_bound_geo(&config, &plan, Epsilon::ZERO).unwrap();
+        let noisy_base = widened_bound(&config.base_run_config(), &plan, Epsilon::ZERO).unwrap();
+        assert_eq!(
+            noisy.ticks(),
+            noisy_base.ticks() + 20 + 120 + 960 + 100 + 2 * 300
+        );
+        // Fullness-only geo batching defers propagation unboundedly.
+        let mut unbounded = config.clone();
+        unbounded.geo_batch.max_delay = Delta::INFINITE;
+        assert_eq!(
+            widened_bound_geo(&unbounded, &FaultPlan::none(), Epsilon::ZERO),
+            None
+        );
+        // Untimed levels carry no bound.
+        assert_eq!(
+            widened_bound_geo(
+                &geo_config(ProtocolKind::Cc, 0),
+                &FaultPlan::none(),
+                Epsilon::ZERO
+            ),
+            None
+        );
+    }
+}

@@ -67,6 +67,7 @@ mod client;
 mod config;
 pub mod control;
 pub mod engine;
+pub mod geo;
 mod harness;
 mod msg;
 pub mod oracle;
@@ -80,11 +81,15 @@ pub use config::{
 };
 pub use control::{ControllerConfig, DeltaCommand, DeltaController, DeltaSchedule};
 pub use engine::{ClientEngine, ServerEngine, ShardMap};
+pub use geo::{
+    conformance_geo, run_geo, widened_bound_geo, GeoMigrationPlan, GeoRelayEngine, GeoRunConfig,
+    GeoRunResult, GeoShardConfig, Migration, RegionMap, WanProfile,
+};
 pub use harness::{
     run, run_adaptive, run_adaptive_traced, run_traced, run_with_faults, run_with_private_sources,
     run_with_stores, RunConfig, RunResult, StoreFactory,
 };
-pub use msg::{InvalidateEntry, Msg, ValidateOutcome, WireVersion};
+pub use msg::{GeoWrite, InvalidateEntry, Msg, ValidateOutcome, WireVersion};
 pub use oracle::{conformance, Conformance, OracleVerdict};
 pub use server::ServerNode;
 pub use store::{MemStore, Recovery, ShardImage, ShardStore, StoredVersion, WalRecord};

@@ -9,6 +9,7 @@ use tc_sim::{Context, NodeId, Process, TraceRecorder};
 
 use crate::client::{log_delivery, replay_effects};
 use crate::engine::{Event, Now, ServerEngine};
+use crate::geo::GeoShardConfig;
 use crate::msg::Msg;
 use crate::store::ShardStore;
 use crate::ProtocolConfig;
@@ -45,6 +46,17 @@ impl ServerNode {
     #[must_use]
     pub fn with_recorder(mut self, recorder: Rc<RefCell<TraceRecorder>>) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Enables geo replication on this shard (see [`crate::geo`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol kind is not in the causal family.
+    #[must_use]
+    pub fn with_geo(mut self, geo: GeoShardConfig) -> Self {
+        self.engine = self.engine.with_geo(geo);
         self
     }
 

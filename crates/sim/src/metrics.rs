@@ -123,6 +123,29 @@ pub mod names {
     pub const DELTA_RELAX: &str = "delta_relax";
     /// Adaptive control plane: Δ revisions a client engine applied.
     pub const DELTA_APPLIED: &str = "delta_applied";
+
+    /// Geo replication: cross-region write batches shipped by a shard.
+    pub const GEO_BATCH: &str = "geo_batch";
+    /// Geo replication: batches retransmitted while unacknowledged.
+    pub const GEO_BATCH_RETRANSMIT: &str = "geo_batch_retransmit";
+    /// Geo replication: duplicate batches a relay acked without applying.
+    pub const GEO_BATCH_DUP: &str = "geo_batch_dup";
+    /// Geo replication: remote writes a relay forwarded to a local shard.
+    pub const GEO_APPLY: &str = "geo_apply";
+    /// Geo replication: remote writes a shard applied to its store.
+    pub const GEO_APPLIED: &str = "geo_applied";
+    /// Geo replication: duplicate relay forwards a shard re-acked.
+    pub const GEO_APPLY_DUP: &str = "geo_apply_dup";
+    /// Geo replication: relay forwards retransmitted while unacknowledged.
+    pub const GEO_APPLY_RETRANSMIT: &str = "geo_apply_retransmit";
+    /// Geo replication: local-apply notifications shards sent their relay.
+    pub const GEO_LOCAL_NOTIFY: &str = "geo_local_notify";
+    /// Geo migration: attach requests relays received from moving clients.
+    pub const GEO_ATTACH: &str = "geo_attach";
+    /// Geo migration: attach requests parked until the relay caught up.
+    pub const GEO_ATTACH_WAITED: &str = "geo_attach_waited";
+    /// Geo migration: clients that completed a region handoff.
+    pub const GEO_MIGRATED: &str = "geo_migrated";
 }
 
 /// A bag of named counters plus power-of-two latency histograms.

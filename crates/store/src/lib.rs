@@ -41,6 +41,8 @@
 #![warn(missing_docs)]
 
 mod clock;
+pub mod geo;
+mod jitter;
 mod level;
 pub mod reactor;
 mod replica;
@@ -49,9 +51,10 @@ mod store;
 pub mod transport;
 
 pub use clock::{Clock, ManualClock, SystemClock};
+pub use geo::{run_threaded_geo, GeoRuntimeConfig};
 pub use level::ConsistencyLevel;
 pub use reactor::{run_reactor, run_reactor_with, ConnectionChurn, ReactorConfig};
 pub use replica::{StoreMetrics, StoreMetricsSnapshot};
 pub use runtime::{run_threaded, LatencySummary, RuntimeConfig, RuntimeResult, MONITOR_SLACK};
 pub use store::{Builder, StoreError, StoreHandle, TimedStore};
-pub use transport::{run_tcp, run_tcp_with, Backoff, ListenerChaos, TcpRuntimeConfig};
+pub use transport::{run_tcp, run_tcp_with, Backoff, LinkTiming, ListenerChaos, TcpRuntimeConfig};

@@ -65,11 +65,12 @@ use tc_sim::metrics::names;
 use tc_sim::{Metrics, NetEvent, NodeId, TraceRecorder};
 use tc_wire::{write_frame, WireMsg};
 
+use crate::jitter::link_seed;
 use crate::runtime::{
     adaptive_widening, finish_run, step_server, ClientCore, OutageEdge, OutageGate, RuntimeConfig,
     RuntimeResult, Shared, TickClock, TimerWheel,
 };
-use crate::transport::{splitmix64, ListenerChaos, TcpRuntimeConfig};
+use crate::transport::{ListenerChaos, TcpRuntimeConfig};
 
 use conn::{Close, Conn};
 use sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
@@ -1071,7 +1072,7 @@ impl<'a> ClientReactor<'a> {
             attempt < self.cfg.backoff.max_attempts,
             "shard {shard} unreachable after {attempt} attempts"
         );
-        let seed = splitmix64(self.cfg.runtime.seed ^ ((client as u64) << 32) ^ shard as u64);
+        let seed = link_seed(self.cfg.runtime.seed, client, shard);
         let delay = self.cfg.backoff.delay(attempt, seed);
         self.clients[client].links[shard] = LinkState::Down {
             attempt: attempt + 1,

@@ -53,6 +53,7 @@ use tc_sim::metrics::names;
 use tc_sim::{Metrics, NodeId, TraceRecorder};
 use tc_wire::{encode_frame_into, read_frame, write_frame, WireMsg};
 
+use crate::jitter::{link_seed, splitmix64};
 use crate::runtime::{
     adaptive_widening, control_loop, finish_run, server_thread, ClientCore, ClientRt, Outbound,
     RuntimeConfig, RuntimeResult, Shared, TickClock, TimerWheel,
@@ -109,6 +110,17 @@ pub struct ListenerChaos {
     pub down_for: Duration,
 }
 
+/// Liveness timing of one connection: keep-alive cadence and the silence
+/// threshold past which the link is declared dead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkTiming {
+    /// Idle connection writers send a keep-alive this often.
+    pub heartbeat: Duration,
+    /// A connection with no inbound frame for this long is dead (must be
+    /// several multiples of `heartbeat`).
+    pub read_timeout: Duration,
+}
+
 /// Configuration of one TCP run: the common runtime knobs plus the
 /// transport's own timing and fault plan.
 #[derive(Clone, Debug)]
@@ -120,6 +132,12 @@ pub struct TcpRuntimeConfig {
     /// A connection with no inbound frame for this long is dead (must be
     /// several multiples of `heartbeat`).
     pub read_timeout: Duration,
+    /// Per-link timing overrides, keyed `(site, shard)`: a WAN-ish link
+    /// can run laxer liveness than the fleet default (or tighter, to
+    /// fail over faster) without retuning every connection. Both sides
+    /// of the link apply the override, so heartbeat cadence and silence
+    /// threshold stay mutually consistent.
+    pub link_timing: Vec<(usize, usize, LinkTiming)>,
     /// Client reconnect schedule.
     pub backoff: Backoff,
     /// Optional listener fault injection.
@@ -128,27 +146,41 @@ pub struct TcpRuntimeConfig {
 
 impl TcpRuntimeConfig {
     /// Transport defaults: 10 ms heartbeats, 250 ms dead-link timeout,
-    /// 2–50 ms backoff, no fault injection.
+    /// 2–50 ms backoff, no overrides, no fault injection.
     #[must_use]
     pub fn new(runtime: RuntimeConfig) -> Self {
         TcpRuntimeConfig {
             runtime,
             heartbeat: Duration::from_millis(10),
             read_timeout: Duration::from_millis(250),
+            link_timing: Vec::new(),
             backoff: Backoff::default(),
             chaos: None,
         }
     }
-}
 
-/// SplitMix64 — the jitter source (deterministic, seedable, no
-/// dependencies; same generator the simulator's RNG family bootstraps
-/// from). Shared with the reactor driver's backoff path.
-pub(crate) fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    /// Adds (or replaces) the timing override of one `(site, shard)` link.
+    #[must_use]
+    pub fn with_link_timing(mut self, site: usize, shard: usize, timing: LinkTiming) -> Self {
+        self.link_timing
+            .retain(|(s, h, _)| (*s, *h) != (site, shard));
+        self.link_timing.push((site, shard, timing));
+        self
+    }
+
+    /// The timing of the `(site, shard)` link: its override when one is
+    /// configured, the run-wide defaults otherwise.
+    #[must_use]
+    pub fn timing_for(&self, site: usize, shard: usize) -> LinkTiming {
+        self.link_timing
+            .iter()
+            .find(|(s, h, _)| (*s, *h) == (site, shard))
+            .map(|(_, _, t)| *t)
+            .unwrap_or(LinkTiming {
+                heartbeat: self.heartbeat,
+                read_timeout: self.read_timeout,
+            })
+    }
 }
 
 /// Live connections of one shard: site → (generation, writer inbox).
@@ -481,6 +513,11 @@ pub fn run_tcp_with(config: &TcpRuntimeConfig) -> RuntimeResult {
                     {
                         continue;
                     }
+                    // The handshake identified the site: apply the link's
+                    // own liveness timing from here on (the pre-handshake
+                    // read ran under the run-wide default).
+                    let timing = config.timing_for(site, shard);
+                    let _ = stream.set_read_timeout(Some(timing.read_timeout));
                     generation += 1;
                     let my_generation = generation;
                     let (wtx, wrx) = unbounded::<WireMsg>();
@@ -494,7 +531,7 @@ pub fn run_tcp_with(config: &TcpRuntimeConfig) -> RuntimeResult {
                     if let Ok(s) = stream.try_clone() {
                         conn_streams.push(s); // chaos kill handle
                     }
-                    let heartbeat = config.heartbeat;
+                    let heartbeat = timing.heartbeat;
                     conn_scope.spawn(move |_| {
                         writer_loop(&wrx, &mut wstream, shard as u16, heartbeat, shared_ref);
                     });
@@ -541,7 +578,8 @@ pub fn run_tcp_with(config: &TcpRuntimeConfig) -> RuntimeResult {
                         shard: shard as u32,
                         protocol: rc.protocol,
                     };
-                    let jitter_seed = splitmix64(rc.seed ^ ((site as u64) << 32) ^ shard as u64);
+                    let jitter_seed = link_seed(rc.seed, site, shard);
+                    let timing = config.timing_for(site, shard);
                     let mut connects: u64 = 0;
                     'link: while !done.load(Ordering::Relaxed) {
                         let mut attempt: u32 = 0;
@@ -549,7 +587,7 @@ pub fn run_tcp_with(config: &TcpRuntimeConfig) -> RuntimeResult {
                             if done.load(Ordering::Relaxed) {
                                 break 'link;
                             }
-                            match client_connect(addr, &hello, shard, config.read_timeout) {
+                            match client_connect(addr, &hello, shard, timing.read_timeout) {
                                 Connect::Up(s) => break s,
                                 Connect::Rejected(reason) => {
                                     panic!("shard {shard} rejected site {site}: {reason}")
@@ -580,7 +618,7 @@ pub fn run_tcp_with(config: &TcpRuntimeConfig) -> RuntimeResult {
                         let Ok(mut wstream) = stream.try_clone() else {
                             continue;
                         };
-                        let heartbeat = config.heartbeat;
+                        let heartbeat = timing.heartbeat;
                         link_scope.spawn(move |_| {
                             writer_loop(&wrx, &mut wstream, shard as u16, heartbeat, shared_ref);
                         });
@@ -813,6 +851,61 @@ mod tests {
             r.on_time.holds(),
             "violations against the in-force schedule: {}",
             r.on_time.violations().len()
+        );
+    }
+
+    #[test]
+    fn link_timing_override_resolves_per_link() {
+        let cfg = TcpRuntimeConfig::new(small(ProtocolKind::Sc, 30));
+        let tight = LinkTiming {
+            heartbeat: Duration::from_millis(30),
+            read_timeout: Duration::from_millis(3),
+        };
+        let cfg = cfg.with_link_timing(0, 0, tight);
+        assert_eq!(cfg.timing_for(0, 0), tight, "the override wins");
+        assert_eq!(
+            cfg.timing_for(1, 0),
+            LinkTiming {
+                heartbeat: cfg.heartbeat,
+                read_timeout: cfg.read_timeout,
+            },
+            "unlisted links keep the run-wide defaults"
+        );
+        // Re-overriding the same link replaces, not shadows.
+        let lax = LinkTiming {
+            heartbeat: Duration::from_millis(1),
+            read_timeout: Duration::from_millis(500),
+        };
+        let cfg = cfg.with_link_timing(0, 0, lax);
+        assert_eq!(cfg.timing_for(0, 0), lax);
+        assert_eq!(cfg.link_timing.len(), 1);
+    }
+
+    #[test]
+    fn per_link_read_timeout_governs_that_links_liveness() {
+        // Regression for the per-link timing seam: one link runs a read
+        // timeout (3 ms) far below its heartbeat cadence (30 ms), so any
+        // idle stretch on that link kills it and forces a redial — while
+        // every other link keeps the lax defaults and never flaps. Before
+        // timing became per-link this could only be expressed run-wide,
+        // flapping all four links at once.
+        let mut rc = small(ProtocolKind::Sc, 33);
+        rc.ops_per_client = 200;
+        rc.workload = Workload::new(4, 0.8, 0.7, (Delta::from_ticks(20), Delta::from_ticks(60)));
+        let cfg = TcpRuntimeConfig::new(rc).with_link_timing(
+            0,
+            0,
+            LinkTiming {
+                heartbeat: Duration::from_millis(30),
+                read_timeout: Duration::from_millis(3),
+            },
+        );
+        let r = run_tcp_with(&cfg);
+        assert_eq!(r.ops_done, 2 * 200, "flapping must not lose operations");
+        assert!(r.on_time.holds(), "monitor must report zero violations");
+        assert!(
+            r.counter(names::TCP_RECONNECT) > 0,
+            "the tight link must die to silence and redial at least once"
         );
     }
 

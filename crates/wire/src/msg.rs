@@ -11,8 +11,8 @@
 use tc_clocks::{Delta, Time, VectorClock};
 use tc_core::{ObjectId, Value};
 use tc_lifetime::{
-    DurabilityMode, FsyncPolicy, InvalidateEntry, Msg, Propagation, ProtocolConfig, ProtocolKind,
-    PushBatch, StalePolicy, ValidateOutcome, WireVersion,
+    DurabilityMode, FsyncPolicy, GeoWrite, InvalidateEntry, Msg, Propagation, ProtocolConfig,
+    ProtocolKind, PushBatch, StalePolicy, ValidateOutcome, WireVersion,
 };
 
 use crate::codec::{Reader, WireError, Writer};
@@ -74,6 +74,13 @@ const TAG_WRITE_ACK_CAUSAL: u8 = 6;
 const TAG_INVALIDATE_PUSH: u8 = 7;
 const TAG_INVALIDATE_BATCH: u8 = 8;
 const TAG_DELTA_UPDATE: u8 = 9;
+const TAG_GEO_BATCH: u8 = 10;
+const TAG_GEO_BATCH_ACK: u8 = 11;
+const TAG_GEO_APPLY: u8 = 12;
+const TAG_GEO_APPLY_ACK: u8 = 13;
+const TAG_GEO_LOCAL_APPLY: u8 = 14;
+const TAG_GEO_ATTACH: u8 = 15;
+const TAG_GEO_ATTACH_OK: u8 = 16;
 
 /// Encodes a [`Time`] (u64 ticks, LE).
 pub fn put_time(w: &mut Writer, t: Time) {
@@ -178,6 +185,24 @@ fn get_version(r: &mut Reader<'_>) -> Result<WireVersion, WireError> {
             get_time(r, "tiebreak time")?,
             r.u64("tiebreak node")? as usize,
         ),
+    })
+}
+
+fn put_geo_write(w: &mut Writer, g: &GeoWrite) {
+    put_object(w, g.object);
+    put_value(w, g.value);
+    put_vclock(w, &g.alpha_v);
+    put_time(w, g.issued_at);
+    w.u64(g.shard_seq);
+}
+
+fn get_geo_write(r: &mut Reader<'_>) -> Result<GeoWrite, WireError> {
+    Ok(GeoWrite {
+        object: get_object(r)?,
+        value: get_value(r)?,
+        alpha_v: get_vclock(r)?,
+        issued_at: get_time(r, "issued_at")?,
+        shard_seq: r.u64("shard_seq")?,
     })
 }
 
@@ -411,6 +436,46 @@ pub fn put_msg(w: &mut Writer, msg: &Msg) {
             w.u64(*seq);
             put_delta(w, *delta);
         }
+        Msg::GeoBatch {
+            origin,
+            seq,
+            entries,
+        } => {
+            w.u8(TAG_GEO_BATCH);
+            w.u32(*origin);
+            w.u64(*seq);
+            w.u32(entries.len() as u32);
+            for e in entries {
+                put_geo_write(w, e);
+            }
+        }
+        Msg::GeoBatchAck { upto } => {
+            w.u8(TAG_GEO_BATCH_ACK);
+            w.u64(*upto);
+        }
+        Msg::GeoApply { entry } => {
+            w.u8(TAG_GEO_APPLY);
+            put_geo_write(w, entry);
+        }
+        Msg::GeoApplyAck { writer, k } => {
+            w.u8(TAG_GEO_APPLY_ACK);
+            w.u32(*writer);
+            w.u64(*k);
+        }
+        Msg::GeoLocalApply { writer, k } => {
+            w.u8(TAG_GEO_LOCAL_APPLY);
+            w.u32(*writer);
+            w.u64(*k);
+        }
+        Msg::GeoAttach { site, context_v } => {
+            w.u8(TAG_GEO_ATTACH);
+            w.u32(*site);
+            put_vclock(w, context_v);
+        }
+        Msg::GeoAttachOk { site } => {
+            w.u8(TAG_GEO_ATTACH_OK);
+            w.u32(*site);
+        }
     }
 }
 
@@ -487,6 +552,44 @@ pub fn get_msg(r: &mut Reader<'_>) -> Result<Msg, WireError> {
         TAG_DELTA_UPDATE => Msg::DeltaUpdate {
             seq: r.u64("seq")?,
             delta: get_delta(r, "delta")?,
+        },
+        TAG_GEO_BATCH => {
+            let origin = r.u32("geo origin")?;
+            let seq = r.u64("geo batch seq")?;
+            let n = r.u32("geo batch length")? as usize;
+            // Same forged-length guard as InvalidateBatch: each entry is
+            // ≥ 44 bytes (object 4, value 8, minimal vclock 16, time 8,
+            // seq 8), so cap the preallocation by what could fit.
+            let mut entries = Vec::with_capacity(n.min(r.remaining() / 44 + 1));
+            for _ in 0..n {
+                entries.push(get_geo_write(r)?);
+            }
+            Msg::GeoBatch {
+                origin,
+                seq,
+                entries,
+            }
+        }
+        TAG_GEO_BATCH_ACK => Msg::GeoBatchAck {
+            upto: r.u64("geo upto")?,
+        },
+        TAG_GEO_APPLY => Msg::GeoApply {
+            entry: get_geo_write(r)?,
+        },
+        TAG_GEO_APPLY_ACK => Msg::GeoApplyAck {
+            writer: r.u32("geo writer")?,
+            k: r.u64("geo k")?,
+        },
+        TAG_GEO_LOCAL_APPLY => Msg::GeoLocalApply {
+            writer: r.u32("geo writer")?,
+            k: r.u64("geo k")?,
+        },
+        TAG_GEO_ATTACH => Msg::GeoAttach {
+            site: r.u32("geo site")?,
+            context_v: get_vclock(r)?,
+        },
+        TAG_GEO_ATTACH_OK => Msg::GeoAttachOk {
+            site: r.u32("geo site")?,
         },
         tag => return Err(WireError::UnknownTag { what: "msg", tag }),
     })
@@ -634,6 +737,36 @@ mod tests {
                 r.finish().unwrap();
             }
         }
+    }
+
+    #[test]
+    fn geo_messages_round_trip() {
+        let entry = GeoWrite {
+            object: ObjectId::new(3),
+            value: Value::new(77),
+            alpha_v: VectorClock::from_entries(1, vec![4, 9, 0]),
+            issued_at: Time::from_ticks(12_345),
+            shard_seq: 9,
+        };
+        round_trip(&WireMsg::Proto(Msg::GeoBatch {
+            origin: 2,
+            seq: 5,
+            entries: vec![entry.clone(), entry.clone()],
+        }));
+        round_trip(&WireMsg::Proto(Msg::GeoBatch {
+            origin: 0,
+            seq: 1,
+            entries: Vec::new(),
+        }));
+        round_trip(&WireMsg::Proto(Msg::GeoBatchAck { upto: 41 }));
+        round_trip(&WireMsg::Proto(Msg::GeoApply { entry }));
+        round_trip(&WireMsg::Proto(Msg::GeoApplyAck { writer: 1, k: 9 }));
+        round_trip(&WireMsg::Proto(Msg::GeoLocalApply { writer: 0, k: 2 }));
+        round_trip(&WireMsg::Proto(Msg::GeoAttach {
+            site: 4,
+            context_v: VectorClock::from_entries(4, vec![1, 2, 3, 4, 5]),
+        }));
+        round_trip(&WireMsg::Proto(Msg::GeoAttachOk { site: 4 }));
     }
 
     #[test]

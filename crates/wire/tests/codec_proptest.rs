@@ -15,8 +15,8 @@ use rand::Rng;
 use tc_clocks::{Delta, Time, VectorClock};
 use tc_core::{ObjectId, Value};
 use tc_lifetime::{
-    DurabilityMode, FsyncPolicy, InvalidateEntry, Msg, Propagation, ProtocolConfig, ProtocolKind,
-    PushBatch, StalePolicy, ValidateOutcome, WireVersion,
+    DurabilityMode, FsyncPolicy, GeoWrite, InvalidateEntry, Msg, Propagation, ProtocolConfig,
+    ProtocolKind, PushBatch, StalePolicy, ValidateOutcome, WireVersion,
 };
 use tc_wire::{
     crc32, decode_frame, encode_frame, read_frame, write_frame, WireError, WireMsg, Writer,
@@ -121,8 +121,18 @@ fn arb_protocol(rng: &mut StdRng) -> ProtocolConfig {
     }
 }
 
+fn arb_geo_write(rng: &mut StdRng) -> GeoWrite {
+    GeoWrite {
+        object: arb_object(rng),
+        value: arb_value(rng),
+        alpha_v: arb_vclock(rng),
+        issued_at: arb_time(rng),
+        shard_seq: rng.gen_range(0..=u64::MAX),
+    }
+}
+
 fn arb_proto_msg(rng: &mut StdRng) -> Msg {
-    match rng.gen_range(0..10u8) {
+    match rng.gen_range(0..17u8) {
         0 => Msg::FetchReq {
             object: arb_object(rng),
             epoch: rng.gen_range(0..=u64::MAX),
@@ -176,9 +186,38 @@ fn arb_proto_msg(rng: &mut StdRng) -> Msg {
                 entries: (0..n).map(|_| arb_entry(rng)).collect(),
             }
         }
-        _ => Msg::DeltaUpdate {
+        9 => Msg::DeltaUpdate {
             seq: rng.gen_range(0..=u64::MAX),
             delta: arb_delta(rng),
+        },
+        10 => {
+            let n = rng.gen_range(0..6usize);
+            Msg::GeoBatch {
+                origin: rng.gen_range(0..=u32::MAX),
+                seq: rng.gen_range(0..=u64::MAX),
+                entries: (0..n).map(|_| arb_geo_write(rng)).collect(),
+            }
+        }
+        11 => Msg::GeoBatchAck {
+            upto: rng.gen_range(0..=u64::MAX),
+        },
+        12 => Msg::GeoApply {
+            entry: arb_geo_write(rng),
+        },
+        13 => Msg::GeoApplyAck {
+            writer: rng.gen_range(0..=u32::MAX),
+            k: rng.gen_range(0..=u64::MAX),
+        },
+        14 => Msg::GeoLocalApply {
+            writer: rng.gen_range(0..=u32::MAX),
+            k: rng.gen_range(0..=u64::MAX),
+        },
+        15 => Msg::GeoAttach {
+            site: rng.gen_range(0..=u32::MAX),
+            context_v: arb_vclock(rng),
+        },
+        _ => Msg::GeoAttachOk {
+            site: rng.gen_range(0..=u32::MAX),
         },
     }
 }
@@ -330,6 +369,37 @@ proptest! {
             decode_frame(&frame),
             Err(WireError::BadVersion { found: version })
         );
+    }
+
+    /// The `Context_i` a client carries across regions (rule 3 state plus
+    /// its causal vector) survives the wire bit-exactly for any site and
+    /// any clock width/contents — a migration must resume from *exactly*
+    /// the context it drained with, so lossy encoding here would silently
+    /// weaken the timed guarantee at the destination region.
+    #[test]
+    fn migration_context_round_trips_exactly(
+        shard in 0u16..=u16::MAX,
+        width in 1usize..=32,
+        raw in proptest::collection::vec(0u64..=u64::MAX, 32),
+        site_seed in 0usize..32,
+    ) {
+        let site = site_seed % width;
+        let context_v = VectorClock::from_entries(site, raw[..width].to_vec());
+        let msg = WireMsg::Proto(Msg::GeoAttach {
+            site: site as u32,
+            context_v: context_v.clone(),
+        });
+        let frame = encode_frame(shard, &msg);
+        let (got_shard, got, used) = decode_frame(&frame).expect("attach frame decodes");
+        prop_assert_eq!(got_shard, shard);
+        prop_assert_eq!(used, frame.len());
+        match got {
+            WireMsg::Proto(Msg::GeoAttach { site: s, context_v: v }) => {
+                prop_assert_eq!(s, site as u32);
+                prop_assert_eq!(v, context_v);
+            }
+            other => prop_assert!(false, "decoded wrong variant: {other:?}"),
+        }
     }
 
     /// Pure garbage never panics the decoder.
